@@ -1,0 +1,67 @@
+// Recovery-window ablation: parallelism vs in-flight memory.
+//
+// schedule_windowed bounds the number of stripes recovered concurrently.
+// This bench sweeps the window and reports simulated recovery makespan and
+// the in-flight buffer bound (window x k chunks at the aggregation points),
+// showing where wider windows stop paying: once the cross-rack links
+// saturate, extra parallelism buys nothing but memory pressure.
+#include <cstdio>
+
+#include "cluster/configs.h"
+#include "recovery/balancer.h"
+#include "recovery/scheduler.h"
+#include "simnet/flowsim.h"
+#include "util/bytes.h"
+#include "util/table.h"
+
+namespace {
+
+constexpr std::size_t kStripes = 100;
+constexpr std::uint64_t kChunkSize = 8ull << 20;
+
+}  // namespace
+
+int main() {
+  using namespace car;
+  std::printf("== Ablation: recovery window (parallelism vs memory) ==\n");
+  std::printf("%zu stripes, %s chunks, CFS timing on the flow simulator\n\n",
+              kStripes, util::format_bytes(kChunkSize).c_str());
+
+  for (const auto& cfg : cluster::paper_configs()) {
+    util::Rng rng(0xA81A7E00ULL + cfg.k);
+    const auto placement = cluster::Placement::random(
+        cfg.topology(), cfg.k, cfg.m, kStripes, rng);
+    const auto scenario = cluster::inject_random_failure(placement, rng);
+    const auto censuses = recovery::build_censuses(placement, scenario);
+    const rs::Code code(cfg.k, cfg.m);
+    const auto balanced = recovery::balance_greedy(placement, censuses, {50});
+    const auto plan = recovery::build_car_plan(
+        placement, code, balanced.solutions, kChunkSize,
+        scenario.failed_node);
+
+    const simnet::NetConfig net;
+    util::TextTable table({"window", "makespan (s)", "time/chunk (s)",
+                           "in-flight bound (chunks)"});
+    for (const std::size_t window : {1u, 2u, 4u, 8u, 16u, 1000u}) {
+      const auto scheduled = recovery::schedule_windowed(plan, window);
+      const auto sim =
+          simnet::simulate_plan(placement.topology(), scheduled, net);
+      const std::size_t inflight =
+          recovery::max_inflight_stripes(scheduled) * (cfg.k + 1);
+      table.add_row({window >= kStripes ? "unbounded"
+                                        : std::to_string(window),
+                     util::fmt_double(sim.makespan_s, 2),
+                     util::fmt_double(sim.makespan_s /
+                                          static_cast<double>(censuses.size()),
+                                      3),
+                     std::to_string(inflight)});
+    }
+    std::printf("-- %s, RS(%zu,%zu), %zu lost chunks --\n%s\n",
+                cfg.name.c_str(), cfg.k, cfg.m, censuses.size(),
+                table.to_string().c_str());
+  }
+  std::printf("The knee sits where window x per-stripe traffic saturates "
+              "the rack uplinks;\nbeyond it, extra in-flight stripes only "
+              "grow buffer requirements.\n");
+  return 0;
+}

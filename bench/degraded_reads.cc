@@ -1,0 +1,82 @@
+// Degraded-read study: serving reads for chunks whose host is unavailable.
+//
+// Not a paper figure (the paper's Li et al. citation covers degraded
+// MapReduce scheduling), but the same machinery: a reader reconstructs a
+// chunk on the fly from k survivors.  We compare the direct fetch (k chunks
+// to the reader) with the CAR-style read (minimum racks + partial decoding)
+// on cross-rack traffic and simulated read latency.
+#include <cstdio>
+
+#include "cluster/configs.h"
+#include "recovery/degraded.h"
+#include "simnet/flowsim.h"
+#include "util/bytes.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+constexpr std::size_t kStripes = 50;
+constexpr int kReadsPerConfig = 200;
+constexpr std::uint64_t kChunkSize = 4ull << 20;
+
+}  // namespace
+
+int main() {
+  using namespace car;
+  std::printf("== Degraded reads: direct fetch vs CAR partial decoding ==\n");
+  std::printf("%d random degraded reads per config, %s chunks, flow-level "
+              "latency\n\n", kReadsPerConfig,
+              util::format_bytes(kChunkSize).c_str());
+
+  util::TextTable table({"CFS", "strategy", "x-rack chunks/read",
+                         "read latency (s)", "p99 latency (s)"});
+  for (const auto& cfg : cluster::paper_configs()) {
+    util::Rng rng(0xDE6DEAD5ULL + cfg.k);
+    const auto placement = cluster::Placement::random(
+        cfg.topology(), cfg.k, cfg.m, kStripes, rng);
+    const rs::Code code(cfg.k, cfg.m);
+    const simnet::NetConfig net;
+
+    util::RunningStats direct_cross, car_cross;
+    std::vector<double> direct_lat, car_lat;
+    for (int i = 0; i < kReadsPerConfig; ++i) {
+      const cluster::StripeId stripe = rng.next_below(kStripes);
+      const std::size_t chunk = rng.next_below(cfg.k + cfg.m);
+      cluster::NodeId reader =
+          rng.next_below(placement.topology().num_nodes());
+      if (reader == placement.node_of(stripe, chunk)) {
+        reader = (reader + 1) % placement.topology().num_nodes();
+      }
+      const recovery::DegradedReadRequest request{stripe, chunk, reader};
+
+      const auto direct = recovery::plan_degraded_read_direct(
+          placement, code, request, kChunkSize, rng);
+      direct_cross.add(static_cast<double>(direct.cross_rack_bytes()) /
+                       static_cast<double>(kChunkSize));
+      direct_lat.push_back(
+          simnet::simulate_plan(placement.topology(), direct, net)
+              .makespan_s);
+
+      const auto car = recovery::plan_degraded_read_car(placement, code,
+                                                        request, kChunkSize);
+      car_cross.add(static_cast<double>(car.cross_rack_bytes()) /
+                    static_cast<double>(kChunkSize));
+      car_lat.push_back(
+          simnet::simulate_plan(placement.topology(), car, net).makespan_s);
+    }
+
+    table.add_row({cfg.name, "direct", util::fmt_double(direct_cross.mean(), 2),
+                   util::fmt_double(util::mean_of(direct_lat), 3),
+                   util::fmt_double(util::percentile(direct_lat, 0.99), 3)});
+    table.add_row({cfg.name, "CAR", util::fmt_double(car_cross.mean(), 2),
+                   util::fmt_double(util::mean_of(car_lat), 3),
+                   util::fmt_double(util::percentile(car_lat, 0.99), 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("CAR-style degraded reads pull most bytes inside racks, so "
+              "both the mean and\nthe tail of read latency drop — the same "
+              "bandwidth-diversity argument as for\nfull recovery, applied "
+              "to the read path.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 7 reproduction: cross-rack repair traffic of CAR vs RR.
+//
+// Methodology (paper §V): for each CFS configuration, place 100 stripes
+// randomly with single-rack fault tolerance, erase a random node, and
+// measure the total cross-rack repair traffic for chunk sizes 4/8/16 MiB.
+// Each point is the mean over 50 runs (± sample stddev).
+#include <cstdio>
+
+#include "cluster/configs.h"
+#include "recovery/balancer.h"
+#include "util/bytes.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+constexpr std::size_t kStripes = 100;
+constexpr int kRuns = 50;
+constexpr std::uint64_t kChunkSizesMiB[] = {4, 8, 16};
+
+}  // namespace
+
+int main() {
+  using namespace car;
+  std::printf("== Figure 7: cross-rack repair traffic (CAR vs RR) ==\n");
+  std::printf("100 stripes, random placement, random single-node failure, "
+              "%d runs per point\n\n", kRuns);
+
+  for (const auto& cfg : cluster::paper_configs()) {
+    util::TextTable table({"chunk size", "RR traffic (MiB)",
+                           "CAR traffic (MiB)", "saving"});
+    for (const std::uint64_t mib : kChunkSizesMiB) {
+      const std::uint64_t chunk_size = mib * util::kMiB;
+      util::RunningStats rr_mib, car_mib;
+      for (int run = 0; run < kRuns; ++run) {
+        util::Rng rng(0xF1600000ULL + run * 131 + mib);
+        const auto placement = cluster::Placement::random(
+            cfg.topology(), cfg.k, cfg.m, kStripes, rng);
+        const auto scenario = cluster::inject_random_failure(placement, rng);
+        const auto censuses = recovery::build_censuses(placement, scenario);
+
+        const auto rr = recovery::plan_rr(placement, censuses, rng);
+        const auto rr_sum =
+            recovery::rr_traffic(placement, rr, scenario.failed_rack);
+        rr_mib.add(static_cast<double>(rr_sum.total_bytes(chunk_size)) /
+                   static_cast<double>(util::kMiB));
+
+        const auto car = recovery::balance_greedy(placement, censuses, {50});
+        const auto car_sum = recovery::car_traffic(
+            car.solutions, placement.topology().num_racks(),
+            scenario.failed_rack);
+        car_mib.add(static_cast<double>(car_sum.total_bytes(chunk_size)) /
+                    static_cast<double>(util::kMiB));
+      }
+      const double saving = 1.0 - car_mib.mean() / rr_mib.mean();
+      table.add_row({std::to_string(mib) + " MiB",
+                     util::fmt_double(rr_mib.mean(), 1) + " +- " +
+                         util::fmt_double(rr_mib.sample_stddev(), 1),
+                     util::fmt_double(car_mib.mean(), 1) + " +- " +
+                         util::fmt_double(car_mib.sample_stddev(), 1),
+                     util::fmt_percent(saving)});
+    }
+    std::printf("-- %s %s, RS(%zu,%zu) --\n", cfg.name.c_str(),
+                cfg.topology().to_string().c_str(), cfg.k, cfg.m);
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  std::printf("Paper reference points: 52.4%% saving in CFS1 @4MiB, "
+              "66.9%% in CFS3 @16MiB;\nthe saving grows with k because RR "
+              "fetches k chunks while CAR ships one\npartially decoded chunk "
+              "per accessed rack.\n");
+  return 0;
+}

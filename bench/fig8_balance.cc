@@ -1,0 +1,66 @@
+// Figure 8 reproduction: load-balancing rate lambda vs greedy iterations.
+//
+// Methodology (paper §V-B): s = 100 stripes, e = 50 iterations, 50 runs.
+// For each CFS we report lambda after e = 0 (i.e. without load balancing,
+// but still with minimum-rack selection + partial decoding) and after
+// 10..50 iterations of Algorithm 2, as mean ± sample stddev.
+#include <cstdio>
+
+#include "cluster/configs.h"
+#include "recovery/balancer.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+constexpr std::size_t kStripes = 100;
+constexpr int kRuns = 50;
+constexpr std::size_t kMaxIterations = 50;
+
+}  // namespace
+
+int main() {
+  using namespace car;
+  std::printf("== Figure 8: load-balancing rate vs iteration steps ==\n");
+  std::printf("s = %zu stripes, e = %zu iterations, %d runs per config\n\n",
+              kStripes, kMaxIterations, kRuns);
+
+  for (const auto& cfg : cluster::paper_configs()) {
+    // lambda after exactly e iterations, for e = 0, 10, 20, 30, 40, 50.
+    const std::size_t checkpoints[] = {0, 10, 20, 30, 40, 50};
+    util::RunningStats stats[6];
+
+    for (int run = 0; run < kRuns; ++run) {
+      util::Rng rng(0xF1800000ULL + run * 977);
+      const auto placement = cluster::Placement::random(
+          cfg.topology(), cfg.k, cfg.m, kStripes, rng);
+      const auto scenario = cluster::inject_random_failure(placement, rng);
+      const auto censuses = recovery::build_censuses(placement, scenario);
+      const auto result =
+          recovery::balance_greedy(placement, censuses, {kMaxIterations});
+
+      for (std::size_t i = 0; i < 6; ++i) {
+        // Once converged, lambda stays at its final value.
+        const std::size_t idx =
+            std::min(checkpoints[i], result.lambda_trace.size() - 1);
+        stats[i].add(result.lambda_trace[idx]);
+      }
+    }
+
+    util::TextTable table({"iterations", "lambda (mean)", "stddev"});
+    for (std::size_t i = 0; i < 6; ++i) {
+      table.add_row({checkpoints[i] == 0
+                         ? std::string("0 (no balancing)")
+                         : std::to_string(checkpoints[i]),
+                     util::fmt_double(stats[i].mean(), 3),
+                     util::fmt_double(stats[i].sample_stddev(), 3)});
+    }
+    std::printf("-- %s %s, RS(%zu,%zu) --\n", cfg.name.c_str(),
+                cfg.topology().to_string().c_str(), cfg.k, cfg.m);
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  std::printf("Paper reference: in CFS1 lambda drops from 1.22 without "
+              "balancing to 1.02\nwith balancing; the curve falls steeply "
+              "first, then plateaus near the optimum.\n");
+  return 0;
+}

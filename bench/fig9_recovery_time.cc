@@ -1,0 +1,93 @@
+// Figure 9 reproduction: recovery time per lost chunk, CAR vs RR.
+//
+// The paper measures wall-clock recovery on a 20-node Gigabit testbed; this
+// harness replays the same plans on the flow-level simulator (src/simnet):
+// 1 GbE node links, a 5x-oversubscribed core, heterogeneous per-rack compute
+// (Table III stand-in).  Chunk sizes 4/8/16 MiB, 100 stripes, mean of
+// 20 simulated runs (the simulator is deterministic per seed; variation
+// comes from placement/failure randomness).
+#include <cstdio>
+
+#include "cluster/configs.h"
+#include "recovery/balancer.h"
+#include "simnet/flowsim.h"
+#include "util/bytes.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+constexpr std::size_t kStripes = 100;
+constexpr int kRuns = 20;
+constexpr std::uint64_t kChunkSizesMiB[] = {4, 8, 16};
+
+car::simnet::NetConfig testbed_net(std::size_t num_racks) {
+  car::simnet::NetConfig net;
+  net.node_bps = 125e6;       // 1 GbE
+  net.oversubscription = 5.0; // scarce cross-rack bandwidth
+  net.gf_compute_bps = 1.5e9;
+  net.xor_compute_bps = 6e9;
+  // Heterogeneous racks (paper Table III): A1 hosts the slowest CPUs.
+  net.rack_compute_multiplier.assign(num_racks, 1.0);
+  if (num_racks >= 1) net.rack_compute_multiplier[0] = 0.5;
+  if (num_racks >= 4) net.rack_compute_multiplier[3] = 0.8;
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  using namespace car;
+  std::printf("== Figure 9: recovery time per lost chunk (CAR vs RR) ==\n");
+  std::printf("flow-level simulation: 1 GbE node links, 5x oversubscribed "
+              "core, %zu stripes,\n%d runs per point\n\n", kStripes, kRuns);
+
+  for (const auto& cfg : cluster::paper_configs()) {
+    const auto net = testbed_net(cfg.topology().num_racks());
+    util::TextTable table({"chunk size", "RR time/chunk (s)",
+                           "CAR time/chunk (s)", "speedup"});
+    for (const std::uint64_t mib : kChunkSizesMiB) {
+      const std::uint64_t chunk_size = mib * util::kMiB;
+      util::RunningStats rr_time, car_time;
+      for (int run = 0; run < kRuns; ++run) {
+        util::Rng rng(0xF1900000ULL + run * 613 + mib);
+        const auto placement = cluster::Placement::random(
+            cfg.topology(), cfg.k, cfg.m, kStripes, rng);
+        const auto scenario = cluster::inject_random_failure(placement, rng);
+        const auto censuses = recovery::build_censuses(placement, scenario);
+        const rs::Code code(cfg.k, cfg.m);
+        const double lost = static_cast<double>(scenario.lost.size());
+
+        const auto rr = recovery::plan_rr(placement, censuses, rng);
+        const auto rr_plan = recovery::build_rr_plan(
+            placement, code, rr, chunk_size, scenario.failed_node);
+        rr_time.add(
+            simnet::simulate_plan(placement.topology(), rr_plan, net)
+                .makespan_s / lost);
+
+        const auto balanced =
+            recovery::balance_greedy(placement, censuses, {50});
+        const auto car_plan = recovery::build_car_plan(
+            placement, code, balanced.solutions, chunk_size,
+            scenario.failed_node);
+        car_time.add(
+            simnet::simulate_plan(placement.topology(), car_plan, net)
+                .makespan_s / lost);
+      }
+      table.add_row({std::to_string(mib) + " MiB",
+                     util::fmt_double(rr_time.mean(), 3) + " +- " +
+                         util::fmt_double(rr_time.sample_stddev(), 3),
+                     util::fmt_double(car_time.mean(), 3) + " +- " +
+                         util::fmt_double(car_time.sample_stddev(), 3),
+                     util::fmt_percent(1.0 - car_time.mean() /
+                                                 rr_time.mean())});
+    }
+    std::printf("-- %s %s, RS(%zu,%zu) --\n", cfg.name.c_str(),
+                cfg.topology().to_string().c_str(), cfg.k, cfg.m);
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  std::printf("Paper reference: CAR cuts 53.8%% of recovery time in CFS2 "
+              "@8MiB; recovery time\ngrows with both k and chunk size, and "
+              "CAR's advantage widens with k.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Microbenchmarks for the GF(2^8) kernels that dominate decode time.
+// Supports the compute-throughput constants used by the flow simulator
+// (simnet::NetConfig::gf_compute_bps / xor_compute_bps).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "gf/galois.h"
+#include "gf/gf256.h"
+#include "gf/region.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace car;
+
+std::vector<std::uint8_t> random_buffer(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint8_t> buf(n);
+  rng.fill_bytes(buf);
+  return buf;
+}
+
+void BM_XorRegion(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto src = random_buffer(n, 1);
+  auto dst = random_buffer(n, 2);
+  for (auto _ : state) {
+    gf::xor_region(src, dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_XorRegion)->Range(1 << 10, 1 << 22);
+
+void BM_MulRegionAcc(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto src = random_buffer(n, 3);
+  auto dst = random_buffer(n, 4);
+  std::uint8_t c = 2;
+  for (auto _ : state) {
+    gf::mul_region_acc(c, src, dst);
+    benchmark::DoNotOptimize(dst.data());
+    c = static_cast<std::uint8_t>(c * 3 + 1) | 2;  // avoid 0/1 fast paths
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MulRegionAcc)->Range(1 << 10, 1 << 22);
+
+void BM_MulRegionCopy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto src = random_buffer(n, 5);
+  std::vector<std::uint8_t> dst(n);
+  for (auto _ : state) {
+    gf::mul_region(0x8E, src, dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MulRegionCopy)->Range(1 << 12, 1 << 22);
+
+void BM_Gf256ScalarMul(benchmark::State& state) {
+  const auto& f = gf::Gf256::instance();
+  std::uint8_t a = 3, b = 7, acc = 0;
+  for (auto _ : state) {
+    acc ^= f.mul(a, b);
+    a = static_cast<std::uint8_t>(a + 1);
+    b = static_cast<std::uint8_t>(b + 3);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_Gf256ScalarMul);
+
+void BM_GenericFieldMul(benchmark::State& state) {
+  const gf::Field f(static_cast<unsigned>(state.range(0)));
+  std::uint32_t a = 3, b = 7, acc = 0;
+  const std::uint32_t mask = f.size() - 1;
+  for (auto _ : state) {
+    acc ^= f.mul(a, b);
+    a = (a + 1) & mask;
+    b = (b + 3) & mask;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_GenericFieldMul)->Arg(8)->Arg(16);
+
+void BM_LinearCombine(benchmark::State& state) {
+  // k-way combine of 1 MiB chunks — the inner loop of a full decode.
+  const auto k = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kChunk = 1 << 20;
+  std::vector<std::vector<std::uint8_t>> rows;
+  for (std::size_t i = 0; i < k; ++i) {
+    rows.push_back(random_buffer(kChunk, 10 + i));
+  }
+  std::vector<std::span<const std::uint8_t>> views(rows.begin(), rows.end());
+  std::vector<std::uint8_t> coeffs(k);
+  util::Rng rng(99);
+  rng.fill_bytes(coeffs);
+  std::vector<std::uint8_t> out(kChunk);
+  for (auto _ : state) {
+    gf::linear_combine(coeffs, views, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * kChunk));
+}
+BENCHMARK(BM_LinearCombine)->Arg(4)->Arg(6)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

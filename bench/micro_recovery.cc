@@ -1,0 +1,112 @@
+// Microbenchmarks for the CAR planning path itself, verifying the paper's
+// §IV-D complexity claim: Algorithm 2 runs in O(e * r * s), i.e. planning is
+// cheap relative to the recovery it optimises.
+#include <benchmark/benchmark.h>
+
+#include "cluster/configs.h"
+#include "recovery/balancer.h"
+#include "simnet/flowsim.h"
+
+namespace {
+
+using namespace car;
+
+struct Scenario {
+  cluster::Placement placement;
+  cluster::FailureScenario failure;
+  std::vector<recovery::StripeCensus> censuses;
+};
+
+Scenario make_scenario(const cluster::CfsConfig& cfg, std::size_t stripes,
+                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto placement =
+      cluster::Placement::random(cfg.topology(), cfg.k, cfg.m, stripes, rng);
+  auto failure = cluster::inject_random_failure(placement, rng);
+  auto censuses = recovery::build_censuses(placement, failure);
+  return {std::move(placement), std::move(failure), std::move(censuses)};
+}
+
+void BM_BalanceGreedy_Stripes(benchmark::State& state) {
+  // Runtime should scale ~linearly with s (stripes).
+  const auto stripes = static_cast<std::size_t>(state.range(0));
+  const auto s = make_scenario(cluster::cfs3(), stripes, 17);
+  for (auto _ : state) {
+    auto result = recovery::balance_greedy(s.placement, s.censuses, {50});
+    benchmark::DoNotOptimize(result.solutions.data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(stripes));
+}
+BENCHMARK(BM_BalanceGreedy_Stripes)
+    ->RangeMultiplier(2)
+    ->Range(64, 1024)
+    ->Complexity(benchmark::oN);
+
+void BM_BalanceGreedy_Iterations(benchmark::State& state) {
+  // Runtime should scale ~linearly with e (iterations), until convergence.
+  const auto iterations = static_cast<std::size_t>(state.range(0));
+  const auto s = make_scenario(cluster::cfs3(), 400, 23);
+  for (auto _ : state) {
+    auto result =
+        recovery::balance_greedy(s.placement, s.censuses, {iterations});
+    benchmark::DoNotOptimize(result.solutions.data());
+  }
+}
+BENCHMARK(BM_BalanceGreedy_Iterations)->Arg(10)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_EnumerateMinimalSolutions(benchmark::State& state) {
+  const auto s = make_scenario(cluster::cfs3(), 100, 29);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto sets =
+        recovery::enumerate_minimal_solutions(s.censuses[i % s.censuses.size()]);
+    benchmark::DoNotOptimize(sets.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_EnumerateMinimalSolutions);
+
+void BM_BuildCarPlan(benchmark::State& state) {
+  const auto s = make_scenario(cluster::cfs3(), 100, 31);
+  const rs::Code code(10, 4);
+  const auto balanced = recovery::balance_greedy(s.placement, s.censuses, {50});
+  for (auto _ : state) {
+    auto plan = recovery::build_car_plan(s.placement, code, balanced.solutions,
+                                         1 << 22, s.failure.failed_node);
+    benchmark::DoNotOptimize(plan.steps.data());
+  }
+}
+BENCHMARK(BM_BuildCarPlan);
+
+void BM_SimulateCarPlan(benchmark::State& state) {
+  const auto s = make_scenario(cluster::cfs3(), 100, 37);
+  const rs::Code code(10, 4);
+  const auto balanced = recovery::balance_greedy(s.placement, s.censuses, {50});
+  const auto plan = recovery::build_car_plan(
+      s.placement, code, balanced.solutions, 1 << 22, s.failure.failed_node);
+  const simnet::NetConfig net;
+  for (auto _ : state) {
+    auto result = simnet::simulate_plan(s.placement.topology(), plan, net);
+    benchmark::DoNotOptimize(result.makespan_s);
+  }
+}
+BENCHMARK(BM_SimulateCarPlan);
+
+void BM_SimulateRrPlan(benchmark::State& state) {
+  auto s = make_scenario(cluster::cfs3(), 100, 41);
+  const rs::Code code(10, 4);
+  util::Rng rng(43);
+  const auto rr = recovery::plan_rr(s.placement, s.censuses, rng);
+  const auto plan = recovery::build_rr_plan(s.placement, code, rr, 1 << 22,
+                                            s.failure.failed_node);
+  const simnet::NetConfig net;
+  for (auto _ : state) {
+    auto result = simnet::simulate_plan(s.placement.topology(), plan, net);
+    benchmark::DoNotOptimize(result.makespan_s);
+  }
+}
+BENCHMARK(BM_SimulateRrPlan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

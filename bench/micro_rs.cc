@@ -1,0 +1,120 @@
+// Microbenchmarks for the Reed–Solomon codec: encode, single-chunk repair,
+// partial decoding, and full decode, at the paper's code parameters.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "rs/code.h"
+#include "rs/partial.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace car;
+
+struct StripeFixture {
+  rs::Code code;
+  std::vector<rs::Chunk> data;
+  std::vector<rs::Chunk> stripe;
+
+  StripeFixture(std::size_t k, std::size_t m, std::size_t chunk_size)
+      : code(k, m) {
+    util::Rng rng(k * 7 + m);
+    data.assign(k, rs::Chunk(chunk_size));
+    for (auto& c : data) rng.fill_bytes(c);
+    std::vector<rs::ChunkView> views(data.begin(), data.end());
+    stripe = code.encode_stripe(views);
+  }
+};
+
+void BM_Encode(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kChunk = 1 << 20;
+  StripeFixture f(k, m, kChunk);
+  std::vector<rs::ChunkView> views(f.data.begin(), f.data.end());
+  for (auto _ : state) {
+    auto parity = f.code.encode(views);
+    benchmark::DoNotOptimize(parity.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * kChunk));
+}
+BENCHMARK(BM_Encode)->Args({4, 3})->Args({6, 3})->Args({10, 4});
+
+void BM_ReconstructOneChunk(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kChunk = 1 << 20;
+  StripeFixture f(k, m, kChunk);
+  std::vector<std::size_t> survivors;
+  for (std::size_t i = 1; i <= k; ++i) survivors.push_back(i);
+  std::vector<rs::ChunkView> chunks;
+  for (auto id : survivors) chunks.push_back(f.stripe[id]);
+  for (auto _ : state) {
+    auto rebuilt = f.code.reconstruct(0, survivors, chunks);
+    benchmark::DoNotOptimize(rebuilt.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * kChunk));
+}
+BENCHMARK(BM_ReconstructOneChunk)->Args({4, 3})->Args({6, 3})->Args({10, 4});
+
+void BM_RepairVector(benchmark::State& state) {
+  // Plan-time cost only: inverting the survivor matrix, no data touched.
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const rs::Code code(k, m);
+  std::vector<std::size_t> survivors;
+  for (std::size_t i = 1; i <= k; ++i) survivors.push_back(i);
+  for (auto _ : state) {
+    auto y = code.repair_vector(0, survivors);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_RepairVector)->Args({4, 3})->Args({6, 3})->Args({10, 4});
+
+void BM_PartialDecodeRack(benchmark::State& state) {
+  // One aggregator combining `group` chunks — the per-rack work of CAR.
+  const auto group = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kChunk = 1 << 20;
+  StripeFixture f(10, 4, kChunk);
+  std::vector<std::size_t> survivors;
+  for (std::size_t i = 1; i <= 10; ++i) survivors.push_back(i);
+  std::vector<rs::ChunkView> chunks;
+  for (auto id : survivors) chunks.push_back(f.stripe[id]);
+  const auto y = f.code.repair_vector(0, survivors);
+  rs::PartialGroup g;
+  for (std::size_t i = 0; i < group; ++i) g.positions.push_back(i);
+  for (auto _ : state) {
+    auto partial = rs::partial_decode(y, g, chunks);
+    benchmark::DoNotOptimize(partial.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(group * kChunk));
+}
+BENCHMARK(BM_PartialDecodeRack)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_DecodeAllData(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kChunk = 1 << 18;
+  StripeFixture f(k, m, kChunk);
+  std::vector<std::size_t> survivors;
+  for (std::size_t i = k + m; i-- > 0 && survivors.size() < k;) {
+    survivors.push_back(i);
+  }
+  std::vector<rs::ChunkView> chunks;
+  for (auto id : survivors) chunks.push_back(f.stripe[id]);
+  for (auto _ : state) {
+    auto data = f.code.decode_data(survivors, chunks);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * kChunk));
+}
+BENCHMARK(BM_DecodeAllData)->Args({4, 3})->Args({10, 4});
+
+}  // namespace
+
+BENCHMARK_MAIN();

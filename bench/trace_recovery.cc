@@ -1,0 +1,59 @@
+// Long-horizon failure-trace study (beyond the paper's single-failure
+// snapshots): replay a month of Poisson node failures against each CFS and
+// compare the *cumulative* cost of CAR vs RR — total cross-rack bytes,
+// total time at reduced redundancy, and how evenly the burden lands on the
+// racks over the whole trace.
+#include <cstdio>
+
+#include "cluster/configs.h"
+#include "util/bytes.h"
+#include "util/table.h"
+#include "workload/trace.h"
+
+namespace {
+
+constexpr std::size_t kStripes = 100;
+constexpr std::size_t kFailures = 30;   // ~a month at one failure per day
+constexpr std::uint64_t kChunkSize = 8ull << 20;
+
+}  // namespace
+
+int main() {
+  using namespace car;
+  std::printf("== Failure-trace study: cumulative recovery cost ==\n");
+  std::printf("%zu stripes, %zu Poisson failures (1/day), %s chunks, "
+              "flow-level timing\n\n",
+              kStripes, kFailures, util::format_bytes(kChunkSize).c_str());
+
+  util::TextTable table({"CFS", "strategy", "chunks rebuilt",
+                         "cross-rack total", "exposure (s)", "worst event (s)",
+                         "trace lambda"});
+  for (const auto& cfg : cluster::paper_configs()) {
+    util::Rng rng(0x7EACE000ULL + cfg.k);
+    const auto placement = cluster::Placement::random(
+        cfg.topology(), cfg.k, cfg.m, kStripes, rng);
+    const auto events = workload::generate_failure_trace(
+        placement.topology(), {kFailures, 24.0 * 3600.0}, rng);
+
+    const simnet::NetConfig net;
+    for (const auto strategy :
+         {workload::Strategy::kRr, workload::Strategy::kCar}) {
+      util::Rng replay_rng = rng.split();
+      const auto report = workload::run_failure_trace(
+          placement, events, strategy, kChunkSize, net, replay_rng);
+      table.add_row(
+          {cfg.name, strategy == workload::Strategy::kCar ? "CAR" : "RR",
+           std::to_string(report.chunks_rebuilt),
+           util::format_bytes(report.cross_rack_bytes),
+           util::fmt_double(report.total_recovery_s, 1),
+           util::fmt_double(report.max_recovery_s, 1),
+           util::fmt_double(report.aggregate_lambda, 3)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Exposure = summed recovery makespans, i.e. time the cluster "
+              "ran with reduced\nredundancy.  CAR's savings compound over "
+              "the trace: less core traffic per\nfailure and shorter "
+              "windows of vulnerability.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// XOR-code (RDP) recovery vs CAR's rack-aware view (paper §II-C).
+//
+// The pre-CAR literature minimises the number of *symbols read* when a disk
+// of an XOR code fails (Xiang et al.'s hybrid row/diagonal recovery for
+// RDP, ~25% fewer reads).  The paper argues that in a CFS the scarce
+// resource is cross-rack bandwidth, not reads.  This bench quantifies both
+// claims on RDP stripes whose p+1 disks are spread round-robin across 4
+// racks:
+//   1) hybrid recovery does cut reads by ~25%  (reproduces the related work),
+//   2) yet its *cross-rack* traffic barely drops — until CAR's intra-rack
+//      aggregation (partial XOR sums per rack per group) is layered on top,
+//      which works for XOR codes exactly as it does for Reed-Solomon.
+#include <cstdio>
+#include <set>
+
+#include "util/table.h"
+#include "xorcode/rdp.h"
+
+namespace {
+
+constexpr std::size_t kRacks = 4;
+
+std::size_t rack_of_disk(std::size_t disk) { return disk % kRacks; }
+
+}  // namespace
+
+int main() {
+  using namespace car;
+  std::printf("== XOR-code hybrid recovery vs rack-aware aggregation ==\n");
+  std::printf("RDP(p) disks dealt round-robin over %zu racks; failed disk 0 "
+              "(rack 0);\nreads and cross-rack units in symbols\n\n", kRacks);
+
+  util::TextTable table({"p", "conv reads", "hybrid reads", "read saving",
+                         "conv x-rack", "hybrid x-rack",
+                         "hybrid+aggregation x-rack"});
+  for (const std::size_t p : {5u, 7u, 11u, 13u}) {
+    const xorcode::Rdp code(p);
+    constexpr std::size_t failed = 0;
+    const std::size_t home = rack_of_disk(failed);
+
+    // Conventional: all rows, read every other column of columns 0..p-1.
+    const std::size_t conv_reads = code.rows() * (p - 1);
+    std::size_t conv_cross = 0;
+    for (std::size_t r = 0; r < code.rows(); ++r) {
+      for (std::size_t j = 0; j < p; ++j) {
+        if (j != failed && rack_of_disk(j) != home) ++conv_cross;
+      }
+    }
+
+    // Hybrid (minimum reads).
+    const auto plan = code.plan_hybrid_recovery(failed);
+    std::size_t hybrid_cross = 0;
+    for (const auto& [disk, row] : plan.reads) {
+      if (rack_of_disk(disk) != home) ++hybrid_cross;
+    }
+
+    // Hybrid + CAR-style aggregation: per recovery group, each contributing
+    // foreign rack ships one partial XOR instead of raw symbols.
+    std::size_t aggregated_cross = 0;
+    for (std::size_t r = 0; r < code.rows(); ++r) {
+      std::set<std::size_t> foreign_racks;
+      if (!plan.use_diagonal[r]) {
+        for (std::size_t j = 0; j < p; ++j) {
+          if (j != failed && rack_of_disk(j) != home) {
+            foreign_racks.insert(rack_of_disk(j));
+          }
+        }
+      } else {
+        const std::size_t d = (r + failed) % p;
+        for (std::size_t j = 0; j < p; ++j) {
+          if (j == failed) continue;
+          const std::size_t i = (d + p - j) % p;
+          if (i < code.rows() && rack_of_disk(j) != home) {
+            foreign_racks.insert(rack_of_disk(j));
+          }
+        }
+        if (rack_of_disk(xorcode::Rdp::kDiagParity(p)) != home) {
+          foreign_racks.insert(rack_of_disk(xorcode::Rdp::kDiagParity(p)));
+        }
+      }
+      aggregated_cross += foreign_racks.size();
+    }
+
+    table.add_row({std::to_string(p), std::to_string(conv_reads),
+                   std::to_string(plan.reads.size()),
+                   util::fmt_percent(1.0 - static_cast<double>(
+                                               plan.reads.size()) /
+                                               static_cast<double>(conv_reads)),
+                   std::to_string(conv_cross), std::to_string(hybrid_cross),
+                   std::to_string(aggregated_cross)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading fewer symbols (the XOR-code literature's objective) barely "
+      "moves the\ncross-rack column; intra-rack aggregation — CAR's second "
+      "technique — is what\ncollapses it, and it applies to XOR parity "
+      "groups exactly as to RS repair\nvectors.\n");
+  return 0;
+}

@@ -1,0 +1,11 @@
+#include "cluster/configs.h"
+
+namespace car::cluster {
+
+CfsConfig cfs1() { return {"CFS1", {4, 3, 3}, 4, 3}; }
+CfsConfig cfs2() { return {"CFS2", {4, 3, 3, 3}, 6, 3}; }
+CfsConfig cfs3() { return {"CFS3", {6, 4, 5, 3, 2}, 10, 4}; }
+
+std::vector<CfsConfig> paper_configs() { return {cfs1(), cfs2(), cfs3()}; }
+
+}  // namespace car::cluster

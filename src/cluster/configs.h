@@ -1,0 +1,34 @@
+// The paper's evaluation configurations (Table II) and helpers to build them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cluster/topology.h"
+
+namespace car::cluster {
+
+/// One row of the paper's Table II: a named CFS with its rack layout and
+/// Reed–Solomon parameters.
+struct CfsConfig {
+  std::string name;
+  std::vector<std::size_t> nodes_per_rack;
+  std::size_t k = 0;
+  std::size_t m = 0;
+
+  [[nodiscard]] Topology topology() const { return Topology(nodes_per_rack); }
+  [[nodiscard]] std::size_t stripe_width() const noexcept { return k + m; }
+};
+
+/// CFS1: 3 racks {4,3,3}, RS(4,3).
+CfsConfig cfs1();
+/// CFS2: 4 racks {4,3,3,3}, RS(6,3) — Google Colossus parameters.
+CfsConfig cfs2();
+/// CFS3: 5 racks {6,4,5,3,2}, RS(10,4) — Facebook HDFS-RAID parameters.
+CfsConfig cfs3();
+
+/// All three paper configurations, in order.
+std::vector<CfsConfig> paper_configs();
+
+}  // namespace car::cluster

@@ -1,0 +1,32 @@
+#include "cluster/failure.h"
+
+#include <stdexcept>
+
+namespace car::cluster {
+
+FailureScenario inject_node_failure(const Placement& placement, NodeId node) {
+  FailureScenario scenario;
+  scenario.failed_node = node;
+  scenario.failed_rack = placement.topology().rack_of(node);
+  for (const ChunkRef& ref : placement.chunks_on_node(node)) {
+    scenario.lost.push_back({ref.stripe, ref.chunk_index});
+  }
+  return scenario;
+}
+
+FailureScenario inject_random_failure(const Placement& placement,
+                                      util::Rng& rng) {
+  const auto occupancy = placement.node_occupancy();
+  std::vector<NodeId> candidates;
+  for (NodeId n = 0; n < occupancy.size(); ++n) {
+    if (occupancy[n] > 0) candidates.push_back(n);
+  }
+  if (candidates.empty()) {
+    throw std::logic_error("inject_random_failure: no node stores any chunk");
+  }
+  const NodeId victim =
+      candidates[static_cast<std::size_t>(rng.next_below(candidates.size()))];
+  return inject_node_failure(placement, victim);
+}
+
+}  // namespace car::cluster

@@ -1,0 +1,40 @@
+// Single-node failure injection (paper §III: one lost chunk per stripe).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "cluster/types.h"
+#include "util/rng.h"
+
+namespace car::cluster {
+
+/// One lost chunk caused by a node failure.
+struct LostChunk {
+  StripeId stripe = 0;
+  std::size_t chunk_index = 0;
+};
+
+/// A single-node failure: the failed node, its rack, and the chunks lost
+/// (exactly one per affected stripe, by the distinct-nodes invariant).
+struct FailureScenario {
+  NodeId failed_node = 0;
+  RackId failed_rack = 0;
+  std::vector<LostChunk> lost;
+
+  [[nodiscard]] std::size_t affected_stripes() const noexcept {
+    return lost.size();
+  }
+};
+
+/// Describe the failure of a specific node.
+FailureScenario inject_node_failure(const Placement& placement, NodeId node);
+
+/// Pick a uniformly random node that stores at least one chunk and fail it
+/// (mirrors the paper's methodology of erasing a random node).
+/// Throws std::logic_error when no node stores any chunk.
+FailureScenario inject_random_failure(const Placement& placement,
+                                      util::Rng& rng);
+
+}  // namespace car::cluster

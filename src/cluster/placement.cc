@@ -1,0 +1,339 @@
+#include "cluster/placement.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+namespace car::cluster {
+
+Placement::Placement(Topology topology, std::size_t k, std::size_t m)
+    : topology_(std::move(topology)), k_(k), m_(m) {
+  if (k_ == 0) throw std::invalid_argument("Placement: k must be >= 1");
+  if (k_ + m_ > topology_.num_nodes()) {
+    throw std::invalid_argument(
+        "Placement: stripe width exceeds total node count");
+  }
+}
+
+NodeId Placement::node_of(StripeId stripe, std::size_t chunk_index) const {
+  if (stripe >= stripes_.size()) {
+    throw std::out_of_range("Placement::node_of: bad stripe id");
+  }
+  if (chunk_index >= chunks_per_stripe()) {
+    throw std::out_of_range("Placement::node_of: bad chunk index");
+  }
+  return stripes_[stripe][chunk_index];
+}
+
+std::span<const NodeId> Placement::stripe(StripeId id) const {
+  if (id >= stripes_.size()) {
+    throw std::out_of_range("Placement::stripe: bad stripe id");
+  }
+  return stripes_[id];
+}
+
+void Placement::check_stripe(std::span<const NodeId> chunk_nodes) const {
+  if (chunk_nodes.size() != chunks_per_stripe()) {
+    throw std::invalid_argument("Placement: stripe must have k+m chunks");
+  }
+  std::unordered_set<NodeId> seen;
+  std::vector<std::size_t> per_rack(topology_.num_racks(), 0);
+  for (NodeId node : chunk_nodes) {
+    if (node >= topology_.num_nodes()) {
+      throw std::invalid_argument("Placement: node id out of range");
+    }
+    if (!seen.insert(node).second) {
+      throw std::invalid_argument(
+          "Placement: chunks of a stripe must be on distinct nodes");
+    }
+    const RackId rack = topology_.rack_of(node);
+    if (++per_rack[rack] > m_) {
+      throw std::invalid_argument(
+          "Placement: rack quota violated (c_{i,j} must be <= m for "
+          "single-rack fault tolerance)");
+    }
+  }
+}
+
+void Placement::add_stripe(std::vector<NodeId> chunk_nodes) {
+  check_stripe(chunk_nodes);
+  stripes_.push_back(std::move(chunk_nodes));
+}
+
+std::size_t Placement::chunks_in_rack(StripeId stripe, RackId rack) const {
+  if (rack >= topology_.num_racks()) {
+    throw std::out_of_range("Placement::chunks_in_rack: bad rack id");
+  }
+  std::size_t count = 0;
+  for (NodeId node : this->stripe(stripe)) {
+    if (topology_.rack_of(node) == rack) ++count;
+  }
+  return count;
+}
+
+std::vector<std::size_t> Placement::rack_census(StripeId stripe) const {
+  std::vector<std::size_t> census(topology_.num_racks(), 0);
+  for (NodeId node : this->stripe(stripe)) {
+    ++census[topology_.rack_of(node)];
+  }
+  return census;
+}
+
+std::vector<std::size_t> Placement::chunk_indices_in_rack(StripeId stripe,
+                                                          RackId rack) const {
+  if (rack >= topology_.num_racks()) {
+    throw std::out_of_range("Placement::chunk_indices_in_rack: bad rack id");
+  }
+  std::vector<std::size_t> out;
+  const auto nodes = this->stripe(stripe);
+  for (std::size_t c = 0; c < nodes.size(); ++c) {
+    if (topology_.rack_of(nodes[c]) == rack) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<ChunkRef> Placement::chunks_on_node(NodeId node) const {
+  if (node >= topology_.num_nodes()) {
+    throw std::out_of_range("Placement::chunks_on_node: bad node id");
+  }
+  std::vector<ChunkRef> out;
+  for (StripeId s = 0; s < stripes_.size(); ++s) {
+    for (std::size_t c = 0; c < stripes_[s].size(); ++c) {
+      if (stripes_[s][c] == node) out.push_back({s, c});
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> Placement::node_occupancy() const {
+  std::vector<std::size_t> occ(topology_.num_nodes(), 0);
+  for (const auto& stripe : stripes_) {
+    for (NodeId node : stripe) ++occ[node];
+  }
+  return occ;
+}
+
+bool Placement::validate() const noexcept {
+  try {
+    for (const auto& stripe : stripes_) check_stripe(stripe);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::vector<NodeId> Placement::choose_stripe_nodes(const Topology& topology,
+                                                   std::size_t k,
+                                                   std::size_t m,
+                                                   util::Rng& rng) {
+  // Feasibility under the per-rack quota: each rack contributes at most
+  // min(|rack|, m) chunk slots to a stripe.
+  std::size_t capacity = 0;
+  for (RackId r = 0; r < topology.num_racks(); ++r) {
+    capacity += std::min(topology.nodes_in_rack_count(r), m);
+  }
+  if (capacity < k + m) {
+    throw std::invalid_argument(
+        "Placement: topology cannot host a stripe under the single-rack "
+        "fault-tolerance quota");
+  }
+
+  // Rejection-free greedy: shuffle all nodes, then take them in order while
+  // their rack still has quota.  The shuffle makes the selection uniform
+  // enough for the paper's methodology, and the quota check makes it always
+  // succeed given the capacity test above.
+  std::vector<NodeId> all_nodes(topology.num_nodes());
+  std::iota(all_nodes.begin(), all_nodes.end(), NodeId{0});
+  rng.shuffle(all_nodes);
+  std::vector<NodeId> chosen;
+  chosen.reserve(k + m);
+  std::vector<std::size_t> per_rack(topology.num_racks(), 0);
+  for (NodeId node : all_nodes) {
+    const RackId rack = topology.rack_of(node);
+    if (per_rack[rack] >= m) continue;
+    ++per_rack[rack];
+    chosen.push_back(node);
+    if (chosen.size() == k + m) break;
+  }
+  return chosen;
+}
+
+Placement Placement::random(Topology topology, std::size_t k, std::size_t m,
+                            std::size_t num_stripes, util::Rng& rng) {
+  Placement p(std::move(topology), k, m);
+  for (StripeId s = 0; s < num_stripes; ++s) {
+    p.add_stripe(choose_stripe_nodes(p.topology(), k, m, rng));
+  }
+  return p;
+}
+
+void Placement::move_chunks(NodeId from, NodeId to) {
+  if (from >= topology_.num_nodes() || to >= topology_.num_nodes()) {
+    throw std::invalid_argument("Placement::move_chunks: node out of range");
+  }
+  if (from == to) return;
+  // Validate against a copy first so a failed move leaves the placement
+  // untouched.
+  std::vector<std::vector<NodeId>> updated = stripes_;
+  for (auto& stripe : updated) {
+    bool moved = false;
+    for (NodeId& node : stripe) {
+      if (node == from) {
+        node = to;
+        moved = true;
+      }
+    }
+    if (moved) check_stripe(stripe);
+  }
+  stripes_ = std::move(updated);
+}
+
+Placement Placement::round_robin(Topology topology, std::size_t k,
+                                 std::size_t m, std::size_t num_stripes) {
+  Placement p(std::move(topology), k, m);
+  const auto& topo = p.topology();
+  const std::size_t n_nodes = topo.num_nodes();
+
+  for (StripeId s = 0; s < num_stripes; ++s) {
+    std::vector<NodeId> chosen;
+    chosen.reserve(k + m);
+    std::vector<std::size_t> per_rack(topo.num_racks(), 0);
+    std::vector<bool> used(n_nodes, false);
+    NodeId cursor = s % n_nodes;
+    // Walk the ring starting at the stripe offset, skipping quota violations.
+    for (std::size_t step = 0; step < n_nodes && chosen.size() < k + m;
+         ++step) {
+      const NodeId node = (cursor + step) % n_nodes;
+      if (used[node]) continue;
+      const RackId rack = topo.rack_of(node);
+      if (per_rack[rack] >= m) continue;
+      used[node] = true;
+      ++per_rack[rack];
+      chosen.push_back(node);
+    }
+    if (chosen.size() != k + m) {
+      throw std::invalid_argument(
+          "Placement::round_robin: topology cannot host a stripe under the "
+          "single-rack fault-tolerance quota");
+    }
+    p.add_stripe(std::move(chosen));
+  }
+  return p;
+}
+
+void Placement::set_host(StripeId stripe, std::size_t chunk_index,
+                         NodeId node) {
+  if (stripe >= stripes_.size()) {
+    throw std::out_of_range("Placement::set_host: bad stripe id");
+  }
+  if (chunk_index >= chunks_per_stripe()) {
+    throw std::out_of_range("Placement::set_host: bad chunk index");
+  }
+  std::vector<NodeId> updated = stripes_[stripe];
+  updated[chunk_index] = node;
+  check_stripe(updated);
+  stripes_[stripe] = std::move(updated);
+}
+
+bool Placement::can_host(StripeId stripe, std::size_t chunk_index,
+                         NodeId node) const {
+  if (stripe >= stripes_.size() || chunk_index >= chunks_per_stripe() ||
+      node >= topology_.num_nodes()) {
+    return false;
+  }
+  std::vector<NodeId> updated = stripes_[stripe];
+  updated[chunk_index] = node;
+  try {
+    check_stripe(updated);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+Placement Placement::spread(Topology topology, std::size_t k, std::size_t m,
+                            std::size_t num_stripes, util::Rng& rng) {
+  Placement p(std::move(topology), k, m);
+  const auto& topo = p.topology();
+  const std::size_t r = topo.num_racks();
+  const std::size_t width = k + m;
+
+  // Per-rack capacity: node count and the fault-tolerance quota both bind.
+  std::vector<std::size_t> capacity(r);
+  std::size_t total_capacity = 0;
+  for (RackId rack = 0; rack < r; ++rack) {
+    capacity[rack] = std::min(topo.nodes_in_rack_count(rack), m);
+    total_capacity += capacity[rack];
+  }
+  if (total_capacity < width) {
+    throw std::invalid_argument(
+        "Placement::spread: topology cannot host a stripe under the "
+        "single-rack fault-tolerance quota");
+  }
+
+  for (StripeId s = 0; s < num_stripes; ++s) {
+    // Water-filling: each chunk goes to the least-loaded rack with spare
+    // capacity, which minimises the maximum chunks-per-rack of the stripe.
+    // Tie order is shuffled per stripe so load spreads across runs.
+    std::vector<RackId> order(r);
+    std::iota(order.begin(), order.end(), RackId{0});
+    rng.shuffle(order);
+
+    std::vector<std::size_t> count(r, 0);
+    std::vector<std::vector<NodeId>> pool(r);
+    for (RackId rack = 0; rack < r; ++rack) {
+      pool[rack] = topo.nodes_in_rack(rack);
+      rng.shuffle(pool[rack]);
+    }
+
+    std::vector<NodeId> chosen;
+    chosen.reserve(width);
+    for (std::size_t c = 0; c < width; ++c) {
+      RackId best = r;
+      for (RackId rack : order) {
+        if (count[rack] >= capacity[rack]) continue;
+        if (best == r || count[rack] < count[best]) best = rack;
+      }
+      chosen.push_back(pool[best].back());
+      pool[best].pop_back();
+      ++count[best];
+    }
+    p.add_stripe(std::move(chosen));
+  }
+  return p;
+}
+
+Placement Placement::compact(Topology topology, std::size_t k, std::size_t m,
+                             std::size_t num_stripes, util::Rng& rng) {
+  Placement p(std::move(topology), k, m);
+  const auto& topo = p.topology();
+  const std::size_t r = topo.num_racks();
+  const std::size_t width = k + m;
+
+  for (StripeId s = 0; s < num_stripes; ++s) {
+    std::vector<NodeId> chosen;
+    chosen.reserve(width);
+    // Fill racks up to the quota (m chunks or the rack's node count,
+    // whichever is smaller) in rotating order.
+    for (std::size_t step = 0; step < r && chosen.size() < width; ++step) {
+      const RackId rack = (s + step) % r;
+      auto nodes = topo.nodes_in_rack(rack);
+      rng.shuffle(nodes);
+      const std::size_t take =
+          std::min({m, nodes.size(), width - chosen.size()});
+      chosen.insert(chosen.end(), nodes.begin(),
+                    nodes.begin() + static_cast<std::ptrdiff_t>(take));
+    }
+    if (chosen.size() != width) {
+      throw std::invalid_argument(
+          "Placement::compact: topology cannot host a stripe under the "
+          "single-rack fault-tolerance quota");
+    }
+    p.add_stripe(std::move(chosen));
+  }
+  return p;
+}
+
+}  // namespace car::cluster

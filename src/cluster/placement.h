@@ -1,0 +1,122 @@
+// Stripe-to-node chunk placement with rack-level fault tolerance.
+//
+// Placement invariants (checked by validate()):
+//   * every chunk of a stripe is on a distinct node;
+//   * no rack holds more than m chunks of any single stripe, so a full rack
+//     failure still leaves >= k chunks (paper §IV-B, single-rack tolerance).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "cluster/types.h"
+#include "util/rng.h"
+
+namespace car::cluster {
+
+class Placement {
+ public:
+  /// Builds an empty placement; stripes are added via the factories below or
+  /// set_stripe for hand-crafted layouts (tests, paper figures).
+  Placement(Topology topology, std::size_t k, std::size_t m);
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] std::size_t m() const noexcept { return m_; }
+  [[nodiscard]] std::size_t chunks_per_stripe() const noexcept {
+    return k_ + m_;
+  }
+  [[nodiscard]] std::size_t num_stripes() const noexcept {
+    return stripes_.size();
+  }
+
+  /// Node hosting chunk `chunk_index` of `stripe`.
+  [[nodiscard]] NodeId node_of(StripeId stripe, std::size_t chunk_index) const;
+
+  /// All chunk hosts of one stripe, indexed by chunk index.
+  [[nodiscard]] std::span<const NodeId> stripe(StripeId id) const;
+
+  /// Append a stripe given its chunk->node map (must have k+m entries).
+  /// Throws std::invalid_argument when the layout breaks an invariant.
+  void add_stripe(std::vector<NodeId> chunk_nodes);
+
+  /// Chunks of `stripe` hosted in `rack` — the census c_{i,j} of the paper.
+  [[nodiscard]] std::size_t chunks_in_rack(StripeId stripe, RackId rack) const;
+
+  /// Per-rack census vector for one stripe (size num_racks()).
+  [[nodiscard]] std::vector<std::size_t> rack_census(StripeId stripe) const;
+
+  /// Chunk indices of `stripe` hosted in `rack`.
+  [[nodiscard]] std::vector<std::size_t> chunk_indices_in_rack(
+      StripeId stripe, RackId rack) const;
+
+  /// Every chunk stored on `node` across all stripes.
+  [[nodiscard]] std::vector<ChunkRef> chunks_on_node(NodeId node) const;
+
+  /// Total chunks stored per node (occupancy histogram).
+  [[nodiscard]] std::vector<std::size_t> node_occupancy() const;
+
+  /// Re-checks all invariants (distinct nodes, rack quota <= m).
+  [[nodiscard]] bool validate() const noexcept;
+
+  /// Move every chunk hosted on `from` to `to` (after a repair onto a new
+  /// replacement node).  Throws std::invalid_argument when the move would
+  /// break an invariant (duplicate node in a stripe or rack quota).
+  void move_chunks(NodeId from, NodeId to);
+
+  /// Re-host a single chunk.  Throws std::invalid_argument when the new
+  /// host would break an invariant; std::out_of_range on bad ids.
+  void set_host(StripeId stripe, std::size_t chunk_index, NodeId node);
+
+  /// True when `node` may host chunk `chunk_index` of `stripe` without
+  /// breaking the distinct-node or rack-quota invariants.
+  [[nodiscard]] bool can_host(StripeId stripe, std::size_t chunk_index,
+                              NodeId node) const;
+
+  /// Uniformly choose k+m distinct nodes for one stripe under the rack
+  /// quota — the selection primitive behind random(); exposed so callers
+  /// that grow a placement incrementally (e.g. a filesystem layer) use the
+  /// same distribution.
+  static std::vector<NodeId> choose_stripe_nodes(const Topology& topology,
+                                                 std::size_t k, std::size_t m,
+                                                 util::Rng& rng);
+
+  /// Random placement: for each stripe choose k+m distinct nodes uniformly
+  /// subject to the per-rack quota (<= m chunks per rack per stripe), as in
+  /// the paper's methodology.  Throws std::invalid_argument when the
+  /// topology cannot host a stripe under the quota.
+  static Placement random(Topology topology, std::size_t k, std::size_t m,
+                          std::size_t num_stripes, util::Rng& rng);
+
+  /// Deterministic round-robin placement (chunk c of stripe s goes to node
+  /// (s + c*stride) mod N, skipping quota violations).  Useful as a
+  /// contrasting layout in tests/ablations.
+  static Placement round_robin(Topology topology, std::size_t k, std::size_t m,
+                               std::size_t num_stripes);
+
+  /// Spread placement: chunks of a stripe are dealt across racks
+  /// round-robin so every rack holds either floor or ceil of (k+m)/r chunks
+  /// of the stripe (nodes within a rack chosen uniformly).  Maximises rack
+  /// dispersion — the adversarial layout for CAR's rack-count minimisation,
+  /// used by the placement ablation.  Requires ceil((k+m)/r) <= m.
+  static Placement spread(Topology topology, std::size_t k, std::size_t m,
+                          std::size_t num_stripes, util::Rng& rng);
+
+  /// Compact placement: stripes fill racks with m chunks each (the rack
+  /// quota) before moving on, minimising the racks a stripe touches — the
+  /// friendliest layout for CAR.  Rack fill order rotates per stripe.
+  static Placement compact(Topology topology, std::size_t k, std::size_t m,
+                           std::size_t num_stripes, util::Rng& rng);
+
+ private:
+  void check_stripe(std::span<const NodeId> chunk_nodes) const;
+
+  Topology topology_;
+  std::size_t k_;
+  std::size_t m_;
+  std::vector<std::vector<NodeId>> stripes_;  // stripe -> chunk -> node
+};
+
+}  // namespace car::cluster

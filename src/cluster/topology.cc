@@ -1,0 +1,66 @@
+#include "cluster/topology.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace car::cluster {
+
+Topology::Topology(std::vector<std::size_t> nodes_per_rack)
+    : nodes_per_rack_(std::move(nodes_per_rack)) {
+  if (nodes_per_rack_.empty()) {
+    throw std::invalid_argument("Topology: at least one rack required");
+  }
+  rack_first_node_.reserve(nodes_per_rack_.size() + 1);
+  rack_first_node_.push_back(0);
+  for (std::size_t n : nodes_per_rack_) {
+    if (n == 0) {
+      throw std::invalid_argument("Topology: racks must be non-empty");
+    }
+    total_nodes_ += n;
+    rack_first_node_.push_back(total_nodes_);
+  }
+}
+
+std::size_t Topology::nodes_in_rack_count(RackId rack) const {
+  if (rack >= num_racks()) {
+    throw std::out_of_range("Topology::nodes_in_rack_count: bad rack id");
+  }
+  return nodes_per_rack_[rack];
+}
+
+RackId Topology::rack_of(NodeId node) const {
+  if (node >= total_nodes_) {
+    throw std::out_of_range("Topology::rack_of: bad node id");
+  }
+  // Racks are few (single digits in practice); linear scan over prefix sums.
+  RackId rack = 0;
+  while (rack_first_node_[rack + 1] <= node) ++rack;
+  return rack;
+}
+
+std::pair<NodeId, NodeId> Topology::rack_range(RackId rack) const {
+  if (rack >= num_racks()) {
+    throw std::out_of_range("Topology::rack_range: bad rack id");
+  }
+  return {rack_first_node_[rack], rack_first_node_[rack + 1]};
+}
+
+std::vector<NodeId> Topology::nodes_in_rack(RackId rack) const {
+  const auto [first, last] = rack_range(rack);
+  std::vector<NodeId> out;
+  out.reserve(last - first);
+  for (NodeId n = first; n < last; ++n) out.push_back(n);
+  return out;
+}
+
+std::string Topology::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < nodes_per_rack_.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(nodes_per_rack_[i]);
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace car::cluster

@@ -1,0 +1,24 @@
+// Shared identifier types for the clustered-file-system model.
+//
+// Nodes are numbered globally 0..N-1 across all racks (rack A1 first, then
+// A2, ...).  Chunks of a stripe are numbered 0..k+m-1 (data first, then
+// parity), matching the RS codec's convention.
+#pragma once
+
+#include <cstddef>
+
+namespace car::cluster {
+
+using NodeId = std::size_t;
+using RackId = std::size_t;
+using StripeId = std::size_t;
+
+/// Reference to one chunk: which stripe and which index within the stripe.
+struct ChunkRef {
+  StripeId stripe = 0;
+  std::size_t chunk_index = 0;
+
+  friend bool operator==(const ChunkRef&, const ChunkRef&) = default;
+};
+
+}  // namespace car::cluster

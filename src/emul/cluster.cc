@@ -1,0 +1,322 @@
+#include "emul/cluster.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "gf/region.h"
+
+namespace car::emul {
+
+namespace {
+
+using recovery::BufferRef;
+using recovery::PlanStep;
+using recovery::StepKind;
+
+/// Buffer keys: bit 63 selects step outputs; chunks pack (stripe, index).
+constexpr std::uint64_t kStepBit = 1ULL << 63;
+
+std::uint64_t chunk_key(cluster::StripeId stripe, std::size_t chunk_index) {
+  return (static_cast<std::uint64_t>(stripe) << 20) |
+         static_cast<std::uint64_t>(chunk_index);
+}
+
+std::uint64_t step_key(std::size_t step_id) {
+  return kStepBit | static_cast<std::uint64_t>(step_id);
+}
+
+std::uint64_t key_of(const BufferRef& ref) {
+  return ref.kind == BufferRef::Kind::kChunk
+             ? chunk_key(ref.stripe, ref.chunk_index)
+             : step_key(ref.step_id);
+}
+
+}  // namespace
+
+struct Cluster::Impl {
+  struct NodeStore {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, rs::Chunk> buffers;
+  };
+
+  std::vector<NodeStore> stores;
+  std::vector<std::unique_ptr<SerialLink>> node_up;
+  std::vector<std::unique_ptr<SerialLink>> node_down;
+  std::vector<std::unique_ptr<SerialLink>> rack_up;
+  std::vector<std::unique_ptr<SerialLink>> rack_down;
+  std::vector<std::mutex> cpu;  // serialises compute per emulated node
+
+  const rs::Chunk* find(cluster::NodeId node, std::uint64_t key) const {
+    const auto& store = stores[node];
+    std::scoped_lock lock(store.mu);
+    const auto it = store.buffers.find(key);
+    return it == store.buffers.end() ? nullptr : &it->second;
+  }
+
+  void put(cluster::NodeId node, std::uint64_t key, rs::Chunk data) {
+    auto& store = stores[node];
+    std::scoped_lock lock(store.mu);
+    store.buffers[key] = std::move(data);
+  }
+};
+
+Cluster::Cluster(cluster::Topology topology, EmulConfig config)
+    : impl_(std::make_unique<Impl>()),
+      topology_(std::move(topology)),
+      config_(config) {
+  if (config_.node_bps <= 0 || config_.oversubscription <= 0 ||
+      config_.page_bytes == 0 || config_.max_parallel_steps == 0) {
+    throw std::invalid_argument("EmulConfig: invalid parameters");
+  }
+  const std::size_t n = topology_.num_nodes();
+  const std::size_t r = topology_.num_racks();
+  impl_->stores = std::vector<Impl::NodeStore>(n);
+  impl_->cpu = std::vector<std::mutex>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    impl_->node_up.push_back(std::make_unique<SerialLink>(config_.node_bps));
+    impl_->node_down.push_back(std::make_unique<SerialLink>(config_.node_bps));
+  }
+  for (std::size_t i = 0; i < r; ++i) {
+    const double rack_bps =
+        config_.rack_link_bps
+            ? *config_.rack_link_bps
+            : static_cast<double>(topology_.nodes_in_rack_count(i)) *
+                  config_.node_bps / config_.oversubscription;
+    impl_->rack_up.push_back(std::make_unique<SerialLink>(rack_bps));
+    impl_->rack_down.push_back(std::make_unique<SerialLink>(rack_bps));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::store_chunk(cluster::NodeId node, cluster::StripeId stripe,
+                          std::size_t chunk_index, rs::Chunk data) {
+  if (node >= topology_.num_nodes()) {
+    throw std::out_of_range("Cluster::store_chunk: bad node id");
+  }
+  impl_->put(node, chunk_key(stripe, chunk_index), std::move(data));
+}
+
+const rs::Chunk* Cluster::find_chunk(cluster::NodeId node,
+                                     cluster::StripeId stripe,
+                                     std::size_t chunk_index) const {
+  if (node >= topology_.num_nodes()) return nullptr;
+  return impl_->find(node, chunk_key(stripe, chunk_index));
+}
+
+const rs::Chunk* Cluster::find_step_output(cluster::NodeId node,
+                                           std::size_t step_id) const {
+  if (node >= topology_.num_nodes()) return nullptr;
+  return impl_->find(node, step_key(step_id));
+}
+
+void Cluster::erase_node(cluster::NodeId node) {
+  if (node >= topology_.num_nodes()) {
+    throw std::out_of_range("Cluster::erase_node: bad node id");
+  }
+  auto& store = impl_->stores[node];
+  std::scoped_lock lock(store.mu);
+  store.buffers.clear();
+}
+
+std::vector<std::vector<rs::Chunk>> Cluster::populate(
+    const cluster::Placement& placement, const rs::Code& code,
+    std::uint64_t chunk_size, util::Rng& rng) {
+  if (chunk_size == 0) {
+    throw std::invalid_argument("Cluster::populate: chunk_size must be > 0");
+  }
+  std::vector<std::vector<rs::Chunk>> originals;
+  originals.reserve(placement.num_stripes());
+  for (cluster::StripeId s = 0; s < placement.num_stripes(); ++s) {
+    std::vector<rs::Chunk> data(code.k(), rs::Chunk(chunk_size));
+    for (auto& chunk : data) rng.fill_bytes(chunk);
+    std::vector<rs::ChunkView> views(data.begin(), data.end());
+    auto stripe = code.encode_stripe(views);
+    for (std::size_t c = 0; c < stripe.size(); ++c) {
+      store_chunk(placement.node_of(s, c), s, c, stripe[c]);
+    }
+    originals.push_back(std::move(stripe));
+  }
+  return originals;
+}
+
+ExecutionReport Cluster::execute(const recovery::RecoveryPlan& plan) {
+  const std::size_t n_steps = plan.steps.size();
+  ExecutionReport report;
+  report.per_rack_cross_bytes.assign(topology_.num_racks(), 0);
+  if (n_steps == 0) return report;
+
+  std::vector<std::size_t> pending(n_steps, 0);
+  std::vector<std::vector<std::size_t>> dependents(n_steps);
+  for (const auto& step : plan.steps) {
+    for (std::size_t dep : step.deps) {
+      if (dep >= n_steps) {
+        throw std::invalid_argument("Cluster::execute: unknown dependency");
+      }
+      ++pending[step.id];
+      dependents[dep].push_back(step.id);
+    }
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::size_t> ready;
+  std::size_t completed = 0;
+  std::size_t active = 0;
+  std::exception_ptr error;
+  std::vector<std::thread> threads;
+  threads.reserve(n_steps);
+
+  for (std::size_t id = 0; id < n_steps; ++id) {
+    if (pending[id] == 0) ready.push_back(id);
+  }
+
+  auto run_transfer = [&](const PlanStep& step) {
+    const rs::Chunk* src_buf = impl_->find(step.src, key_of(step.payload));
+    if (src_buf == nullptr) {
+      throw std::runtime_error(
+          "Cluster::execute: transfer payload missing on source node");
+    }
+    rs::Chunk data = *src_buf;  // read once; the copy is the wire payload
+
+    // Page-wise reservation across every hop of the path; the transfer
+    // completes when its last page drains from the slowest hop.  Pages keep
+    // contention fair between concurrent flows on a shared link while the
+    // hops of one transfer pipeline instead of adding up.
+    const auto src_rack = topology_.rack_of(step.src);
+    const auto dst_rack = topology_.rack_of(step.dst);
+    SerialLink::Clock::time_point finish = SerialLink::Clock::now();
+    std::uint64_t remaining = data.size();
+    while (remaining > 0) {
+      const std::uint64_t page = std::min<std::uint64_t>(remaining,
+                                                         config_.page_bytes);
+      finish = std::max(finish, impl_->node_up[step.src]->reserve(page));
+      if (src_rack != dst_rack) {
+        finish = std::max(finish, impl_->rack_up[src_rack]->reserve(page));
+        finish = std::max(finish, impl_->rack_down[dst_rack]->reserve(page));
+      }
+      finish = std::max(finish, impl_->node_down[step.dst]->reserve(page));
+      remaining -= page;
+    }
+    std::this_thread::sleep_until(finish);
+    impl_->put(step.dst, key_of(step.payload), std::move(data));
+
+    std::scoped_lock lock(mu);
+    if (src_rack != dst_rack) {
+      report.cross_rack_bytes += step.bytes;
+      report.per_rack_cross_bytes[src_rack] += step.bytes;
+    } else {
+      report.intra_rack_bytes += step.bytes;
+    }
+  };
+
+  auto run_compute = [&](const PlanStep& step) {
+    std::scoped_lock cpu_lock(impl_->cpu[step.node]);
+
+    // Gather input buffers.  unordered_map references are stable under
+    // concurrent inserts of other keys (guarded by the store mutex inside
+    // find), and nothing erases buffers during execution.
+    std::vector<const rs::Chunk*> inputs;
+    inputs.reserve(step.inputs.size());
+    for (const auto& in : step.inputs) {
+      const rs::Chunk* buf = impl_->find(step.node, key_of(in.buffer));
+      if (buf == nullptr) {
+        throw std::runtime_error(
+            "Cluster::execute: compute input missing on node");
+      }
+      inputs.push_back(buf);
+    }
+    if (inputs.empty()) {
+      throw std::runtime_error("Cluster::execute: compute with no inputs");
+    }
+    rs::Chunk out(inputs.front()->size(), 0);
+
+    // The measured window covers the finite-field work only — the paper's
+    // "computation time" is the decoding arithmetic, not buffer management.
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      gf::mul_region_acc(step.inputs[i].coeff, *inputs[i], out);
+    }
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    impl_->put(step.node, step_key(step.id), std::move(out));
+    std::scoped_lock lock(mu);
+    report.compute_s += dt.count();
+    if (step.node == plan.replacement) {
+      report.replacement_compute_s += dt.count();
+    }
+  };
+
+  auto exec_step = [&](std::size_t id) {
+    try {
+      const PlanStep& step = plan.steps[id];
+      if (step.kind == StepKind::kTransfer) {
+        run_transfer(step);
+      } else {
+        run_compute(step);
+      }
+      std::scoped_lock lock(mu);
+      ++completed;
+      --active;
+      for (std::size_t dep : dependents[id]) {
+        if (--pending[dep] == 0) ready.push_back(dep);
+      }
+      cv.notify_all();
+    } catch (...) {
+      std::scoped_lock lock(mu);
+      if (!error) error = std::current_exception();
+      ++completed;
+      --active;
+      cv.notify_all();
+    }
+  };
+
+  const auto t_start = std::chrono::steady_clock::now();
+  {
+    std::unique_lock lock(mu);
+    while (completed < n_steps && !error) {
+      cv.wait(lock, [&] {
+        return error || completed == n_steps ||
+               (!ready.empty() && active < config_.max_parallel_steps);
+      });
+      if (error || completed == n_steps) break;
+      if (ready.empty()) {
+        if (active == 0) {
+          throw std::invalid_argument(
+              "Cluster::execute: dependency cycle in plan");
+        }
+        continue;
+      }
+      const std::size_t id = ready.front();
+      ready.pop_front();
+      ++active;
+      lock.unlock();
+      threads.emplace_back(exec_step, id);
+      lock.lock();
+    }
+    cv.wait(lock, [&] { return completed == n_steps || (error && active == 0); });
+  }
+  for (auto& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - t_start;
+  report.wall_s = wall.count();
+
+  // Publish recovered chunks as regular chunk replicas on the replacement.
+  for (const auto& out : plan.outputs) {
+    const rs::Chunk* buf = impl_->find(plan.replacement, step_key(out.step_id));
+    if (buf == nullptr) {
+      throw std::runtime_error("Cluster::execute: recovered chunk missing");
+    }
+    impl_->put(plan.replacement, chunk_key(out.stripe, out.chunk_index), *buf);
+  }
+  return report;
+}
+
+}  // namespace car::emul

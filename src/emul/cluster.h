@@ -1,0 +1,110 @@
+// In-process multi-node cluster emulator.
+//
+// This is the repository's stand-in for the paper's 20-machine testbed: one
+// emulated node per "machine", each owning real chunk buffers; transfers
+// move real bytes through rate-limited links (node access links and
+// oversubscribed rack core links, see emul/link.h); compute steps run the
+// real GF(2^8) kernels.  Executing a RecoveryPlan therefore measures real
+// wall-clock recovery time with a genuine transmission/computation split —
+// the quantities behind the paper's Fig. 9 and Fig. 10.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "cluster/topology.h"
+#include "cluster/types.h"
+#include "emul/link.h"
+#include "recovery/plan.h"
+#include "rs/code.h"
+#include "util/rng.h"
+
+namespace car::emul {
+
+struct EmulConfig {
+  /// Node <-> ToR link rate, bytes/second.  Deliberately scaled down from
+  /// real hardware so experiments finish in seconds; only ratios matter.
+  double node_bps = 400e6;
+
+  /// Rack core-link rate = nodes_in_rack * node_bps / oversubscription,
+  /// unless rack_link_bps overrides it.
+  double oversubscription = 5.0;
+  std::optional<double> rack_link_bps;
+
+  /// Transfers are paged so concurrent flows interleave on shared links.
+  std::uint64_t page_bytes = 128 * 1024;
+
+  /// Upper bound on concurrently executing plan steps.
+  std::size_t max_parallel_steps = 512;
+};
+
+/// Outcome of executing one recovery plan.
+struct ExecutionReport {
+  double wall_s = 0.0;              // end-to-end makespan
+  double compute_s = 0.0;           // summed measured compute durations
+  double replacement_compute_s = 0.0;  // compute measured at the replacement
+  std::uint64_t cross_rack_bytes = 0;
+  std::uint64_t intra_rack_bytes = 0;
+  std::vector<std::uint64_t> per_rack_cross_bytes;  // indexed by rack
+
+  /// The paper's transmission-time proxy: wall time minus the replacement
+  /// node's computation time.
+  [[nodiscard]] double transmission_s() const noexcept {
+    return wall_s - replacement_compute_s;
+  }
+};
+
+class Cluster {
+ public:
+  Cluster(cluster::Topology topology, EmulConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] const cluster::Topology& topology() const noexcept {
+    return topology_;
+  }
+
+  /// Store a chunk replica on a node (overwrites an existing copy).
+  void store_chunk(cluster::NodeId node, cluster::StripeId stripe,
+                   std::size_t chunk_index, rs::Chunk data);
+
+  /// Fetch a chunk stored on a node, or nullptr when absent.
+  [[nodiscard]] const rs::Chunk* find_chunk(cluster::NodeId node,
+                                            cluster::StripeId stripe,
+                                            std::size_t chunk_index) const;
+
+  /// Fetch a step-output buffer (e.g. a recovered chunk) on a node.
+  [[nodiscard]] const rs::Chunk* find_step_output(cluster::NodeId node,
+                                                  std::size_t step_id) const;
+
+  /// Drop every buffer a node holds (single node failure).
+  void erase_node(cluster::NodeId node);
+
+  /// Generate random stripes per the placement, encode them with `code`,
+  /// and store each chunk on its host node.  Returns the full original
+  /// stripes (stripe -> chunk index -> bytes) for later verification.
+  std::vector<std::vector<rs::Chunk>> populate(
+      const cluster::Placement& placement, const rs::Code& code,
+      std::uint64_t chunk_size, util::Rng& rng);
+
+  /// Execute a recovery plan: run every transfer through the emulated links
+  /// and every compute step on real buffers.  After success the recovered
+  /// chunks are stored on the replacement node both as step outputs and as
+  /// regular chunks.  Throws std::runtime_error when a referenced buffer is
+  /// missing (e.g. plan disagrees with cluster state).
+  ExecutionReport execute(const recovery::RecoveryPlan& plan);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  cluster::Topology topology_;
+  EmulConfig config_;
+};
+
+}  // namespace car::emul

@@ -1,0 +1,35 @@
+#include "emul/link.h"
+
+#include <stdexcept>
+#include <thread>
+
+namespace car::emul {
+
+SerialLink::SerialLink(double bytes_per_second)
+    : rate_(bytes_per_second), next_free_(Clock::now()) {
+  if (bytes_per_second <= 0) {
+    throw std::invalid_argument("SerialLink: rate must be positive");
+  }
+}
+
+SerialLink::Clock::time_point SerialLink::reserve(std::uint64_t bytes) {
+  const auto duration = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(static_cast<double>(bytes) / rate_));
+  std::scoped_lock lock(mu_);
+  const auto now = Clock::now();
+  const auto start = next_free_ > now ? next_free_ : now;
+  next_free_ = start + duration;
+  total_bytes_ += bytes;
+  return next_free_;
+}
+
+void SerialLink::transmit(std::uint64_t bytes) {
+  std::this_thread::sleep_until(reserve(bytes));
+}
+
+std::uint64_t SerialLink::bytes_transmitted() const noexcept {
+  std::scoped_lock lock(mu_);
+  return total_bytes_;
+}
+
+}  // namespace car::emul

@@ -1,0 +1,44 @@
+// Serial link emulation for the in-process cluster emulator.
+//
+// A SerialLink models a store-and-forward network link of a fixed rate.
+// Each transmission *reserves* link occupancy of bytes/rate seconds in
+// virtual time mapped onto the wall clock, so concurrent transfers through a
+// shared (e.g. oversubscribed rack) link really contend with each other.
+// Reservations are non-blocking; callers sleep until the returned finish
+// time, which lets a multi-hop transfer pipeline across its links (the
+// transfer completes when the slowest hop drains, not the sum of hops).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace car::emul {
+
+class SerialLink {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// rate in bytes/second; must be positive.
+  explicit SerialLink(double bytes_per_second);
+
+  /// Reserve link occupancy for `bytes` and return the time at which the
+  /// last byte leaves the link.  Does not block; thread-safe.
+  Clock::time_point reserve(std::uint64_t bytes);
+
+  /// Convenience: reserve and block until the bytes have traversed.
+  void transmit(std::uint64_t bytes);
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+  /// Total bytes ever reserved on this link (for accounting/tests).
+  [[nodiscard]] std::uint64_t bytes_transmitted() const noexcept;
+
+ private:
+  double rate_;
+  mutable std::mutex mu_;
+  Clock::time_point next_free_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace car::emul

@@ -1,0 +1,31 @@
+#include "gf/galois.h"
+
+#include <stdexcept>
+
+namespace car::gf {
+
+std::uint32_t Field::inv(std::uint32_t a) const {
+  if (a == 0) throw std::domain_error("Field::inv: zero has no inverse");
+  return tables_.exp[order() - tables_.log[a]];
+}
+
+std::uint32_t Field::div(std::uint32_t a, std::uint32_t b) const {
+  if (b == 0) throw std::domain_error("Field::div: division by zero");
+  if (a == 0) return 0;
+  return tables_.exp[tables_.log[a] + order() - tables_.log[b]];
+}
+
+std::uint32_t Field::pow(std::uint32_t a, std::uint64_t e) const noexcept {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const std::uint64_t le = (static_cast<std::uint64_t>(tables_.log[a]) * e) %
+                           static_cast<std::uint64_t>(order());
+  return tables_.exp[le];
+}
+
+std::uint32_t Field::log(std::uint32_t a) const {
+  if (a == 0) throw std::domain_error("Field::log: log of zero");
+  return tables_.log[a];
+}
+
+}  // namespace car::gf

@@ -1,0 +1,67 @@
+// Generic runtime-sized Galois field GF(2^w), w in [2, 16].
+//
+// This is the reference implementation used by property tests and by code
+// that needs a non-byte field; the performance-critical GF(2^8) fast path
+// lives in gf/gf256.h.
+#pragma once
+
+#include <cstdint>
+
+#include "gf/tables.h"
+
+namespace car::gf {
+
+/// Arithmetic over GF(2^w) backed by log/exp tables.
+///
+/// Elements are represented as integers in [0, 2^w).  Addition is XOR;
+/// multiplication/division go through discrete logs.
+class Field {
+ public:
+  explicit Field(unsigned w) : tables_(build_log_exp(w)) {}
+
+  [[nodiscard]] unsigned width() const noexcept { return tables_.w; }
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return tables_.field_size;
+  }
+  [[nodiscard]] std::uint32_t order() const noexcept {
+    return tables_.field_size - 1;
+  }
+
+  [[nodiscard]] static std::uint32_t add(std::uint32_t a,
+                                         std::uint32_t b) noexcept {
+    return a ^ b;
+  }
+  [[nodiscard]] static std::uint32_t sub(std::uint32_t a,
+                                         std::uint32_t b) noexcept {
+    return a ^ b;  // characteristic-2: subtraction == addition
+  }
+
+  [[nodiscard]] std::uint32_t mul(std::uint32_t a,
+                                  std::uint32_t b) const noexcept {
+    if (a == 0 || b == 0) return 0;
+    return tables_.exp[tables_.log[a] + tables_.log[b]];
+  }
+
+  /// Multiplicative inverse. Throws std::domain_error on zero.
+  [[nodiscard]] std::uint32_t inv(std::uint32_t a) const;
+
+  /// a / b. Throws std::domain_error when b == 0.
+  [[nodiscard]] std::uint32_t div(std::uint32_t a, std::uint32_t b) const;
+
+  /// a^e with e >= 0 (e is an ordinary integer exponent).
+  [[nodiscard]] std::uint32_t pow(std::uint32_t a,
+                                  std::uint64_t e) const noexcept;
+
+  /// alpha^i for the field generator alpha.
+  [[nodiscard]] std::uint32_t exp(std::uint32_t i) const noexcept {
+    return tables_.exp[i % order()];
+  }
+
+  /// Discrete log of a nonzero element. Throws std::domain_error on zero.
+  [[nodiscard]] std::uint32_t log(std::uint32_t a) const;
+
+ private:
+  LogExpTables tables_;
+};
+
+}  // namespace car::gf

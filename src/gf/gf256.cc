@@ -1,0 +1,60 @@
+#include "gf/gf256.h"
+
+#include <stdexcept>
+
+#include "gf/tables.h"
+
+namespace car::gf {
+
+const Gf256& Gf256::instance() {
+  static const Gf256 field;
+  return field;
+}
+
+Gf256::Gf256() {
+  const LogExpTables t = build_log_exp(kWidth);
+  for (std::uint32_t i = 0; i < 2 * kOrder; ++i) {
+    exp_[i] = static_cast<std::uint8_t>(t.exp[i]);
+  }
+  for (std::uint32_t x = 0; x < kFieldSize; ++x) {
+    log_[x] = static_cast<std::uint8_t>(t.log[x]);
+  }
+  for (std::uint32_t a = 0; a < kFieldSize; ++a) {
+    mul_[a][0] = 0;
+    mul_[0][a] = 0;
+  }
+  for (std::uint32_t a = 1; a < kFieldSize; ++a) {
+    for (std::uint32_t b = 1; b < kFieldSize; ++b) {
+      mul_[a][b] = exp_[log_[a] + log_[b]];
+    }
+  }
+  inv_[0] = 0;  // sentinel; inv() throws before reading it
+  for (std::uint32_t a = 1; a < kFieldSize; ++a) {
+    inv_[a] = exp_[kOrder - log_[a]];
+  }
+}
+
+std::uint8_t Gf256::div(std::uint8_t a, std::uint8_t b) const {
+  if (b == 0) throw std::domain_error("Gf256::div: division by zero");
+  return mul_[a][inv_[b]];
+}
+
+std::uint8_t Gf256::inv(std::uint8_t a) const {
+  if (a == 0) throw std::domain_error("Gf256::inv: zero has no inverse");
+  return inv_[a];
+}
+
+std::uint8_t Gf256::pow(std::uint8_t a, std::uint64_t e) const noexcept {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const std::uint64_t le =
+      (static_cast<std::uint64_t>(log_[a]) * e) % static_cast<std::uint64_t>(kOrder);
+  return exp_[le];
+}
+
+std::uint8_t Gf256::log(std::uint8_t a) const {
+  if (a == 0) throw std::domain_error("Gf256::log: log of zero");
+  return log_[a];
+}
+
+}  // namespace car::gf

@@ -1,0 +1,67 @@
+// Specialised GF(2^8) arithmetic with a full 256x256 multiplication table.
+//
+// This is the field the Reed–Solomon codec runs on.  A process-wide singleton
+// owns the (64 KiB mul + 64 KiB div + log/exp) tables; element ops are
+// branch-free table lookups, and region ops (gf/region.h) reuse the mul-table
+// rows as per-coefficient lookup tables.
+#pragma once
+
+#include <cstdint>
+
+namespace car::gf {
+
+class Gf256 {
+ public:
+  static constexpr unsigned kWidth = 8;
+  static constexpr std::uint32_t kFieldSize = 256;
+  static constexpr std::uint32_t kOrder = 255;
+  static constexpr std::uint32_t kPolynomial = 0x11D;
+
+  /// Process-wide instance (tables built once, thread-safe).
+  static const Gf256& instance();
+
+  [[nodiscard]] static std::uint8_t add(std::uint8_t a,
+                                        std::uint8_t b) noexcept {
+    return a ^ b;
+  }
+
+  [[nodiscard]] std::uint8_t mul(std::uint8_t a, std::uint8_t b) const noexcept {
+    return mul_[a][b];
+  }
+
+  /// a / b; throws std::domain_error when b == 0.
+  [[nodiscard]] std::uint8_t div(std::uint8_t a, std::uint8_t b) const;
+
+  /// Multiplicative inverse; throws std::domain_error on zero.
+  [[nodiscard]] std::uint8_t inv(std::uint8_t a) const;
+
+  /// a^e for integer exponent e >= 0.
+  [[nodiscard]] std::uint8_t pow(std::uint8_t a, std::uint64_t e) const noexcept;
+
+  /// alpha^i (alpha = 2, the field generator).
+  [[nodiscard]] std::uint8_t exp(std::uint32_t i) const noexcept {
+    return exp_[i % kOrder];
+  }
+
+  /// Discrete log; throws std::domain_error on zero.
+  [[nodiscard]] std::uint8_t log(std::uint8_t a) const;
+
+  /// 256-byte row of the multiplication table for coefficient c:
+  /// row[x] == c * x.  Region kernels use this as their lookup table.
+  [[nodiscard]] const std::uint8_t* mul_row(std::uint8_t c) const noexcept {
+    return mul_[c];
+  }
+
+  Gf256(const Gf256&) = delete;
+  Gf256& operator=(const Gf256&) = delete;
+
+ private:
+  Gf256();
+
+  std::uint8_t mul_[256][256];
+  std::uint8_t inv_[256];
+  std::uint8_t exp_[510];
+  std::uint8_t log_[256];
+};
+
+}  // namespace car::gf

@@ -1,0 +1,101 @@
+#include "gf/region.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "gf/gf256.h"
+
+namespace car::gf {
+
+namespace {
+void require_same_size(std::size_t a, std::size_t b, const char* what) {
+  if (a != b) throw std::invalid_argument(std::string(what) + ": size mismatch");
+}
+}  // namespace
+
+void xor_region(std::span<const std::uint8_t> src,
+                std::span<std::uint8_t> dst) {
+  require_same_size(src.size(), dst.size(), "xor_region");
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  // Word-at-a-time XOR; memcpy keeps it strict-aliasing clean and compiles to
+  // plain loads/stores.
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, src.data() + i, 8);
+    std::memcpy(&b, dst.data() + i, 8);
+    b ^= a;
+    std::memcpy(dst.data() + i, &b, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void mul_region(std::uint8_t c, std::span<const std::uint8_t> src,
+                std::span<std::uint8_t> dst) {
+  require_same_size(src.size(), dst.size(), "mul_region");
+  if (c == 0) {
+    zero_region(dst);
+    return;
+  }
+  if (c == 1) {
+    if (dst.data() != src.data()) {
+      std::memcpy(dst.data(), src.data(), src.size());
+    }
+    return;
+  }
+  const std::uint8_t* row = Gf256::instance().mul_row(c);
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    dst[i] = row[src[i]];
+    dst[i + 1] = row[src[i + 1]];
+    dst[i + 2] = row[src[i + 2]];
+    dst[i + 3] = row[src[i + 3]];
+  }
+  for (; i < n; ++i) dst[i] = row[src[i]];
+}
+
+void mul_region_acc(std::uint8_t c, std::span<const std::uint8_t> src,
+                    std::span<std::uint8_t> dst) {
+  require_same_size(src.size(), dst.size(), "mul_region_acc");
+  if (c == 0) return;
+  if (c == 1) {
+    xor_region(src, dst);
+    return;
+  }
+  const std::uint8_t* row = Gf256::instance().mul_row(c);
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    dst[i] ^= row[src[i]];
+    dst[i + 1] ^= row[src[i + 1]];
+    dst[i + 2] ^= row[src[i + 2]];
+    dst[i + 3] ^= row[src[i + 3]];
+  }
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void scale_region(std::uint8_t c, std::span<std::uint8_t> dst) {
+  mul_region(c, dst, dst);
+}
+
+void zero_region(std::span<std::uint8_t> dst) noexcept {
+  std::memset(dst.data(), 0, dst.size());
+}
+
+void linear_combine(std::span<const std::uint8_t> coeffs,
+                    std::span<const std::span<const std::uint8_t>> rows,
+                    std::span<std::uint8_t> out) {
+  if (coeffs.size() != rows.size()) {
+    throw std::invalid_argument("linear_combine: coeffs/rows arity mismatch");
+  }
+  zero_region(out);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    require_same_size(rows[i].size(), out.size(), "linear_combine");
+    mul_region_acc(coeffs[i], rows[i], out);
+  }
+}
+
+}  // namespace car::gf

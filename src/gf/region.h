@@ -1,0 +1,39 @@
+// Bulk (region) operations over GF(2^8) buffers.
+//
+// These are the kernels the Reed–Solomon codec spends its time in: multiply a
+// whole chunk by a coefficient and accumulate into a destination chunk.
+// All functions require dst.size() == src.size(); they throw
+// std::invalid_argument otherwise.  Buffers may not alias unless stated.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace car::gf {
+
+/// dst ^= src (characteristic-2 addition of two regions). dst may equal src
+/// (result is then all zeros) but partial overlap is undefined.
+void xor_region(std::span<const std::uint8_t> src, std::span<std::uint8_t> dst);
+
+/// dst = c * src.  c == 0 zeroes dst; c == 1 copies.
+void mul_region(std::uint8_t c, std::span<const std::uint8_t> src,
+                std::span<std::uint8_t> dst);
+
+/// dst ^= c * src — the fused multiply-accumulate used by encode/decode.
+void mul_region_acc(std::uint8_t c, std::span<const std::uint8_t> src,
+                    std::span<std::uint8_t> dst);
+
+/// In-place dst *= c.
+void scale_region(std::uint8_t c, std::span<std::uint8_t> dst);
+
+/// Zero a region.
+void zero_region(std::span<std::uint8_t> dst) noexcept;
+
+/// Dot product of coefficient vector and chunk rows:
+/// out = sum_i coeffs[i] * rows[i]; rows.size() == coeffs.size() required.
+/// `rows` are equally sized chunks; `out` must match their size.
+void linear_combine(std::span<const std::uint8_t> coeffs,
+                    std::span<const std::span<const std::uint8_t>> rows,
+                    std::span<std::uint8_t> out);
+
+}  // namespace car::gf

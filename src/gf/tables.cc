@@ -1,0 +1,71 @@
+#include "gf/tables.h"
+
+#include <stdexcept>
+
+namespace car::gf {
+
+std::uint32_t primitive_polynomial(unsigned w) {
+  // Conway-adjacent primitive polynomials commonly used by storage coding
+  // libraries (same choices as Jerasure/ISA-L for w = 4, 8, 16).
+  switch (w) {
+    case 2:  return 0x7;       // x^2+x+1
+    case 3:  return 0xB;       // x^3+x+1
+    case 4:  return 0x13;      // x^4+x+1
+    case 5:  return 0x25;      // x^5+x^2+1
+    case 6:  return 0x43;      // x^6+x+1
+    case 7:  return 0x89;      // x^7+x^3+1
+    case 8:  return 0x11D;     // x^8+x^4+x^3+x^2+1
+    case 9:  return 0x211;     // x^9+x^4+1
+    case 10: return 0x409;     // x^10+x^3+1
+    case 11: return 0x805;     // x^11+x^2+1
+    case 12: return 0x1053;    // x^12+x^6+x^4+x+1
+    case 13: return 0x201B;    // x^13+x^4+x^3+x+1
+    case 14: return 0x4443;    // x^14+x^10+x^6+x+1
+    case 15: return 0x8003;    // x^15+x+1
+    case 16: return 0x1100B;   // x^16+x^12+x^3+x+1
+    default:
+      throw std::invalid_argument(
+          "primitive_polynomial: unsupported field width");
+  }
+}
+
+std::uint32_t slow_multiply(std::uint32_t a, std::uint32_t b, unsigned w,
+                            std::uint32_t poly) {
+  const std::uint32_t high_bit = 1u << w;
+  std::uint32_t product = 0;
+  while (b != 0) {
+    if (b & 1u) product ^= a;
+    b >>= 1;
+    a <<= 1;
+    if (a & high_bit) a ^= poly;
+  }
+  return product;
+}
+
+LogExpTables build_log_exp(unsigned w) {
+  const std::uint32_t poly = primitive_polynomial(w);
+  LogExpTables t;
+  t.w = w;
+  t.field_size = 1u << w;
+  const std::uint32_t order = t.field_size - 1;  // multiplicative group order
+  t.exp.assign(2 * static_cast<std::size_t>(order), 0);
+  t.log.assign(t.field_size, 0);
+
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < order; ++i) {
+    if (i != 0 && x == 1) {
+      throw std::logic_error("build_log_exp: polynomial is not primitive");
+    }
+    t.exp[i] = x;
+    t.exp[i + order] = x;  // duplicated so mul can skip the mod
+    t.log[x] = i;
+    x = slow_multiply(x, 2, w, poly);
+  }
+  if (x != 1) {
+    throw std::logic_error("build_log_exp: alpha^order != 1");
+  }
+  t.log[0] = order;  // sentinel; callers must special-case zero
+  return t;
+}
+
+}  // namespace car::gf

@@ -1,0 +1,104 @@
+#include "matrix/generator.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "gf/gf256.h"
+
+namespace car::matrix {
+
+using gf::Gf256;
+
+namespace {
+
+void check_params(std::size_t k, std::size_t m) {
+  if (k == 0) throw std::invalid_argument("generator: k must be >= 1");
+  if (k + m > Gf256::kFieldSize) {
+    throw std::invalid_argument("generator: k + m must be <= 256 for GF(2^8)");
+  }
+}
+
+}  // namespace
+
+Matrix systematic_vandermonde(std::size_t k, std::size_t m) {
+  check_params(k, m);
+  const auto& f = Gf256::instance();
+  const std::size_t n = k + m;
+
+  // Extended Vandermonde rows: row i = [x^0, x^1, ..., x^{k-1}] for x = i.
+  // Any k rows have distinct x values, hence form an invertible Vandermonde
+  // matrix.
+  Matrix v(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto x = static_cast<std::uint8_t>(i);
+    std::uint8_t p = 1;  // x^0 == 1 (also for x == 0 by convention)
+    for (std::size_t j = 0; j < k; ++j) {
+      v(i, j) = p;
+      p = f.mul(p, x);
+    }
+  }
+
+  // Right-multiply by the inverse of the top k rows: the top block becomes
+  // the identity, and every k-row subset stays invertible (right
+  // multiplication by an invertible matrix preserves row-subset rank).
+  std::vector<std::size_t> top(k);
+  for (std::size_t i = 0; i < k; ++i) top[i] = i;
+  const Matrix top_inv = v.select_rows(top).inverted();
+  return v * top_inv;
+}
+
+Matrix systematic_cauchy(std::size_t k, std::size_t m) {
+  check_params(k, m);
+  const auto& f = Gf256::instance();
+  Matrix g(k + m, k);
+  for (std::size_t i = 0; i < k; ++i) g(i, i) = 1;
+  // Cauchy block: C[i][j] = 1 / (x_i ^ y_j) with x_i = k + i, y_j = j.
+  // All x_i and y_j are distinct field elements, so x_i ^ y_j != 0 and all
+  // square submatrices of C are nonsingular — the stacked matrix is MDS.
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto x = static_cast<std::uint8_t>(k + i);
+    for (std::size_t j = 0; j < k; ++j) {
+      const auto y = static_cast<std::uint8_t>(j);
+      g(k + i, j) = f.inv(static_cast<std::uint8_t>(x ^ y));
+    }
+  }
+  return g;
+}
+
+namespace {
+
+bool mds_recurse(const Matrix& g, std::size_t k, std::vector<std::size_t>& pick,
+                 std::size_t next) {
+  if (pick.size() == k) {
+    return g.select_rows(pick).invertible();
+  }
+  const std::size_t remaining = k - pick.size();
+  for (std::size_t i = next; i + remaining <= g.rows(); ++i) {
+    pick.push_back(i);
+    const bool ok = mds_recurse(g, k, pick, i + 1);
+    pick.pop_back();
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool verify_mds(const Matrix& generator, std::size_t k) {
+  if (generator.cols() != k || generator.rows() < k) return false;
+  std::vector<std::size_t> pick;
+  pick.reserve(k);
+  return mds_recurse(generator, k, pick, 0);
+}
+
+bool verify_systematic(const Matrix& generator, std::size_t k) {
+  if (generator.cols() != k || generator.rows() < k) return false;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (generator(i, j) != (i == j ? 1 : 0)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace car::matrix

@@ -1,0 +1,37 @@
+// Construction of systematic MDS generator matrices for (k, m) codes.
+//
+// A generator G is (k+m) x k over GF(2^8); the top k rows are the identity
+// (systematic property) and every k-row subset of G is invertible (MDS
+// property).  Two constructions are provided:
+//
+//  * Vandermonde: start from the extended Vandermonde matrix and reduce it so
+//    the top k rows become the identity (the classic Reed–Solomon approach —
+//    elementary column operations preserve the any-k-rows-invertible
+//    property).
+//  * Cauchy: identity stacked on a Cauchy matrix, which is MDS by
+//    construction for distinct sample points.
+#pragma once
+
+#include <cstddef>
+
+#include "matrix/matrix.h"
+
+namespace car::matrix {
+
+/// (k+m) x k systematic Vandermonde-based RS generator.
+/// Requires k >= 1, m >= 0, k + m <= 256.  Throws std::invalid_argument.
+Matrix systematic_vandermonde(std::size_t k, std::size_t m);
+
+/// (k+m) x k systematic Cauchy-based generator.
+/// Requires k >= 1, m >= 0, k + m <= 256.  Throws std::invalid_argument.
+Matrix systematic_cauchy(std::size_t k, std::size_t m);
+
+/// Verify the MDS property by checking that every k-row subset of G is
+/// invertible.  Exponential in (k+m choose k) — intended for tests with
+/// small parameters.
+bool verify_mds(const Matrix& generator, std::size_t k);
+
+/// Verify the systematic property: top k rows of G equal the identity.
+bool verify_systematic(const Matrix& generator, std::size_t k);
+
+}  // namespace car::matrix

@@ -1,0 +1,234 @@
+#include "matrix/matrix.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "gf/gf256.h"
+
+namespace car::matrix {
+
+using gf::Gf256;
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols,
+               std::vector<std::uint8_t> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  if (data_.size() != rows_ * cols_) {
+    throw std::invalid_argument("Matrix: data size != rows*cols");
+  }
+}
+
+Matrix Matrix::from_rows(
+    std::initializer_list<std::initializer_list<std::uint8_t>> rows) {
+  const std::size_t r = rows.size();
+  if (r == 0) return {};
+  const std::size_t c = rows.begin()->size();
+  Matrix m(r, c);
+  std::size_t i = 0;
+  for (const auto& row : rows) {
+    if (row.size() != c) {
+      throw std::invalid_argument("Matrix::from_rows: ragged rows");
+    }
+    std::size_t j = 0;
+    for (std::uint8_t v : row) m(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1;
+  return m;
+}
+
+std::uint8_t Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("Matrix::at: index out of range");
+  }
+  return (*this)(r, c);
+}
+
+std::span<const std::uint8_t> Matrix::row(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("Matrix::row: index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<std::uint8_t> Matrix::row(std::size_t r) {
+  if (r >= rows_) throw std::out_of_range("Matrix::row: index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) {
+    throw std::invalid_argument("Matrix::operator*: shape mismatch");
+  }
+  const auto& f = Gf256::instance();
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t t = 0; t < cols_; ++t) {
+      const std::uint8_t a = (*this)(i, t);
+      if (a == 0) continue;
+      const std::uint8_t* mul_row = f.mul_row(a);
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out(i, j) ^= mul_row[rhs(t, j)];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Matrix::apply(
+    std::span<const std::uint8_t> vec) const {
+  if (vec.size() != cols_) {
+    throw std::invalid_argument("Matrix::apply: vector size mismatch");
+  }
+  const auto& f = Gf256::instance();
+  std::vector<std::uint8_t> out(rows_, 0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    std::uint8_t acc = 0;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      acc ^= f.mul((*this)(i, j), vec[j]);
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("Matrix::operator+: shape mismatch");
+  }
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] ^ rhs.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+Matrix Matrix::select_rows(std::span<const std::size_t> idx) const {
+  Matrix out(idx.size(), cols_);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    if (idx[i] >= rows_) {
+      throw std::out_of_range("Matrix::select_rows: index out of range");
+    }
+    const auto src = row(idx[i]);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+namespace {
+
+/// Gauss–Jordan elimination of [a | b] in place; returns false when `a` is
+/// singular. On success `a` becomes the identity and `b` holds a^-1 * b0.
+bool gauss_jordan(Matrix& a, Matrix& b) {
+  const auto& f = Gf256::instance();
+  const std::size_t n = a.rows();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot: any nonzero entry at or below the diagonal.
+    std::size_t pivot = col;
+    while (pivot < n && a(pivot, col) == 0) ++pivot;
+    if (pivot == n) return false;
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(col, j), a(pivot, j));
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        std::swap(b(col, j), b(pivot, j));
+      }
+    }
+    // Scale pivot row to 1.
+    const std::uint8_t inv = f.inv(a(col, col));
+    if (inv != 1) {
+      for (std::size_t j = 0; j < n; ++j) a(col, j) = f.mul(a(col, j), inv);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        b(col, j) = f.mul(b(col, j), inv);
+      }
+    }
+    // Eliminate the column everywhere else.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t factor = a(r, col);
+      if (factor == 0) continue;
+      const std::uint8_t* mul_row = f.mul_row(factor);
+      for (std::size_t j = 0; j < n; ++j) a(r, j) ^= mul_row[a(col, j)];
+      for (std::size_t j = 0; j < b.cols(); ++j) b(r, j) ^= mul_row[b(col, j)];
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Matrix Matrix::inverted() const {
+  if (rows_ != cols_) {
+    throw std::invalid_argument("Matrix::inverted: matrix not square");
+  }
+  Matrix a = *this;
+  Matrix inv = identity(rows_);
+  if (!gauss_jordan(a, inv)) {
+    throw std::domain_error("Matrix::inverted: singular matrix");
+  }
+  return inv;
+}
+
+bool Matrix::invertible() const {
+  if (rows_ != cols_) return false;
+  Matrix a = *this;
+  Matrix b(rows_, 0);
+  return gauss_jordan(a, b);
+}
+
+std::size_t Matrix::rank() const {
+  const auto& f = Gf256::instance();
+  Matrix a = *this;
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < rows_; ++col) {
+    std::size_t pivot = rank;
+    while (pivot < rows_ && a(pivot, col) == 0) ++pivot;
+    if (pivot == rows_) continue;
+    if (pivot != rank) {
+      for (std::size_t j = 0; j < cols_; ++j) std::swap(a(rank, j), a(pivot, j));
+    }
+    const std::uint8_t inv = f.inv(a(rank, col));
+    for (std::size_t j = 0; j < cols_; ++j) a(rank, j) = f.mul(a(rank, j), inv);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == rank) continue;
+      const std::uint8_t factor = a(r, col);
+      if (factor == 0) continue;
+      for (std::size_t j = 0; j < cols_; ++j) {
+        a(r, j) ^= f.mul(factor, a(rank, j));
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+std::string Matrix::to_string() const {
+  std::string out;
+  char buf[8];
+  for (std::size_t i = 0; i < rows_; ++i) {
+    out += '[';
+    for (std::size_t j = 0; j < cols_; ++j) {
+      std::snprintf(buf, sizeof buf, "%02x", (*this)(i, j));
+      out += buf;
+      if (j + 1 < cols_) out += ' ';
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace car::matrix

@@ -1,0 +1,90 @@
+// Dense matrices over GF(2^8) with the linear algebra needed by
+// Reed–Solomon coding: multiplication, Gauss–Jordan inversion, rank.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace car::matrix {
+
+/// Row-major dense matrix over GF(2^8).
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols zero matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Build from row-major data; data.size() must equal rows*cols.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<std::uint8_t> data);
+
+  /// Build from a braced list of rows (for tests/examples). All rows must
+  /// have equal length.
+  static Matrix from_rows(
+      std::initializer_list<std::initializer_list<std::uint8_t>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  [[nodiscard]] std::uint8_t operator()(std::size_t r,
+                                        std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] std::uint8_t& operator()(std::size_t r,
+                                         std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Checked element access; throws std::out_of_range.
+  [[nodiscard]] std::uint8_t at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] std::span<const std::uint8_t> row(std::size_t r) const;
+  [[nodiscard]] std::span<std::uint8_t> row(std::size_t r);
+
+  [[nodiscard]] std::span<const std::uint8_t> data() const noexcept {
+    return data_;
+  }
+
+  /// Matrix product over GF(2^8); cols() must equal rhs.rows().
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+
+  /// Matrix-vector product; vec.size() must equal cols().
+  [[nodiscard]] std::vector<std::uint8_t> apply(
+      std::span<const std::uint8_t> vec) const;
+
+  /// Entry-wise addition (XOR); shapes must match.
+  [[nodiscard]] Matrix operator+(const Matrix& rhs) const;
+
+  [[nodiscard]] bool operator==(const Matrix& rhs) const noexcept = default;
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// New matrix consisting of the given rows of this one (in order).
+  [[nodiscard]] Matrix select_rows(std::span<const std::size_t> idx) const;
+
+  /// Gauss–Jordan inverse; requires a square matrix.
+  /// Throws std::domain_error when singular.
+  [[nodiscard]] Matrix inverted() const;
+
+  /// True when square and invertible (no throw).
+  [[nodiscard]] bool invertible() const;
+
+  /// Rank via Gaussian elimination (on a copy).
+  [[nodiscard]] std::size_t rank() const;
+
+  /// Multi-line human-readable dump (hex entries), for logs and tests.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace car::matrix

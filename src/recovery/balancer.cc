@@ -1,0 +1,174 @@
+#include "recovery/balancer.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace car::recovery {
+
+namespace {
+
+/// λ from per-rack chunk counts.
+double lambda_of(const std::vector<std::size_t>& t,
+                 cluster::RackId failed_rack) {
+  std::size_t total = 0;
+  std::size_t max = 0;
+  for (cluster::RackId i = 0; i < t.size(); ++i) {
+    total += t[i];
+    if (i != failed_rack) max = std::max(max, t[i]);
+  }
+  if (total == 0 || t.size() < 2) return 1.0;
+  const double avg =
+      static_cast<double>(total) / static_cast<double>(t.size() - 1);
+  return static_cast<double>(max) / avg;
+}
+
+}  // namespace
+
+BalanceResult balance_greedy(const cluster::Placement& placement,
+                             const std::vector<StripeCensus>& censuses,
+                             const BalanceOptions& options) {
+  if (censuses.empty()) {
+    throw std::invalid_argument("balance_greedy: no stripes to recover");
+  }
+  const cluster::RackId failed_rack = censuses.front().failed_rack;
+  const std::size_t num_racks = censuses.front().num_racks();
+
+  // Precompute all valid minimal rack sets per stripe (candidates for
+  // substitution) and pick the paper's default as the starting point.
+  std::vector<std::vector<RackSet>> candidates(censuses.size());
+  std::vector<RackSet> chosen(censuses.size());
+  std::vector<std::size_t> t(num_racks, 0);
+  for (std::size_t j = 0; j < censuses.size(); ++j) {
+    candidates[j] = enumerate_minimal_solutions(censuses[j]);
+    chosen[j] = default_solution(censuses[j]);
+    for (cluster::RackId rack : chosen[j].racks) ++t[rack];
+  }
+
+  BalanceResult result;
+  result.lambda_trace.push_back(lambda_of(t, failed_rack));
+
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    // Step 5: the intact rack with the highest cross-rack traffic.
+    cluster::RackId heaviest = failed_rack;
+    std::size_t heaviest_t = 0;
+    for (cluster::RackId i = 0; i < num_racks; ++i) {
+      if (i == failed_rack) continue;
+      if (heaviest == failed_rack || t[i] > heaviest_t) {
+        heaviest = i;
+        heaviest_t = t[i];
+      }
+    }
+
+    // Steps 6-11: scan lighter racks (lightest first for fastest descent)
+    // and look for a stripe whose solution can swap heaviest -> lighter.
+    bool substituted = false;
+    std::vector<cluster::RackId> lighter;
+    for (cluster::RackId i = 0; i < num_racks; ++i) {
+      if (i != failed_rack && i != heaviest && heaviest_t >= t[i] + 2) {
+        lighter.push_back(i);
+      }
+    }
+    std::stable_sort(lighter.begin(), lighter.end(),
+                     [&](cluster::RackId a, cluster::RackId b) {
+                       return t[a] < t[b];
+                     });
+
+    for (cluster::RackId target : lighter) {
+      for (std::size_t j = 0; j < censuses.size() && !substituted; ++j) {
+        if (!chosen[j].contains(heaviest) || chosen[j].contains(target)) {
+          continue;
+        }
+        RackSet swapped = chosen[j];
+        std::replace(swapped.racks.begin(), swapped.racks.end(), heaviest,
+                     target);
+        std::sort(swapped.racks.begin(), swapped.racks.end());
+        const bool valid =
+            std::find(candidates[j].begin(), candidates[j].end(), swapped) !=
+            candidates[j].end();
+        if (!valid) continue;
+        chosen[j] = std::move(swapped);
+        --t[heaviest];
+        ++t[target];
+        substituted = true;
+      }
+      if (substituted) break;
+    }
+
+    if (!substituted) break;  // step 12: converged
+    ++result.substitutions;
+    ++result.iterations_run;
+    result.lambda_trace.push_back(lambda_of(t, failed_rack));
+  }
+
+  result.solutions.reserve(censuses.size());
+  for (std::size_t j = 0; j < censuses.size(); ++j) {
+    result.solutions.push_back(materialize(placement, censuses[j], chosen[j]));
+  }
+  return result;
+}
+
+std::optional<ExhaustiveResult> balance_exhaustive(
+    const std::vector<StripeCensus>& censuses, std::uint64_t max_nodes) {
+  if (censuses.empty()) {
+    throw std::invalid_argument("balance_exhaustive: no stripes");
+  }
+  const cluster::RackId failed_rack = censuses.front().failed_rack;
+  const std::size_t num_racks = censuses.front().num_racks();
+
+  std::vector<std::vector<RackSet>> candidates(censuses.size());
+  std::size_t total_traffic = 0;
+  for (std::size_t j = 0; j < censuses.size(); ++j) {
+    candidates[j] = enumerate_minimal_solutions(censuses[j]);
+    total_traffic += candidates[j].front().racks.size();
+  }
+
+  ExhaustiveResult best;
+  best.max_rack_chunks = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> t(num_racks, 0);
+  std::vector<std::size_t> pick(censuses.size(), 0);
+  std::uint64_t explored = 0;
+  bool aborted = false;
+
+  auto dfs = [&](auto&& self, std::size_t j, std::size_t running_max) -> void {
+    if (aborted) return;
+    if (++explored > max_nodes) {
+      aborted = true;
+      return;
+    }
+    if (running_max >= best.max_rack_chunks) return;  // bound: max only grows
+    if (j == censuses.size()) {
+      best.max_rack_chunks = running_max;
+      best.chosen.clear();
+      for (std::size_t s = 0; s < censuses.size(); ++s) {
+        best.chosen.push_back(candidates[s][pick[s]]);
+      }
+      return;
+    }
+    for (std::size_t c = 0; c < candidates[j].size(); ++c) {
+      std::size_t new_max = running_max;
+      for (cluster::RackId rack : candidates[j][c].racks) {
+        new_max = std::max(new_max, ++t[rack]);
+      }
+      pick[j] = c;
+      self(self, j + 1, new_max);
+      for (cluster::RackId rack : candidates[j][c].racks) --t[rack];
+      if (aborted) return;
+    }
+  };
+  dfs(dfs, 0, 0);
+
+  if (aborted) return std::nullopt;
+  best.nodes_explored = explored;
+  if (total_traffic == 0 || num_racks < 2) {
+    best.lambda = 1.0;
+  } else {
+    const double avg = static_cast<double>(total_traffic) /
+                       static_cast<double>(num_racks - 1);
+    best.lambda = static_cast<double>(best.max_rack_chunks) / avg;
+  }
+  (void)failed_rack;
+  return best;
+}
+
+}  // namespace car::recovery

@@ -1,0 +1,42 @@
+#include "recovery/census.h"
+
+#include <stdexcept>
+
+namespace car::recovery {
+
+std::size_t StripeCensus::total_surviving() const noexcept {
+  std::size_t total = 0;
+  for (std::size_t c : surviving) total += c;
+  return total;
+}
+
+StripeCensus build_census(const cluster::Placement& placement,
+                          const cluster::FailureScenario& scenario,
+                          const cluster::LostChunk& lost) {
+  StripeCensus census;
+  census.stripe = lost.stripe;
+  census.lost_chunk = lost.chunk_index;
+  census.failed_rack = scenario.failed_rack;
+  census.k = placement.k();
+  census.chunks = placement.rack_census(lost.stripe);
+  census.surviving = census.chunks;
+  if (census.surviving[census.failed_rack] == 0) {
+    throw std::logic_error(
+        "build_census: failed rack holds no chunk of an affected stripe");
+  }
+  --census.surviving[census.failed_rack];
+  return census;
+}
+
+std::vector<StripeCensus> build_censuses(
+    const cluster::Placement& placement,
+    const cluster::FailureScenario& scenario) {
+  std::vector<StripeCensus> out;
+  out.reserve(scenario.lost.size());
+  for (const auto& lost : scenario.lost) {
+    out.push_back(build_census(placement, scenario, lost));
+  }
+  return out;
+}
+
+}  // namespace car::recovery

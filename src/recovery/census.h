@@ -1,0 +1,48 @@
+// Per-stripe rack census under a node failure (paper §IV-B).
+//
+// For stripe j and racks A_1..A_r the census is c_{i,j} — how many chunks of
+// the stripe each rack holds — plus c'_{f,j}, the count in the failed rack
+// after losing one chunk (Eq. 1).  All of CAR's decisions are functions of
+// this census.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/failure.h"
+#include "cluster/placement.h"
+#include "cluster/types.h"
+
+namespace car::recovery {
+
+struct StripeCensus {
+  cluster::StripeId stripe = 0;
+  std::size_t lost_chunk = 0;           // chunk index lost in this stripe
+  cluster::RackId failed_rack = 0;
+  std::size_t k = 0;                    // data chunks needed to reconstruct
+  std::vector<std::size_t> chunks;      // c_{i,j} per rack (pre-failure)
+  std::vector<std::size_t> surviving;   // c'_{i,j}: failed rack decremented
+
+  [[nodiscard]] std::size_t num_racks() const noexcept { return chunks.size(); }
+
+  /// Surviving chunks inside the failed rack, c'_{f,j}.
+  [[nodiscard]] std::size_t surviving_in_failed_rack() const noexcept {
+    return surviving[failed_rack];
+  }
+
+  /// Total surviving chunks across the cluster (must be >= k for an MDS
+  /// code to recover).
+  [[nodiscard]] std::size_t total_surviving() const noexcept;
+};
+
+/// Census for one lost chunk.
+StripeCensus build_census(const cluster::Placement& placement,
+                          const cluster::FailureScenario& scenario,
+                          const cluster::LostChunk& lost);
+
+/// Censuses for every lost chunk of a failure scenario, in scenario order.
+std::vector<StripeCensus> build_censuses(
+    const cluster::Placement& placement,
+    const cluster::FailureScenario& scenario);
+
+}  // namespace car::recovery

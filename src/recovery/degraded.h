@@ -1,0 +1,55 @@
+// Degraded reads — serving a read for a chunk whose host is unavailable.
+//
+// In erasure-coded CFSes the single-failure machinery also serves *degraded
+// reads*: a client (the "reader" node) needs chunk X while X's host is down,
+// so the chunk is reconstructed on the fly from k survivors.  CAR's rack
+// selection and partial decoding apply unchanged, with the reader's rack
+// taking the role of the failed rack: survivors in the reader's own rack are
+// free, and each other contributing rack ships one partially decoded chunk.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/placement.h"
+#include "cluster/types.h"
+#include "recovery/plan.h"
+#include "recovery/solutions.h"
+#include "rs/code.h"
+#include "util/rng.h"
+
+namespace car::recovery {
+
+struct DegradedReadRequest {
+  cluster::StripeId stripe = 0;
+  std::size_t chunk_index = 0;   // the unavailable chunk being read
+  cluster::NodeId reader = 0;    // node that must end up with the bytes
+};
+
+/// Rack-level view of a degraded read: how many survivors each rack offers,
+/// anchored at the reader's rack.
+struct DegradedReadCensus {
+  cluster::StripeId stripe = 0;
+  std::size_t chunk_index = 0;
+  cluster::RackId reader_rack = 0;
+  std::size_t k = 0;
+  std::vector<std::size_t> surviving;  // per rack, excluding the read chunk
+};
+
+DegradedReadCensus build_degraded_census(const cluster::Placement& placement,
+                                         const DegradedReadRequest& request);
+
+/// CAR-style degraded read: minimum racks + partial decoding, reconstructing
+/// at the reader.  Cross-rack traffic = number of non-reader racks accessed.
+RecoveryPlan plan_degraded_read_car(const cluster::Placement& placement,
+                                    const rs::Code& code,
+                                    const DegradedReadRequest& request,
+                                    std::uint64_t chunk_size);
+
+/// Baseline degraded read: fetch k random survivors straight to the reader.
+RecoveryPlan plan_degraded_read_direct(const cluster::Placement& placement,
+                                       const rs::Code& code,
+                                       const DegradedReadRequest& request,
+                                       std::uint64_t chunk_size,
+                                       util::Rng& rng);
+
+}  // namespace car::recovery

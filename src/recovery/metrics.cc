@@ -1,0 +1,57 @@
+#include "recovery/metrics.h"
+
+#include <algorithm>
+
+namespace car::recovery {
+
+std::size_t TrafficSummary::total_chunks() const noexcept {
+  std::size_t total = 0;
+  for (std::size_t t : per_rack_chunks) total += t;
+  return total;
+}
+
+double TrafficSummary::lambda() const noexcept {
+  const std::size_t total = total_chunks();
+  if (total == 0 || per_rack_chunks.size() < 2) return 1.0;
+  std::size_t max = 0;
+  for (cluster::RackId i = 0; i < per_rack_chunks.size(); ++i) {
+    if (i == failed_rack) continue;
+    max = std::max(max, per_rack_chunks[i]);
+  }
+  const double avg = static_cast<double>(total) /
+                     static_cast<double>(per_rack_chunks.size() - 1);
+  return static_cast<double>(max) / avg;
+}
+
+TrafficSummary car_traffic(const std::vector<PerStripeSolution>& solutions,
+                           std::size_t num_racks,
+                           cluster::RackId failed_rack) {
+  TrafficSummary summary;
+  summary.failed_rack = failed_rack;
+  summary.per_rack_chunks.assign(num_racks, 0);
+  for (const auto& solution : solutions) {
+    // One partially decoded chunk crosses the core per accessed intact rack.
+    for (cluster::RackId rack : solution.rack_set.racks) {
+      ++summary.per_rack_chunks[rack];
+    }
+  }
+  return summary;
+}
+
+TrafficSummary rr_traffic(const cluster::Placement& placement,
+                          const std::vector<RrSolution>& solutions,
+                          cluster::RackId failed_rack) {
+  TrafficSummary summary;
+  summary.failed_rack = failed_rack;
+  summary.per_rack_chunks.assign(placement.topology().num_racks(), 0);
+  for (const auto& solution : solutions) {
+    for (std::size_t chunk : solution.chunk_indices) {
+      const cluster::NodeId host = placement.node_of(solution.stripe, chunk);
+      const cluster::RackId rack = placement.topology().rack_of(host);
+      if (rack != failed_rack) ++summary.per_rack_chunks[rack];
+    }
+  }
+  return summary;
+}
+
+}  // namespace car::recovery

@@ -1,0 +1,52 @@
+// Cross-rack repair traffic accounting and the load-balancing rate λ
+// (paper §III).
+//
+// t_{i,f} counts chunk-sized units sent from rack A_i across the core toward
+// the replacement (which lives in the failed rack A_f):
+//   * CAR: one partially decoded chunk per accessed intact rack per stripe;
+//   * RR : one chunk per fetched survivor hosted outside A_f.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "cluster/types.h"
+#include "recovery/planner.h"
+#include "recovery/random_recovery.h"
+
+namespace car::recovery {
+
+/// Per-rack cross-rack traffic summary for one recovery.
+struct TrafficSummary {
+  cluster::RackId failed_rack = 0;
+  std::vector<std::size_t> per_rack_chunks;  // t_{i,f} in chunk units; the
+                                             // failed rack's entry is 0
+
+  /// Total cross-rack repair traffic in chunk units.
+  [[nodiscard]] std::size_t total_chunks() const noexcept;
+
+  /// Total cross-rack repair traffic in bytes for a given chunk size.
+  [[nodiscard]] std::uint64_t total_bytes(std::uint64_t chunk_size) const noexcept {
+    return static_cast<std::uint64_t>(total_chunks()) * chunk_size;
+  }
+
+  /// Load-balancing rate λ = max_i t_{i,f} / (Σ t_{i,f} / (r-1)).
+  /// Returns 1.0 when there is no cross-rack traffic at all.
+  [[nodiscard]] double lambda() const noexcept;
+};
+
+/// Traffic of a CAR multi-stripe solution.
+TrafficSummary car_traffic(const std::vector<PerStripeSolution>& solutions,
+                           std::size_t num_racks,
+                           cluster::RackId failed_rack);
+
+/// Traffic of an RR multi-stripe solution.  Chunks are fetched from their
+/// host nodes directly, so each chunk outside the failed rack counts once
+/// against its host rack.
+TrafficSummary rr_traffic(const cluster::Placement& placement,
+                          const std::vector<RrSolution>& solutions,
+                          cluster::RackId failed_rack);
+
+}  // namespace car::recovery

@@ -1,0 +1,447 @@
+#include "recovery/multi.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace car::recovery {
+
+bool MultiFailureScenario::is_failed(cluster::NodeId node) const noexcept {
+  return std::find(failed_nodes.begin(), failed_nodes.end(), node) !=
+         failed_nodes.end();
+}
+
+MultiFailureScenario make_multi_failure(const cluster::Placement& placement,
+                                        std::vector<cluster::NodeId> nodes) {
+  if (nodes.empty()) {
+    throw std::invalid_argument("make_multi_failure: no failed nodes");
+  }
+  std::unordered_set<cluster::NodeId> seen;
+  for (cluster::NodeId node : nodes) {
+    if (node >= placement.topology().num_nodes()) {
+      throw std::invalid_argument("make_multi_failure: node id out of range");
+    }
+    if (!seen.insert(node).second) {
+      throw std::invalid_argument("make_multi_failure: duplicate node id");
+    }
+  }
+  MultiFailureScenario scenario;
+  scenario.replacement = nodes.front();
+  scenario.replacement_rack = placement.topology().rack_of(nodes.front());
+  scenario.failed_nodes = std::move(nodes);
+  return scenario;
+}
+
+std::vector<MultiStripeCensus> build_multi_censuses(
+    const cluster::Placement& placement,
+    const MultiFailureScenario& scenario) {
+  const auto& topology = placement.topology();
+  std::vector<MultiStripeCensus> out;
+  for (cluster::StripeId s = 0; s < placement.num_stripes(); ++s) {
+    MultiStripeCensus census;
+    census.stripe = s;
+    census.replacement_rack = scenario.replacement_rack;
+    census.k = placement.k();
+    census.surviving.assign(topology.num_racks(), 0);
+    const auto hosts = placement.stripe(s);
+    for (std::size_t c = 0; c < hosts.size(); ++c) {
+      if (scenario.is_failed(hosts[c])) {
+        census.lost_chunks.push_back(c);
+      } else {
+        ++census.surviving[topology.rack_of(hosts[c])];
+      }
+    }
+    if (census.lost_chunks.empty()) continue;
+    if (census.lost_chunks.size() > placement.m()) {
+      throw std::invalid_argument(
+          "build_multi_censuses: stripe lost more than m chunks — beyond "
+          "the code's fault tolerance");
+    }
+    out.push_back(std::move(census));
+  }
+  return out;
+}
+
+std::vector<std::size_t> MultiStripeSolution::all_chunk_indices() const {
+  std::vector<std::size_t> out;
+  for (const auto& pick : picks) {
+    out.insert(out.end(), pick.chunk_indices.begin(),
+               pick.chunk_indices.end());
+  }
+  return out;
+}
+
+namespace {
+
+/// Chunk indices of `stripe` in `rack` that survived (not in lost_chunks).
+std::vector<std::size_t> surviving_in_rack(const cluster::Placement& placement,
+                                           const MultiStripeCensus& census,
+                                           cluster::RackId rack) {
+  auto indices = placement.chunk_indices_in_rack(census.stripe, rack);
+  std::erase_if(indices, [&](std::size_t c) {
+    return std::binary_search(census.lost_chunks.begin(),
+                              census.lost_chunks.end(), c);
+  });
+  return indices;
+}
+
+}  // namespace
+
+MultiStripeSolution materialize_multi(const cluster::Placement& placement,
+                                      const MultiStripeCensus& census,
+                                      const RackSet& set) {
+  if (!is_valid_minimal_for(census.k, census.replacement_rack,
+                            census.surviving, set)) {
+    throw std::invalid_argument(
+        "materialize_multi: rack set is not a valid minimal solution");
+  }
+
+  MultiStripeSolution solution;
+  solution.stripe = census.stripe;
+  solution.lost_chunks = census.lost_chunks;
+  solution.rack_set = set;
+  std::sort(solution.rack_set.racks.begin(), solution.rack_set.racks.end());
+
+  std::size_t needed = census.k;
+
+  // Home rack survivors first (free at the rack level).
+  {
+    auto local =
+        surviving_in_rack(placement, census, census.replacement_rack);
+    if (!local.empty()) {
+      const std::size_t take = std::min(local.size(), needed);
+      local.resize(take);
+      needed -= take;
+      solution.picks.push_back({census.replacement_rack, std::move(local)});
+    }
+  }
+
+  // Chosen racks, largest availability first, trimming the last.
+  std::vector<cluster::RackId> order = set.racks;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](cluster::RackId a, cluster::RackId b) {
+                     return census.surviving[a] > census.surviving[b];
+                   });
+  for (cluster::RackId rack : order) {
+    if (needed == 0) {
+      throw std::logic_error(
+          "materialize_multi: chosen rack contributes no chunk");
+    }
+    auto indices = surviving_in_rack(placement, census, rack);
+    const std::size_t take = std::min(indices.size(), needed);
+    indices.resize(take);
+    needed -= take;
+    solution.picks.push_back({rack, std::move(indices)});
+  }
+  if (needed != 0) {
+    throw std::logic_error("materialize_multi: could not gather k chunks");
+  }
+  return solution;
+}
+
+namespace {
+
+double lambda_of(const std::vector<std::size_t>& t, cluster::RackId home) {
+  std::size_t total = 0;
+  std::size_t max = 0;
+  for (cluster::RackId i = 0; i < t.size(); ++i) {
+    total += t[i];
+    if (i != home) max = std::max(max, t[i]);
+  }
+  if (total == 0 || t.size() < 2) return 1.0;
+  const double avg =
+      static_cast<double>(total) / static_cast<double>(t.size() - 1);
+  return static_cast<double>(max) / avg;
+}
+
+}  // namespace
+
+MultiBalanceResult balance_multi(
+    const cluster::Placement& placement,
+    const std::vector<MultiStripeCensus>& censuses, std::size_t iterations) {
+  if (censuses.empty()) {
+    throw std::invalid_argument("balance_multi: no stripes to recover");
+  }
+  const cluster::RackId home = censuses.front().replacement_rack;
+  const std::size_t num_racks = censuses.front().num_racks();
+
+  std::vector<std::vector<RackSet>> candidates(censuses.size());
+  std::vector<RackSet> chosen(censuses.size());
+  std::vector<std::size_t> weight(censuses.size());
+  std::vector<std::size_t> t(num_racks, 0);
+  for (std::size_t j = 0; j < censuses.size(); ++j) {
+    candidates[j] =
+        enumerate_rack_sets(censuses[j].k, home, censuses[j].surviving);
+    chosen[j] = default_rack_set(censuses[j].k, home, censuses[j].surviving);
+    weight[j] = censuses[j].lost_count();
+    for (cluster::RackId rack : chosen[j].racks) t[rack] += weight[j];
+  }
+
+  MultiBalanceResult result;
+  result.lambda_trace.push_back(lambda_of(t, home));
+
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    cluster::RackId heaviest = home;
+    std::size_t heaviest_t = 0;
+    for (cluster::RackId i = 0; i < num_racks; ++i) {
+      if (i == home) continue;
+      if (heaviest == home || t[i] > heaviest_t) {
+        heaviest = i;
+        heaviest_t = t[i];
+      }
+    }
+
+    bool substituted = false;
+    std::vector<cluster::RackId> lighter;
+    for (cluster::RackId i = 0; i < num_racks; ++i) {
+      if (i != home && i != heaviest && t[i] < heaviest_t) lighter.push_back(i);
+    }
+    std::stable_sort(lighter.begin(), lighter.end(),
+                     [&](cluster::RackId a, cluster::RackId b) {
+                       return t[a] < t[b];
+                     });
+
+    for (cluster::RackId target : lighter) {
+      for (std::size_t j = 0; j < censuses.size() && !substituted; ++j) {
+        // Moving weight[j] partials must not push the target above the
+        // (reduced) source: t_l - t_i >= 2 * weight keeps max monotone.
+        if (heaviest_t < t[target] + 2 * weight[j]) continue;
+        if (!chosen[j].contains(heaviest) || chosen[j].contains(target)) {
+          continue;
+        }
+        RackSet swapped = chosen[j];
+        std::replace(swapped.racks.begin(), swapped.racks.end(), heaviest,
+                     target);
+        std::sort(swapped.racks.begin(), swapped.racks.end());
+        if (std::find(candidates[j].begin(), candidates[j].end(), swapped) ==
+            candidates[j].end()) {
+          continue;
+        }
+        chosen[j] = std::move(swapped);
+        t[heaviest] -= weight[j];
+        t[target] += weight[j];
+        substituted = true;
+      }
+      if (substituted) break;
+    }
+    if (!substituted) break;
+    ++result.substitutions;
+    result.lambda_trace.push_back(lambda_of(t, home));
+  }
+
+  result.solutions.reserve(censuses.size());
+  for (std::size_t j = 0; j < censuses.size(); ++j) {
+    result.solutions.push_back(
+        materialize_multi(placement, censuses[j], chosen[j]));
+  }
+  return result;
+}
+
+TrafficSummary multi_traffic(const std::vector<MultiStripeSolution>& solutions,
+                             std::size_t num_racks,
+                             cluster::RackId replacement_rack) {
+  TrafficSummary summary;
+  summary.failed_rack = replacement_rack;
+  summary.per_rack_chunks.assign(num_racks, 0);
+  for (const auto& solution : solutions) {
+    for (cluster::RackId rack : solution.rack_set.racks) {
+      summary.per_rack_chunks[rack] += solution.lost_chunks.size();
+    }
+  }
+  return summary;
+}
+
+RecoveryPlan build_multi_car_plan(
+    const cluster::Placement& placement, const rs::Code& code,
+    std::span<const MultiStripeSolution> solutions, std::uint64_t chunk_size,
+    cluster::NodeId replacement) {
+  if (chunk_size == 0) {
+    throw std::invalid_argument("build_multi_car_plan: chunk_size must be > 0");
+  }
+  const auto& topology = placement.topology();
+  RecoveryPlan plan;
+  plan.replacement = replacement;
+  plan.replacement_rack = topology.rack_of(replacement);
+  plan.chunk_size = chunk_size;
+
+  auto add_transfer = [&](cluster::StripeId stripe, cluster::NodeId src,
+                          cluster::NodeId dst, BufferRef payload,
+                          std::vector<std::size_t> deps) {
+    PlanStep step;
+    step.id = plan.steps.size();
+    step.kind = StepKind::kTransfer;
+    step.stripe = stripe;
+    step.src = src;
+    step.dst = dst;
+    step.payload = payload;
+    step.cross_rack = topology.rack_of(src) != topology.rack_of(dst);
+    step.bytes = chunk_size;
+    step.deps = std::move(deps);
+    plan.steps.push_back(std::move(step));
+    return plan.steps.back().id;
+  };
+  auto add_compute = [&](cluster::StripeId stripe, cluster::NodeId node,
+                         std::vector<ComputeInput> inputs,
+                         std::vector<std::size_t> deps) {
+    PlanStep step;
+    step.id = plan.steps.size();
+    step.kind = StepKind::kCompute;
+    step.stripe = stripe;
+    step.node = node;
+    step.bytes = chunk_size * inputs.size();
+    step.inputs = std::move(inputs);
+    step.deps = std::move(deps);
+    plan.steps.push_back(std::move(step));
+    return plan.steps.back().id;
+  };
+
+  for (const auto& solution : solutions) {
+    const auto survivors = solution.all_chunk_indices();
+    // One repair vector per lost chunk, all over the same survivor set.
+    std::vector<std::vector<std::uint8_t>> ys;
+    ys.reserve(solution.lost_chunks.size());
+    for (std::size_t lost : solution.lost_chunks) {
+      ys.push_back(code.repair_vector(lost, survivors));
+    }
+
+    // final_inputs[l] / final_deps[l]: partials for lost chunk l.
+    std::vector<std::vector<ComputeInput>> final_inputs(ys.size());
+    std::vector<std::vector<std::size_t>> final_deps(ys.size());
+
+    std::size_t position = 0;
+    for (const auto& pick : solution.picks) {
+      const cluster::NodeId aggregator =
+          placement.node_of(solution.stripe, pick.chunk_indices.front());
+      std::vector<std::size_t> gather_deps;
+      for (std::size_t chunk : pick.chunk_indices) {
+        const cluster::NodeId host = placement.node_of(solution.stripe, chunk);
+        if (host != aggregator) {
+          gather_deps.push_back(
+              add_transfer(solution.stripe, host, aggregator,
+                           BufferRef::chunk(solution.stripe, chunk), {}));
+        }
+      }
+      for (std::size_t l = 0; l < ys.size(); ++l) {
+        std::vector<ComputeInput> inputs;
+        inputs.reserve(pick.chunk_indices.size());
+        for (std::size_t i = 0; i < pick.chunk_indices.size(); ++i) {
+          inputs.push_back(
+              {BufferRef::chunk(solution.stripe, pick.chunk_indices[i]),
+               ys[l][position + i]});
+        }
+        const std::size_t partial = add_compute(solution.stripe, aggregator,
+                                                std::move(inputs), gather_deps);
+        const std::size_t ship =
+            add_transfer(solution.stripe, aggregator, replacement,
+                         BufferRef::step(partial), {partial});
+        final_inputs[l].push_back({BufferRef::step(partial), 1});
+        final_deps[l].push_back(ship);
+      }
+      position += pick.chunk_indices.size();
+    }
+
+    for (std::size_t l = 0; l < ys.size(); ++l) {
+      const std::size_t final_step =
+          add_compute(solution.stripe, replacement, std::move(final_inputs[l]),
+                      std::move(final_deps[l]));
+      plan.outputs.push_back(
+          {solution.stripe, solution.lost_chunks[l], final_step});
+    }
+  }
+  return plan;
+}
+
+std::vector<MultiRrSolution> plan_multi_rr(
+    const cluster::Placement& placement,
+    const std::vector<MultiStripeCensus>& censuses, util::Rng& rng) {
+  std::vector<MultiRrSolution> out;
+  out.reserve(censuses.size());
+  for (const auto& census : censuses) {
+    std::vector<std::size_t> survivors;
+    for (std::size_t c = 0; c < placement.chunks_per_stripe(); ++c) {
+      if (!std::binary_search(census.lost_chunks.begin(),
+                              census.lost_chunks.end(), c)) {
+        survivors.push_back(c);
+      }
+    }
+    if (survivors.size() < census.k) {
+      throw std::invalid_argument("plan_multi_rr: fewer than k survivors");
+    }
+    rng.shuffle(survivors);
+    survivors.resize(census.k);
+    std::sort(survivors.begin(), survivors.end());
+    out.push_back({census.stripe, census.lost_chunks, std::move(survivors)});
+  }
+  return out;
+}
+
+TrafficSummary multi_rr_traffic(const cluster::Placement& placement,
+                                const std::vector<MultiRrSolution>& solutions,
+                                cluster::RackId replacement_rack) {
+  TrafficSummary summary;
+  summary.failed_rack = replacement_rack;
+  summary.per_rack_chunks.assign(placement.topology().num_racks(), 0);
+  for (const auto& solution : solutions) {
+    for (std::size_t chunk : solution.chunk_indices) {
+      const auto host = placement.node_of(solution.stripe, chunk);
+      const auto rack = placement.topology().rack_of(host);
+      if (rack != replacement_rack) ++summary.per_rack_chunks[rack];
+    }
+  }
+  return summary;
+}
+
+RecoveryPlan build_multi_rr_plan(const cluster::Placement& placement,
+                                 const rs::Code& code,
+                                 std::span<const MultiRrSolution> solutions,
+                                 std::uint64_t chunk_size,
+                                 cluster::NodeId replacement) {
+  if (chunk_size == 0) {
+    throw std::invalid_argument("build_multi_rr_plan: chunk_size must be > 0");
+  }
+  const auto& topology = placement.topology();
+  RecoveryPlan plan;
+  plan.replacement = replacement;
+  plan.replacement_rack = topology.rack_of(replacement);
+  plan.chunk_size = chunk_size;
+
+  for (const auto& solution : solutions) {
+    std::vector<std::size_t> deps;
+    for (std::size_t chunk : solution.chunk_indices) {
+      const cluster::NodeId host = placement.node_of(solution.stripe, chunk);
+      if (host == replacement) continue;
+      PlanStep step;
+      step.id = plan.steps.size();
+      step.kind = StepKind::kTransfer;
+      step.stripe = solution.stripe;
+      step.src = host;
+      step.dst = replacement;
+      step.payload = BufferRef::chunk(solution.stripe, chunk);
+      step.cross_rack =
+          topology.rack_of(host) != topology.rack_of(replacement);
+      step.bytes = chunk_size;
+      plan.steps.push_back(std::move(step));
+      deps.push_back(plan.steps.back().id);
+    }
+    for (std::size_t lost : solution.lost_chunks) {
+      const auto y = code.repair_vector(lost, solution.chunk_indices);
+      PlanStep step;
+      step.id = plan.steps.size();
+      step.kind = StepKind::kCompute;
+      step.stripe = solution.stripe;
+      step.node = replacement;
+      step.bytes = chunk_size * solution.chunk_indices.size();
+      for (std::size_t pos = 0; pos < solution.chunk_indices.size(); ++pos) {
+        step.inputs.push_back(
+            {BufferRef::chunk(solution.stripe, solution.chunk_indices[pos]),
+             y[pos]});
+      }
+      step.deps = deps;
+      plan.steps.push_back(std::move(step));
+      plan.outputs.push_back({solution.stripe, lost, plan.steps.back().id});
+    }
+  }
+  return plan;
+}
+
+}  // namespace car::recovery

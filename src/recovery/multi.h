@@ -1,0 +1,137 @@
+// Multi-failure cross-rack-aware recovery.
+//
+// The paper scopes CAR to single node failures; this module generalises the
+// three techniques to concurrent failures of several nodes (up to the code's
+// tolerance of m lost chunks per stripe):
+//
+//  * Rack selection — per stripe, gather k chunks from the minimum number of
+//    racks other than the replacement's (Theorem 1 with generalised
+//    surviving counts; reuses recovery/solutions.h's core).
+//  * Partial decoding — with L lost chunks in a stripe, the repair matrix
+//    Y = G_lost · X has L rows, and each contributing rack aggregates one
+//    partially decoded chunk *per lost chunk*: cross-rack traffic is
+//    L x (#racks accessed) chunks instead of L x k.
+//  * Load balancing — the greedy substitution pass now moves weight L_j (the
+//    stripe's lost-chunk count) between racks, preserving minimum traffic.
+//
+// All lost chunks are rebuilt on a single replacement node, mirroring the
+// paper's methodology.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "cluster/types.h"
+#include "recovery/metrics.h"
+#include "recovery/plan.h"
+#include "recovery/planner.h"
+#include "recovery/solutions.h"
+#include "rs/code.h"
+#include "util/rng.h"
+
+namespace car::recovery {
+
+/// A concurrent failure of several nodes.
+struct MultiFailureScenario {
+  std::vector<cluster::NodeId> failed_nodes;
+  /// Node that hosts the rebuilt chunks (must be one of failed_nodes or a
+  /// fresh node; its rack anchors the traffic accounting).
+  cluster::NodeId replacement = 0;
+  cluster::RackId replacement_rack = 0;
+
+  [[nodiscard]] bool is_failed(cluster::NodeId node) const noexcept;
+};
+
+/// Per-stripe state under a multi-failure.
+struct MultiStripeCensus {
+  cluster::StripeId stripe = 0;
+  std::vector<std::size_t> lost_chunks;  // >= 1 chunk indices, ascending
+  cluster::RackId replacement_rack = 0;
+  std::size_t k = 0;
+  std::vector<std::size_t> surviving;  // surviving chunks per rack
+
+  [[nodiscard]] std::size_t num_racks() const noexcept {
+    return surviving.size();
+  }
+  [[nodiscard]] std::size_t lost_count() const noexcept {
+    return lost_chunks.size();
+  }
+};
+
+/// Describe the failure of specific nodes; the first failed node acts as
+/// replacement.  Throws std::invalid_argument on empty/duplicate node lists.
+MultiFailureScenario make_multi_failure(const cluster::Placement& placement,
+                                        std::vector<cluster::NodeId> nodes);
+
+/// Censuses for every stripe that lost at least one chunk.
+/// Throws std::invalid_argument if any stripe lost more than m chunks
+/// (beyond the code's tolerance — unrecoverable).
+std::vector<MultiStripeCensus> build_multi_censuses(
+    const cluster::Placement& placement, const MultiFailureScenario& scenario);
+
+/// A materialised per-stripe multi-failure solution.
+struct MultiStripeSolution {
+  cluster::StripeId stripe = 0;
+  std::vector<std::size_t> lost_chunks;
+  RackSet rack_set;             // racks (other than replacement's) accessed
+  std::vector<RackPick> picks;  // chunks read per contributing rack (sum k)
+
+  /// Cross-rack chunks shipped for this stripe: one partial per accessed
+  /// rack per lost chunk.
+  [[nodiscard]] std::size_t cross_rack_chunks() const noexcept {
+    return rack_set.racks.size() * lost_chunks.size();
+  }
+  [[nodiscard]] std::vector<std::size_t> all_chunk_indices() const;
+};
+
+/// Materialise a valid minimal rack set into chunk picks (k chunks total).
+MultiStripeSolution materialize_multi(const cluster::Placement& placement,
+                                      const MultiStripeCensus& census,
+                                      const RackSet& set);
+
+/// Greedy weighted load balancing across stripes (Algorithm 2 generalised:
+/// each substitution moves L_j partial chunks between racks and requires
+/// t_l - t_i >= 2 * L_j so the maximum never increases).
+struct MultiBalanceResult {
+  std::vector<MultiStripeSolution> solutions;
+  std::vector<double> lambda_trace;
+  std::size_t substitutions = 0;
+};
+MultiBalanceResult balance_multi(const cluster::Placement& placement,
+                                 const std::vector<MultiStripeCensus>& censuses,
+                                 std::size_t iterations = 50);
+
+/// Cross-rack traffic summary (chunk units, weighted by lost count).
+TrafficSummary multi_traffic(const std::vector<MultiStripeSolution>& solutions,
+                             std::size_t num_racks,
+                             cluster::RackId replacement_rack);
+
+/// Compile into an executable plan: per contributing rack, the aggregator
+/// computes one partial per lost chunk and ships each to the replacement.
+RecoveryPlan build_multi_car_plan(
+    const cluster::Placement& placement, const rs::Code& code,
+    std::span<const MultiStripeSolution> solutions, std::uint64_t chunk_size,
+    cluster::NodeId replacement);
+
+/// RR-style baseline: fetch k random survivors per stripe to the
+/// replacement, which decodes all lost chunks there.
+struct MultiRrSolution {
+  cluster::StripeId stripe = 0;
+  std::vector<std::size_t> lost_chunks;
+  std::vector<std::size_t> chunk_indices;  // k survivors fetched
+};
+std::vector<MultiRrSolution> plan_multi_rr(
+    const cluster::Placement& placement,
+    const std::vector<MultiStripeCensus>& censuses, util::Rng& rng);
+TrafficSummary multi_rr_traffic(const cluster::Placement& placement,
+                                const std::vector<MultiRrSolution>& solutions,
+                                cluster::RackId replacement_rack);
+RecoveryPlan build_multi_rr_plan(const cluster::Placement& placement,
+                                 const rs::Code& code,
+                                 std::span<const MultiRrSolution> solutions,
+                                 std::uint64_t chunk_size,
+                                 cluster::NodeId replacement);
+
+}  // namespace car::recovery

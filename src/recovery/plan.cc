@@ -1,0 +1,190 @@
+#include "recovery/plan.h"
+
+#include <stdexcept>
+
+namespace car::recovery {
+
+std::size_t RecoveryPlan::num_transfers() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : steps) n += s.kind == StepKind::kTransfer;
+  return n;
+}
+
+std::size_t RecoveryPlan::num_computes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : steps) n += s.kind == StepKind::kCompute;
+  return n;
+}
+
+std::uint64_t RecoveryPlan::cross_rack_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : steps) {
+    if (s.kind == StepKind::kTransfer && s.cross_rack) total += s.bytes;
+  }
+  return total;
+}
+
+std::uint64_t RecoveryPlan::intra_rack_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : steps) {
+    if (s.kind == StepKind::kTransfer && !s.cross_rack) total += s.bytes;
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> RecoveryPlan::per_rack_cross_bytes(
+    const cluster::Topology& topology) const {
+  std::vector<std::uint64_t> per_rack(topology.num_racks(), 0);
+  for (const auto& s : steps) {
+    if (s.kind == StepKind::kTransfer && s.cross_rack) {
+      per_rack[topology.rack_of(s.src)] += s.bytes;
+    }
+  }
+  return per_rack;
+}
+
+std::uint64_t RecoveryPlan::compute_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : steps) {
+    if (s.kind == StepKind::kCompute) total += s.bytes;
+  }
+  return total;
+}
+
+namespace {
+
+struct PlanBuilder {
+  RecoveryPlan plan;
+  const cluster::Topology& topology;
+
+  std::size_t add_transfer(cluster::StripeId stripe, cluster::NodeId src,
+                           cluster::NodeId dst, BufferRef payload,
+                           std::vector<std::size_t> deps) {
+    PlanStep step;
+    step.id = plan.steps.size();
+    step.kind = StepKind::kTransfer;
+    step.stripe = stripe;
+    step.src = src;
+    step.dst = dst;
+    step.payload = payload;
+    step.cross_rack = topology.rack_of(src) != topology.rack_of(dst);
+    step.bytes = plan.chunk_size;
+    step.deps = std::move(deps);
+    plan.steps.push_back(std::move(step));
+    return plan.steps.back().id;
+  }
+
+  std::size_t add_compute(cluster::StripeId stripe, cluster::NodeId node,
+                          std::vector<ComputeInput> inputs,
+                          std::vector<std::size_t> deps) {
+    PlanStep step;
+    step.id = plan.steps.size();
+    step.kind = StepKind::kCompute;
+    step.stripe = stripe;
+    step.node = node;
+    step.bytes = plan.chunk_size * inputs.size();
+    step.inputs = std::move(inputs);
+    step.deps = std::move(deps);
+    plan.steps.push_back(std::move(step));
+    return plan.steps.back().id;
+  }
+};
+
+}  // namespace
+
+RecoveryPlan build_car_plan(const cluster::Placement& placement,
+                            const rs::Code& code,
+                            std::span<const PerStripeSolution> solutions,
+                            std::uint64_t chunk_size,
+                            cluster::NodeId replacement) {
+  if (chunk_size == 0) {
+    throw std::invalid_argument("build_car_plan: chunk_size must be > 0");
+  }
+  const auto& topology = placement.topology();
+  PlanBuilder b{{}, topology};
+  b.plan.replacement = replacement;
+  b.plan.replacement_rack = topology.rack_of(replacement);
+  b.plan.chunk_size = chunk_size;
+
+  for (const auto& solution : solutions) {
+    const auto survivors = solution.all_chunk_indices();
+    const auto y = code.repair_vector(solution.lost_chunk, survivors);
+
+    std::size_t position = 0;  // index into survivors / y, follows pick order
+    std::vector<std::size_t> partial_transfer_ids;
+    std::vector<ComputeInput> final_inputs;
+
+    for (const auto& pick : solution.picks) {
+      // The host of the first picked chunk aggregates for this rack.
+      const cluster::NodeId aggregator =
+          placement.node_of(solution.stripe, pick.chunk_indices.front());
+
+      std::vector<ComputeInput> inputs;
+      std::vector<std::size_t> deps;
+      for (std::size_t chunk : pick.chunk_indices) {
+        const cluster::NodeId host = placement.node_of(solution.stripe, chunk);
+        const auto buf = BufferRef::chunk(solution.stripe, chunk);
+        if (host != aggregator) {
+          deps.push_back(b.add_transfer(solution.stripe, host, aggregator,
+                                        buf, {}));
+        }
+        inputs.push_back({buf, y[position]});
+        ++position;
+      }
+      const std::size_t partial = b.add_compute(
+          solution.stripe, aggregator, std::move(inputs), std::move(deps));
+      const std::size_t ship =
+          b.add_transfer(solution.stripe, aggregator, replacement,
+                         BufferRef::step(partial), {partial});
+      partial_transfer_ids.push_back(ship);
+      final_inputs.push_back({BufferRef::step(partial), 1});
+    }
+
+    const std::size_t final_step =
+        b.add_compute(solution.stripe, replacement, std::move(final_inputs),
+                      std::move(partial_transfer_ids));
+    b.plan.outputs.push_back(
+        {solution.stripe, solution.lost_chunk, final_step});
+  }
+  return std::move(b.plan);
+}
+
+RecoveryPlan build_rr_plan(const cluster::Placement& placement,
+                           const rs::Code& code,
+                           std::span<const RrSolution> solutions,
+                           std::uint64_t chunk_size,
+                           cluster::NodeId replacement) {
+  if (chunk_size == 0) {
+    throw std::invalid_argument("build_rr_plan: chunk_size must be > 0");
+  }
+  const auto& topology = placement.topology();
+  PlanBuilder b{{}, topology};
+  b.plan.replacement = replacement;
+  b.plan.replacement_rack = topology.rack_of(replacement);
+  b.plan.chunk_size = chunk_size;
+
+  for (const auto& solution : solutions) {
+    const auto y =
+        code.repair_vector(solution.lost_chunk, solution.chunk_indices);
+
+    std::vector<std::size_t> deps;
+    std::vector<ComputeInput> inputs;
+    for (std::size_t pos = 0; pos < solution.chunk_indices.size(); ++pos) {
+      const std::size_t chunk = solution.chunk_indices[pos];
+      const cluster::NodeId host = placement.node_of(solution.stripe, chunk);
+      const auto buf = BufferRef::chunk(solution.stripe, chunk);
+      if (host != replacement) {
+        deps.push_back(
+            b.add_transfer(solution.stripe, host, replacement, buf, {}));
+      }
+      inputs.push_back({buf, y[pos]});
+    }
+    const std::size_t final_step = b.add_compute(
+        solution.stripe, replacement, std::move(inputs), std::move(deps));
+    b.plan.outputs.push_back(
+        {solution.stripe, solution.lost_chunk, final_step});
+  }
+  return std::move(b.plan);
+}
+
+}  // namespace car::recovery

@@ -1,0 +1,117 @@
+// Executable recovery plans.
+//
+// A RecoveryPlan is a DAG of transfer and compute steps that fully describes
+// a multi-stripe single-failure recovery — which node sends which buffer to
+// whom, and which linear combinations are evaluated where.  The same plan is
+// consumed by three back-ends:
+//   * recovery/metrics.h-style counting (traffic accounting, tested against
+//     the analytic summaries),
+//   * simnet::simulate_plan (flow-level timing model),
+//   * emul::Cluster::execute (real bytes through rate-limited links).
+// Keeping one artifact guarantees the back-ends agree on *what* happens.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/failure.h"
+#include "cluster/placement.h"
+#include "cluster/types.h"
+#include "recovery/planner.h"
+#include "recovery/random_recovery.h"
+#include "rs/code.h"
+
+namespace car::recovery {
+
+/// Identifies a byte buffer: either an original chunk or the output of a
+/// compute step (e.g. a partially decoded chunk).
+struct BufferRef {
+  enum class Kind { kChunk, kStepOutput };
+  Kind kind = Kind::kChunk;
+  cluster::StripeId stripe = 0;  // kChunk
+  std::size_t chunk_index = 0;   // kChunk
+  std::size_t step_id = 0;       // kStepOutput
+
+  static BufferRef chunk(cluster::StripeId s, std::size_t c) {
+    return {Kind::kChunk, s, c, 0};
+  }
+  static BufferRef step(std::size_t id) {
+    return {Kind::kStepOutput, 0, 0, id};
+  }
+  friend bool operator==(const BufferRef&, const BufferRef&) = default;
+};
+
+/// One term of a linear combination: coeff * buffer.
+struct ComputeInput {
+  BufferRef buffer;
+  std::uint8_t coeff = 1;
+};
+
+enum class StepKind { kTransfer, kCompute };
+
+struct PlanStep {
+  std::size_t id = 0;
+  StepKind kind = StepKind::kTransfer;
+  cluster::StripeId stripe = 0;
+  std::vector<std::size_t> deps;  // step ids that must complete first
+
+  // --- transfer fields ---
+  cluster::NodeId src = 0;
+  cluster::NodeId dst = 0;
+  BufferRef payload;
+  bool cross_rack = false;
+
+  // --- compute fields ---
+  cluster::NodeId node = 0;           // where the combination is evaluated
+  std::vector<ComputeInput> inputs;   // output = sum coeff_i * buffer_i
+
+  std::uint64_t bytes = 0;  // transfer: payload size; compute: bytes touched
+};
+
+struct RecoveryPlan {
+  cluster::NodeId replacement = 0;
+  cluster::RackId replacement_rack = 0;
+  std::uint64_t chunk_size = 0;
+  std::vector<PlanStep> steps;
+
+  /// Final reconstruction outputs: the compute step whose result is the
+  /// recovered chunk, one per lost chunk.
+  struct Output {
+    cluster::StripeId stripe = 0;
+    std::size_t chunk_index = 0;
+    std::size_t step_id = 0;
+  };
+  std::vector<Output> outputs;
+
+  [[nodiscard]] std::size_t num_transfers() const noexcept;
+  [[nodiscard]] std::size_t num_computes() const noexcept;
+  [[nodiscard]] std::uint64_t cross_rack_bytes() const noexcept;
+  [[nodiscard]] std::uint64_t intra_rack_bytes() const noexcept;
+  /// Bytes sent across the core by each rack (indexed by rack id).
+  [[nodiscard]] std::vector<std::uint64_t> per_rack_cross_bytes(
+      const cluster::Topology& topology) const;
+  /// Total bytes processed by GF/XOR compute steps.
+  [[nodiscard]] std::uint64_t compute_bytes() const noexcept;
+};
+
+/// Compile a CAR multi-stripe solution into an executable plan.  Each
+/// contributing rack designates the host of its first picked chunk as
+/// aggregator; aggregators partially decode and forward one chunk to the
+/// replacement, which XOR-combines the partials (paper Algorithm 1).
+RecoveryPlan build_car_plan(const cluster::Placement& placement,
+                            const rs::Code& code,
+                            std::span<const PerStripeSolution> solutions,
+                            std::uint64_t chunk_size,
+                            cluster::NodeId replacement);
+
+/// Compile an RR multi-stripe solution: every fetched survivor is shipped
+/// directly to the replacement, which runs the full decode.
+RecoveryPlan build_rr_plan(const cluster::Placement& placement,
+                           const rs::Code& code,
+                           std::span<const RrSolution> solutions,
+                           std::uint64_t chunk_size,
+                           cluster::NodeId replacement);
+
+}  // namespace car::recovery

@@ -1,0 +1,82 @@
+#include "recovery/planner.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace car::recovery {
+
+std::vector<std::size_t> PerStripeSolution::all_chunk_indices() const {
+  std::vector<std::size_t> out;
+  for (const auto& pick : picks) {
+    out.insert(out.end(), pick.chunk_indices.begin(),
+               pick.chunk_indices.end());
+  }
+  return out;
+}
+
+PerStripeSolution materialize(const cluster::Placement& placement,
+                              const StripeCensus& census, const RackSet& set) {
+  if (!is_valid_minimal(census, set)) {
+    throw std::invalid_argument(
+        "materialize: rack set is not a valid minimal solution");
+  }
+
+  PerStripeSolution solution;
+  solution.stripe = census.stripe;
+  solution.lost_chunk = census.lost_chunk;
+  solution.rack_set = set;
+  std::sort(solution.rack_set.racks.begin(), solution.rack_set.racks.end());
+
+  std::size_t needed = census.k;
+
+  // 1) All survivors in the failed rack — intra-rack reads are cheap and
+  //    maximise what the chosen intact racks can be trimmed by.
+  {
+    auto local = placement.chunk_indices_in_rack(census.stripe,
+                                                 census.failed_rack);
+    std::erase(local, census.lost_chunk);
+    if (!local.empty()) {
+      const std::size_t take = std::min(local.size(), needed);
+      local.resize(take);
+      needed -= take;
+      solution.picks.push_back({census.failed_rack, std::move(local)});
+    }
+  }
+
+  // 2) Chosen intact racks, largest census first, trimming the last.
+  std::vector<cluster::RackId> order = set.racks;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](cluster::RackId a, cluster::RackId b) {
+                     return census.chunks[a] > census.chunks[b];
+                   });
+  for (cluster::RackId rack : order) {
+    if (needed == 0) {
+      // Would leave a chosen rack contributing nothing — the set was not
+      // minimal after all; is_valid_minimal should have rejected it.
+      throw std::logic_error("materialize: chosen rack contributes no chunk");
+    }
+    auto indices = placement.chunk_indices_in_rack(census.stripe, rack);
+    const std::size_t take = std::min(indices.size(), needed);
+    indices.resize(take);
+    needed -= take;
+    solution.picks.push_back({rack, std::move(indices)});
+  }
+
+  if (needed != 0) {
+    throw std::logic_error("materialize: could not gather k chunks");
+  }
+  return solution;
+}
+
+std::vector<PerStripeSolution> plan_car_initial(
+    const cluster::Placement& placement,
+    const std::vector<StripeCensus>& censuses) {
+  std::vector<PerStripeSolution> out;
+  out.reserve(censuses.size());
+  for (const auto& census : censuses) {
+    out.push_back(materialize(placement, census, default_solution(census)));
+  }
+  return out;
+}
+
+}  // namespace car::recovery

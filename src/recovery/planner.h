@@ -1,0 +1,59 @@
+// Materialisation of rack-level solutions into chunk-level recovery picks.
+//
+// A RackSet says *which racks* to contact; the planner decides *which k
+// chunks* to actually read: all surviving chunks in the failed rack first
+// (intra-rack, cheap), then the chosen intact racks from largest census to
+// smallest, trimming the final rack so exactly k chunks are read.
+// Minimality of the rack set guarantees every chosen rack contributes at
+// least one chunk.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "cluster/types.h"
+#include "recovery/census.h"
+#include "recovery/solutions.h"
+
+namespace car::recovery {
+
+/// Chunks to read from one rack (chunk indices within the stripe).
+struct RackPick {
+  cluster::RackId rack = 0;
+  std::vector<std::size_t> chunk_indices;
+};
+
+/// A fully materialised per-stripe recovery solution: which intact racks are
+/// accessed (the cross-rack traffic, one partial chunk each) and exactly
+/// which k chunks are read overall (including the failed rack's survivors).
+struct PerStripeSolution {
+  cluster::StripeId stripe = 0;
+  std::size_t lost_chunk = 0;
+  RackSet rack_set;               // intact racks accessed
+  std::vector<RackPick> picks;    // per contributing rack (failed rack first
+                                  // when it contributes); chunk counts sum to k
+
+  /// Cross-rack repair traffic of this stripe in chunks (== #intact racks
+  /// accessed, thanks to partial decoding).
+  [[nodiscard]] std::size_t cross_rack_chunks() const noexcept {
+    return rack_set.racks.size();
+  }
+
+  /// All chunk indices read, flattened (size k).
+  [[nodiscard]] std::vector<std::size_t> all_chunk_indices() const;
+};
+
+/// Turn a valid minimal rack set into chunk-level picks.
+/// Throws std::invalid_argument when `set` is not valid/minimal for the
+/// census.
+PerStripeSolution materialize(const cluster::Placement& placement,
+                              const StripeCensus& census, const RackSet& set);
+
+/// Convenience: default (most-chunks-first) CAR solution for each lost chunk
+/// of a failure scenario — the initial multi-stripe solution of Algorithm 2.
+std::vector<PerStripeSolution> plan_car_initial(
+    const cluster::Placement& placement,
+    const std::vector<StripeCensus>& censuses);
+
+}  // namespace car::recovery

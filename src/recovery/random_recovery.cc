@@ -1,0 +1,41 @@
+#include "recovery/random_recovery.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace car::recovery {
+
+RrSolution random_recovery(const cluster::Placement& placement,
+                           const StripeCensus& census, util::Rng& rng) {
+  const std::size_t n = placement.chunks_per_stripe();
+  std::vector<std::size_t> survivors;
+  survivors.reserve(n - 1);
+  for (std::size_t c = 0; c < n; ++c) {
+    if (c != census.lost_chunk) survivors.push_back(c);
+  }
+  if (survivors.size() < census.k) {
+    throw std::invalid_argument("random_recovery: fewer than k survivors");
+  }
+  rng.shuffle(survivors);
+  survivors.resize(census.k);
+  std::sort(survivors.begin(), survivors.end());
+
+  RrSolution solution;
+  solution.stripe = census.stripe;
+  solution.lost_chunk = census.lost_chunk;
+  solution.chunk_indices = std::move(survivors);
+  return solution;
+}
+
+std::vector<RrSolution> plan_rr(const cluster::Placement& placement,
+                                const std::vector<StripeCensus>& censuses,
+                                util::Rng& rng) {
+  std::vector<RrSolution> out;
+  out.reserve(censuses.size());
+  for (const auto& census : censuses) {
+    out.push_back(random_recovery(placement, census, rng));
+  }
+  return out;
+}
+
+}  // namespace car::recovery

@@ -1,0 +1,33 @@
+// RR — the paper's baseline: pick k random surviving chunks of the stripe
+// and ship each of them, unaggregated, to the replacement node.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "cluster/types.h"
+#include "recovery/census.h"
+#include "util/rng.h"
+
+namespace car::recovery {
+
+/// A baseline per-stripe solution: the k survivor chunk indices to fetch.
+/// No aggregation — every chunk whose host rack differs from the
+/// replacement's rack crosses the core network individually.
+struct RrSolution {
+  cluster::StripeId stripe = 0;
+  std::size_t lost_chunk = 0;
+  std::vector<std::size_t> chunk_indices;  // size k, excludes lost_chunk
+};
+
+/// Uniformly random k-subset of the surviving chunks of the stripe.
+RrSolution random_recovery(const cluster::Placement& placement,
+                           const StripeCensus& census, util::Rng& rng);
+
+/// One RR solution per lost chunk.
+std::vector<RrSolution> plan_rr(const cluster::Placement& placement,
+                                const std::vector<StripeCensus>& censuses,
+                                util::Rng& rng);
+
+}  // namespace car::recovery

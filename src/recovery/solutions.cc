@@ -1,0 +1,147 @@
+#include "recovery/solutions.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace car::recovery {
+
+bool RackSet::contains(cluster::RackId rack) const noexcept {
+  return std::find(racks.begin(), racks.end(), rack) != racks.end();
+}
+
+namespace {
+
+/// Non-home racks with at least one available chunk, sorted by descending
+/// availability (ties by ascending rack id — deterministic).
+std::vector<cluster::RackId> ranked_racks(
+    cluster::RackId home, std::span<const std::size_t> available) {
+  std::vector<cluster::RackId> racks;
+  for (cluster::RackId i = 0; i < available.size(); ++i) {
+    if (i != home && available[i] > 0) racks.push_back(i);
+  }
+  std::stable_sort(racks.begin(), racks.end(),
+                   [&](cluster::RackId a, cluster::RackId b) {
+                     return available[a] > available[b];
+                   });
+  return racks;
+}
+
+}  // namespace
+
+std::size_t min_racks_for(std::size_t needed, cluster::RackId home,
+                          std::span<const std::size_t> available) {
+  if (home >= available.size()) {
+    throw std::invalid_argument("min_racks_for: home rack out of range");
+  }
+  std::size_t total = 0;
+  for (std::size_t a : available) total += a;
+  if (total < needed) {
+    throw std::invalid_argument(
+        "min_racks_for: fewer than `needed` chunks available — "
+        "unrecoverable");
+  }
+  const auto ranked = ranked_racks(home, available);
+  std::size_t gathered = available[home];
+  std::size_t d = 0;
+  while (gathered < needed) {
+    // total >= needed guarantees we never run off the end.
+    gathered += available[ranked[d]];
+    ++d;
+  }
+  return d;
+}
+
+std::vector<RackSet> enumerate_rack_sets(
+    std::size_t needed, cluster::RackId home,
+    std::span<const std::size_t> available) {
+  const std::size_t d = min_racks_for(needed, home, available);
+  std::vector<cluster::RackId> candidates;
+  for (cluster::RackId i = 0; i < available.size(); ++i) {
+    if (i != home && available[i] > 0) candidates.push_back(i);
+  }
+
+  std::vector<RackSet> out;
+  if (d == 0) {
+    out.push_back(RackSet{});  // the home rack alone suffices
+    return out;
+  }
+
+  const std::size_t local = available[home];
+  std::vector<cluster::RackId> pick;
+  pick.reserve(d);
+  // Depth-first enumeration of all d-subsets of the candidate racks that
+  // gather at least `needed` chunks together with the home rack.
+  auto dfs = [&](auto&& self, std::size_t next, std::size_t sum) -> void {
+    if (pick.size() == d) {
+      if (sum + local >= needed) out.push_back(RackSet{pick});
+      return;
+    }
+    const std::size_t remaining = d - pick.size();
+    for (std::size_t i = next; i + remaining <= candidates.size(); ++i) {
+      pick.push_back(candidates[i]);
+      self(self, i + 1, sum + available[candidates[i]]);
+      pick.pop_back();
+    }
+  };
+  dfs(dfs, 0, 0);
+  return out;
+}
+
+RackSet default_rack_set(std::size_t needed, cluster::RackId home,
+                         std::span<const std::size_t> available) {
+  const std::size_t d = min_racks_for(needed, home, available);
+  const auto ranked = ranked_racks(home, available);
+  RackSet set;
+  set.racks.assign(ranked.begin(),
+                   ranked.begin() + static_cast<std::ptrdiff_t>(d));
+  std::sort(set.racks.begin(), set.racks.end());
+  return set;
+}
+
+bool is_valid_minimal_for(std::size_t needed, cluster::RackId home,
+                          std::span<const std::size_t> available,
+                          const RackSet& set) {
+  std::size_t d = 0;
+  try {
+    d = min_racks_for(needed, home, available);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  if (set.racks.size() != d) return false;
+  std::size_t sum = available[home];
+  std::vector<bool> seen(available.size(), false);
+  for (cluster::RackId rack : set.racks) {
+    if (rack >= available.size() || rack == home) return false;
+    if (seen[rack]) return false;
+    seen[rack] = true;
+    if (available[rack] == 0) return false;
+    sum += available[rack];
+  }
+  return sum >= needed;
+}
+
+// --- Single-failure wrappers (paper Theorem 1 terms) -----------------------
+
+std::size_t min_intact_racks(const StripeCensus& census) {
+  try {
+    return min_racks_for(census.k, census.failed_rack, census.surviving);
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument(
+        "min_intact_racks: fewer than k surviving chunks — unrecoverable");
+  }
+}
+
+std::vector<RackSet> enumerate_minimal_solutions(const StripeCensus& census) {
+  return enumerate_rack_sets(census.k, census.failed_rack, census.surviving);
+}
+
+RackSet default_solution(const StripeCensus& census) {
+  return default_rack_set(census.k, census.failed_rack, census.surviving);
+}
+
+bool is_valid_minimal(const StripeCensus& census, const RackSet& set) {
+  return is_valid_minimal_for(census.k, census.failed_rack, census.surviving,
+                              set);
+}
+
+}  // namespace car::recovery

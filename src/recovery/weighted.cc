@@ -1,0 +1,129 @@
+#include "recovery/weighted.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace car::recovery {
+
+namespace {
+
+double bottleneck_of(const std::vector<std::size_t>& t,
+                     const std::vector<double>& bandwidth,
+                     cluster::RackId failed_rack) {
+  double worst = 0.0;
+  for (cluster::RackId i = 0; i < t.size(); ++i) {
+    if (i == failed_rack) continue;
+    worst = std::max(worst, static_cast<double>(t[i]) / bandwidth[i]);
+  }
+  return worst;
+}
+
+}  // namespace
+
+double bottleneck_drain(const std::vector<PerStripeSolution>& solutions,
+                        const std::vector<double>& rack_bandwidth,
+                        cluster::RackId failed_rack) {
+  std::vector<std::size_t> t(rack_bandwidth.size(), 0);
+  for (const auto& solution : solutions) {
+    for (cluster::RackId rack : solution.rack_set.racks) ++t[rack];
+  }
+  return bottleneck_of(t, rack_bandwidth, failed_rack);
+}
+
+WeightedBalanceResult balance_weighted(
+    const cluster::Placement& placement,
+    const std::vector<StripeCensus>& censuses,
+    const std::vector<double>& rack_bandwidth, std::size_t iterations) {
+  if (censuses.empty()) {
+    throw std::invalid_argument("balance_weighted: no stripes to recover");
+  }
+  const cluster::RackId failed_rack = censuses.front().failed_rack;
+  const std::size_t num_racks = censuses.front().num_racks();
+  if (rack_bandwidth.size() != num_racks) {
+    throw std::invalid_argument("balance_weighted: bandwidth arity mismatch");
+  }
+  for (double b : rack_bandwidth) {
+    if (b <= 0) {
+      throw std::invalid_argument(
+          "balance_weighted: bandwidths must be positive");
+    }
+  }
+
+  std::vector<std::vector<RackSet>> candidates(censuses.size());
+  std::vector<RackSet> chosen(censuses.size());
+  std::vector<std::size_t> t(num_racks, 0);
+  for (std::size_t j = 0; j < censuses.size(); ++j) {
+    candidates[j] = enumerate_minimal_solutions(censuses[j]);
+    chosen[j] = default_solution(censuses[j]);
+    for (cluster::RackId rack : chosen[j].racks) ++t[rack];
+  }
+
+  WeightedBalanceResult result;
+  result.bottleneck_trace.push_back(
+      bottleneck_of(t, rack_bandwidth, failed_rack));
+
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    // The rack whose estimated drain time bounds the recovery.
+    cluster::RackId heaviest = failed_rack;
+    double heaviest_cost = -1.0;
+    for (cluster::RackId i = 0; i < num_racks; ++i) {
+      if (i == failed_rack) continue;
+      const double cost = static_cast<double>(t[i]) / rack_bandwidth[i];
+      if (cost > heaviest_cost) {
+        heaviest_cost = cost;
+        heaviest = i;
+      }
+    }
+    if (heaviest == failed_rack || t[heaviest] == 0) break;
+
+    // Candidate targets, cheapest post-move drain time first.  Accepting a
+    // target requires its new drain time to stay strictly below the current
+    // bottleneck, so the bottleneck never increases and ties cannot cycle.
+    std::vector<cluster::RackId> targets;
+    for (cluster::RackId i = 0; i < num_racks; ++i) {
+      if (i == failed_rack || i == heaviest) continue;
+      const double post = static_cast<double>(t[i] + 1) / rack_bandwidth[i];
+      if (post < heaviest_cost) targets.push_back(i);
+    }
+    std::stable_sort(targets.begin(), targets.end(),
+                     [&](cluster::RackId a, cluster::RackId b) {
+                       return static_cast<double>(t[a] + 1) / rack_bandwidth[a] <
+                              static_cast<double>(t[b] + 1) / rack_bandwidth[b];
+                     });
+
+    bool substituted = false;
+    for (cluster::RackId target : targets) {
+      for (std::size_t j = 0; j < censuses.size() && !substituted; ++j) {
+        if (!chosen[j].contains(heaviest) || chosen[j].contains(target)) {
+          continue;
+        }
+        RackSet swapped = chosen[j];
+        std::replace(swapped.racks.begin(), swapped.racks.end(), heaviest,
+                     target);
+        std::sort(swapped.racks.begin(), swapped.racks.end());
+        if (std::find(candidates[j].begin(), candidates[j].end(), swapped) ==
+            candidates[j].end()) {
+          continue;
+        }
+        chosen[j] = std::move(swapped);
+        --t[heaviest];
+        ++t[target];
+        substituted = true;
+      }
+      if (substituted) break;
+    }
+    if (!substituted) break;
+    ++result.substitutions;
+    result.bottleneck_trace.push_back(
+        bottleneck_of(t, rack_bandwidth, failed_rack));
+  }
+
+  result.solutions.reserve(censuses.size());
+  for (std::size_t j = 0; j < censuses.size(); ++j) {
+    result.solutions.push_back(
+        materialize(placement, censuses[j], chosen[j]));
+  }
+  return result;
+}
+
+}  // namespace car::recovery

@@ -1,0 +1,147 @@
+#include "rs/code.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "gf/gf256.h"
+#include "gf/region.h"
+#include "matrix/generator.h"
+
+namespace car::rs {
+
+Code::Code(std::size_t k, std::size_t m, Construction construction)
+    : k_(k), m_(m), construction_(construction) {
+  generator_ = construction == Construction::kVandermonde
+                   ? matrix::systematic_vandermonde(k, m)
+                   : matrix::systematic_cauchy(k, m);
+}
+
+std::span<const std::uint8_t> Code::generator_row(
+    std::size_t chunk_index) const {
+  if (chunk_index >= n()) {
+    throw std::invalid_argument("Code::generator_row: chunk index out of range");
+  }
+  return generator_.row(chunk_index);
+}
+
+namespace {
+
+std::size_t common_chunk_size(std::span<const ChunkView> chunks) {
+  if (chunks.empty()) {
+    throw std::invalid_argument("rs: empty chunk list");
+  }
+  const std::size_t size = chunks.front().size();
+  for (const auto& c : chunks) {
+    if (c.size() != size) {
+      throw std::invalid_argument("rs: chunks must all be the same size");
+    }
+  }
+  return size;
+}
+
+}  // namespace
+
+std::vector<Chunk> Code::encode(std::span<const ChunkView> data) const {
+  if (data.size() != k_) {
+    throw std::invalid_argument("Code::encode: expected k data chunks");
+  }
+  const std::size_t size = common_chunk_size(data);
+  std::vector<Chunk> parity(m_, Chunk(size, 0));
+  for (std::size_t p = 0; p < m_; ++p) {
+    const auto row = generator_.row(k_ + p);
+    for (std::size_t j = 0; j < k_; ++j) {
+      gf::mul_region_acc(row[j], data[j], parity[p]);
+    }
+  }
+  return parity;
+}
+
+std::vector<Chunk> Code::encode_stripe(std::span<const ChunkView> data) const {
+  std::vector<Chunk> stripe;
+  stripe.reserve(n());
+  for (const auto& d : data) stripe.emplace_back(d.begin(), d.end());
+  auto parity = encode(data);
+  for (auto& p : parity) stripe.push_back(std::move(p));
+  return stripe;
+}
+
+void Code::validate_survivors(std::span<const std::size_t> survivor_ids,
+                              std::size_t exclude) const {
+  if (survivor_ids.size() != k_) {
+    throw std::invalid_argument("rs: need exactly k survivor chunks");
+  }
+  std::unordered_set<std::size_t> seen;
+  for (std::size_t id : survivor_ids) {
+    if (id >= n()) {
+      throw std::invalid_argument("rs: survivor id out of range");
+    }
+    if (id == exclude) {
+      throw std::invalid_argument("rs: survivor set contains the lost chunk");
+    }
+    if (!seen.insert(id).second) {
+      throw std::invalid_argument("rs: duplicate survivor id");
+    }
+  }
+}
+
+matrix::Matrix Code::survivor_inverse(
+    std::span<const std::size_t> survivor_ids) const {
+  return generator_.select_rows(survivor_ids).inverted();
+}
+
+std::vector<std::uint8_t> Code::repair_vector(
+    std::size_t target, std::span<const std::size_t> survivors) const {
+  if (target >= n()) {
+    throw std::invalid_argument("Code::repair_vector: target out of range");
+  }
+  validate_survivors(survivors, target);
+  // y = g_target * X, where X inverts the survivor rows of G (Eq. 5-6).
+  const matrix::Matrix x = survivor_inverse(survivors);
+  const auto g_row = generator_.row(target);
+  std::vector<std::uint8_t> y(k_, 0);
+  const auto& f = gf::Gf256::instance();
+  for (std::size_t j = 0; j < k_; ++j) {
+    std::uint8_t acc = 0;
+    for (std::size_t t = 0; t < k_; ++t) {
+      acc ^= f.mul(g_row[t], x(t, j));
+    }
+    y[j] = acc;
+  }
+  return y;
+}
+
+Chunk Code::reconstruct(std::size_t target,
+                        std::span<const std::size_t> survivor_ids,
+                        std::span<const ChunkView> survivor_chunks) const {
+  if (survivor_chunks.size() != survivor_ids.size()) {
+    throw std::invalid_argument("Code::reconstruct: ids/chunks arity mismatch");
+  }
+  const auto y = repair_vector(target, survivor_ids);
+  const std::size_t size = common_chunk_size(survivor_chunks);
+  Chunk out(size, 0);
+  for (std::size_t i = 0; i < survivor_chunks.size(); ++i) {
+    gf::mul_region_acc(y[i], survivor_chunks[i], out);
+  }
+  return out;
+}
+
+std::vector<Chunk> Code::decode_data(
+    std::span<const std::size_t> survivor_ids,
+    std::span<const ChunkView> survivor_chunks) const {
+  if (survivor_chunks.size() != survivor_ids.size()) {
+    throw std::invalid_argument("Code::decode_data: ids/chunks arity mismatch");
+  }
+  validate_survivors(survivor_ids, n());  // `n()` never matches an id
+  const std::size_t size = common_chunk_size(survivor_chunks);
+  const matrix::Matrix x = survivor_inverse(survivor_ids);
+  std::vector<Chunk> data(k_, Chunk(size, 0));
+  for (std::size_t i = 0; i < k_; ++i) {
+    for (std::size_t j = 0; j < k_; ++j) {
+      gf::mul_region_acc(x(i, j), survivor_chunks[j], data[i]);
+    }
+  }
+  return data;
+}
+
+}  // namespace car::rs

@@ -1,0 +1,87 @@
+// Systematic (k, m) Reed–Solomon codec over GF(2^8).
+//
+// A stripe is k data chunks + m parity chunks, all the same size; any k of
+// the k+m chunks reconstruct everything (MDS).  Chunk index convention:
+// 0..k-1 are data chunks, k..k+m-1 are parity chunks — matching H_1..H_{k+m}
+// in the paper (0-based here).
+//
+// Beyond plain encode/decode, the codec exposes the *repair vector*
+// y = g_i · X (paper Eq. 5–6): the coefficients that express a lost chunk as
+// a linear combination of any k chosen survivors.  CAR's intra-rack
+// aggregation ("partial decoding", rs/partial.h) is built directly on it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "matrix/matrix.h"
+
+namespace car::rs {
+
+using Chunk = std::vector<std::uint8_t>;
+using ChunkView = std::span<const std::uint8_t>;
+
+class Code {
+ public:
+  enum class Construction { kVandermonde, kCauchy };
+
+  /// Requires 1 <= k, 0 <= m, k + m <= 256.  Throws std::invalid_argument.
+  Code(std::size_t k, std::size_t m,
+       Construction construction = Construction::kVandermonde);
+
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] std::size_t m() const noexcept { return m_; }
+  [[nodiscard]] std::size_t n() const noexcept { return k_ + m_; }
+  [[nodiscard]] Construction construction() const noexcept {
+    return construction_;
+  }
+
+  /// Full (k+m) x k systematic generator matrix G.
+  [[nodiscard]] const matrix::Matrix& generator() const noexcept {
+    return generator_;
+  }
+
+  /// Row g_i of the generator (1 x k) for chunk i in [0, k+m).
+  [[nodiscard]] std::span<const std::uint8_t> generator_row(
+      std::size_t chunk_index) const;
+
+  /// Encode: data.size() == k equally-sized chunks -> m parity chunks.
+  [[nodiscard]] std::vector<Chunk> encode(
+      std::span<const ChunkView> data) const;
+
+  /// Encode a full stripe: returns k data copies + m parities (n chunks).
+  [[nodiscard]] std::vector<Chunk> encode_stripe(
+      std::span<const ChunkView> data) const;
+
+  /// Repair vector y for reconstructing chunk `target` from exactly k
+  /// survivors (distinct chunk indices != target):  H_target = sum_i y[i] *
+  /// survivor_chunk[i].  Throws std::invalid_argument on bad ids.
+  [[nodiscard]] std::vector<std::uint8_t> repair_vector(
+      std::size_t target, std::span<const std::size_t> survivors) const;
+
+  /// Reconstruct chunk `target` from k survivors (ids + matching chunks).
+  [[nodiscard]] Chunk reconstruct(
+      std::size_t target, std::span<const std::size_t> survivor_ids,
+      std::span<const ChunkView> survivor_chunks) const;
+
+  /// Decode all k data chunks from any k survivors.
+  [[nodiscard]] std::vector<Chunk> decode_data(
+      std::span<const std::size_t> survivor_ids,
+      std::span<const ChunkView> survivor_chunks) const;
+
+ private:
+  /// Inverse of the k survivor rows of G (the matrix X in the paper).
+  [[nodiscard]] matrix::Matrix survivor_inverse(
+      std::span<const std::size_t> survivor_ids) const;
+
+  void validate_survivors(std::span<const std::size_t> survivor_ids,
+                          std::size_t exclude) const;
+
+  std::size_t k_;
+  std::size_t m_;
+  Construction construction_;
+  matrix::Matrix generator_;
+};
+
+}  // namespace car::rs

@@ -1,0 +1,79 @@
+#include "rs/partial.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "gf/region.h"
+
+namespace car::rs {
+
+Chunk partial_decode(std::span<const std::uint8_t> repair_vector,
+                     const PartialGroup& group,
+                     std::span<const ChunkView> survivor_chunks) {
+  if (survivor_chunks.empty()) {
+    throw std::invalid_argument("partial_decode: no survivor chunks");
+  }
+  const std::size_t size = survivor_chunks.front().size();
+  Chunk out(size, 0);
+  for (std::size_t pos : group.positions) {
+    if (pos >= survivor_chunks.size() || pos >= repair_vector.size()) {
+      throw std::invalid_argument("partial_decode: position out of range");
+    }
+    if (survivor_chunks[pos].size() != size) {
+      throw std::invalid_argument("partial_decode: chunk size mismatch");
+    }
+    gf::mul_region_acc(repair_vector[pos], survivor_chunks[pos], out);
+  }
+  return out;
+}
+
+Chunk combine_partials(std::span<const ChunkView> partials) {
+  if (partials.empty()) {
+    throw std::invalid_argument("combine_partials: empty input");
+  }
+  Chunk out(partials.front().begin(), partials.front().end());
+  for (std::size_t i = 1; i < partials.size(); ++i) {
+    if (partials[i].size() != out.size()) {
+      throw std::invalid_argument("combine_partials: size mismatch");
+    }
+    gf::xor_region(partials[i], out);
+  }
+  return out;
+}
+
+Chunk reconstruct_grouped(const Code& code, std::size_t target,
+                          std::span<const std::size_t> survivor_ids,
+                          std::span<const ChunkView> survivor_chunks,
+                          std::span<const PartialGroup> groups) {
+  if (survivor_chunks.size() != survivor_ids.size()) {
+    throw std::invalid_argument("reconstruct_grouped: ids/chunks mismatch");
+  }
+  // Check the groups partition the survivor positions exactly.
+  std::vector<bool> covered(survivor_ids.size(), false);
+  for (const auto& g : groups) {
+    for (std::size_t pos : g.positions) {
+      if (pos >= covered.size() || covered[pos]) {
+        throw std::invalid_argument(
+            "reconstruct_grouped: groups must partition survivor positions");
+      }
+      covered[pos] = true;
+    }
+  }
+  for (bool c : covered) {
+    if (!c) {
+      throw std::invalid_argument(
+          "reconstruct_grouped: some survivor position is unassigned");
+    }
+  }
+
+  const auto y = code.repair_vector(target, survivor_ids);
+  std::vector<Chunk> partials;
+  partials.reserve(groups.size());
+  for (const auto& g : groups) {
+    partials.push_back(partial_decode(y, g, survivor_chunks));
+  }
+  std::vector<ChunkView> views(partials.begin(), partials.end());
+  return combine_partials(views);
+}
+
+}  // namespace car::rs

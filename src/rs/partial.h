@@ -1,0 +1,49 @@
+// Partial decoding — CAR's intra-rack aggregation primitive (paper §IV-C).
+//
+// Reconstruction of a lost chunk is H = sum_i y[i] * H'_i over the k chosen
+// survivors.  When several survivors live in the same rack, a designated
+// aggregator node computes the *partially decoded chunk*
+//     P_rack = sum_{i in rack} y[i] * H'_i
+// locally and ships only P_rack across the rack boundary.  The replacement
+// node then XORs the per-rack partials:  H = XOR over racks of P_rack.
+//
+// This header provides the grouped computation plus the final combine, so the
+// codec, the emulator, and the tests all share one implementation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rs/code.h"
+
+namespace car::rs {
+
+/// A group of survivor positions handled by one aggregator.  `positions`
+/// index into the survivor list passed to Code::repair_vector (i.e. position
+/// t refers to survivor_ids[t] / survivor_chunks[t] / y[t]).
+struct PartialGroup {
+  std::vector<std::size_t> positions;
+};
+
+/// Compute one partially decoded chunk: sum over `group.positions` of
+/// y[pos] * survivor_chunks[pos].  Throws std::invalid_argument on
+/// out-of-range positions or mismatched chunk sizes.
+[[nodiscard]] Chunk partial_decode(std::span<const std::uint8_t> repair_vector,
+                                   const PartialGroup& group,
+                                   std::span<const ChunkView> survivor_chunks);
+
+/// XOR all partially decoded chunks together to finish reconstruction.
+/// Throws std::invalid_argument on empty input or mismatched sizes.
+[[nodiscard]] Chunk combine_partials(std::span<const ChunkView> partials);
+
+/// Convenience for tests: full grouped reconstruction.  `groups` must
+/// partition [0, k) — every survivor position in exactly one group; throws
+/// std::invalid_argument otherwise.
+[[nodiscard]] Chunk reconstruct_grouped(
+    const Code& code, std::size_t target,
+    std::span<const std::size_t> survivor_ids,
+    std::span<const ChunkView> survivor_chunks,
+    std::span<const PartialGroup> groups);
+
+}  // namespace car::rs

@@ -1,0 +1,46 @@
+#include "rs/update.h"
+
+#include <stdexcept>
+
+#include "gf/region.h"
+
+namespace car::rs {
+
+Chunk data_delta(ChunkView old_data, ChunkView new_data) {
+  if (old_data.size() != new_data.size()) {
+    throw std::invalid_argument("data_delta: size mismatch");
+  }
+  Chunk delta(old_data.begin(), old_data.end());
+  gf::xor_region(new_data, delta);
+  return delta;
+}
+
+Chunk parity_delta(const Code& code, std::size_t data_index,
+                   std::size_t parity_index, ChunkView delta) {
+  if (data_index >= code.k()) {
+    throw std::invalid_argument("parity_delta: data index out of range");
+  }
+  if (parity_index >= code.m()) {
+    throw std::invalid_argument("parity_delta: parity index out of range");
+  }
+  const auto row = code.generator_row(code.k() + parity_index);
+  Chunk update(delta.size(), 0);
+  gf::mul_region(row[data_index], delta, update);
+  return update;
+}
+
+std::vector<Chunk> parity_deltas(const Code& code, std::size_t data_index,
+                                 ChunkView delta) {
+  std::vector<Chunk> updates;
+  updates.reserve(code.m());
+  for (std::size_t j = 0; j < code.m(); ++j) {
+    updates.push_back(parity_delta(code, data_index, j, delta));
+  }
+  return updates;
+}
+
+void apply_parity_delta(ChunkView update, std::span<std::uint8_t> parity) {
+  gf::xor_region(update, parity);
+}
+
+}  // namespace car::rs

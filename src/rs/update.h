@@ -1,0 +1,38 @@
+// Incremental parity updates (delta encoding).
+//
+// When data chunk D_i of an encoded stripe is overwritten, the parities need
+// not be re-encoded from all k data chunks: each parity P_j changes by
+//   P_j ^= g_{k+j, i} * (D_i_old ^ D_i_new)
+// so an update ships one delta chunk to each parity host instead of reading
+// the whole stripe (the parity-logging insight of CodFS [Chan et al.,
+// FAST'14], which the paper cites as the update-path complement to CAR's
+// recovery path).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rs/code.h"
+
+namespace car::rs {
+
+/// delta = old_data ^ new_data for a data chunk (what the writer ships).
+/// Throws std::invalid_argument on size mismatch.
+[[nodiscard]] Chunk data_delta(ChunkView old_data, ChunkView new_data);
+
+/// The parity-side update for parity j in [0, m): returns
+/// g_{k+j, data_index} * delta, ready to be XORed into the stored parity.
+/// Throws std::invalid_argument on bad indices.
+[[nodiscard]] Chunk parity_delta(const Code& code, std::size_t data_index,
+                                 std::size_t parity_index, ChunkView delta);
+
+/// All m parity deltas for one data-chunk update.
+[[nodiscard]] std::vector<Chunk> parity_deltas(const Code& code,
+                                               std::size_t data_index,
+                                               ChunkView delta);
+
+/// In-place application: parity ^= update.  (Alias of gf::xor_region with
+/// validation, named for call-site clarity.)
+void apply_parity_delta(ChunkView update, std::span<std::uint8_t> parity);
+
+}  // namespace car::rs

@@ -1,0 +1,81 @@
+// Network and compute model parameters for the flow-level simulator.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace car::simnet {
+
+/// Bandwidth-diverse CFS fabric (paper §I–II): every node hangs off its
+/// top-of-rack switch with a dedicated link; the ToR's core uplink is
+/// oversubscribed, making cross-rack bandwidth the scarce resource.
+struct NetConfig {
+  /// Node <-> ToR link rate, bytes/second, full duplex (default ~1 GbE).
+  double node_bps = 125e6;
+
+  /// Core oversubscription factor: rack uplink/downlink capacity is
+  /// (nodes-in-rack * node_bps) / oversubscription unless overridden.
+  double oversubscription = 5.0;
+
+  /// Optional absolute rack uplink/downlink rate override (bytes/second).
+  std::optional<double> rack_link_bps;
+
+  /// Fixed propagation/forwarding latency added per traversed link before a
+  /// transfer's bytes start flowing (0 = ideal fabric).  Cross-rack paths
+  /// traverse four links, intra-rack paths two.
+  double per_hop_latency_s = 0.0;
+
+  /// Fraction of every link's capacity consumed by competing foreground
+  /// traffic (0 = idle cluster, 0.5 = half the fabric is busy).  Must be in
+  /// [0, 1).
+  double background_load = 0.0;
+
+  /// Per-node compute throughput for GF multiply-accumulate, bytes/second.
+  double gf_compute_bps = 1.5e9;
+
+  /// Per-node compute throughput for pure XOR combining, bytes/second.
+  double xor_compute_bps = 6e9;
+
+  /// Per-rack compute speed multipliers (heterogeneous hardware, paper
+  /// Table III).  Empty means 1.0 everywhere; otherwise must have one entry
+  /// per rack.
+  std::vector<double> rack_compute_multiplier;
+
+  void validate(std::size_t num_racks) const {
+    if (node_bps <= 0 || oversubscription <= 0 || gf_compute_bps <= 0 ||
+        xor_compute_bps <= 0) {
+      throw std::invalid_argument("NetConfig: rates must be positive");
+    }
+    if (rack_link_bps && *rack_link_bps <= 0) {
+      throw std::invalid_argument("NetConfig: rack_link_bps must be positive");
+    }
+    if (per_hop_latency_s < 0) {
+      throw std::invalid_argument(
+          "NetConfig: per_hop_latency_s must be non-negative");
+    }
+    if (background_load < 0 || background_load >= 1.0) {
+      throw std::invalid_argument(
+          "NetConfig: background_load must be in [0, 1)");
+    }
+    if (!rack_compute_multiplier.empty() &&
+        rack_compute_multiplier.size() != num_racks) {
+      throw std::invalid_argument(
+          "NetConfig: rack_compute_multiplier arity mismatch");
+    }
+    for (double m : rack_compute_multiplier) {
+      if (m <= 0) {
+        throw std::invalid_argument(
+            "NetConfig: compute multipliers must be positive");
+      }
+    }
+  }
+
+  [[nodiscard]] double compute_multiplier(std::size_t rack) const noexcept {
+    return rack_compute_multiplier.empty() ? 1.0
+                                           : rack_compute_multiplier[rack];
+  }
+};
+
+}  // namespace car::simnet

@@ -1,0 +1,314 @@
+#include "simnet/flowsim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace car::simnet {
+
+namespace {
+
+using recovery::PlanStep;
+using recovery::StepKind;
+
+constexpr double kTimeEps = 1e-12;
+constexpr double kByteEps = 1e-6;
+
+/// Two-tier link table: per-node duplex access links and per-rack duplex
+/// core links; the core itself is non-blocking.
+struct LinkTable {
+  std::vector<double> capacity;  // bytes/second
+  std::size_t num_nodes = 0;
+
+  static LinkTable build(const cluster::Topology& topology,
+                         const NetConfig& config) {
+    LinkTable t;
+    t.num_nodes = topology.num_nodes();
+    t.capacity.assign(2 * topology.num_nodes() + 2 * topology.num_racks(),
+                      0.0);
+    const double headroom = 1.0 - config.background_load;
+    for (std::size_t n = 0; n < topology.num_nodes(); ++n) {
+      t.capacity[2 * n] = config.node_bps * headroom;      // node -> ToR
+      t.capacity[2 * n + 1] = config.node_bps * headroom;  // ToR -> node
+    }
+    for (std::size_t r = 0; r < topology.num_racks(); ++r) {
+      const double rack_bps =
+          config.rack_link_bps
+              ? *config.rack_link_bps
+              : static_cast<double>(topology.nodes_in_rack_count(r)) *
+                    config.node_bps / config.oversubscription;
+      t.capacity[t.rack_up(r)] = rack_bps * headroom;
+      t.capacity[t.rack_down(r)] = rack_bps * headroom;
+    }
+    return t;
+  }
+
+  [[nodiscard]] std::size_t node_up(std::size_t node) const noexcept {
+    return 2 * node;
+  }
+  [[nodiscard]] std::size_t node_down(std::size_t node) const noexcept {
+    return 2 * node + 1;
+  }
+  [[nodiscard]] std::size_t rack_up(std::size_t rack) const noexcept {
+    return 2 * num_nodes + 2 * rack;
+  }
+  [[nodiscard]] std::size_t rack_down(std::size_t rack) const noexcept {
+    return 2 * num_nodes + 2 * rack + 1;
+  }
+};
+
+struct ActiveFlow {
+  std::size_t step_id = 0;
+  double remaining_bytes = 0.0;
+  double rate = 0.0;
+  double start_time = 0.0;  // bytes flow only after per-hop latency elapses
+  std::vector<std::size_t> route;  // link ids
+};
+
+/// Progressive-filling max-min fair allocation across the active flows.
+/// Flows whose start_time lies in the future (per-hop latency still
+/// elapsing) receive rate 0 and occupy no capacity.
+void allocate_rates(std::vector<ActiveFlow>& flows, const LinkTable& links,
+                    double now) {
+  std::vector<double> residual = links.capacity;
+  std::vector<std::size_t> unassigned_on_link(links.capacity.size(), 0);
+  std::size_t remaining = 0;
+  for (auto& f : flows) {
+    if (f.start_time > now + kTimeEps) {
+      f.rate = 0.0;  // still in its latency window
+      continue;
+    }
+    if (f.route.empty()) {
+      // src == dst: infinite rate conceptually; completed by the caller.
+      f.rate = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    f.rate = -1.0;
+    for (std::size_t l : f.route) ++unassigned_on_link[l];
+    ++remaining;
+  }
+
+  while (remaining > 0) {
+    // Bottleneck link: minimum fair share among links carrying unassigned
+    // flows.
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best_link = links.capacity.size();
+    for (std::size_t l = 0; l < links.capacity.size(); ++l) {
+      if (unassigned_on_link[l] == 0) continue;
+      const double share =
+          residual[l] / static_cast<double>(unassigned_on_link[l]);
+      if (share < best_share) {
+        best_share = share;
+        best_link = l;
+      }
+    }
+    if (best_link == links.capacity.size()) break;  // defensive
+    // Freeze every unassigned flow crossing the bottleneck at the fair share.
+    for (auto& f : flows) {
+      if (f.rate >= 0.0) continue;
+      if (std::find(f.route.begin(), f.route.end(), best_link) ==
+          f.route.end()) {
+        continue;
+      }
+      f.rate = best_share;
+      for (std::size_t l : f.route) {
+        residual[l] -= best_share;
+        if (residual[l] < 0) residual[l] = 0;
+        --unassigned_on_link[l];
+      }
+      --remaining;
+    }
+  }
+}
+
+struct RunningCompute {
+  std::size_t step_id = 0;
+  double end_time = 0.0;
+};
+
+}  // namespace
+
+SimResult simulate_plan(const cluster::Topology& topology,
+                        const recovery::RecoveryPlan& plan,
+                        const NetConfig& config) {
+  config.validate(topology.num_racks());
+  const LinkTable links = LinkTable::build(topology, config);
+  const std::size_t n_steps = plan.steps.size();
+
+  SimResult result;
+  result.finish_time_s.assign(n_steps, -1.0);
+  if (n_steps == 0) return result;
+
+  // Dependency bookkeeping.
+  std::vector<std::size_t> pending_deps(n_steps, 0);
+  std::vector<std::vector<std::size_t>> dependents(n_steps);
+  for (const auto& step : plan.steps) {
+    for (std::size_t dep : step.deps) {
+      if (dep >= n_steps) {
+        throw std::invalid_argument("simulate_plan: unknown dependency id");
+      }
+      ++pending_deps[step.id];
+      dependents[dep].push_back(step.id);
+    }
+  }
+
+  auto route_of = [&](const PlanStep& step) {
+    std::vector<std::size_t> route;
+    if (step.src == step.dst) return route;
+    route.push_back(links.node_up(step.src));
+    const auto src_rack = topology.rack_of(step.src);
+    const auto dst_rack = topology.rack_of(step.dst);
+    if (src_rack != dst_rack) {
+      route.push_back(links.rack_up(src_rack));
+      route.push_back(links.rack_down(dst_rack));
+    }
+    route.push_back(links.node_down(step.dst));
+    return route;
+  };
+
+  auto compute_duration = [&](const PlanStep& step) {
+    const bool pure_xor = std::all_of(
+        step.inputs.begin(), step.inputs.end(),
+        [](const recovery::ComputeInput& in) { return in.coeff <= 1; });
+    const double base_bps =
+        pure_xor ? config.xor_compute_bps : config.gf_compute_bps;
+    const double mult =
+        config.compute_multiplier(topology.rack_of(step.node));
+    return static_cast<double>(step.bytes) / (base_bps * mult);
+  };
+
+  std::vector<ActiveFlow> flows;
+  std::vector<RunningCompute> running;
+  std::vector<std::deque<std::size_t>> cpu_queue(topology.num_nodes());
+  std::vector<bool> cpu_busy(topology.num_nodes(), false);
+
+  std::size_t completed = 0;
+  double now = 0.0;
+
+  auto finish_step = [&](std::size_t id, std::vector<std::size_t>& newly_ready) {
+    result.finish_time_s[id] = now;
+    ++completed;
+    const auto& step = plan.steps[id];
+    if (step.kind == StepKind::kTransfer) {
+      result.last_transfer_s = std::max(result.last_transfer_s, now);
+    }
+    for (std::size_t dep : dependents[id]) {
+      if (--pending_deps[dep] == 0) newly_ready.push_back(dep);
+    }
+  };
+
+  auto admit = [&](std::size_t id) {
+    const auto& step = plan.steps[id];
+    if (step.kind == StepKind::kTransfer) {
+      ActiveFlow flow;
+      flow.step_id = id;
+      flow.remaining_bytes = static_cast<double>(step.bytes);
+      flow.route = route_of(step);
+      flow.start_time =
+          now + config.per_hop_latency_s * static_cast<double>(flow.route.size());
+      flows.push_back(std::move(flow));
+    } else {
+      cpu_queue[step.node].push_back(id);
+    }
+  };
+
+  // Admit all dependency-free steps.
+  {
+    std::vector<std::size_t> ready;
+    for (std::size_t id = 0; id < n_steps; ++id) {
+      if (pending_deps[id] == 0) ready.push_back(id);
+    }
+    for (std::size_t id : ready) admit(id);
+  }
+
+  while (completed < n_steps) {
+    // Start queued computes on idle CPUs.
+    for (std::size_t node = 0; node < cpu_queue.size(); ++node) {
+      if (cpu_busy[node] || cpu_queue[node].empty()) continue;
+      const std::size_t id = cpu_queue[node].front();
+      cpu_queue[node].pop_front();
+      const double duration = compute_duration(plan.steps[id]);
+      running.push_back({id, now + duration});
+      cpu_busy[node] = true;
+      result.compute_busy_s += duration;
+      if (node == plan.replacement) result.replacement_compute_s += duration;
+    }
+
+    // Zero-byte / same-node flows complete as soon as any latency elapses.
+    std::vector<std::size_t> newly_ready;
+    bool instant = false;
+    for (auto it = flows.begin(); it != flows.end();) {
+      if (it->start_time <= now + kTimeEps &&
+          (it->route.empty() || it->remaining_bytes <= kByteEps)) {
+        finish_step(it->step_id, newly_ready);
+        it = flows.erase(it);
+        instant = true;
+      } else {
+        ++it;
+      }
+    }
+    if (instant) {
+      for (std::size_t id : newly_ready) admit(id);
+      continue;
+    }
+
+    if (flows.empty() && running.empty()) {
+      if (completed < n_steps) {
+        throw std::invalid_argument(
+            "simulate_plan: plan has a dependency cycle or orphan steps");
+      }
+      break;
+    }
+
+    double dt = std::numeric_limits<double>::infinity();
+    if (!flows.empty()) {
+      allocate_rates(flows, links, now);
+      for (const auto& f : flows) {
+        if (f.start_time > now + kTimeEps) {
+          dt = std::min(dt, f.start_time - now);  // wake at latency expiry
+          continue;
+        }
+        if (f.rate <= 0.0) {
+          throw std::logic_error("simulate_plan: flow starved of bandwidth");
+        }
+        dt = std::min(dt, f.remaining_bytes / f.rate);
+      }
+    }
+    for (const auto& c : running) dt = std::min(dt, c.end_time - now);
+    dt = std::max(dt, 0.0);
+
+    now += dt;
+
+    // Progress flows; collect completions (batch everything within eps).
+    for (auto it = flows.begin(); it != flows.end();) {
+      if (it->rate > 0.0 &&
+          it->rate != std::numeric_limits<double>::infinity()) {
+        it->remaining_bytes -= it->rate * dt;
+      }
+      if (it->start_time <= now + kTimeEps &&
+          it->remaining_bytes <= kByteEps) {
+        finish_step(it->step_id, newly_ready);
+        it = flows.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = running.begin(); it != running.end();) {
+      if (it->end_time <= now + kTimeEps) {
+        cpu_busy[plan.steps[it->step_id].node] = false;
+        finish_step(it->step_id, newly_ready);
+        it = running.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (std::size_t id : newly_ready) admit(id);
+  }
+
+  result.makespan_s = now;
+  return result;
+}
+
+}  // namespace car::simnet

@@ -1,0 +1,48 @@
+// Flow-level max-min fair-share network simulator.
+//
+// The simulator executes a recovery plan's transfer/compute DAG over a
+// two-tier topology (node links + oversubscribed rack links, non-blocking
+// core).  Active transfers share link capacity max-min fairly (progressive
+// filling); compute steps occupy their node's CPU serially.  Time advances
+// event-by-event to the next flow or compute completion.
+//
+// This is the timing back-end for the paper's Fig. 9 (recovery time) — the
+// counting back-end is recovery/metrics.h and the real-execution back-end is
+// emul/cluster.h.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "recovery/plan.h"
+#include "simnet/config.h"
+
+namespace car::simnet {
+
+struct SimResult {
+  /// Wall-clock makespan of the whole plan, seconds.
+  double makespan_s = 0.0;
+  /// Sum of all compute-step durations (CPU busy time), seconds.
+  double compute_busy_s = 0.0;
+  /// Sum of all compute-step durations executed at the replacement node.
+  double replacement_compute_s = 0.0;
+  /// Completion time of the last transfer step, seconds.
+  double last_transfer_s = 0.0;
+  /// Per-step completion times, indexed by plan step id.
+  std::vector<double> finish_time_s;
+
+  /// Time not explained by computation on the critical tail — the paper's
+  /// "transmission time" proxy: makespan minus replacement compute.
+  [[nodiscard]] double transmission_s() const noexcept {
+    return makespan_s - replacement_compute_s;
+  }
+};
+
+/// Simulate a recovery plan on the given topology/fabric.
+/// Throws std::invalid_argument on malformed plans (unknown deps, cycles).
+SimResult simulate_plan(const cluster::Topology& topology,
+                        const recovery::RecoveryPlan& plan,
+                        const NetConfig& config);
+
+}  // namespace car::simnet

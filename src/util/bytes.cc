@@ -1,0 +1,39 @@
+#include "util/bytes.h"
+
+#include <cstdio>
+
+namespace car::util {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof buf, "%.2f GiB",
+                  static_cast<double>(bytes) / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof buf, "%.2f MiB",
+                  static_cast<double>(bytes) / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof buf, "%.2f KiB",
+                  static_cast<double>(bytes) / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_rate(double bytes_per_second) {
+  char buf[64];
+  constexpr double kMB = 1e6;
+  constexpr double kGB = 1e9;
+  if (bytes_per_second >= kGB) {
+    std::snprintf(buf, sizeof buf, "%.2f GB/s", bytes_per_second / kGB);
+  } else if (bytes_per_second >= kMB) {
+    std::snprintf(buf, sizeof buf, "%.1f MB/s", bytes_per_second / kMB);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f KB/s", bytes_per_second / 1e3);
+  }
+  return buf;
+}
+
+}  // namespace car::util

@@ -1,0 +1,25 @@
+// Byte-size literals and human-readable formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace car::util {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/// "4.00 MiB", "1.50 GiB", "512 B" style formatting.
+std::string format_bytes(std::uint64_t bytes);
+
+/// "125.0 MB/s" style formatting for rates expressed in bytes/second.
+std::string format_rate(double bytes_per_second);
+
+namespace literals {
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * kGiB; }
+}  // namespace literals
+
+}  // namespace car::util

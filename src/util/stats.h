@@ -1,0 +1,63 @@
+// Streaming descriptive statistics (Welford) and small helpers used by the
+// benchmark harnesses to report mean/stddev over repeated experiment runs.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace car::util {
+
+/// Numerically stable streaming accumulator for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+    sum_ += x;
+  }
+
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  /// Population variance (divide by n).
+  [[nodiscard]] double variance() const noexcept {
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  /// Sample variance (divide by n-1); 0 when fewer than two samples.
+  [[nodiscard]] double sample_variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double sample_stddev() const noexcept {
+    return std::sqrt(sample_variance());
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile of a sample (linear interpolation between order stats).
+/// `q` in [0,1]. Throws on an empty sample.
+double percentile(std::span<const double> sample, double q);
+
+/// Mean of a sample; throws on empty input.
+double mean_of(std::span<const double> sample);
+
+}  // namespace car::util

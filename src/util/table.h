@@ -1,0 +1,44 @@
+// Fixed-width text table and CSV reporters used by the benchmark harnesses to
+// print paper-style result tables.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace car::util {
+
+/// Accumulates rows of strings and renders an aligned, boxed text table.
+/// Also renders the same content as CSV for machine consumption.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a row of heterogeneous cells already stringified.
+  void add_row(std::initializer_list<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render as an aligned table with a header separator.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV (RFC-4180-ish quoting for commas/quotes/newlines).
+  [[nodiscard]] std::string to_csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style double formatting helpers for table cells.
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace car::util

@@ -1,0 +1,225 @@
+#include "xorcode/rdp.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "gf/region.h"
+
+namespace car::xorcode {
+
+namespace {
+
+bool is_prime(std::size_t n) {
+  if (n < 2) return false;
+  for (std::size_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+void xor_into(ChunkView src, Chunk& dst) {
+  if (dst.empty()) {
+    dst.assign(src.begin(), src.end());
+  } else {
+    gf::xor_region(src, dst);
+  }
+}
+
+}  // namespace
+
+Rdp::Rdp(std::size_t p) : p_(p) {
+  if (p < 3 || !is_prime(p)) {
+    throw std::invalid_argument("Rdp: p must be a prime >= 3");
+  }
+}
+
+Stripe Rdp::encode(const std::vector<std::vector<Chunk>>& data) const {
+  if (data.size() != data_disks()) {
+    throw std::invalid_argument("Rdp::encode: expected p-1 data columns");
+  }
+  std::size_t symbol_size = 0;
+  for (const auto& column : data) {
+    if (column.size() != rows()) {
+      throw std::invalid_argument("Rdp::encode: each column needs p-1 rows");
+    }
+    for (const auto& symbol : column) {
+      if (symbol_size == 0) symbol_size = symbol.size();
+      if (symbol.size() != symbol_size) {
+        throw std::invalid_argument("Rdp::encode: symbol size mismatch");
+      }
+    }
+  }
+
+  Stripe stripe(total_disks(),
+                std::vector<Chunk>(rows(), Chunk(symbol_size, 0)));
+  for (std::size_t j = 0; j < data_disks(); ++j) {
+    stripe[j] = data[j];
+  }
+  // Row parity.
+  for (std::size_t r = 0; r < rows(); ++r) {
+    Chunk& parity = stripe[kRowParity(p_)][r];
+    for (std::size_t j = 0; j < data_disks(); ++j) {
+      gf::xor_region(stripe[j][r], parity);
+    }
+  }
+  // Diagonal parity over columns 0..p-1 (data + row parity); diagonal
+  // p-1 is the missing diagonal.
+  for (std::size_t d = 0; d + 1 < p_; ++d) {
+    Chunk& parity = stripe[kDiagParity(p_)][d];
+    for (std::size_t j = 0; j < p_; ++j) {
+      const std::size_t i = (d + p_ - j % p_) % p_;
+      if (i < rows()) gf::xor_region(stripe[j][i], parity);
+    }
+  }
+  return stripe;
+}
+
+void Rdp::check_stripe(const Stripe& stripe) const {
+  if (stripe.size() != total_disks()) {
+    throw std::invalid_argument("Rdp: stripe must have p+1 columns");
+  }
+  for (const auto& column : stripe) {
+    if (column.size() != rows()) {
+      throw std::invalid_argument("Rdp: each column must have p-1 rows");
+    }
+  }
+}
+
+bool Rdp::verify(const Stripe& stripe) const {
+  check_stripe(stripe);
+  std::vector<std::vector<Chunk>> data(stripe.begin(),
+                                       stripe.begin() + data_disks());
+  const auto expected = encode(data);
+  return expected[kRowParity(p_)] == stripe[kRowParity(p_)] &&
+         expected[kDiagParity(p_)] == stripe[kDiagParity(p_)];
+}
+
+std::vector<Chunk> Rdp::recover_conventional(const Stripe& stripe,
+                                             std::size_t failed_disk) const {
+  check_stripe(stripe);
+  if (failed_disk >= total_disks()) {
+    throw std::invalid_argument("Rdp: failed disk out of range");
+  }
+  std::vector<Chunk> rebuilt(rows());
+  if (failed_disk == kDiagParity(p_)) {
+    // Re-encode the diagonals from the surviving p columns.
+    for (std::size_t d = 0; d + 1 < p_; ++d) {
+      for (std::size_t j = 0; j < p_; ++j) {
+        const std::size_t i = (d + p_ - j % p_) % p_;
+        if (i < rows()) xor_into(stripe[j][i], rebuilt[d]);
+      }
+    }
+    return rebuilt;
+  }
+  // Row method: XOR the other p-1 columns of each row.
+  for (std::size_t r = 0; r < rows(); ++r) {
+    for (std::size_t j = 0; j < p_; ++j) {
+      if (j == failed_disk) continue;
+      xor_into(stripe[j][r], rebuilt[r]);
+    }
+  }
+  return rebuilt;
+}
+
+Rdp::RecoveryPlan Rdp::plan_recovery(
+    std::size_t failed_disk, const std::vector<bool>& use_diagonal) const {
+  if (failed_disk >= data_disks()) {
+    throw std::invalid_argument(
+        "Rdp::plan_recovery: hybrid recovery targets data disks");
+  }
+  if (use_diagonal.size() != rows()) {
+    throw std::invalid_argument("Rdp::plan_recovery: assignment arity");
+  }
+
+  RecoveryPlan plan;
+  plan.failed_disk = failed_disk;
+  plan.use_diagonal = use_diagonal;
+  std::set<std::pair<std::size_t, std::size_t>> reads;
+
+  for (std::size_t r = 0; r < rows(); ++r) {
+    if (!use_diagonal[r]) {
+      // Row group: every other column in row r.
+      for (std::size_t j = 0; j < p_; ++j) {
+        if (j != failed_disk) reads.insert({j, r});
+      }
+      continue;
+    }
+    const std::size_t d = (r + failed_disk) % p_;
+    if (d + 1 == p_) {
+      throw std::invalid_argument(
+          "Rdp::plan_recovery: row lies on the missing diagonal and must "
+          "use its row group");
+    }
+    // Diagonal group: the other cells of diagonal d plus its parity.
+    for (std::size_t j = 0; j < p_; ++j) {
+      if (j == failed_disk) continue;
+      const std::size_t i = (d + p_ - j) % p_;
+      if (i < rows()) reads.insert({j, i});
+    }
+    reads.insert({kDiagParity(p_), d});
+  }
+  plan.reads.assign(reads.begin(), reads.end());
+  return plan;
+}
+
+Rdp::RecoveryPlan Rdp::plan_hybrid_recovery(std::size_t failed_disk) const {
+  if (failed_disk >= data_disks()) {
+    throw std::invalid_argument(
+        "Rdp::plan_hybrid_recovery: hybrid recovery targets data disks");
+  }
+  const std::size_t n = rows();
+  RecoveryPlan best;
+  std::size_t best_reads = static_cast<std::size_t>(-1);
+  std::size_t best_imbalance = n + 1;
+
+  for (std::size_t mask = 0; mask < (1ull << n); ++mask) {
+    std::vector<bool> assignment(n);
+    bool valid = true;
+    std::size_t diagonals = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      assignment[r] = (mask >> r) & 1u;
+      if (!assignment[r]) continue;
+      ++diagonals;
+      if ((r + failed_disk) % p_ + 1 == p_) {
+        valid = false;  // missing diagonal
+        break;
+      }
+    }
+    if (!valid) continue;
+    auto plan = plan_recovery(failed_disk, assignment);
+    const std::size_t imbalance =
+        diagonals > n - diagonals ? 2 * diagonals - n : n - 2 * diagonals;
+    if (plan.reads.size() < best_reads ||
+        (plan.reads.size() == best_reads && imbalance < best_imbalance)) {
+      best_reads = plan.reads.size();
+      best_imbalance = imbalance;
+      best = std::move(plan);
+    }
+  }
+  return best;
+}
+
+std::vector<Chunk> Rdp::recover_with_plan(const Stripe& stripe,
+                                          const RecoveryPlan& plan) const {
+  check_stripe(stripe);
+  std::vector<Chunk> rebuilt(rows());
+  for (std::size_t r = 0; r < rows(); ++r) {
+    if (!plan.use_diagonal[r]) {
+      for (std::size_t j = 0; j < p_; ++j) {
+        if (j != plan.failed_disk) xor_into(stripe[j][r], rebuilt[r]);
+      }
+      continue;
+    }
+    const std::size_t d = (r + plan.failed_disk) % p_;
+    for (std::size_t j = 0; j < p_; ++j) {
+      if (j == plan.failed_disk) continue;
+      const std::size_t i = (d + p_ - j) % p_;
+      if (i < rows()) xor_into(stripe[j][i], rebuilt[r]);
+    }
+    xor_into(stripe[kDiagParity(p_)][d], rebuilt[r]);
+  }
+  return rebuilt;
+}
+
+}  // namespace car::xorcode

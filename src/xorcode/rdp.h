@@ -1,0 +1,96 @@
+// RDP (Row-Diagonal Parity) — the XOR-based RAID-6 code the paper contrasts
+// CAR against (§II-B/C; Corbett et al., FAST'04).
+//
+// RDP(p), p prime, stores a stripe as a (p-1) x (p+1) array of equal-sized
+// symbols: columns 0..p-2 are data disks, column p-1 is row parity, column
+// p is diagonal parity.  Row parity r is the XOR of the data symbols in row
+// r; diagonal parity d (0 <= d <= p-2) is the XOR of the symbols (row i,
+// column j) with (i + j) mod p == d over columns 0..p-1 (data + row
+// parity); the diagonal d == p-1 is the "missing" diagonal and carries no
+// parity.
+//
+// Included here because the paper's related work centres on single-failure
+// recovery for XOR codes: Xiang et al. (SIGMETRICS'10) showed a failed disk
+// can be rebuilt reading ~25% fewer symbols by mixing row and diagonal
+// parity groups.  rdp::plan_hybrid_recovery implements that optimisation
+// (exact minimisation over row/diagonal assignments), letting the repo
+// reproduce the intra-stripe I/O-minimisation line of work that CAR's
+// cross-rack view generalises away from.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rs/code.h"  // reuse Chunk/ChunkView aliases
+
+namespace car::xorcode {
+
+using rs::Chunk;
+using rs::ChunkView;
+
+/// A stripe is symbols[column][row]: p+1 columns, p-1 rows each.
+using Stripe = std::vector<std::vector<Chunk>>;
+
+class Rdp {
+ public:
+  /// Requires p prime and >= 3.  Throws std::invalid_argument otherwise.
+  explicit Rdp(std::size_t p);
+
+  [[nodiscard]] std::size_t p() const noexcept { return p_; }
+  [[nodiscard]] std::size_t data_disks() const noexcept { return p_ - 1; }
+  [[nodiscard]] std::size_t total_disks() const noexcept { return p_ + 1; }
+  [[nodiscard]] std::size_t rows() const noexcept { return p_ - 1; }
+  static constexpr std::size_t kRowParity(std::size_t p) { return p - 1; }
+  static constexpr std::size_t kDiagParity(std::size_t p) { return p; }
+
+  /// Encode: data[d][r] for d in [0, p-1), r in [0, p-1) -> full stripe
+  /// including the two parity columns.  All symbols must share one size.
+  [[nodiscard]] Stripe encode(
+      const std::vector<std::vector<Chunk>>& data) const;
+
+  /// Verify both parity columns of a stripe.
+  [[nodiscard]] bool verify(const Stripe& stripe) const;
+
+  /// Rebuild a single failed column conventionally:
+  ///  * a data or row-parity column via row parity (reads (p-1)^2 symbols),
+  ///  * the diagonal-parity column by re-encoding diagonals.
+  [[nodiscard]] std::vector<Chunk> recover_conventional(
+      const Stripe& stripe, std::size_t failed_disk) const;
+
+  /// A hybrid single-disk recovery plan for a *data* column: each lost
+  /// symbol is assigned to its row group or its diagonal group; the plan
+  /// lists exactly which surviving symbols must be read.
+  struct RecoveryPlan {
+    std::size_t failed_disk = 0;
+    /// use_diagonal[r]: rebuild the symbol in row r from its diagonal
+    /// (true) or its row (false).
+    std::vector<bool> use_diagonal;
+    /// Distinct surviving symbols read, as (disk, row) pairs.
+    std::vector<std::pair<std::size_t, std::size_t>> reads;
+  };
+
+  /// Build the plan for a given row/diagonal assignment (Xu/Xiang hybrid
+  /// recovery).  Throws std::invalid_argument for non-data disks or arity
+  /// mismatch.
+  [[nodiscard]] RecoveryPlan plan_recovery(
+      std::size_t failed_disk, const std::vector<bool>& use_diagonal) const;
+
+  /// Exhaustively minimise the number of symbols read over all 2^(p-1)
+  /// assignments (feasible for the small p used in disk arrays).  Ties are
+  /// broken toward balanced row/diagonal mixes, matching the optimal
+  /// solutions of Xiang et al.
+  [[nodiscard]] RecoveryPlan plan_hybrid_recovery(
+      std::size_t failed_disk) const;
+
+  /// Execute a recovery plan on a stripe; returns the rebuilt column.
+  [[nodiscard]] std::vector<Chunk> recover_with_plan(
+      const Stripe& stripe, const RecoveryPlan& plan) const;
+
+ private:
+  void check_stripe(const Stripe& stripe) const;
+
+  std::size_t p_;
+};
+
+}  // namespace car::xorcode

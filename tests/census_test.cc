@@ -1,0 +1,91 @@
+#include "recovery/census.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/configs.h"
+
+namespace car::recovery {
+namespace {
+
+using cluster::Placement;
+using cluster::Topology;
+
+/// Reproduces the paper's Figure 4 layout: five racks of four nodes, the
+/// (k=8, m=6) code, first stripe with census (4, 1, 3, 2, 4), failure of the
+/// first node in A1.
+Placement figure4_placement() {
+  Placement p(Topology({4, 4, 4, 4, 4}), 8, 6);
+  // Rack A1 -> nodes 0..3, A2 -> 4..7, A3 -> 8..11, A4 -> 12..15,
+  // A5 -> 16..19.  Chunk-to-node assignment: 4 chunks in A1, 1 in A2,
+  // 3 in A3, 2 in A4, 4 in A5 = 14 chunks.
+  p.add_stripe({0, 1, 2, 3,       // A1: 4 chunks (chunk 0 on failing node 0)
+                4,                // A2: 1 chunk
+                8, 9, 10,         // A3: 3 chunks
+                12, 13,           // A4: 2 chunks
+                16, 17, 18, 19}); // A5: 4 chunks
+  return p;
+}
+
+TEST(Census, Figure4CountsMatchThePaper) {
+  const auto p = figure4_placement();
+  const auto scenario = cluster::inject_node_failure(p, 0);
+  ASSERT_EQ(scenario.lost.size(), 1u);
+
+  const auto census = build_census(p, scenario, scenario.lost[0]);
+  EXPECT_EQ(census.k, 8u);
+  EXPECT_EQ(census.failed_rack, 0u);
+  EXPECT_EQ(census.chunks, (std::vector<std::size_t>{4, 1, 3, 2, 4}));
+  EXPECT_EQ(census.surviving, (std::vector<std::size_t>{3, 1, 3, 2, 4}));
+  EXPECT_EQ(census.surviving_in_failed_rack(), 3u);
+  EXPECT_EQ(census.total_surviving(), 13u);
+}
+
+TEST(Census, BuildCensusesCoversEveryLostChunk) {
+  util::Rng rng(21);
+  const auto cfg = cluster::cfs2();
+  const auto p = Placement::random(cfg.topology(), cfg.k, cfg.m, 30, rng);
+  const auto scenario = cluster::inject_random_failure(p, rng);
+  const auto censuses = build_censuses(p, scenario);
+  ASSERT_EQ(censuses.size(), scenario.lost.size());
+  for (std::size_t i = 0; i < censuses.size(); ++i) {
+    EXPECT_EQ(censuses[i].stripe, scenario.lost[i].stripe);
+    EXPECT_EQ(censuses[i].lost_chunk, scenario.lost[i].chunk_index);
+    EXPECT_EQ(censuses[i].failed_rack, scenario.failed_rack);
+    // Sum of census equals stripe width; surviving = chunks - 1 overall.
+    std::size_t total = 0;
+    for (auto c : censuses[i].chunks) total += c;
+    EXPECT_EQ(total, cfg.k + cfg.m);
+    EXPECT_EQ(censuses[i].total_surviving(), total - 1);
+  }
+}
+
+TEST(Census, SurvivingDecrementsOnlyTheFailedRack) {
+  util::Rng rng(22);
+  const auto cfg = cluster::cfs3();
+  const auto p = Placement::random(cfg.topology(), cfg.k, cfg.m, 50, rng);
+  const auto scenario = cluster::inject_random_failure(p, rng);
+  for (const auto& census : build_censuses(p, scenario)) {
+    for (cluster::RackId r = 0; r < census.num_racks(); ++r) {
+      if (r == census.failed_rack) {
+        EXPECT_EQ(census.surviving[r] + 1, census.chunks[r]);
+      } else {
+        EXPECT_EQ(census.surviving[r], census.chunks[r]);
+      }
+    }
+  }
+}
+
+TEST(Census, ScenarioClaimingALossInAnEmptyRackThrows) {
+  // Rack 7 (nodes 14, 15) hosts no chunk of the stripe, so a scenario that
+  // claims a chunk was lost there is inconsistent.
+  Placement wide(Topology({2, 2, 2, 2, 2, 2, 2, 2}), 8, 6);
+  wide.add_stripe({0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13});
+  cluster::FailureScenario lie;
+  lie.failed_node = 14;
+  lie.failed_rack = 7;
+  cluster::LostChunk lost{0, 0};
+  EXPECT_THROW(build_census(wide, lie, lost), std::logic_error);
+}
+
+}  // namespace
+}  // namespace car::recovery

@@ -1,0 +1,161 @@
+#include "cfs/filesystem.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/configs.h"
+
+namespace car::cfs {
+namespace {
+
+FsConfig small_config(std::size_t chunk_size = 8 * 1024) {
+  FsConfig config{cluster::cfs2().topology(), 6, 3, chunk_size, 99, {}};
+  config.emul.node_bps = 400e6;
+  return config;
+}
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint8_t> data(n);
+  rng.fill_bytes(data);
+  return data;
+}
+
+TEST(FileSystem, WriteReadRoundTrip) {
+  FileSystem fs(small_config());
+  const auto data = pattern_bytes(50'000, 1);  // ~1.02 stripes of 6x8KiB
+  const auto meta = fs.write_file("a.bin", data);
+  EXPECT_EQ(meta.size, data.size());
+  EXPECT_EQ(meta.stripes.size(), 2u);  // 50000 / (6*8192) -> 2 stripes
+  EXPECT_EQ(fs.read_file("a.bin"), data);
+  EXPECT_EQ(fs.total_chunks(), 2u * 9u);
+}
+
+TEST(FileSystem, StatAndValidation) {
+  FileSystem fs(small_config());
+  EXPECT_EQ(fs.stat("nope"), std::nullopt);
+  EXPECT_THROW(fs.read_file("nope"), std::out_of_range);
+  const auto data = pattern_bytes(100, 2);
+  fs.write_file("x", data);
+  ASSERT_TRUE(fs.stat("x").has_value());
+  EXPECT_EQ(fs.stat("x")->size, 100u);
+  EXPECT_THROW(fs.write_file("x", data), std::invalid_argument);
+  EXPECT_THROW(fs.write_file("y", {}), std::invalid_argument);
+  EXPECT_THROW(fs.fail_node(999), std::out_of_range);
+  EXPECT_THROW(fs.repair(), std::logic_error);
+}
+
+TEST(FileSystem, DegradedReadsServeDataWhileANodeIsDown) {
+  FileSystem fs(small_config());
+  const auto data = pattern_bytes(120'000, 3);
+  fs.write_file("file", data);
+
+  // Fail a node that actually hosts chunks of this file.
+  cluster::NodeId victim = 0;
+  std::size_t hosted = 0;
+  for (cluster::NodeId n = 0; n < fs.topology().num_nodes(); ++n) {
+    const auto chunks = fs.placement().chunks_on_node(n).size();
+    if (chunks > hosted) {
+      hosted = chunks;
+      victim = n;
+    }
+  }
+  ASSERT_GT(hosted, 0u);
+  fs.fail_node(victim);
+
+  EXPECT_EQ(fs.read_file("file"), data) << "degraded reads must be exact";
+}
+
+TEST(FileSystem, RepairRestoresRedundancyAndData) {
+  FileSystem fs(small_config());
+  const auto data = pattern_bytes(200'000, 4);
+  fs.write_file("file", data);
+
+  const auto occupancy = fs.placement().node_occupancy();
+  cluster::NodeId victim = 0;
+  for (cluster::NodeId n = 0; n < occupancy.size(); ++n) {
+    if (occupancy[n] > occupancy[victim]) victim = n;
+  }
+  fs.fail_node(victim);
+
+  const auto report = fs.repair();
+  EXPECT_EQ(report.replacement, victim);
+  EXPECT_EQ(report.chunks_rebuilt, occupancy[victim]);
+  EXPECT_GT(report.cross_rack_bytes, 0u);
+  EXPECT_GE(report.lambda, 1.0 - 1e-12);
+  EXPECT_TRUE(fs.failed_nodes().empty());
+  EXPECT_TRUE(fs.placement().validate());
+
+  // Data fully intact after repair, and again after a second failure of a
+  // different node.
+  EXPECT_EQ(fs.read_file("file"), data);
+  fs.fail_node((victim + 1) % fs.topology().num_nodes());
+  fs.repair();
+  EXPECT_EQ(fs.read_file("file"), data);
+}
+
+TEST(FileSystem, RepairOntoAFreshReplacementNode) {
+  FileSystem fs(small_config());
+  const auto data = pattern_bytes(100'000, 5);
+  fs.write_file("file", data);
+
+  // Fail the busiest node, repair onto a node with no chunks if possible.
+  const auto occupancy = fs.placement().node_occupancy();
+  cluster::NodeId victim = 0;
+  for (cluster::NodeId n = 0; n < occupancy.size(); ++n) {
+    if (occupancy[n] > occupancy[victim]) victim = n;
+  }
+  cluster::NodeId fresh = fs.topology().num_nodes();
+  for (cluster::NodeId n = 0; n < occupancy.size(); ++n) {
+    if (n != victim && occupancy[n] == 0) {
+      fresh = n;
+      break;
+    }
+  }
+  if (fresh == fs.topology().num_nodes()) {
+    GTEST_SKIP() << "no empty node in this layout";
+  }
+  fs.fail_node(victim);
+  const auto report = fs.repair(fresh);
+  EXPECT_EQ(report.replacement, fresh);
+  EXPECT_TRUE(fs.placement().validate());
+  EXPECT_EQ(fs.read_file("file"), data);
+}
+
+TEST(FileSystem, DoubleFailureRepairKeepsDataIntact) {
+  FileSystem fs(small_config(4 * 1024));
+  const auto data = pattern_bytes(150'000, 6);
+  fs.write_file("file", data);
+  fs.fail_node(2);
+  fs.fail_node(7);
+  const auto report = fs.repair();
+  EXPECT_GT(report.chunks_rebuilt, 0u);
+  EXPECT_TRUE(fs.placement().validate());
+  EXPECT_EQ(fs.read_file("file"), data);
+}
+
+TEST(FileSystem, WriteWhileDegradedIsRejected) {
+  FileSystem fs(small_config());
+  fs.write_file("a", pattern_bytes(100, 7));
+  fs.fail_node(0);
+  EXPECT_THROW(fs.write_file("b", pattern_bytes(100, 8)), std::logic_error);
+}
+
+TEST(FileSystem, MultipleFilesShareTheCluster) {
+  FileSystem fs(small_config());
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (int i = 0; i < 5; ++i) {
+    payloads.push_back(pattern_bytes(30'000 + 1000 * i, 100 + i));
+    fs.write_file("f" + std::to_string(i), payloads.back());
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(fs.read_file("f" + std::to_string(i)), payloads[i]);
+  }
+  fs.fail_node(1);
+  fs.repair();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(fs.read_file("f" + std::to_string(i)), payloads[i]);
+  }
+}
+
+}  // namespace
+}  // namespace car::cfs

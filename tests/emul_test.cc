@@ -1,0 +1,205 @@
+#include "emul/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "cluster/configs.h"
+#include "emul/link.h"
+#include "recovery/balancer.h"
+
+namespace car::emul {
+namespace {
+
+using cluster::Topology;
+
+EmulConfig fast_config() {
+  EmulConfig cfg;
+  cfg.node_bps = 200e6;  // keep tests quick
+  cfg.oversubscription = 4.0;
+  cfg.page_bytes = 16 * 1024;
+  return cfg;
+}
+
+TEST(SerialLink, TransmissionTakesBytesOverRate) {
+  SerialLink link(1e6);  // 1 MB/s
+  const auto t0 = std::chrono::steady_clock::now();
+  link.transmit(100'000);  // 0.1 s
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(dt.count(), 0.095);
+  EXPECT_LT(dt.count(), 0.5);  // generous upper bound for CI noise
+  EXPECT_EQ(link.bytes_transmitted(), 100'000u);
+}
+
+TEST(SerialLink, ConcurrentSendersSerialise) {
+  SerialLink link(1e6);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread a([&] { link.transmit(50'000); });
+  std::thread b([&] { link.transmit(50'000); });
+  a.join();
+  b.join();
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(dt.count(), 0.095);  // 100 KB through 1 MB/s, shared
+  EXPECT_EQ(link.bytes_transmitted(), 100'000u);
+}
+
+TEST(SerialLink, RejectsNonPositiveRate) {
+  EXPECT_THROW(SerialLink(0.0), std::invalid_argument);
+  EXPECT_THROW(SerialLink(-5.0), std::invalid_argument);
+}
+
+TEST(Cluster, StoreFindEraseChunks) {
+  Cluster cluster(Topology({2, 2}), fast_config());
+  cluster.store_chunk(1, 7, 3, rs::Chunk{1, 2, 3});
+  const auto* chunk = cluster.find_chunk(1, 7, 3);
+  ASSERT_NE(chunk, nullptr);
+  EXPECT_EQ(*chunk, (rs::Chunk{1, 2, 3}));
+  EXPECT_EQ(cluster.find_chunk(0, 7, 3), nullptr);
+  cluster.erase_node(1);
+  EXPECT_EQ(cluster.find_chunk(1, 7, 3), nullptr);
+  EXPECT_THROW(cluster.store_chunk(9, 0, 0, {}), std::out_of_range);
+  EXPECT_THROW(cluster.erase_node(9), std::out_of_range);
+}
+
+TEST(Cluster, PopulateStoresEveryChunkOnItsHost) {
+  util::Rng rng(41);
+  const auto cfg = cluster::cfs1();
+  auto placement =
+      cluster::Placement::random(cfg.topology(), cfg.k, cfg.m, 5, rng);
+  const rs::Code code(cfg.k, cfg.m);
+  Cluster cluster(cfg.topology(), fast_config());
+  const auto originals = cluster.populate(placement, code, 2048, rng);
+  ASSERT_EQ(originals.size(), 5u);
+  for (cluster::StripeId s = 0; s < 5; ++s) {
+    ASSERT_EQ(originals[s].size(), cfg.k + cfg.m);
+    for (std::size_t c = 0; c < cfg.k + cfg.m; ++c) {
+      const auto* stored = cluster.find_chunk(placement.node_of(s, c), s, c);
+      ASSERT_NE(stored, nullptr);
+      EXPECT_EQ(*stored, originals[s][c]);
+    }
+  }
+}
+
+struct RecoveryFixture {
+  cluster::CfsConfig cfg;
+  cluster::Placement placement;
+  rs::Code code;
+  Cluster cluster;
+  std::vector<std::vector<rs::Chunk>> originals;
+  cluster::FailureScenario scenario;
+  std::vector<recovery::StripeCensus> censuses;
+
+  RecoveryFixture(int cfg_index, std::uint64_t seed, std::size_t stripes,
+                  std::uint64_t chunk_size)
+      : cfg(cluster::paper_configs()[cfg_index]),
+        placement(make_placement(cfg, stripes, seed)),
+        code(cfg.k, cfg.m),
+        cluster(cfg.topology(), fast_config()) {
+    util::Rng rng(seed + 1);
+    originals = cluster.populate(placement, code, chunk_size, rng);
+    scenario = cluster::inject_random_failure(placement, rng);
+    cluster.erase_node(scenario.failed_node);
+    censuses = recovery::build_censuses(placement, scenario);
+  }
+
+  static cluster::Placement make_placement(const cluster::CfsConfig& cfg,
+                                           std::size_t stripes,
+                                           std::uint64_t seed) {
+    util::Rng rng(seed);
+    return cluster::Placement::random(cfg.topology(), cfg.k, cfg.m, stripes,
+                                      rng);
+  }
+
+  void verify_recovered() {
+    for (const auto& lost : scenario.lost) {
+      const auto* recovered = cluster.find_chunk(scenario.failed_node,
+                                                 lost.stripe, lost.chunk_index);
+      ASSERT_NE(recovered, nullptr)
+          << "stripe " << lost.stripe << " chunk " << lost.chunk_index;
+      EXPECT_EQ(*recovered, originals[lost.stripe][lost.chunk_index]);
+    }
+  }
+};
+
+TEST(ClusterExecute, CarPlanRecoversEveryLostChunkBitExactly) {
+  RecoveryFixture f(0, 101, 12, 64 * 1024);
+  const auto balanced = recovery::balance_greedy(f.placement, f.censuses, {50});
+  const auto plan = recovery::build_car_plan(
+      f.placement, f.code, balanced.solutions, 64 * 1024,
+      f.scenario.failed_node);
+  const auto report = f.cluster.execute(plan);
+  f.verify_recovered();
+  EXPECT_GT(report.wall_s, 0.0);
+  EXPECT_GT(report.compute_s, 0.0);
+  EXPECT_EQ(report.cross_rack_bytes, plan.cross_rack_bytes());
+  EXPECT_EQ(report.intra_rack_bytes, plan.intra_rack_bytes());
+  EXPECT_EQ(report.per_rack_cross_bytes,
+            plan.per_rack_cross_bytes(f.placement.topology()));
+}
+
+TEST(ClusterExecute, RrPlanRecoversEveryLostChunkBitExactly) {
+  RecoveryFixture f(1, 202, 10, 64 * 1024);
+  util::Rng rng(7);
+  const auto rr = recovery::plan_rr(f.placement, f.censuses, rng);
+  const auto plan = recovery::build_rr_plan(f.placement, f.code, rr, 64 * 1024,
+                                            f.scenario.failed_node);
+  const auto report = f.cluster.execute(plan);
+  f.verify_recovered();
+  EXPECT_EQ(report.cross_rack_bytes, plan.cross_rack_bytes());
+}
+
+TEST(ClusterExecute, Cfs3CarAndRrAgreeOnRecoveredBytes) {
+  RecoveryFixture f(2, 303, 8, 32 * 1024);
+  const auto balanced = recovery::balance_greedy(f.placement, f.censuses, {50});
+  const auto plan = recovery::build_car_plan(
+      f.placement, f.code, balanced.solutions, 32 * 1024,
+      f.scenario.failed_node);
+  f.cluster.execute(plan);
+  f.verify_recovered();
+}
+
+TEST(ClusterExecute, MissingBufferRaises) {
+  RecoveryFixture f(0, 404, 4, 4 * 1024);
+  const auto solutions = recovery::plan_car_initial(f.placement, f.censuses);
+  const auto plan = recovery::build_car_plan(
+      f.placement, f.code, solutions, 4 * 1024, f.scenario.failed_node);
+  // Erase a node that still hosts survivor chunks referenced by the plan:
+  // pick the first aggregator (source of the first transfer or compute).
+  cluster::NodeId victim = f.scenario.failed_node;
+  for (const auto& step : plan.steps) {
+    if (step.kind == recovery::StepKind::kTransfer &&
+        step.src != f.scenario.failed_node) {
+      victim = step.src;
+      break;
+    }
+    if (step.kind == recovery::StepKind::kCompute &&
+        step.node != f.scenario.failed_node) {
+      victim = step.node;
+      break;
+    }
+  }
+  ASSERT_NE(victim, f.scenario.failed_node);
+  f.cluster.erase_node(victim);
+  EXPECT_THROW(f.cluster.execute(plan), std::runtime_error);
+}
+
+TEST(ClusterExecute, EmptyPlanIsANoOp) {
+  Cluster cluster(Topology({2, 2}), fast_config());
+  recovery::RecoveryPlan plan;
+  plan.chunk_size = 1;
+  const auto report = cluster.execute(plan);
+  EXPECT_EQ(report.wall_s, 0.0);
+  EXPECT_EQ(report.cross_rack_bytes, 0u);
+}
+
+TEST(ClusterExecute, InvalidConfigRejected) {
+  EmulConfig bad = fast_config();
+  bad.page_bytes = 0;
+  EXPECT_THROW(Cluster(Topology({2}), bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace car::emul

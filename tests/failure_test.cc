@@ -1,0 +1,59 @@
+#include "cluster/failure.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/configs.h"
+
+namespace car::cluster {
+namespace {
+
+TEST(Failure, InjectNodeFailureListsExactlyTheNodeChunks) {
+  util::Rng rng(11);
+  const auto cfg = cfs2();
+  const auto p = Placement::random(cfg.topology(), cfg.k, cfg.m, 50, rng);
+  for (NodeId node = 0; node < p.topology().num_nodes(); ++node) {
+    const auto scenario = inject_node_failure(p, node);
+    EXPECT_EQ(scenario.failed_node, node);
+    EXPECT_EQ(scenario.failed_rack, p.topology().rack_of(node));
+    EXPECT_EQ(scenario.lost.size(), p.chunks_on_node(node).size());
+    for (const auto& lost : scenario.lost) {
+      EXPECT_EQ(p.node_of(lost.stripe, lost.chunk_index), node);
+    }
+  }
+}
+
+TEST(Failure, AtMostOneLostChunkPerStripe) {
+  util::Rng rng(12);
+  const auto cfg = cfs3();
+  const auto p = Placement::random(cfg.topology(), cfg.k, cfg.m, 100, rng);
+  for (NodeId node = 0; node < p.topology().num_nodes(); ++node) {
+    const auto scenario = inject_node_failure(p, node);
+    std::vector<StripeId> stripes;
+    for (const auto& lost : scenario.lost) stripes.push_back(lost.stripe);
+    std::sort(stripes.begin(), stripes.end());
+    EXPECT_EQ(std::adjacent_find(stripes.begin(), stripes.end()),
+              stripes.end())
+        << "a single node failure must lose at most one chunk per stripe";
+  }
+}
+
+TEST(Failure, RandomFailurePicksAnOccupiedNode) {
+  util::Rng rng(13);
+  const auto cfg = cfs1();
+  const auto p = Placement::random(cfg.topology(), cfg.k, cfg.m, 5, rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto scenario = inject_random_failure(p, rng);
+    EXPECT_FALSE(scenario.lost.empty());
+    EXPECT_EQ(p.chunks_on_node(scenario.failed_node).size(),
+              scenario.lost.size());
+  }
+}
+
+TEST(Failure, RandomFailureThrowsOnEmptyPlacement) {
+  util::Rng rng(14);
+  Placement p(Topology({2, 2, 2}), 3, 2);  // no stripes added
+  EXPECT_THROW(inject_random_failure(p, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace car::cluster

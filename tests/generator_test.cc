@@ -1,0 +1,87 @@
+#include "matrix/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace car::matrix {
+namespace {
+
+using Params = std::tuple<std::size_t, std::size_t>;  // (k, m)
+
+class GeneratorProperties : public ::testing::TestWithParam<Params> {};
+
+TEST_P(GeneratorProperties, VandermondeIsSystematicAndMds) {
+  const auto [k, m] = GetParam();
+  const auto g = systematic_vandermonde(k, m);
+  ASSERT_EQ(g.rows(), k + m);
+  ASSERT_EQ(g.cols(), k);
+  EXPECT_TRUE(verify_systematic(g, k));
+  EXPECT_TRUE(verify_mds(g, k));
+}
+
+TEST_P(GeneratorProperties, CauchyIsSystematicAndMds) {
+  const auto [k, m] = GetParam();
+  const auto g = systematic_cauchy(k, m);
+  ASSERT_EQ(g.rows(), k + m);
+  ASSERT_EQ(g.cols(), k);
+  EXPECT_TRUE(verify_systematic(g, k));
+  EXPECT_TRUE(verify_mds(g, k));
+}
+
+// Small parameters keep the exhaustive MDS check (C(k+m, k) inversions)
+// cheap; the list includes the shapes of the paper's CFS1 (4,3), RAID-6-like
+// (4,2), and wide-parity corners.
+INSTANTIATE_TEST_SUITE_P(
+    SmallCodes, GeneratorProperties,
+    ::testing::Values(Params{1, 1}, Params{1, 4}, Params{2, 2}, Params{3, 2},
+                      Params{4, 2}, Params{4, 3}, Params{5, 3}, Params{6, 3},
+                      Params{2, 6}, Params{8, 2}));
+
+TEST(Generator, PaperScaleCodesAreSystematic) {
+  // Full MDS verification for (10,4) would need C(14,10)=1001 inversions —
+  // still fine, so do it once.
+  const auto g = systematic_vandermonde(10, 4);
+  EXPECT_TRUE(verify_systematic(g, 10));
+  EXPECT_TRUE(verify_mds(g, 10));
+}
+
+TEST(Generator, ZeroParityDegeneratesToIdentity) {
+  const auto g = systematic_vandermonde(4, 0);
+  EXPECT_EQ(g, Matrix::identity(4));
+  const auto c = systematic_cauchy(4, 0);
+  EXPECT_EQ(c, Matrix::identity(4));
+}
+
+TEST(Generator, InvalidParametersThrow) {
+  EXPECT_THROW(systematic_vandermonde(0, 2), std::invalid_argument);
+  EXPECT_THROW(systematic_cauchy(0, 2), std::invalid_argument);
+  EXPECT_THROW(systematic_vandermonde(200, 100), std::invalid_argument);
+  EXPECT_THROW(systematic_cauchy(255, 2), std::invalid_argument);
+}
+
+TEST(Generator, BoundaryFieldSizeWorks) {
+  // k + m == 256 is the largest code GF(2^8) supports.
+  const auto g = systematic_vandermonde(250, 6);
+  EXPECT_TRUE(verify_systematic(g, 250));
+  const auto c = systematic_cauchy(250, 6);
+  EXPECT_TRUE(verify_systematic(c, 250));
+}
+
+TEST(Generator, VerifyMdsDetectsBrokenGenerators) {
+  auto g = systematic_vandermonde(3, 2);
+  // Corrupt a parity row to duplicate a data row: the subset {row0, row3,
+  // row4-as-row0} becomes singular.
+  for (std::size_t j = 0; j < 3; ++j) g(4, j) = g(0, j);
+  EXPECT_FALSE(verify_mds(g, 3));
+}
+
+TEST(Generator, VerifySystematicDetectsNonIdentityTop) {
+  auto g = systematic_vandermonde(3, 2);
+  g(1, 1) = 5;
+  EXPECT_FALSE(verify_systematic(g, 3));
+  EXPECT_FALSE(verify_systematic(Matrix(2, 3), 3));  // too few rows
+}
+
+}  // namespace
+}  // namespace car::matrix

@@ -1,0 +1,88 @@
+#include "gf/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include "gf/galois.h"
+#include "gf/tables.h"
+
+namespace car::gf {
+namespace {
+
+TEST(Gf256, MatchesGenericFieldExhaustively) {
+  const auto& fast = Gf256::instance();
+  const Field slow(8);
+  for (std::uint32_t a = 0; a < 256; ++a) {
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      ASSERT_EQ(fast.mul(static_cast<std::uint8_t>(a),
+                         static_cast<std::uint8_t>(b)),
+                slow.mul(a, b))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Gf256, MulRowIsTheMultiplicationTableRow) {
+  const auto& f = Gf256::instance();
+  for (std::uint32_t c : {0u, 1u, 2u, 3u, 0x53u, 0xFFu}) {
+    const std::uint8_t* row = f.mul_row(static_cast<std::uint8_t>(c));
+    for (std::uint32_t x = 0; x < 256; ++x) {
+      ASSERT_EQ(row[x], f.mul(static_cast<std::uint8_t>(c),
+                              static_cast<std::uint8_t>(x)));
+    }
+  }
+}
+
+TEST(Gf256, InverseRoundTripsForAllNonzero) {
+  const auto& f = Gf256::instance();
+  for (std::uint32_t a = 1; a < 256; ++a) {
+    EXPECT_EQ(f.mul(static_cast<std::uint8_t>(a),
+                    f.inv(static_cast<std::uint8_t>(a))),
+              1u);
+  }
+}
+
+TEST(Gf256, DivisionInvertsMultiplicationForAllPairs) {
+  const auto& f = Gf256::instance();
+  for (std::uint32_t a = 0; a < 256; a += 3) {
+    for (std::uint32_t b = 1; b < 256; b += 5) {
+      const auto product = f.mul(static_cast<std::uint8_t>(a),
+                                 static_cast<std::uint8_t>(b));
+      EXPECT_EQ(f.div(product, static_cast<std::uint8_t>(b)), a);
+    }
+  }
+}
+
+TEST(Gf256, ExpLogAreConsistent) {
+  const auto& f = Gf256::instance();
+  for (std::uint32_t i = 0; i < Gf256::kOrder; ++i) {
+    EXPECT_EQ(f.log(f.exp(i)), i);
+  }
+  // exp wraps modulo the group order.
+  EXPECT_EQ(f.exp(Gf256::kOrder), f.exp(0));
+  EXPECT_EQ(f.exp(Gf256::kOrder + 7), f.exp(7));
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  const auto& f = Gf256::instance();
+  for (std::uint32_t a : {0u, 1u, 2u, 29u, 255u}) {
+    std::uint8_t expected = 1;
+    for (std::uint64_t e = 0; e < 20; ++e) {
+      EXPECT_EQ(f.pow(static_cast<std::uint8_t>(a), e), expected);
+      expected = f.mul(expected, static_cast<std::uint8_t>(a));
+    }
+  }
+  // Large exponents reduce mod 255.
+  EXPECT_EQ(f.pow(2, 255), 1u);
+  EXPECT_EQ(f.pow(2, 256), 2u);
+}
+
+TEST(Gf256, ZeroOperandsThrow) {
+  const auto& f = Gf256::instance();
+  EXPECT_THROW((void)f.inv(0), std::domain_error);
+  EXPECT_THROW((void)f.div(7, 0), std::domain_error);
+  EXPECT_THROW((void)f.log(0), std::domain_error);
+  EXPECT_EQ(f.div(0, 7), 0u);
+}
+
+}  // namespace
+}  // namespace car::gf

@@ -1,0 +1,111 @@
+#include "gf/galois.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace car::gf {
+namespace {
+
+class FieldAxioms : public ::testing::TestWithParam<unsigned> {
+ protected:
+  Field field_{GetParam()};
+  util::Rng rng_{GetParam() * 1234567ULL + 1};
+
+  std::uint32_t random_element() {
+    return static_cast<std::uint32_t>(rng_.next_below(field_.size()));
+  }
+  std::uint32_t random_nonzero() {
+    return 1 + static_cast<std::uint32_t>(rng_.next_below(field_.size() - 1));
+  }
+};
+
+TEST_P(FieldAxioms, AdditionIsXorAndSelfInverse) {
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = random_element();
+    const auto b = random_element();
+    EXPECT_EQ(Field::add(a, b), a ^ b);
+    EXPECT_EQ(Field::add(Field::add(a, b), b), a);  // characteristic 2
+    EXPECT_EQ(Field::sub(a, b), Field::add(a, b));
+  }
+}
+
+TEST_P(FieldAxioms, MultiplicationIsCommutativeAndAssociative) {
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = random_element();
+    const auto b = random_element();
+    const auto c = random_element();
+    EXPECT_EQ(field_.mul(a, b), field_.mul(b, a));
+    EXPECT_EQ(field_.mul(field_.mul(a, b), c), field_.mul(a, field_.mul(b, c)));
+  }
+}
+
+TEST_P(FieldAxioms, MultiplicationDistributesOverAddition) {
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = random_element();
+    const auto b = random_element();
+    const auto c = random_element();
+    EXPECT_EQ(field_.mul(a, Field::add(b, c)),
+              Field::add(field_.mul(a, b), field_.mul(a, c)));
+  }
+}
+
+TEST_P(FieldAxioms, IdentityAndZeroBehave) {
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto a = random_element();
+    EXPECT_EQ(field_.mul(a, 1), a);
+    EXPECT_EQ(field_.mul(a, 0), 0u);
+  }
+}
+
+TEST_P(FieldAxioms, InverseRoundTripsForEveryNonzeroSample) {
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = random_nonzero();
+    const auto inv = field_.inv(a);
+    EXPECT_EQ(field_.mul(a, inv), 1u) << "a=" << a;
+    EXPECT_EQ(field_.div(1, a), inv);
+  }
+}
+
+TEST_P(FieldAxioms, DivisionIsMultiplicationByInverse) {
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = random_element();
+    const auto b = random_nonzero();
+    EXPECT_EQ(field_.div(a, b), field_.mul(a, field_.inv(b)));
+    EXPECT_EQ(field_.mul(field_.div(a, b), b), a);
+  }
+}
+
+TEST_P(FieldAxioms, PowMatchesRepeatedMultiplication) {
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = random_element();
+    std::uint32_t expected = 1;
+    for (std::uint64_t e = 0; e < 16; ++e) {
+      EXPECT_EQ(field_.pow(a, e), expected) << "a=" << a << " e=" << e;
+      expected = field_.mul(expected, a);
+    }
+  }
+}
+
+TEST_P(FieldAxioms, GeneratorHasFullOrder) {
+  // alpha^i enumerates every nonzero element exactly once.
+  std::vector<bool> seen(field_.size(), false);
+  for (std::uint32_t i = 0; i < field_.order(); ++i) {
+    const auto x = field_.exp(i);
+    EXPECT_FALSE(seen[x]);
+    seen[x] = true;
+    EXPECT_EQ(field_.log(x), i);
+  }
+}
+
+TEST_P(FieldAxioms, ZeroOperandsThrow) {
+  EXPECT_THROW((void)field_.inv(0), std::domain_error);
+  EXPECT_THROW((void)field_.div(1, 0), std::domain_error);
+  EXPECT_THROW((void)field_.log(0), std::domain_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FieldAxioms,
+                         ::testing::Values(2u, 4u, 8u, 12u, 16u));
+
+}  // namespace
+}  // namespace car::gf

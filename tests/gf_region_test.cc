@@ -1,0 +1,115 @@
+#include "gf/region.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gf/gf256.h"
+#include "util/rng.h"
+
+namespace car::gf {
+namespace {
+
+std::vector<std::uint8_t> random_buffer(std::size_t n, util::Rng& rng) {
+  std::vector<std::uint8_t> buf(n);
+  rng.fill_bytes(buf);
+  return buf;
+}
+
+class RegionOps : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  util::Rng rng_{GetParam() * 77 + 5};
+};
+
+TEST_P(RegionOps, XorRegionMatchesScalar) {
+  const std::size_t n = GetParam();
+  const auto src = random_buffer(n, rng_);
+  auto dst = random_buffer(n, rng_);
+  const auto dst0 = dst;
+  xor_region(src, dst);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(dst[i], static_cast<std::uint8_t>(dst0[i] ^ src[i]));
+  }
+  // XOR-ing again restores the original.
+  xor_region(src, dst);
+  EXPECT_EQ(dst, dst0);
+}
+
+TEST_P(RegionOps, MulRegionMatchesScalar) {
+  const std::size_t n = GetParam();
+  const auto& f = Gf256::instance();
+  const auto src = random_buffer(n, rng_);
+  std::vector<std::uint8_t> dst(n);
+  for (std::uint8_t c : {std::uint8_t{0}, std::uint8_t{1}, std::uint8_t{2},
+                         std::uint8_t{0x8E}, std::uint8_t{0xFF}}) {
+    mul_region(c, src, dst);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(dst[i], f.mul(c, src[i])) << "c=" << int(c) << " i=" << i;
+    }
+  }
+}
+
+TEST_P(RegionOps, MulRegionAccMatchesScalar) {
+  const std::size_t n = GetParam();
+  const auto& f = Gf256::instance();
+  const auto src = random_buffer(n, rng_);
+  for (std::uint8_t c : {std::uint8_t{0}, std::uint8_t{1}, std::uint8_t{37},
+                         std::uint8_t{0xFE}}) {
+    auto dst = random_buffer(n, rng_);
+    const auto dst0 = dst;
+    mul_region_acc(c, src, dst);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(dst[i], static_cast<std::uint8_t>(dst0[i] ^ f.mul(c, src[i])));
+    }
+  }
+}
+
+TEST_P(RegionOps, ScaleRegionIsInPlaceMul) {
+  const std::size_t n = GetParam();
+  auto buf = random_buffer(n, rng_);
+  auto expected = buf;
+  std::vector<std::uint8_t> tmp(n);
+  mul_region(0x1D, expected, tmp);
+  scale_region(0x1D, buf);
+  EXPECT_EQ(buf, tmp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RegionOps,
+                         ::testing::Values(0u, 1u, 3u, 7u, 8u, 9u, 64u, 1000u,
+                                           4096u));
+
+TEST(RegionOps, SizeMismatchThrows) {
+  std::vector<std::uint8_t> a(4), b(5);
+  EXPECT_THROW(xor_region(a, b), std::invalid_argument);
+  EXPECT_THROW(mul_region(3, a, b), std::invalid_argument);
+  EXPECT_THROW(mul_region_acc(3, a, b), std::invalid_argument);
+}
+
+TEST(RegionOps, LinearCombineMatchesScalarEvaluation) {
+  util::Rng rng(99);
+  const auto& f = Gf256::instance();
+  constexpr std::size_t kN = 257;
+  std::vector<std::vector<std::uint8_t>> rows;
+  for (int i = 0; i < 5; ++i) rows.push_back(random_buffer(kN, rng));
+  const std::vector<std::uint8_t> coeffs = {1, 0, 0x35, 0xFF, 2};
+  std::vector<std::span<const std::uint8_t>> views(rows.begin(), rows.end());
+  std::vector<std::uint8_t> out(kN);
+  linear_combine(coeffs, views, out);
+  for (std::size_t i = 0; i < kN; ++i) {
+    std::uint8_t expected = 0;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      expected ^= f.mul(coeffs[r], rows[r][i]);
+    }
+    ASSERT_EQ(out[i], expected);
+  }
+}
+
+TEST(RegionOps, LinearCombineValidatesArity) {
+  std::vector<std::uint8_t> row(8), out(8);
+  std::vector<std::span<const std::uint8_t>> views = {row};
+  const std::vector<std::uint8_t> coeffs = {1, 2};
+  EXPECT_THROW(linear_combine(coeffs, views, out), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace car::gf

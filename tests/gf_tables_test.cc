@@ -1,0 +1,88 @@
+#include "gf/tables.h"
+
+#include <gtest/gtest.h>
+
+namespace car::gf {
+namespace {
+
+TEST(PrimitivePolynomial, KnownValues) {
+  EXPECT_EQ(primitive_polynomial(4), 0x13u);
+  EXPECT_EQ(primitive_polynomial(8), 0x11Du);
+  EXPECT_EQ(primitive_polynomial(16), 0x1100Bu);
+}
+
+TEST(PrimitivePolynomial, RejectsUnsupportedWidths) {
+  EXPECT_THROW(primitive_polynomial(0), std::invalid_argument);
+  EXPECT_THROW(primitive_polynomial(1), std::invalid_argument);
+  EXPECT_THROW(primitive_polynomial(17), std::invalid_argument);
+  EXPECT_THROW(primitive_polynomial(32), std::invalid_argument);
+}
+
+TEST(SlowMultiply, MatchesHandComputedGf256Products) {
+  const auto poly = primitive_polynomial(8);
+  // 2 * 2 = 4 (just a shift, no reduction).
+  EXPECT_EQ(slow_multiply(2, 2, 8, poly), 4u);
+  // 0x80 * 2 = 0x100 -> reduced by 0x11D -> 0x1D.
+  EXPECT_EQ(slow_multiply(0x80, 2, 8, poly), 0x1Du);
+  // Multiplication by 1 and 0.
+  EXPECT_EQ(slow_multiply(0xAB, 1, 8, poly), 0xABu);
+  EXPECT_EQ(slow_multiply(0xAB, 0, 8, poly), 0u);
+}
+
+TEST(SlowMultiply, IsCommutativeOnSamples) {
+  const auto poly = primitive_polynomial(8);
+  for (std::uint32_t a = 0; a < 256; a += 7) {
+    for (std::uint32_t b = 0; b < 256; b += 11) {
+      EXPECT_EQ(slow_multiply(a, b, 8, poly), slow_multiply(b, a, 8, poly));
+    }
+  }
+}
+
+class LogExpWidths : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LogExpWidths, TablesAreConsistentWithSlowMultiply) {
+  const unsigned w = GetParam();
+  const auto t = build_log_exp(w);
+  const auto poly = primitive_polynomial(w);
+  ASSERT_EQ(t.field_size, 1u << w);
+  const std::uint32_t order = t.field_size - 1;
+
+  // exp is a bijection onto the nonzero elements and log inverts it.
+  std::vector<bool> seen(t.field_size, false);
+  for (std::uint32_t i = 0; i < order; ++i) {
+    const std::uint32_t x = t.exp[i];
+    ASSERT_NE(x, 0u);
+    ASSERT_LT(x, t.field_size);
+    EXPECT_FALSE(seen[x]) << "exp not injective at " << i;
+    seen[x] = true;
+    EXPECT_EQ(t.log[x], i);
+    EXPECT_EQ(t.exp[i + order], x) << "doubled table mismatch";
+  }
+
+  // exp respects multiplication: exp(i+1) = exp(i) * alpha.
+  for (std::uint32_t i = 0; i + 1 < order; ++i) {
+    EXPECT_EQ(t.exp[i + 1], slow_multiply(t.exp[i], 2, w, poly));
+  }
+}
+
+TEST_P(LogExpWidths, MulViaLogsMatchesSlowMultiplyOnSamples) {
+  const unsigned w = GetParam();
+  const auto t = build_log_exp(w);
+  const auto poly = primitive_polynomial(w);
+  const std::uint32_t order = t.field_size - 1;
+  const std::uint32_t step = w <= 8 ? 1 : 257;  // full sweep for small fields
+  for (std::uint32_t a = 1; a < t.field_size; a += step) {
+    for (std::uint32_t b = 1; b < t.field_size; b += step) {
+      const auto expected = slow_multiply(a, b, w, poly);
+      const auto via_logs = t.exp[(t.log[a] + t.log[b]) % order];
+      EXPECT_EQ(via_logs, expected) << "a=" << a << " b=" << b << " w=" << w;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, LogExpWidths,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u,
+                                           11u, 12u, 13u, 14u, 15u, 16u));
+
+}  // namespace
+}  // namespace car::gf

@@ -1,0 +1,153 @@
+#include "matrix/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "gf/gf256.h"
+#include "util/rng.h"
+
+namespace car::matrix {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      m(i, j) = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+  }
+  return m;
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 0u);
+  m(1, 2) = 7;
+  EXPECT_EQ(m.at(1, 2), 7u);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 3), std::out_of_range);
+  EXPECT_THROW(Matrix(2, 2, std::vector<std::uint8_t>(3)),
+               std::invalid_argument);
+}
+
+TEST(Matrix, FromRowsAndEquality) {
+  const auto m = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m(0, 1), 2u);
+  EXPECT_EQ(m(1, 0), 3u);
+  EXPECT_EQ(m, Matrix::from_rows({{1, 2}, {3, 4}}));
+  EXPECT_NE(m, Matrix::from_rows({{1, 2}, {3, 5}}));
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityIsMultiplicativeIdentity) {
+  util::Rng rng(1);
+  const auto m = random_matrix(4, 4, rng);
+  EXPECT_EQ(Matrix::identity(4) * m, m);
+  EXPECT_EQ(m * Matrix::identity(4), m);
+}
+
+TEST(Matrix, MultiplicationIsAssociative) {
+  util::Rng rng(2);
+  const auto a = random_matrix(3, 4, rng);
+  const auto b = random_matrix(4, 5, rng);
+  const auto c = random_matrix(5, 2, rng);
+  EXPECT_EQ((a * b) * c, a * (b * c));
+}
+
+TEST(Matrix, MultiplicationShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, ApplyMatchesMatrixProduct) {
+  util::Rng rng(3);
+  const auto a = random_matrix(4, 6, rng);
+  std::vector<std::uint8_t> v(6);
+  rng.fill_bytes(v);
+  const auto out = a.apply(v);
+  Matrix col(6, 1, std::vector<std::uint8_t>(v.begin(), v.end()));
+  const auto expected = a * col;
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(out[i], expected(i, 0));
+  EXPECT_THROW(a.apply(std::vector<std::uint8_t>(5)), std::invalid_argument);
+}
+
+TEST(Matrix, AdditionIsXor) {
+  const auto a = Matrix::from_rows({{1, 2}, {4, 8}});
+  const auto b = Matrix::from_rows({{3, 2}, {4, 1}});
+  EXPECT_EQ(a + b, Matrix::from_rows({{2, 0}, {0, 9}}));
+  EXPECT_THROW(a + Matrix(1, 2), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeRoundTrips) {
+  util::Rng rng(4);
+  const auto a = random_matrix(3, 7, rng);
+  EXPECT_EQ(a.transposed().transposed(), a);
+  EXPECT_EQ(a.transposed()(2, 1), a(1, 2));
+}
+
+TEST(Matrix, SelectRows) {
+  const auto a = Matrix::from_rows({{1, 1}, {2, 2}, {3, 3}});
+  const std::vector<std::size_t> idx = {2, 0};
+  const auto sel = a.select_rows(idx);
+  EXPECT_EQ(sel, Matrix::from_rows({{3, 3}, {1, 1}}));
+  const std::vector<std::size_t> bad = {5};
+  EXPECT_THROW(a.select_rows(bad), std::out_of_range);
+}
+
+class MatrixInversion : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MatrixInversion, RandomInvertibleMatricesRoundTrip) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n * 31 + 7);
+  int inverted = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto a = random_matrix(n, n, rng);
+    if (!a.invertible()) continue;
+    ++inverted;
+    const auto inv = a.inverted();
+    EXPECT_EQ(a * inv, Matrix::identity(n));
+    EXPECT_EQ(inv * a, Matrix::identity(n));
+  }
+  // Random byte matrices over GF(256) are invertible with probability
+  // ~prod(1 - 256^-i) > 0.99; expect a healthy majority.
+  EXPECT_GE(inverted, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatrixInversion,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+TEST(Matrix, SingularMatrixThrowsAndReportsNotInvertible) {
+  // Two identical rows -> singular.
+  const auto a = Matrix::from_rows({{1, 2}, {1, 2}});
+  EXPECT_FALSE(a.invertible());
+  EXPECT_THROW(a.inverted(), std::domain_error);
+  EXPECT_EQ(a.rank(), 1u);
+  const auto zero = Matrix(3, 3);
+  EXPECT_FALSE(zero.invertible());
+  EXPECT_EQ(zero.rank(), 0u);
+}
+
+TEST(Matrix, NonSquareInversionThrows) {
+  EXPECT_THROW(Matrix(2, 3).inverted(), std::invalid_argument);
+  EXPECT_FALSE(Matrix(2, 3).invertible());
+}
+
+TEST(Matrix, RankOfRandomProducts) {
+  util::Rng rng(5);
+  // rank(A*B) <= min(rank(A), rank(B)); with a thin middle dimension the
+  // product's rank is capped by it.
+  const auto a = random_matrix(5, 2, rng);
+  const auto b = random_matrix(2, 5, rng);
+  EXPECT_LE((a * b).rank(), 2u);
+  EXPECT_EQ(Matrix::identity(6).rank(), 6u);
+}
+
+TEST(Matrix, ToStringFormatsHexRows) {
+  const auto a = Matrix::from_rows({{0, 255}});
+  EXPECT_EQ(a.to_string(), "[00 ff]\n");
+}
+
+}  // namespace
+}  // namespace car::matrix

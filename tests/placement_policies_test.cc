@@ -1,0 +1,135 @@
+// Tests for the non-random placement policies (spread / compact) and the
+// mutation APIs (set_host / move_chunks / can_host) used by the repair path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "cluster/configs.h"
+#include "cluster/placement.h"
+
+namespace car::cluster {
+namespace {
+
+TEST(SpreadPlacement, DispersesChunksEvenlyAcrossRacks) {
+  util::Rng rng(1);
+  // 5 racks, width 14 -> per-rack share is ceil(14/5)=3 <= m=4.
+  const auto cfg = cfs3();
+  const auto p =
+      Placement::spread(cfg.topology(), cfg.k, cfg.m, 30, rng);
+  EXPECT_TRUE(p.validate());
+  const std::size_t r = p.topology().num_racks();
+  const std::size_t width = cfg.k + cfg.m;
+  for (StripeId s = 0; s < p.num_stripes(); ++s) {
+    const auto census = p.rack_census(s);
+    for (std::size_t c : census) {
+      EXPECT_GE(c, width / r);
+      EXPECT_LE(c, (width + r - 1) / r);
+    }
+  }
+}
+
+TEST(SpreadPlacement, RejectsInfeasibleDispersion) {
+  util::Rng rng(2);
+  // 2 racks, width 7, m=3: ceil(7/2)=4 > 3 -> quota violation.
+  EXPECT_THROW(Placement::spread(Topology({5, 5}), 4, 3, 1, rng),
+               std::invalid_argument);
+  // Rack with too few nodes for its share.
+  EXPECT_THROW(Placement::spread(Topology({2, 6, 6}), 6, 3, 1, rng),
+               std::invalid_argument);
+}
+
+TEST(CompactPlacement, MinimisesRacksTouched) {
+  util::Rng rng(3);
+  const auto cfg = cfs3();  // racks {6,4,5,3,2}, m=4, width 14
+  const auto p =
+      Placement::compact(cfg.topology(), cfg.k, cfg.m, 30, rng);
+  EXPECT_TRUE(p.validate());
+  for (StripeId s = 0; s < p.num_stripes(); ++s) {
+    const auto census = p.rack_census(s);
+    const std::size_t racks_touched =
+        census.size() -
+        static_cast<std::size_t>(std::count(census.begin(), census.end(), 0u));
+    // Lower bound: ceil(width / m) racks must be touched.
+    const std::size_t lower = (cfg.k + cfg.m + cfg.m - 1) / cfg.m;
+    EXPECT_GE(racks_touched, lower);
+    // Compactness: touched racks are filled to quota except possibly ones
+    // limited by node count and the remainder rack.
+    std::size_t at_quota = 0;
+    for (RackId rack = 0; rack < census.size(); ++rack) {
+      const std::size_t cap =
+          std::min<std::size_t>(cfg.m, p.topology().nodes_in_rack_count(rack));
+      if (census[rack] == cap) ++at_quota;
+    }
+    EXPECT_GE(at_quota + 1, racks_touched);
+  }
+}
+
+TEST(CompactPlacement, ProducesLowerCarTrafficThanSpread) {
+  // The compact layout should let CAR touch fewer racks per stripe than the
+  // spread layout does — the placement ablation's core claim.
+  const auto cfg = cfs3();
+  util::Rng rng_a(4), rng_b(4);
+  const auto compact =
+      Placement::compact(cfg.topology(), cfg.k, cfg.m, 50, rng_a);
+  const auto spread =
+      Placement::spread(cfg.topology(), cfg.k, cfg.m, 50, rng_b);
+
+  auto avg_racks = [&](const Placement& p) {
+    double racks = 0;
+    for (StripeId s = 0; s < p.num_stripes(); ++s) {
+      const auto census = p.rack_census(s);
+      racks += static_cast<double>(
+          census.size() -
+          static_cast<std::size_t>(
+              std::count(census.begin(), census.end(), 0u)));
+    }
+    return racks / static_cast<double>(p.num_stripes());
+  };
+  EXPECT_LT(avg_racks(compact), avg_racks(spread));
+}
+
+TEST(PlacementMutation, SetHostValidatesInvariants) {
+  Placement p(Topology({2, 2, 2}), 2, 2);
+  p.add_stripe({0, 2, 3, 4});
+  // Node 5 is free and in rack 2 which currently holds chunks on node 4
+  // only -> allowed.
+  EXPECT_TRUE(p.can_host(0, 0, 5));
+  p.set_host(0, 0, 5);
+  EXPECT_EQ(p.node_of(0, 0), 5u);
+  // Duplicate node rejected.
+  EXPECT_FALSE(p.can_host(0, 1, 5));
+  EXPECT_THROW(p.set_host(0, 1, 5), std::invalid_argument);
+  // Rack quota (m=2): rack 2 already hosts chunks on nodes 4 and 5.
+  EXPECT_FALSE(p.can_host(0, 1, 4));  // node 4 already hosts a chunk
+  EXPECT_THROW(p.set_host(9, 0, 0), std::out_of_range);
+  EXPECT_THROW(p.set_host(0, 9, 0), std::out_of_range);
+}
+
+TEST(PlacementMutation, MoveChunksRelocatesEverything) {
+  Placement p(Topology({2, 2, 2}), 2, 2);
+  p.add_stripe({0, 2, 3, 4});
+  p.add_stripe({0, 1, 2, 4});
+  ASSERT_EQ(p.chunks_on_node(0).size(), 2u);
+  p.move_chunks(0, 5);
+  EXPECT_TRUE(p.chunks_on_node(0).empty());
+  EXPECT_EQ(p.chunks_on_node(5).size(), 2u);
+  EXPECT_TRUE(p.validate());
+  p.move_chunks(5, 5);  // no-op
+  EXPECT_EQ(p.chunks_on_node(5).size(), 2u);
+  EXPECT_THROW(p.move_chunks(0, 99), std::invalid_argument);
+}
+
+TEST(PlacementMutation, MoveChunksRejectsInvalidTargetAtomically) {
+  Placement p(Topology({2, 2, 2}), 2, 2);
+  p.add_stripe({0, 1, 2, 4});  // rack 0 holds 2 chunks (quota m=2)
+  // Moving node 4's chunk into rack 0 (node... both rack-0 nodes host
+  // already) -> duplicate/quota violation.
+  EXPECT_THROW(p.move_chunks(4, 0), std::invalid_argument);
+  // Placement unchanged.
+  EXPECT_EQ(p.node_of(0, 3), 4u);
+  EXPECT_TRUE(p.validate());
+}
+
+}  // namespace
+}  // namespace car::cluster

@@ -1,0 +1,123 @@
+#include "cluster/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "cluster/configs.h"
+
+namespace car::cluster {
+namespace {
+
+class RandomPlacementSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {
+ protected:
+  CfsConfig config_ = paper_configs()[std::get<0>(GetParam())];
+  util::Rng rng_{std::get<1>(GetParam())};
+};
+
+TEST_P(RandomPlacementSweep, InvariantsHoldForEveryStripe) {
+  constexpr std::size_t kStripes = 60;
+  const auto p = Placement::random(config_.topology(), config_.k, config_.m,
+                                   kStripes, rng_);
+  ASSERT_EQ(p.num_stripes(), kStripes);
+  EXPECT_TRUE(p.validate());
+
+  for (StripeId s = 0; s < kStripes; ++s) {
+    const auto census = p.rack_census(s);
+    const std::size_t total =
+        std::accumulate(census.begin(), census.end(), std::size_t{0});
+    EXPECT_EQ(total, config_.k + config_.m);
+    for (std::size_t c : census) {
+      EXPECT_LE(c, config_.m) << "rack quota violated in stripe " << s;
+    }
+    auto nodes = p.stripe(s);
+    std::vector<NodeId> sorted(nodes.begin(), nodes.end());
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  }
+}
+
+TEST_P(RandomPlacementSweep, OccupancyAccountsForAllChunks) {
+  const auto p = Placement::random(config_.topology(), config_.k, config_.m,
+                                   40, rng_);
+  const auto occ = p.node_occupancy();
+  const std::size_t total =
+      std::accumulate(occ.begin(), occ.end(), std::size_t{0});
+  EXPECT_EQ(total, 40 * (config_.k + config_.m));
+  for (NodeId n = 0; n < p.topology().num_nodes(); ++n) {
+    EXPECT_EQ(p.chunks_on_node(n).size(), occ[n]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperConfigsAndSeeds, RandomPlacementSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(1u, 42u, 777u)));
+
+TEST(Placement, ChunkIndicesInRackMatchesNodeOf) {
+  util::Rng rng(5);
+  const auto cfg = cfs2();
+  const auto p = Placement::random(cfg.topology(), cfg.k, cfg.m, 10, rng);
+  for (StripeId s = 0; s < p.num_stripes(); ++s) {
+    for (RackId r = 0; r < p.topology().num_racks(); ++r) {
+      const auto indices = p.chunk_indices_in_rack(s, r);
+      EXPECT_EQ(indices.size(), p.chunks_in_rack(s, r));
+      for (std::size_t c : indices) {
+        EXPECT_EQ(p.topology().rack_of(p.node_of(s, c)), r);
+      }
+    }
+  }
+}
+
+TEST(Placement, AddStripeValidatesLayout) {
+  Placement p(Topology({2, 2, 2}), 3, 2);  // k=3, m=2, width 5
+  EXPECT_NO_THROW(p.add_stripe({0, 1, 2, 3, 4}));
+  EXPECT_THROW(p.add_stripe({0, 1, 2, 3}), std::invalid_argument);     // arity
+  EXPECT_THROW(p.add_stripe({0, 0, 2, 3, 4}), std::invalid_argument);  // dup
+  EXPECT_THROW(p.add_stripe({0, 1, 2, 3, 9}), std::invalid_argument);  // range
+}
+
+TEST(Placement, RackQuotaEnforced) {
+  // Width 4 with m=1: no rack may hold 2+ chunks of one stripe.
+  Placement p(Topology({3, 3, 3, 3}), 3, 1);
+  EXPECT_THROW(p.add_stripe({0, 1, 3, 6}), std::invalid_argument);
+  EXPECT_NO_THROW(p.add_stripe({0, 3, 6, 9}));
+}
+
+TEST(Placement, RandomThrowsWhenQuotaMakesStripeImpossible) {
+  // Two racks, m=1 -> at most 2 chunk slots per stripe but width is 3.
+  util::Rng rng(1);
+  EXPECT_THROW(Placement::random(Topology({5, 5}), 2, 1, 1, rng),
+               std::invalid_argument);
+}
+
+TEST(Placement, ConstructorRejectsImpossibleWidth) {
+  EXPECT_THROW(Placement(Topology({2, 2}), 4, 2), std::invalid_argument);
+}
+
+TEST(Placement, RoundRobinIsValidAndDeterministic) {
+  const auto cfg = cfs1();
+  const auto p1 = Placement::round_robin(cfg.topology(), cfg.k, cfg.m, 20);
+  const auto p2 = Placement::round_robin(cfg.topology(), cfg.k, cfg.m, 20);
+  EXPECT_TRUE(p1.validate());
+  for (StripeId s = 0; s < 20; ++s) {
+    const auto a = p1.stripe(s);
+    const auto b = p2.stripe(s);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(Placement, OutOfRangeAccessorsThrow) {
+  util::Rng rng(3);
+  const auto cfg = cfs1();
+  const auto p = Placement::random(cfg.topology(), cfg.k, cfg.m, 2, rng);
+  EXPECT_THROW((void)p.node_of(2, 0), std::out_of_range);
+  EXPECT_THROW((void)p.node_of(0, 7), std::out_of_range);
+  EXPECT_THROW((void)p.stripe(5), std::out_of_range);
+  EXPECT_THROW((void)p.chunks_in_rack(0, 9), std::out_of_range);
+  EXPECT_THROW(p.chunks_on_node(99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace car::cluster

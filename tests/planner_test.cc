@@ -1,0 +1,114 @@
+#include "recovery/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/configs.h"
+
+namespace car::recovery {
+namespace {
+
+using cluster::Placement;
+using cluster::Topology;
+
+Placement paper_placement(const cluster::CfsConfig& cfg, std::size_t stripes,
+                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  return Placement::random(cfg.topology(), cfg.k, cfg.m, stripes, rng);
+}
+
+class MaterializeSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(MaterializeSweep, EverySolutionReadsExactlyKChunksAndUsesEveryRack) {
+  const auto cfg = cluster::paper_configs()[std::get<0>(GetParam())];
+  const auto p = paper_placement(cfg, 40, std::get<1>(GetParam()));
+  util::Rng rng(std::get<1>(GetParam()) + 99);
+  const auto scenario = cluster::inject_random_failure(p, rng);
+  const auto censuses = build_censuses(p, scenario);
+
+  for (const auto& census : censuses) {
+    for (const auto& set : enumerate_minimal_solutions(census)) {
+      const auto solution = materialize(p, census, set);
+      EXPECT_EQ(solution.stripe, census.stripe);
+      EXPECT_EQ(solution.lost_chunk, census.lost_chunk);
+
+      // Exactly k distinct surviving chunks, never the lost one.
+      const auto all = solution.all_chunk_indices();
+      EXPECT_EQ(all.size(), census.k);
+      auto sorted = all;
+      std::sort(sorted.begin(), sorted.end());
+      EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()),
+                sorted.end());
+      EXPECT_EQ(std::find(all.begin(), all.end(), census.lost_chunk),
+                all.end());
+
+      // Every pick lives in its claimed rack and is non-empty.
+      for (const auto& pick : solution.picks) {
+        EXPECT_FALSE(pick.chunk_indices.empty());
+        for (std::size_t c : pick.chunk_indices) {
+          EXPECT_EQ(p.topology().rack_of(p.node_of(census.stripe, c)),
+                    pick.rack);
+        }
+      }
+
+      // Accessed intact racks = rack set; each contributes >= 1 chunk.
+      std::vector<cluster::RackId> intact;
+      for (const auto& pick : solution.picks) {
+        if (pick.rack != census.failed_rack) intact.push_back(pick.rack);
+      }
+      std::sort(intact.begin(), intact.end());
+      EXPECT_EQ(intact, solution.rack_set.racks);
+      EXPECT_EQ(solution.cross_rack_chunks(), set.racks.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperConfigsAndSeeds, MaterializeSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(7u, 1234u)));
+
+TEST(Materialize, UsesFailedRackSurvivorsFirst) {
+  // Hand-crafted layout: failed rack keeps 2 survivors; they must be used
+  // before intact-rack chunks are pulled.
+  Placement p(Topology({3, 3, 3}), 4, 3);
+  p.add_stripe({0, 1, 2, 3, 4, 5, 6});  // A1: 3 chunks, A2: 3, A3: 1
+  const auto scenario = cluster::inject_node_failure(p, 0);
+  const auto census = build_census(p, scenario, scenario.lost[0]);
+  // local survivors = 2, k = 4 -> need 2 more, intact best = A2 (3) -> d=1.
+  EXPECT_EQ(min_intact_racks(census), 1u);
+  const auto solution = materialize(p, census, default_solution(census));
+  ASSERT_EQ(solution.picks.size(), 2u);
+  EXPECT_EQ(solution.picks[0].rack, 0u);
+  EXPECT_EQ(solution.picks[0].chunk_indices,
+            (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(solution.picks[1].rack, 1u);
+  EXPECT_EQ(solution.picks[1].chunk_indices.size(), 2u);  // trimmed from 3
+}
+
+TEST(Materialize, RejectsInvalidRackSets) {
+  Placement p(Topology({3, 3, 3}), 4, 3);
+  p.add_stripe({0, 1, 2, 3, 4, 5, 6});
+  const auto scenario = cluster::inject_node_failure(p, 0);
+  const auto census = build_census(p, scenario, scenario.lost[0]);
+  EXPECT_THROW(materialize(p, census, RackSet{{2}}), std::invalid_argument);
+  EXPECT_THROW(materialize(p, census, RackSet{{1, 2}}), std::invalid_argument);
+}
+
+TEST(PlanCarInitial, OneSolutionPerLostChunk) {
+  const auto cfg = cluster::cfs3();
+  const auto p = paper_placement(cfg, 100, 5);
+  util::Rng rng(6);
+  const auto scenario = cluster::inject_random_failure(p, rng);
+  const auto censuses = build_censuses(p, scenario);
+  const auto solutions = plan_car_initial(p, censuses);
+  ASSERT_EQ(solutions.size(), censuses.size());
+  for (std::size_t i = 0; i < solutions.size(); ++i) {
+    EXPECT_EQ(solutions[i].stripe, censuses[i].stripe);
+    EXPECT_TRUE(is_valid_minimal(censuses[i], solutions[i].rack_set));
+  }
+}
+
+}  // namespace
+}  // namespace car::recovery

@@ -1,0 +1,161 @@
+#include "rs/code.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/rng.h"
+
+namespace car::rs {
+namespace {
+
+using Params = std::tuple<std::size_t, std::size_t, Code::Construction>;
+
+std::vector<Chunk> random_data(std::size_t k, std::size_t size,
+                               util::Rng& rng) {
+  std::vector<Chunk> data(k, Chunk(size));
+  for (auto& chunk : data) rng.fill_bytes(chunk);
+  return data;
+}
+
+std::vector<ChunkView> views_of(const std::vector<Chunk>& chunks) {
+  return {chunks.begin(), chunks.end()};
+}
+
+class RsCodeSweep : public ::testing::TestWithParam<Params> {
+ protected:
+  std::size_t k_ = std::get<0>(GetParam());
+  std::size_t m_ = std::get<1>(GetParam());
+  Code code_{k_, m_, std::get<2>(GetParam())};
+  util::Rng rng_{k_ * 1000 + m_ * 10 +
+                 (std::get<2>(GetParam()) == Code::Construction::kCauchy)};
+};
+
+TEST_P(RsCodeSweep, EncodeProducesSystematicStripe) {
+  const auto data = random_data(k_, 128, rng_);
+  const auto stripe = code_.encode_stripe(views_of(data));
+  ASSERT_EQ(stripe.size(), k_ + m_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    EXPECT_EQ(stripe[i], data[i]) << "systematic data chunk " << i;
+  }
+}
+
+TEST_P(RsCodeSweep, AnySingleChunkIsReconstructibleFromRandomSurvivors) {
+  const auto data = random_data(k_, 64, rng_);
+  const auto stripe = code_.encode_stripe(views_of(data));
+  const std::size_t n = k_ + m_;
+
+  for (std::size_t lost = 0; lost < n; ++lost) {
+    // Three random survivor subsets per lost chunk.
+    for (int trial = 0; trial < 3; ++trial) {
+      std::vector<std::size_t> candidates;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i != lost) candidates.push_back(i);
+      }
+      rng_.shuffle(candidates);
+      candidates.resize(k_);
+
+      std::vector<ChunkView> chunks;
+      for (std::size_t id : candidates) chunks.push_back(stripe[id]);
+      const auto rebuilt = code_.reconstruct(lost, candidates, chunks);
+      EXPECT_EQ(rebuilt, stripe[lost]) << "lost=" << lost;
+    }
+  }
+}
+
+TEST_P(RsCodeSweep, DecodeDataRecoversAllOriginals) {
+  const auto data = random_data(k_, 96, rng_);
+  const auto stripe = code_.encode_stripe(views_of(data));
+  // Prefer parity-heavy survivor sets to actually exercise decoding.
+  std::vector<std::size_t> ids;
+  for (std::size_t i = k_ + m_; i-- > 0 && ids.size() < k_;) ids.push_back(i);
+  std::vector<ChunkView> chunks;
+  for (std::size_t id : ids) chunks.push_back(stripe[id]);
+  const auto decoded = code_.decode_data(ids, chunks);
+  ASSERT_EQ(decoded.size(), k_);
+  for (std::size_t i = 0; i < k_; ++i) EXPECT_EQ(decoded[i], data[i]);
+}
+
+TEST_P(RsCodeSweep, RepairVectorForSurvivingDataChunkIsTrivial) {
+  // If the "lost" chunk is itself among plausible survivors' span and the
+  // survivor set contains all data chunks, reconstructing data chunk i uses
+  // y = e_i when survivors are exactly the data chunks.
+  if (m_ == 0) GTEST_SKIP();
+  std::vector<std::size_t> survivors(k_);
+  for (std::size_t i = 0; i < k_; ++i) survivors[i] = i;
+  const std::size_t target = k_;  // first parity chunk
+  const auto y = code_.repair_vector(target, survivors);
+  // y must equal the parity row of the generator.
+  const auto row = code_.generator_row(target);
+  for (std::size_t i = 0; i < k_; ++i) EXPECT_EQ(y[i], row[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codes, RsCodeSweep,
+    ::testing::Values(
+        Params{1, 1, Code::Construction::kVandermonde},
+        Params{2, 1, Code::Construction::kVandermonde},
+        Params{4, 2, Code::Construction::kVandermonde},
+        Params{4, 3, Code::Construction::kVandermonde},
+        Params{6, 3, Code::Construction::kVandermonde},
+        Params{10, 4, Code::Construction::kVandermonde},
+        Params{4, 3, Code::Construction::kCauchy},
+        Params{6, 3, Code::Construction::kCauchy},
+        Params{10, 4, Code::Construction::kCauchy}));
+
+TEST(RsCode, ConstructionValidation) {
+  EXPECT_THROW(Code(0, 3), std::invalid_argument);
+  EXPECT_THROW(Code(255, 2), std::invalid_argument);
+  EXPECT_NO_THROW(Code(12, 4));
+}
+
+TEST(RsCode, EncodeValidation) {
+  Code code(4, 2);
+  util::Rng rng(1);
+  auto data = random_data(3, 16, rng);  // wrong arity
+  EXPECT_THROW(code.encode(views_of(data)), std::invalid_argument);
+  data = random_data(4, 16, rng);
+  data[2].resize(8);  // ragged sizes
+  EXPECT_THROW(code.encode(views_of(data)), std::invalid_argument);
+}
+
+TEST(RsCode, RepairVectorValidation) {
+  Code code(4, 2);
+  const std::vector<std::size_t> too_few = {0, 1, 2};
+  EXPECT_THROW(code.repair_vector(5, too_few), std::invalid_argument);
+  const std::vector<std::size_t> dup = {0, 1, 2, 2};
+  EXPECT_THROW(code.repair_vector(5, dup), std::invalid_argument);
+  const std::vector<std::size_t> contains_lost = {0, 1, 2, 5};
+  EXPECT_THROW(code.repair_vector(5, contains_lost), std::invalid_argument);
+  const std::vector<std::size_t> out_of_range = {0, 1, 2, 6};
+  EXPECT_THROW(code.repair_vector(5, out_of_range), std::invalid_argument);
+  EXPECT_THROW(code.repair_vector(6, {std::vector<std::size_t>{0, 1, 2, 3}}),
+               std::invalid_argument);
+}
+
+TEST(RsCode, ZeroLengthChunksAreHandled) {
+  Code code(3, 2);
+  std::vector<Chunk> data(3);
+  const auto parity = code.encode(views_of(data));
+  ASSERT_EQ(parity.size(), 2u);
+  EXPECT_TRUE(parity[0].empty());
+}
+
+TEST(RsCode, VandermondeAndCauchyAgreeOnData) {
+  // Different generators, same contract: decode returns original data.
+  util::Rng rng(2);
+  const auto data = random_data(5, 32, rng);
+  for (auto construction :
+       {Code::Construction::kVandermonde, Code::Construction::kCauchy}) {
+    Code code(5, 3, construction);
+    const auto stripe = code.encode_stripe(views_of(data));
+    const std::vector<std::size_t> ids = {7, 6, 5, 4, 3};
+    std::vector<ChunkView> chunks;
+    for (auto id : ids) chunks.push_back(stripe[id]);
+    const auto decoded = code.decode_data(ids, chunks);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(decoded[i], data[i]);
+  }
+}
+
+}  // namespace
+}  // namespace car::rs

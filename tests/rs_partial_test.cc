@@ -1,0 +1,154 @@
+#include "rs/partial.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/rng.h"
+
+namespace car::rs {
+namespace {
+
+std::vector<Chunk> random_data(std::size_t k, std::size_t size,
+                               util::Rng& rng) {
+  std::vector<Chunk> data(k, Chunk(size));
+  for (auto& chunk : data) rng.fill_bytes(chunk);
+  return data;
+}
+
+std::vector<ChunkView> views_of(const std::vector<Chunk>& chunks) {
+  return {chunks.begin(), chunks.end()};
+}
+
+/// Random partition of positions [0, k) into 1..k groups.
+std::vector<PartialGroup> random_partition(std::size_t k, util::Rng& rng) {
+  const std::size_t groups = 1 + rng.next_below(k);
+  std::vector<PartialGroup> partition(groups);
+  std::vector<std::size_t> order(k);
+  for (std::size_t i = 0; i < k; ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::size_t i = 0; i < k; ++i) {
+    // Guarantee each group gets at least one position, then spread randomly.
+    const std::size_t g = i < groups ? i : rng.next_below(groups);
+    partition[g].positions.push_back(order[i]);
+  }
+  return partition;
+}
+
+using Params = std::tuple<std::size_t, std::size_t>;
+
+class PartialDecoding : public ::testing::TestWithParam<Params> {
+ protected:
+  std::size_t k_ = std::get<0>(GetParam());
+  std::size_t m_ = std::get<1>(GetParam());
+  Code code_{k_, m_};
+  util::Rng rng_{k_ * 131 + m_};
+};
+
+TEST_P(PartialDecoding, GroupedReconstructionEqualsDirectForRandomPartitions) {
+  const auto data = random_data(k_, 77, rng_);
+  const auto stripe = code_.encode_stripe(views_of(data));
+  const std::size_t n = k_ + m_;
+
+  for (std::size_t lost = 0; lost < n; ++lost) {
+    std::vector<std::size_t> survivors;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != lost) survivors.push_back(i);
+    }
+    rng_.shuffle(survivors);
+    survivors.resize(k_);
+    std::vector<ChunkView> chunks;
+    for (std::size_t id : survivors) chunks.push_back(stripe[id]);
+
+    const auto direct = code_.reconstruct(lost, survivors, chunks);
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto partition = random_partition(k_, rng_);
+      const auto grouped =
+          reconstruct_grouped(code_, lost, survivors, chunks, partition);
+      ASSERT_EQ(grouped, direct) << "lost=" << lost << " trial=" << trial;
+      ASSERT_EQ(grouped, stripe[lost]);
+    }
+  }
+}
+
+TEST_P(PartialDecoding, SingleGroupEqualsDirectReconstruction) {
+  const auto data = random_data(k_, 33, rng_);
+  const auto stripe = code_.encode_stripe(views_of(data));
+  std::vector<std::size_t> survivors;
+  for (std::size_t i = 1; i <= k_; ++i) survivors.push_back(i);
+  std::vector<ChunkView> chunks;
+  for (std::size_t id : survivors) chunks.push_back(stripe[id]);
+
+  PartialGroup all;
+  for (std::size_t i = 0; i < k_; ++i) all.positions.push_back(i);
+  const std::vector<PartialGroup> partition = {all};
+  EXPECT_EQ(reconstruct_grouped(code_, 0, survivors, chunks, partition),
+            stripe[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, PartialDecoding,
+                         ::testing::Values(Params{2, 1}, Params{4, 2},
+                                           Params{4, 3}, Params{6, 3},
+                                           Params{10, 4}));
+
+TEST(PartialDecode, PartialsSumToTheRepairCombination) {
+  util::Rng rng(7);
+  Code code(4, 3);
+  const auto data = random_data(4, 50, rng);
+  const auto stripe = code.encode_stripe(views_of(data));
+  const std::vector<std::size_t> survivors = {1, 3, 5, 6};
+  std::vector<ChunkView> chunks;
+  for (auto id : survivors) chunks.push_back(stripe[id]);
+  const auto y = code.repair_vector(0, survivors);
+
+  const PartialGroup g1{{0, 2}};
+  const PartialGroup g2{{1, 3}};
+  const auto p1 = partial_decode(y, g1, chunks);
+  const auto p2 = partial_decode(y, g2, chunks);
+  std::vector<ChunkView> partials = {p1, p2};
+  EXPECT_EQ(combine_partials(partials), stripe[0]);
+}
+
+TEST(PartialDecode, EmptyGroupYieldsZeroChunk) {
+  util::Rng rng(8);
+  Code code(3, 2);
+  const auto data = random_data(3, 16, rng);
+  const auto stripe = code.encode_stripe(views_of(data));
+  const std::vector<std::size_t> survivors = {1, 2, 3};
+  std::vector<ChunkView> chunks;
+  for (auto id : survivors) chunks.push_back(stripe[id]);
+  const auto y = code.repair_vector(0, survivors);
+  const auto zero = partial_decode(y, PartialGroup{}, chunks);
+  EXPECT_EQ(zero, Chunk(16, 0));
+}
+
+TEST(PartialDecode, Validation) {
+  util::Rng rng(9);
+  Code code(3, 2);
+  const auto data = random_data(3, 16, rng);
+  const auto stripe = code.encode_stripe(views_of(data));
+  const std::vector<std::size_t> survivors = {1, 2, 3};
+  std::vector<ChunkView> chunks;
+  for (auto id : survivors) chunks.push_back(stripe[id]);
+  const auto y = code.repair_vector(0, survivors);
+
+  EXPECT_THROW(partial_decode(y, PartialGroup{{5}}, chunks),
+               std::invalid_argument);
+  const std::vector<ChunkView> empty;
+  EXPECT_THROW(partial_decode(y, PartialGroup{{0}}, empty),
+               std::invalid_argument);
+  EXPECT_THROW(combine_partials(empty), std::invalid_argument);
+
+  // Groups must partition positions: overlap and gaps both rejected.
+  const std::vector<PartialGroup> overlapping = {PartialGroup{{0, 1}},
+                                                 PartialGroup{{1, 2}}};
+  EXPECT_THROW(
+      reconstruct_grouped(code, 0, survivors, chunks, overlapping),
+      std::invalid_argument);
+  const std::vector<PartialGroup> gap = {PartialGroup{{0}}};
+  EXPECT_THROW(reconstruct_grouped(code, 0, survivors, chunks, gap),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace car::rs

@@ -1,0 +1,98 @@
+#include "rs/update.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/rng.h"
+
+namespace car::rs {
+namespace {
+
+std::vector<Chunk> random_data(std::size_t k, std::size_t size,
+                               util::Rng& rng) {
+  std::vector<Chunk> data(k, Chunk(size));
+  for (auto& chunk : data) rng.fill_bytes(chunk);
+  return data;
+}
+
+std::vector<ChunkView> views_of(const std::vector<Chunk>& chunks) {
+  return {chunks.begin(), chunks.end()};
+}
+
+using Params = std::tuple<std::size_t, std::size_t>;
+
+class ParityUpdateSweep : public ::testing::TestWithParam<Params> {
+ protected:
+  std::size_t k_ = std::get<0>(GetParam());
+  std::size_t m_ = std::get<1>(GetParam());
+  Code code_{k_, m_};
+  util::Rng rng_{k_ * 17 + m_};
+};
+
+TEST_P(ParityUpdateSweep, DeltaUpdateMatchesFullReencode) {
+  constexpr std::size_t kSize = 257;
+  auto data = random_data(k_, kSize, rng_);
+  auto parity = code_.encode(views_of(data));
+
+  // Overwrite each data chunk in turn and patch parities incrementally.
+  for (std::size_t i = 0; i < k_; ++i) {
+    Chunk updated(kSize);
+    rng_.fill_bytes(updated);
+    const auto delta = data_delta(data[i], updated);
+    const auto updates = parity_deltas(code_, i, delta);
+    ASSERT_EQ(updates.size(), m_);
+    for (std::size_t j = 0; j < m_; ++j) {
+      apply_parity_delta(updates[j], parity[j]);
+    }
+    data[i] = updated;
+
+    const auto expected = code_.encode(views_of(data));
+    for (std::size_t j = 0; j < m_; ++j) {
+      ASSERT_EQ(parity[j], expected[j])
+          << "parity " << j << " after updating data chunk " << i;
+    }
+  }
+}
+
+TEST_P(ParityUpdateSweep, NoOpUpdateLeavesParityUntouched) {
+  constexpr std::size_t kSize = 64;
+  const auto data = random_data(k_, kSize, rng_);
+  auto parity = code_.encode(views_of(data));
+  const auto before = parity;
+  const auto delta = data_delta(data[0], data[0]);  // zero delta
+  for (std::size_t j = 0; j < m_; ++j) {
+    const auto update = parity_delta(code_, 0, j, delta);
+    apply_parity_delta(update, parity[j]);
+  }
+  EXPECT_EQ(parity, before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, ParityUpdateSweep,
+                         ::testing::Values(Params{2, 1}, Params{4, 2},
+                                           Params{4, 3}, Params{6, 3},
+                                           Params{10, 4}));
+
+TEST(ParityUpdate, Validation) {
+  Code code(4, 2);
+  util::Rng rng(1);
+  Chunk a(16), b(8);
+  EXPECT_THROW(data_delta(a, b), std::invalid_argument);
+  Chunk delta(16);
+  EXPECT_THROW(parity_delta(code, 4, 0, delta), std::invalid_argument);
+  EXPECT_THROW(parity_delta(code, 0, 2, delta), std::invalid_argument);
+}
+
+TEST(ParityUpdate, DeltaIsXorOfVersions) {
+  util::Rng rng(2);
+  Chunk old_data(32), new_data(32);
+  rng.fill_bytes(old_data);
+  rng.fill_bytes(new_data);
+  const auto delta = data_delta(old_data, new_data);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(delta[i], static_cast<std::uint8_t>(old_data[i] ^ new_data[i]));
+  }
+}
+
+}  // namespace
+}  // namespace car::rs

@@ -1,0 +1,74 @@
+#include "cluster/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/configs.h"
+
+namespace car::cluster {
+namespace {
+
+TEST(Topology, BasicCounts) {
+  const Topology t({4, 3, 3});
+  EXPECT_EQ(t.num_racks(), 3u);
+  EXPECT_EQ(t.num_nodes(), 10u);
+  EXPECT_EQ(t.nodes_in_rack_count(0), 4u);
+  EXPECT_EQ(t.nodes_in_rack_count(2), 3u);
+  EXPECT_EQ(t.to_string(), "{4,3,3}");
+}
+
+TEST(Topology, RackOfMapsEveryNodeConsistently) {
+  const Topology t({6, 4, 5, 3, 2});
+  std::size_t node = 0;
+  for (RackId rack = 0; rack < t.num_racks(); ++rack) {
+    for (std::size_t i = 0; i < t.nodes_in_rack_count(rack); ++i, ++node) {
+      EXPECT_EQ(t.rack_of(node), rack) << "node " << node;
+    }
+  }
+  EXPECT_EQ(node, t.num_nodes());
+}
+
+TEST(Topology, RackRangeAndNodesInRack) {
+  const Topology t({2, 3});
+  EXPECT_EQ(t.rack_range(0), (std::pair<NodeId, NodeId>{0, 2}));
+  EXPECT_EQ(t.rack_range(1), (std::pair<NodeId, NodeId>{2, 5}));
+  EXPECT_EQ(t.nodes_in_rack(1), (std::vector<NodeId>{2, 3, 4}));
+}
+
+TEST(Topology, Validation) {
+  EXPECT_THROW(Topology({}), std::invalid_argument);
+  EXPECT_THROW(Topology({3, 0, 2}), std::invalid_argument);
+  const Topology t({2, 2});
+  EXPECT_THROW((void)t.rack_of(4), std::out_of_range);
+  EXPECT_THROW((void)t.rack_range(2), std::out_of_range);
+  EXPECT_THROW((void)t.nodes_in_rack_count(2), std::out_of_range);
+}
+
+TEST(Topology, Equality) {
+  EXPECT_EQ(Topology({1, 2}), Topology({1, 2}));
+  EXPECT_NE(Topology({1, 2}), Topology({2, 1}));
+}
+
+TEST(PaperConfigs, MatchTableII) {
+  const auto cfgs = paper_configs();
+  ASSERT_EQ(cfgs.size(), 3u);
+
+  EXPECT_EQ(cfgs[0].name, "CFS1");
+  EXPECT_EQ(cfgs[0].nodes_per_rack, (std::vector<std::size_t>{4, 3, 3}));
+  EXPECT_EQ(cfgs[0].k, 4u);
+  EXPECT_EQ(cfgs[0].m, 3u);
+  EXPECT_EQ(cfgs[0].topology().num_nodes(), 10u);
+
+  EXPECT_EQ(cfgs[1].name, "CFS2");
+  EXPECT_EQ(cfgs[1].k, 6u);
+  EXPECT_EQ(cfgs[1].m, 3u);
+  EXPECT_EQ(cfgs[1].topology().num_nodes(), 13u);
+
+  EXPECT_EQ(cfgs[2].name, "CFS3");
+  EXPECT_EQ(cfgs[2].k, 10u);
+  EXPECT_EQ(cfgs[2].m, 4u);
+  EXPECT_EQ(cfgs[2].topology().num_nodes(), 20u);
+  EXPECT_EQ(cfgs[2].stripe_width(), 14u);
+}
+
+}  // namespace
+}  // namespace car::cluster

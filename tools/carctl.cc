@@ -1,0 +1,301 @@
+// carctl — command-line driver for the CAR library.
+//
+// Subcommands:
+//   traffic   cross-rack repair traffic, CAR vs RR           (paper Fig. 7)
+//   balance   load-balancing rate vs greedy iterations        (paper Fig. 8)
+//   simulate  recovery time on the flow-level simulator       (paper Fig. 9)
+//   emulate   real-byte recovery on the in-process emulator
+//   trace     long-horizon Poisson failure trace study
+//
+// Common flags:
+//   --cfs 1|2|3           pick a paper configuration (Table II), or
+//   --racks 4,3,3 --k 6 --m 3   describe a custom cluster
+//   --stripes N --runs N --seed S --chunk-mib N --csv
+//
+// Examples:
+//   carctl traffic --cfs 3 --runs 50
+//   carctl simulate --racks 5,5,5,5 --k 8 --m 4 --oversub 8 --chunk-mib 16
+//   carctl emulate --cfs 2 --stripes 20 --chunk-mib 1
+#include <cstdio>
+#include <string>
+
+#include "cluster/configs.h"
+#include "emul/cluster.h"
+#include "recovery/balancer.h"
+#include "simnet/flowsim.h"
+#include "util/bytes.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace car;
+
+cluster::CfsConfig config_from(const util::Flags& flags) {
+  if (flags.has("racks") || flags.has("k") || flags.has("m")) {
+    cluster::CfsConfig cfg;
+    cfg.name = "custom";
+    cfg.nodes_per_rack = flags.get_size_list("racks", {4, 3, 3});
+    cfg.k = static_cast<std::size_t>(flags.get_int("k", 4));
+    cfg.m = static_cast<std::size_t>(flags.get_int("m", 3));
+    return cfg;
+  }
+  const auto index = flags.get_int("cfs", 2);
+  if (index < 1 || index > 3) {
+    throw std::invalid_argument("--cfs must be 1, 2, or 3");
+  }
+  return cluster::paper_configs()[static_cast<std::size_t>(index - 1)];
+}
+
+void emit(const util::TextTable& table, const util::Flags& flags) {
+  if (flags.get_bool("csv")) {
+    std::fputs(table.to_csv().c_str(), stdout);
+  } else {
+    std::fputs(table.to_string().c_str(), stdout);
+  }
+}
+
+int cmd_traffic(const util::Flags& flags) {
+  const auto cfg = config_from(flags);
+  const auto stripes = static_cast<std::size_t>(flags.get_int("stripes", 100));
+  const int runs = static_cast<int>(flags.get_int("runs", 50));
+  const std::uint64_t chunk =
+      static_cast<std::uint64_t>(flags.get_int("chunk-mib", 4)) * util::kMiB;
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+
+  util::RunningStats rr_stat, car_stat, rr_lambda, car_lambda;
+  for (int run = 0; run < runs; ++run) {
+    util::Rng rng(seed + static_cast<std::uint64_t>(run) * 131);
+    const auto placement = cluster::Placement::random(
+        cfg.topology(), cfg.k, cfg.m, stripes, rng);
+    const auto scenario = cluster::inject_random_failure(placement, rng);
+    const auto censuses = recovery::build_censuses(placement, scenario);
+
+    const auto rr = recovery::plan_rr(placement, censuses, rng);
+    const auto rr_sum =
+        recovery::rr_traffic(placement, rr, scenario.failed_rack);
+    rr_stat.add(static_cast<double>(rr_sum.total_bytes(chunk)));
+    rr_lambda.add(rr_sum.lambda());
+
+    const auto car = recovery::balance_greedy(placement, censuses, {50});
+    const auto car_sum = recovery::car_traffic(
+        car.solutions, placement.topology().num_racks(),
+        scenario.failed_rack);
+    car_stat.add(static_cast<double>(car_sum.total_bytes(chunk)));
+    car_lambda.add(car_sum.lambda());
+  }
+
+  util::TextTable table(
+      {"config", "strategy", "cross-rack (mean)", "lambda (mean)"});
+  table.add_row({cfg.name, "RR",
+                 util::format_bytes(static_cast<std::uint64_t>(rr_stat.mean())),
+                 util::fmt_double(rr_lambda.mean(), 3)});
+  table.add_row({cfg.name, "CAR",
+                 util::format_bytes(static_cast<std::uint64_t>(car_stat.mean())),
+                 util::fmt_double(car_lambda.mean(), 3)});
+  emit(table, flags);
+  std::printf("saving: %s\n",
+              util::fmt_percent(1.0 - car_stat.mean() / rr_stat.mean())
+                  .c_str());
+  return 0;
+}
+
+int cmd_balance(const util::Flags& flags) {
+  const auto cfg = config_from(flags);
+  const auto stripes = static_cast<std::size_t>(flags.get_int("stripes", 100));
+  const auto iterations =
+      static_cast<std::size_t>(flags.get_int("iterations", 50));
+  util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 7)));
+  const auto placement =
+      cluster::Placement::random(cfg.topology(), cfg.k, cfg.m, stripes, rng);
+  const auto scenario = cluster::inject_random_failure(placement, rng);
+  const auto censuses = recovery::build_censuses(placement, scenario);
+  const auto result =
+      recovery::balance_greedy(placement, censuses, {iterations});
+
+  util::TextTable table({"iteration", "lambda"});
+  for (std::size_t i = 0; i < result.lambda_trace.size(); ++i) {
+    table.add_row(
+        {std::to_string(i), util::fmt_double(result.lambda_trace[i], 4)});
+  }
+  emit(table, flags);
+  std::printf("substitutions: %zu\n", result.substitutions);
+  return 0;
+}
+
+int cmd_simulate(const util::Flags& flags) {
+  const auto cfg = config_from(flags);
+  const auto stripes = static_cast<std::size_t>(flags.get_int("stripes", 100));
+  const int runs = static_cast<int>(flags.get_int("runs", 20));
+  const std::uint64_t chunk =
+      static_cast<std::uint64_t>(flags.get_int("chunk-mib", 8)) * util::kMiB;
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const rs::Code code(cfg.k, cfg.m);
+
+  simnet::NetConfig net;
+  net.node_bps = flags.get_double("node-gbps", 1.0) * 125e6;
+  net.oversubscription = flags.get_double("oversub", 5.0);
+  net.per_hop_latency_s = flags.get_double("hop-latency-us", 0.0) * 1e-6;
+
+  util::RunningStats rr_stat, car_stat;
+  for (int run = 0; run < runs; ++run) {
+    util::Rng rng(seed + static_cast<std::uint64_t>(run) * 613);
+    const auto placement = cluster::Placement::random(
+        cfg.topology(), cfg.k, cfg.m, stripes, rng);
+    const auto scenario = cluster::inject_random_failure(placement, rng);
+    const auto censuses = recovery::build_censuses(placement, scenario);
+    const double lost = static_cast<double>(scenario.lost.size());
+
+    const auto rr = recovery::plan_rr(placement, censuses, rng);
+    rr_stat.add(simnet::simulate_plan(
+                    placement.topology(),
+                    recovery::build_rr_plan(placement, code, rr, chunk,
+                                            scenario.failed_node),
+                    net)
+                    .makespan_s /
+                lost);
+    const auto car = recovery::balance_greedy(placement, censuses, {50});
+    car_stat.add(simnet::simulate_plan(
+                     placement.topology(),
+                     recovery::build_car_plan(placement, code, car.solutions,
+                                              chunk, scenario.failed_node),
+                     net)
+                     .makespan_s /
+                 lost);
+  }
+  util::TextTable table({"config", "strategy", "time/chunk (s)", "stddev"});
+  table.add_row({cfg.name, "RR", util::fmt_double(rr_stat.mean(), 4),
+                 util::fmt_double(rr_stat.sample_stddev(), 4)});
+  table.add_row({cfg.name, "CAR", util::fmt_double(car_stat.mean(), 4),
+                 util::fmt_double(car_stat.sample_stddev(), 4)});
+  emit(table, flags);
+  std::printf("speedup: %s\n",
+              util::fmt_percent(1.0 - car_stat.mean() / rr_stat.mean())
+                  .c_str());
+  return 0;
+}
+
+int cmd_emulate(const util::Flags& flags) {
+  const auto cfg = config_from(flags);
+  const auto stripes = static_cast<std::size_t>(flags.get_int("stripes", 20));
+  const std::uint64_t chunk = static_cast<std::uint64_t>(
+      flags.get_double("chunk-mib", 0.25) * static_cast<double>(util::kMiB));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const rs::Code code(cfg.k, cfg.m);
+
+  emul::EmulConfig emul_cfg;
+  emul_cfg.node_bps = flags.get_double("node-mbps", 400.0) * 1e6;
+  emul_cfg.oversubscription = flags.get_double("oversub", 5.0);
+
+  auto run = [&](bool use_car) {
+    emul::Cluster cluster(cfg.topology(), emul_cfg);
+    util::Rng data_rng(seed);
+    const auto placement = cluster::Placement::random(
+        cfg.topology(), cfg.k, cfg.m, stripes, data_rng);
+    const auto originals = cluster.populate(placement, code, chunk, data_rng);
+    util::Rng fail_rng(seed + 1);
+    const auto scenario =
+        cluster::inject_random_failure(placement, fail_rng);
+    cluster.erase_node(scenario.failed_node);
+    const auto censuses = recovery::build_censuses(placement, scenario);
+    recovery::RecoveryPlan plan;
+    if (use_car) {
+      const auto balanced =
+          recovery::balance_greedy(placement, censuses, {50});
+      plan = recovery::build_car_plan(placement, code, balanced.solutions,
+                                      chunk, scenario.failed_node);
+    } else {
+      util::Rng rr_rng(seed + 2);
+      const auto rr = recovery::plan_rr(placement, censuses, rr_rng);
+      plan = recovery::build_rr_plan(placement, code, rr, chunk,
+                                     scenario.failed_node);
+    }
+    const auto report = cluster.execute(plan);
+    std::size_t verified = 0;
+    for (const auto& lost : scenario.lost) {
+      const auto* rec = cluster.find_chunk(scenario.failed_node, lost.stripe,
+                                           lost.chunk_index);
+      verified += rec != nullptr &&
+                  *rec == originals[lost.stripe][lost.chunk_index];
+    }
+    std::printf("%-4s verified %zu/%zu | wall %.3f s | compute %.3f s | "
+                "cross-rack %s\n",
+                use_car ? "CAR" : "RR", verified, scenario.lost.size(),
+                report.wall_s, report.compute_s,
+                util::format_bytes(report.cross_rack_bytes).c_str());
+    return report.wall_s;
+  };
+  const double rr_wall = run(false);
+  const double car_wall = run(true);
+  std::printf("speedup: %s\n",
+              util::fmt_percent(1.0 - car_wall / rr_wall).c_str());
+  return 0;
+}
+
+int cmd_trace(const util::Flags& flags) {
+  const auto cfg = config_from(flags);
+  const auto stripes = static_cast<std::size_t>(flags.get_int("stripes", 100));
+  const auto failures =
+      static_cast<std::size_t>(flags.get_int("failures", 30));
+  const std::uint64_t chunk =
+      static_cast<std::uint64_t>(flags.get_int("chunk-mib", 8)) * util::kMiB;
+  util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 7)));
+
+  const auto placement =
+      cluster::Placement::random(cfg.topology(), cfg.k, cfg.m, stripes, rng);
+  const auto events = workload::generate_failure_trace(
+      placement.topology(), {failures, 24.0 * 3600.0}, rng);
+  const simnet::NetConfig net;
+
+  util::TextTable table({"strategy", "chunks rebuilt", "cross-rack",
+                         "exposure (s)", "trace lambda"});
+  for (const auto strategy :
+       {workload::Strategy::kRr, workload::Strategy::kCar}) {
+    util::Rng replay = rng.split();
+    const auto report = workload::run_failure_trace(placement, events,
+                                                    strategy, chunk, net,
+                                                    replay);
+    table.add_row({strategy == workload::Strategy::kCar ? "CAR" : "RR",
+                   std::to_string(report.chunks_rebuilt),
+                   util::format_bytes(report.cross_rack_bytes),
+                   util::fmt_double(report.total_recovery_s, 1),
+                   util::fmt_double(report.aggregate_lambda, 3)});
+  }
+  emit(table, flags);
+  return 0;
+}
+
+void usage() {
+  std::puts(
+      "usage: carctl <traffic|balance|simulate|emulate|trace> [flags]\n"
+      "  --cfs 1|2|3 | --racks 4,3,3 --k 6 --m 3\n"
+      "  --stripes N --runs N --seed S --chunk-mib N --csv\n"
+      "  simulate: --node-gbps G --oversub X --hop-latency-us U\n"
+      "  emulate:  --node-mbps M --oversub X\n"
+      "  trace:    --failures N");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    const auto flags = util::Flags::parse(argc - 2, argv + 2);
+    if (command == "traffic") return cmd_traffic(flags);
+    if (command == "balance") return cmd_balance(flags);
+    if (command == "simulate") return cmd_simulate(flags);
+    if (command == "emulate") return cmd_emulate(flags);
+    if (command == "trace") return cmd_trace(flags);
+    usage();
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "carctl: %s\n", error.what());
+    return 1;
+  }
+}
