@@ -42,6 +42,10 @@ car::emul::EmulConfig emul_config() {
   // the paper's 20 physical machines have no such coupling.  One step at a
   // time gives contention-free timings; only ratios are reported.
   cfg.max_parallel_steps = 1;
+  // This harness deliberately stays on the real clock: its whole point is
+  // *measured* GF decode time against data movement.  Virtual-clock mode
+  // (used by the large fig7/fig9 sweeps) would model compute instead.
+  cfg.clock_mode = car::emul::ClockMode::kReal;
   return cfg;
 }
 

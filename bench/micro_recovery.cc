@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "cluster/configs.h"
+#include "emul/cluster.h"
 #include "recovery/balancer.h"
 #include "simnet/flowsim.h"
 
@@ -91,6 +92,35 @@ void BM_SimulateCarPlan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulateCarPlan);
+
+void BM_EmulateCarPlan_VirtualClock(benchmark::State& state) {
+  // Full emulated recovery — real bytes through the link reservations, real
+  // GF(2^8) decoding — under the virtual clock: no step sleeps, so even a
+  // 1024-stripe plan (tens of thousands of steps) executes in
+  // host-milliseconds on the bounded worker pool, deterministically.
+  const auto stripes = static_cast<std::size_t>(state.range(0));
+  const auto s = make_scenario(cluster::cfs3(), stripes, 47);
+  const rs::Code code(10, 4);
+  const auto balanced = recovery::balance_greedy(s.placement, s.censuses, {50});
+  const auto plan = recovery::build_car_plan(
+      s.placement, code, balanced.solutions, 4096, s.failure.failed_node);
+
+  emul::EmulConfig cfg;
+  cfg.clock_mode = emul::ClockMode::kVirtual;
+  emul::Cluster cluster(s.placement.topology(), cfg);
+  util::Rng data_rng(48);
+  cluster.populate(s.placement, code, 4096, data_rng);
+  cluster.erase_node(s.failure.failed_node);
+  for (auto _ : state) {
+    auto report = cluster.execute(plan);
+    benchmark::DoNotOptimize(report.wall_s);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(stripes));
+}
+BENCHMARK(BM_EmulateCarPlan_VirtualClock)
+    ->RangeMultiplier(4)
+    ->Range(64, 1024)
+    ->Complexity(benchmark::oN);
 
 void BM_SimulateRrPlan(benchmark::State& state) {
   auto s = make_scenario(cluster::cfs3(), 100, 41);

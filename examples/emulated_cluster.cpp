@@ -4,8 +4,14 @@
 // breakdown for CAR vs RR on CFS2 (the Google-Colossus-like configuration).
 //
 // Build & run:  ./build/examples/emulated_cluster [stripes] [chunk_KiB]
+//                                                 [virtual]
+// Passing "virtual" as the third argument switches the emulator to the
+// virtual clock: nothing sleeps, recovery times are modelled on the same
+// link reservations, and the reported numbers are deterministic — use it
+// for large stripe counts.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "cluster/configs.h"
 #include "emul/cluster.h"
@@ -18,6 +24,7 @@ int main(int argc, char** argv) {
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20;
   const std::uint64_t chunk_size =
       (argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 256) * 1024;
+  const bool use_virtual = argc > 3 && std::strcmp(argv[3], "virtual") == 0;
 
   const auto cfg = cluster::cfs2();
   const rs::Code code(cfg.k, cfg.m);
@@ -28,6 +35,8 @@ int main(int argc, char** argv) {
   emul::EmulConfig emul_cfg;
   emul_cfg.node_bps = 400e6;       // scaled-down fabric so this runs fast
   emul_cfg.oversubscription = 5.0;  // cross-rack is the scarce resource
+  emul_cfg.clock_mode =
+      use_virtual ? emul::ClockMode::kVirtual : emul::ClockMode::kReal;
 
   auto run = [&](bool use_car) {
     emul::Cluster cluster(cfg.topology(), emul_cfg);
@@ -72,9 +81,10 @@ int main(int argc, char** argv) {
     return report;
   };
 
-  std::printf("CFS2 %s, RS(%zu,%zu), %zu stripes, %s chunks\n",
+  std::printf("CFS2 %s, RS(%zu,%zu), %zu stripes, %s chunks, %s clock\n",
               cfg.topology().to_string().c_str(), cfg.k, cfg.m, stripes,
-              util::format_bytes(chunk_size).c_str());
+              util::format_bytes(chunk_size).c_str(),
+              use_virtual ? "virtual" : "real");
   const auto rr = run(false);
   const auto car = run(true);
   std::printf("\nCAR vs RR: %.1f%% less cross-rack traffic, %.1f%% faster\n",

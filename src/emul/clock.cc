@@ -1,0 +1,36 @@
+#include "emul/clock.h"
+
+#include <thread>
+
+namespace car::emul {
+
+EmulClock::EmulClock(ClockMode mode)
+    : mode_(mode), epoch_(std::chrono::steady_clock::now()) {}
+
+double EmulClock::now() const {
+  if (mode_ == ClockMode::kReal) {
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - epoch_;
+    return dt.count();
+  }
+  std::scoped_lock lock(mu_);
+  return virtual_now_;
+}
+
+void EmulClock::sleep_until(double t) {
+  if (mode_ == ClockMode::kReal) {
+    std::this_thread::sleep_until(
+        epoch_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(t)));
+    return;
+  }
+  advance_to(t);
+}
+
+void EmulClock::advance_to(double t) {
+  if (mode_ == ClockMode::kReal) return;
+  std::scoped_lock lock(mu_);
+  if (t > virtual_now_) virtual_now_ = t;
+}
+
+}  // namespace car::emul

@@ -1,0 +1,54 @@
+// Time source abstraction for the cluster emulator.
+//
+// The emulator expresses all link occupancy and step completion times as
+// seconds on a single monotonic *timeline*.  An EmulClock maps that timeline
+// onto one of two modes:
+//
+//   * kReal    — timeline second t is wall-clock `epoch + t`; sleep_until
+//                really blocks.  Recovery time is *measured*, including the
+//                genuine GF(2^8) compute on real buffers.
+//   * kVirtual — the timeline is a simulated clock held in memory;
+//                sleep_until merely advances it.  Nothing blocks, so a
+//                thousand-stripe recovery "takes" milliseconds of host time,
+//                and — because the timing pass that drives it is
+//                deterministic — the reported times are bit-identical across
+//                runs.
+//
+// The clock is shared by every link and step of one emul::Cluster and
+// persists across execute() calls, so back-to-back plans on one cluster see
+// a continuous timeline in both modes.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+
+namespace car::emul {
+
+enum class ClockMode { kReal, kVirtual };
+
+class EmulClock {
+ public:
+  explicit EmulClock(ClockMode mode);
+
+  [[nodiscard]] ClockMode mode() const noexcept { return mode_; }
+
+  /// Current time in timeline seconds.  Real mode: wall seconds elapsed
+  /// since construction.  Virtual mode: the simulated clock's position.
+  [[nodiscard]] double now() const;
+
+  /// Block until timeline second `t` (real mode) or advance the simulated
+  /// clock to `t` (virtual mode).  Times in the past are a no-op.
+  void sleep_until(double t);
+
+  /// Raise the simulated clock to at least `t`.  No-op in real mode (the
+  /// wall clock advances itself) and for `t` in the past.
+  void advance_to(double t);
+
+ private:
+  ClockMode mode_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  double virtual_now_ = 0.0;
+};
+
+}  // namespace car::emul

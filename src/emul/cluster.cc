@@ -2,13 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
-#include <deque>
 #include <mutex>
+#include <queue>
 #include <stdexcept>
-#include <thread>
+#include <string>
+#include <utility>
 
+#include "emul/executor.h"
 #include "gf/region.h"
+#include "recovery/scheduler.h"
 
 namespace car::emul {
 
@@ -18,15 +20,29 @@ using recovery::BufferRef;
 using recovery::PlanStep;
 using recovery::StepKind;
 
-/// Buffer keys: bit 63 selects step outputs; chunks pack (stripe, index).
+/// Buffer keys: bit 63 selects step outputs; chunks pack (stripe, index)
+/// as stripe << 24 | index.  Out-of-range ids are rejected rather than
+/// silently colliding with other chunks or with the step namespace.
 constexpr std::uint64_t kStepBit = 1ULL << 63;
+constexpr unsigned kChunkIndexBits = 24;
+constexpr std::uint64_t kMaxChunkIndex = (1ULL << kChunkIndexBits) - 1;
+constexpr std::uint64_t kMaxStripe = (1ULL << (63 - kChunkIndexBits)) - 1;
 
 std::uint64_t chunk_key(cluster::StripeId stripe, std::size_t chunk_index) {
-  return (static_cast<std::uint64_t>(stripe) << 20) |
+  if (static_cast<std::uint64_t>(stripe) > kMaxStripe) {
+    throw std::out_of_range("emul: stripe id exceeds 2^39-1 key range");
+  }
+  if (static_cast<std::uint64_t>(chunk_index) > kMaxChunkIndex) {
+    throw std::out_of_range("emul: chunk index exceeds 2^24-1 key range");
+  }
+  return (static_cast<std::uint64_t>(stripe) << kChunkIndexBits) |
          static_cast<std::uint64_t>(chunk_index);
 }
 
 std::uint64_t step_key(std::size_t step_id) {
+  if ((static_cast<std::uint64_t>(step_id) & kStepBit) != 0) {
+    throw std::out_of_range("emul: step id exceeds 2^63-1 key range");
+  }
   return kStepBit | static_cast<std::uint64_t>(step_id);
 }
 
@@ -44,6 +60,9 @@ struct Cluster::Impl {
     std::unordered_map<std::uint64_t, rs::Chunk> buffers;
   };
 
+  explicit Impl(ClockMode mode) : clock(mode) {}
+
+  EmulClock clock;
   std::vector<NodeStore> stores;
   std::vector<std::unique_ptr<SerialLink>> node_up;
   std::vector<std::unique_ptr<SerialLink>> node_down;
@@ -66,11 +85,12 @@ struct Cluster::Impl {
 };
 
 Cluster::Cluster(cluster::Topology topology, EmulConfig config)
-    : impl_(std::make_unique<Impl>()),
+    : impl_(std::make_unique<Impl>(config.clock_mode)),
       topology_(std::move(topology)),
       config_(config) {
   if (config_.node_bps <= 0 || config_.oversubscription <= 0 ||
-      config_.page_bytes == 0 || config_.max_parallel_steps == 0) {
+      config_.page_bytes == 0 || config_.max_parallel_steps == 0 ||
+      config_.virtual_gf_bps <= 0) {
     throw std::invalid_argument("EmulConfig: invalid parameters");
   }
   const std::size_t n = topology_.num_nodes();
@@ -151,30 +171,38 @@ ExecutionReport Cluster::execute(const recovery::RecoveryPlan& plan) {
   report.per_rack_cross_bytes.assign(topology_.num_racks(), 0);
   if (n_steps == 0) return report;
 
-  std::vector<std::size_t> pending(n_steps, 0);
-  std::vector<std::vector<std::size_t>> dependents(n_steps);
-  for (const auto& step : plan.steps) {
-    for (std::size_t dep : step.deps) {
-      if (dep >= n_steps) {
-        throw std::invalid_argument("Cluster::execute: unknown dependency");
+  const auto indegrees = recovery::step_indegrees(plan);
+  const auto dependents = recovery::step_dependents(plan);
+  const bool virtual_time = config_.clock_mode == ClockMode::kVirtual;
+  EmulClock& clock = impl_->clock;
+  std::mutex report_mu;
+
+  // Page-wise reservation across every hop of the path, starting no earlier
+  // than timeline second `start`; the transfer completes when its last page
+  // drains from the slowest hop.  Pages keep contention fair between
+  // concurrent flows on a shared link while the hops of one transfer
+  // pipeline instead of adding up.
+  auto reserve_path = [&](const PlanStep& step, double start) -> double {
+    const auto src_rack = topology_.rack_of(step.src);
+    const auto dst_rack = topology_.rack_of(step.dst);
+    double finish = start;
+    std::uint64_t remaining = step.bytes;
+    while (remaining > 0) {
+      const std::uint64_t page =
+          std::min<std::uint64_t>(remaining, config_.page_bytes);
+      finish = std::max(finish, impl_->node_up[step.src]->reserve(start, page));
+      if (src_rack != dst_rack) {
+        finish =
+            std::max(finish, impl_->rack_up[src_rack]->reserve(start, page));
+        finish =
+            std::max(finish, impl_->rack_down[dst_rack]->reserve(start, page));
       }
-      ++pending[step.id];
-      dependents[dep].push_back(step.id);
+      finish =
+          std::max(finish, impl_->node_down[step.dst]->reserve(start, page));
+      remaining -= page;
     }
-  }
-
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<std::size_t> ready;
-  std::size_t completed = 0;
-  std::size_t active = 0;
-  std::exception_ptr error;
-  std::vector<std::thread> threads;
-  threads.reserve(n_steps);
-
-  for (std::size_t id = 0; id < n_steps; ++id) {
-    if (pending[id] == 0) ready.push_back(id);
-  }
+    return finish;
+  };
 
   auto run_transfer = [&](const PlanStep& step) {
     const rs::Chunk* src_buf = impl_->find(step.src, key_of(step.payload));
@@ -183,35 +211,31 @@ ExecutionReport Cluster::execute(const recovery::RecoveryPlan& plan) {
           "Cluster::execute: transfer payload missing on source node");
     }
     rs::Chunk data = *src_buf;  // read once; the copy is the wire payload
-
-    // Page-wise reservation across every hop of the path; the transfer
-    // completes when its last page drains from the slowest hop.  Pages keep
-    // contention fair between concurrent flows on a shared link while the
-    // hops of one transfer pipeline instead of adding up.
-    const auto src_rack = topology_.rack_of(step.src);
-    const auto dst_rack = topology_.rack_of(step.dst);
-    SerialLink::Clock::time_point finish = SerialLink::Clock::now();
-    std::uint64_t remaining = data.size();
-    while (remaining > 0) {
-      const std::uint64_t page = std::min<std::uint64_t>(remaining,
-                                                         config_.page_bytes);
-      finish = std::max(finish, impl_->node_up[step.src]->reserve(page));
-      if (src_rack != dst_rack) {
-        finish = std::max(finish, impl_->rack_up[src_rack]->reserve(page));
-        finish = std::max(finish, impl_->rack_down[dst_rack]->reserve(page));
-      }
-      finish = std::max(finish, impl_->node_down[step.dst]->reserve(page));
-      remaining -= page;
+    if (data.size() != step.bytes) {
+      throw std::runtime_error(
+          "Cluster::execute: transfer size mismatch: plan declares " +
+          std::to_string(step.bytes) + " bytes but payload holds " +
+          std::to_string(data.size()));
     }
-    std::this_thread::sleep_until(finish);
+    if (step.src == step.dst) {
+      // Loopback: the buffer never leaves the node, so no link is reserved
+      // and no traffic is reported.
+      impl_->put(step.dst, key_of(step.payload), std::move(data));
+      return;
+    }
+    if (!virtual_time) {
+      clock.sleep_until(reserve_path(step, clock.now()));
+    }
+    const std::uint64_t moved = data.size();  // == step.bytes, validated
     impl_->put(step.dst, key_of(step.payload), std::move(data));
 
-    std::scoped_lock lock(mu);
-    if (src_rack != dst_rack) {
-      report.cross_rack_bytes += step.bytes;
-      report.per_rack_cross_bytes[src_rack] += step.bytes;
+    const auto src_rack = topology_.rack_of(step.src);
+    std::scoped_lock lock(report_mu);
+    if (src_rack != topology_.rack_of(step.dst)) {
+      report.cross_rack_bytes += moved;
+      report.per_rack_cross_bytes[src_rack] += moved;
     } else {
-      report.intra_rack_bytes += step.bytes;
+      report.intra_rack_bytes += moved;
     }
   };
 
@@ -245,68 +269,72 @@ ExecutionReport Cluster::execute(const recovery::RecoveryPlan& plan) {
     const std::chrono::duration<double> dt =
         std::chrono::steady_clock::now() - t0;
     impl_->put(step.node, step_key(step.id), std::move(out));
-    std::scoped_lock lock(mu);
+
+    // Virtual mode charges modelled compute time in the timing pass instead
+    // of the (nondeterministic) measured duration.
+    if (virtual_time) return;
+    std::scoped_lock lock(report_mu);
     report.compute_s += dt.count();
     if (step.node == plan.replacement) {
       report.replacement_compute_s += dt.count();
     }
   };
 
-  auto exec_step = [&](std::size_t id) {
-    try {
+  // Pass 1 — execute the DAG on the bounded worker pool: real bytes move,
+  // real GF kernels run.  In real-time mode transfers also reserve links
+  // and sleep, so this pass *is* the measurement; in virtual mode nothing
+  // sleeps and timing is replayed deterministically below.
+  Executor executor(config_.max_parallel_steps);
+  const double t_start = clock.now();
+  executor.run(n_steps, indegrees, dependents, [&](std::size_t id) {
+    const PlanStep& step = plan.steps[id];
+    if (step.kind == StepKind::kTransfer) {
+      run_transfer(step);
+    } else {
+      run_compute(step);
+    }
+  });
+
+  if (virtual_time) {
+    // Pass 2 — deterministic timing replay.  Steps are processed in
+    // (virtual start time, id) order from a min-heap, so link reservations
+    // happen in a reproducible sequence regardless of how the worker pool
+    // interleaved the byte movement above.  Transfers reserve the same
+    // page-wise path as real-time mode; computes are charged
+    // step.bytes / virtual_gf_bps.
+    auto pending = indegrees;
+    std::vector<double> start_at(n_steps, t_start);
+    using Entry = std::pair<double, std::size_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready;
+    for (std::size_t id = 0; id < n_steps; ++id) {
+      if (pending[id] == 0) ready.emplace(t_start, id);
+    }
+    double end = t_start;
+    while (!ready.empty()) {
+      const auto [at, id] = ready.top();
+      ready.pop();
       const PlanStep& step = plan.steps[id];
+      double finish = at;
       if (step.kind == StepKind::kTransfer) {
-        run_transfer(step);
+        if (step.src != step.dst) finish = reserve_path(step, at);
       } else {
-        run_compute(step);
+        const double dt =
+            static_cast<double>(step.bytes) / config_.virtual_gf_bps;
+        finish = at + dt;
+        report.compute_s += dt;
+        if (step.node == plan.replacement) report.replacement_compute_s += dt;
       }
-      std::scoped_lock lock(mu);
-      ++completed;
-      --active;
-      for (std::size_t dep : dependents[id]) {
-        if (--pending[dep] == 0) ready.push_back(dep);
+      end = std::max(end, finish);
+      for (const std::size_t dep : dependents[id]) {
+        start_at[dep] = std::max(start_at[dep], finish);
+        if (--pending[dep] == 0) ready.emplace(start_at[dep], dep);
       }
-      cv.notify_all();
-    } catch (...) {
-      std::scoped_lock lock(mu);
-      if (!error) error = std::current_exception();
-      ++completed;
-      --active;
-      cv.notify_all();
     }
-  };
-
-  const auto t_start = std::chrono::steady_clock::now();
-  {
-    std::unique_lock lock(mu);
-    while (completed < n_steps && !error) {
-      cv.wait(lock, [&] {
-        return error || completed == n_steps ||
-               (!ready.empty() && active < config_.max_parallel_steps);
-      });
-      if (error || completed == n_steps) break;
-      if (ready.empty()) {
-        if (active == 0) {
-          throw std::invalid_argument(
-              "Cluster::execute: dependency cycle in plan");
-        }
-        continue;
-      }
-      const std::size_t id = ready.front();
-      ready.pop_front();
-      ++active;
-      lock.unlock();
-      threads.emplace_back(exec_step, id);
-      lock.lock();
-    }
-    cv.wait(lock, [&] { return completed == n_steps || (error && active == 0); });
+    clock.advance_to(end);
+    report.wall_s = end - t_start;
+  } else {
+    report.wall_s = clock.now() - t_start;
   }
-  for (auto& t : threads) t.join();
-  if (error) std::rethrow_exception(error);
-
-  const std::chrono::duration<double> wall =
-      std::chrono::steady_clock::now() - t_start;
-  report.wall_s = wall.count();
 
   // Publish recovered chunks as regular chunk replicas on the replacement.
   for (const auto& out : plan.outputs) {

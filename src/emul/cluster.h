@@ -18,6 +18,7 @@
 #include "cluster/placement.h"
 #include "cluster/topology.h"
 #include "cluster/types.h"
+#include "emul/clock.h"
 #include "emul/link.h"
 #include "recovery/plan.h"
 #include "rs/code.h"
@@ -38,8 +39,21 @@ struct EmulConfig {
   /// Transfers are paged so concurrent flows interleave on shared links.
   std::uint64_t page_bytes = 128 * 1024;
 
-  /// Upper bound on concurrently executing plan steps.
+  /// Upper bound on concurrently executing plan steps.  The worker pool is
+  /// additionally capped by hardware_concurrency — see Cluster::execute.
   std::size_t max_parallel_steps = 512;
+
+  /// kReal: link reservations map to the wall clock and recovery time is
+  /// measured (including real GF compute durations).  kVirtual: nothing
+  /// sleeps — reservations advance a simulated clock, compute time is
+  /// modelled at virtual_gf_bps, and the reported times are deterministic
+  /// (bit-identical across runs), so thousand-stripe sweeps finish in
+  /// milliseconds.  Both modes move and verify real bytes.
+  ClockMode clock_mode = ClockMode::kReal;
+
+  /// Modelled GF(2^8) multiply-accumulate throughput charged per compute
+  /// step in virtual-clock mode, bytes/second of input processed.
+  double virtual_gf_bps = 1.5e9;
 };
 
 /// Outcome of executing one recovery plan.
@@ -71,10 +85,14 @@ class Cluster {
   }
 
   /// Store a chunk replica on a node (overwrites an existing copy).
+  /// Throws std::out_of_range for a bad node id or when the buffer key
+  /// cannot represent the ids (stripe >= 2^39 or chunk_index >= 2^24).
   void store_chunk(cluster::NodeId node, cluster::StripeId stripe,
                    std::size_t chunk_index, rs::Chunk data);
 
-  /// Fetch a chunk stored on a node, or nullptr when absent.
+  /// Fetch a chunk stored on a node, or nullptr when absent.  Throws
+  /// std::out_of_range for ids outside the buffer-key range (see
+  /// store_chunk).
   [[nodiscard]] const rs::Chunk* find_chunk(cluster::NodeId node,
                                             cluster::StripeId stripe,
                                             std::size_t chunk_index) const;
@@ -94,10 +112,16 @@ class Cluster {
       std::uint64_t chunk_size, util::Rng& rng);
 
   /// Execute a recovery plan: run every transfer through the emulated links
-  /// and every compute step on real buffers.  After success the recovered
-  /// chunks are stored on the replacement node both as step outputs and as
-  /// regular chunks.  Throws std::runtime_error when a referenced buffer is
-  /// missing (e.g. plan disagrees with cluster state).
+  /// and every compute step on real buffers.  Steps run on a bounded worker
+  /// pool — never more than min(max_parallel_steps, hardware_concurrency)
+  /// threads regardless of plan size (see emul/executor.h); under
+  /// ClockMode::kVirtual timing is additionally replayed by a deterministic
+  /// sequential pass so reported times are bit-identical across runs.
+  /// After success the recovered chunks are stored on the replacement node
+  /// both as step outputs and as regular chunks.  Throws std::runtime_error
+  /// when a referenced buffer is missing or a transfer's declared size
+  /// disagrees with the stored payload, and std::invalid_argument on a
+  /// malformed DAG (unknown dependency or cycle).
   ExecutionReport execute(const recovery::RecoveryPlan& plan);
 
  private:

@@ -1,0 +1,100 @@
+#include "emul/executor.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace car::emul {
+
+Executor::Executor(std::size_t max_workers) : max_workers_(max_workers) {
+  if (max_workers == 0) {
+    throw std::invalid_argument("Executor: max_workers must be >= 1");
+  }
+}
+
+std::size_t Executor::planned_workers(std::size_t num_tasks) const {
+  const std::size_t hw = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  return std::min({max_workers_, hw, num_tasks});
+}
+
+void Executor::run(std::size_t num_tasks, std::vector<std::size_t> indegrees,
+                   const std::vector<std::vector<std::size_t>>& dependents,
+                   const std::function<void(std::size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (indegrees.size() != num_tasks || dependents.size() != num_tasks) {
+    throw std::invalid_argument("Executor::run: adjacency size mismatch");
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::size_t> ready;
+  std::size_t completed = 0;
+  std::size_t active = 0;
+  bool stop = false;
+  bool cycle = false;
+  std::exception_ptr error;
+
+  for (std::size_t id = 0; id < num_tasks; ++id) {
+    if (indegrees[id] == 0) ready.push_back(id);
+  }
+  if (ready.empty()) {
+    throw std::invalid_argument("Executor::run: dependency cycle (no roots)");
+  }
+
+  auto worker = [&] {
+    std::unique_lock lock(mu);
+    for (;;) {
+      cv.wait(lock, [&] { return stop || !ready.empty(); });
+      if (stop) return;
+      const std::size_t id = ready.front();
+      ready.pop_front();
+      ++active;
+      lock.unlock();
+
+      std::exception_ptr task_error;
+      try {
+        fn(id);
+      } catch (...) {
+        task_error = std::current_exception();
+      }
+
+      lock.lock();
+      --active;
+      ++completed;
+      if (task_error) {
+        // First failure wins; abandon queued work and let in-flight drain.
+        if (!error) error = task_error;
+        stop = true;
+      } else if (!stop) {
+        for (const std::size_t dep : dependents[id]) {
+          if (--indegrees[dep] == 0) ready.push_back(dep);
+        }
+        if (completed == num_tasks) {
+          stop = true;
+        } else if (ready.empty() && active == 0) {
+          cycle = true;  // unfinished tasks but nothing can ever run them
+          stop = true;
+        }
+      }
+      cv.notify_all();
+    }
+  };
+
+  const std::size_t n_workers = planned_workers(num_tasks);
+  std::vector<std::thread> pool;
+  pool.reserve(n_workers);
+  for (std::size_t i = 0; i < n_workers; ++i) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  if (error) std::rethrow_exception(error);
+  if (cycle) {
+    throw std::invalid_argument("Executor::run: dependency cycle in DAG");
+  }
+}
+
+}  // namespace car::emul

@@ -1,0 +1,46 @@
+// Bounded worker-pool executor for plan-step dependency DAGs.
+//
+// The emulator used to spawn one OS thread per plan step, so a
+// thousand-stripe recovery plan created tens of thousands of threads.  The
+// Executor replaces that with a fixed pool: at most
+// min(max_workers, hardware_concurrency, num_tasks) threads drain a ready
+// queue, unlocking each task's dependents as it completes.
+//
+// Failure semantics: the first exception thrown by a task is captured, no
+// further queued tasks are issued, in-flight tasks are allowed to finish
+// (they never see torn state), every worker drains, and the captured
+// exception is rethrown to the caller.  A DAG whose ready queue empties
+// while tasks remain unfinished (a dependency cycle) raises
+// std::invalid_argument instead of deadlocking.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace car::emul {
+
+class Executor {
+ public:
+  /// `max_workers` caps the pool size; the effective pool is further capped
+  /// by std::thread::hardware_concurrency() and by the task count.
+  /// Throws std::invalid_argument when max_workers == 0.
+  explicit Executor(std::size_t max_workers);
+
+  /// Threads that run(num_tasks, ...) would create.
+  [[nodiscard]] std::size_t planned_workers(std::size_t num_tasks) const;
+
+  /// Execute tasks 0..num_tasks-1 respecting the dependency DAG described
+  /// by `indegrees` (number of unfinished prerequisites per task) and
+  /// `dependents` (tasks unblocked when task i finishes).  `fn(task)` runs
+  /// on a pool thread; tasks whose indegree is 0 are eligible immediately.
+  /// Returns when every task ran, or throws (see failure semantics above).
+  void run(std::size_t num_tasks, std::vector<std::size_t> indegrees,
+           const std::vector<std::vector<std::size_t>>& dependents,
+           const std::function<void(std::size_t)>& fn);
+
+ private:
+  std::size_t max_workers_;
+};
+
+}  // namespace car::emul

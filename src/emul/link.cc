@@ -1,30 +1,33 @@
 #include "emul/link.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <thread>
 
 namespace car::emul {
 
 SerialLink::SerialLink(double bytes_per_second)
-    : rate_(bytes_per_second), next_free_(Clock::now()) {
+    : rate_(bytes_per_second), epoch_(std::chrono::steady_clock::now()) {
   if (bytes_per_second <= 0) {
     throw std::invalid_argument("SerialLink: rate must be positive");
   }
 }
 
-SerialLink::Clock::time_point SerialLink::reserve(std::uint64_t bytes) {
-  const auto duration = std::chrono::duration_cast<Clock::duration>(
-      std::chrono::duration<double>(static_cast<double>(bytes) / rate_));
+double SerialLink::reserve(double start, std::uint64_t bytes) {
+  const double duration = static_cast<double>(bytes) / rate_;
   std::scoped_lock lock(mu_);
-  const auto now = Clock::now();
-  const auto start = next_free_ > now ? next_free_ : now;
-  next_free_ = start + duration;
+  next_free_ = std::max(next_free_, start) + duration;
   total_bytes_ += bytes;
   return next_free_;
 }
 
 void SerialLink::transmit(std::uint64_t bytes) {
-  std::this_thread::sleep_until(reserve(bytes));
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - epoch_;
+  const double finish = reserve(elapsed.count(), bytes);
+  std::this_thread::sleep_until(
+      epoch_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(finish)));
 }
 
 std::uint64_t SerialLink::bytes_transmitted() const noexcept {

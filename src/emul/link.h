@@ -1,12 +1,16 @@
 // Serial link emulation for the in-process cluster emulator.
 //
 // A SerialLink models a store-and-forward network link of a fixed rate.
-// Each transmission *reserves* link occupancy of bytes/rate seconds in
-// virtual time mapped onto the wall clock, so concurrent transfers through a
-// shared (e.g. oversubscribed rack) link really contend with each other.
-// Reservations are non-blocking; callers sleep until the returned finish
-// time, which lets a multi-hop transfer pipeline across its links (the
-// transfer completes when the slowest hop drains, not the sum of hops).
+// Each transmission *reserves* link occupancy of bytes/rate seconds on an
+// abstract timeline (seconds since the owning cluster's epoch), so
+// concurrent transfers through a shared (e.g. oversubscribed rack) link
+// really contend with each other.  Reservations are non-blocking and
+// clock-agnostic: the caller supplies the earliest start time and decides
+// what the returned finish time means — the real-time executor sleeps until
+// it on the wall clock, the virtual-clock timing pass simply advances the
+// simulated clock (see emul/clock.h).  Either way a multi-hop transfer
+// pipelines across its links: it completes when the slowest hop drains, not
+// after the sum of hops.
 #pragma once
 
 #include <chrono>
@@ -17,16 +21,18 @@ namespace car::emul {
 
 class SerialLink {
  public:
-  using Clock = std::chrono::steady_clock;
-
   /// rate in bytes/second; must be positive.
   explicit SerialLink(double bytes_per_second);
 
-  /// Reserve link occupancy for `bytes` and return the time at which the
-  /// last byte leaves the link.  Does not block; thread-safe.
-  Clock::time_point reserve(std::uint64_t bytes);
+  /// Reserve link occupancy for `bytes`, starting no earlier than timeline
+  /// second `start` and no earlier than the link is free.  Returns the
+  /// timeline second at which the last byte leaves the link.  Does not
+  /// block; thread-safe.
+  double reserve(double start, std::uint64_t bytes);
 
-  /// Convenience: reserve and block until the bytes have traversed.
+  /// Wall-clock convenience for standalone use (tests, demos): reserve
+  /// against real elapsed time since construction and block until the bytes
+  /// have traversed.
   void transmit(std::uint64_t bytes);
 
   [[nodiscard]] double rate() const noexcept { return rate_; }
@@ -36,8 +42,9 @@ class SerialLink {
 
  private:
   double rate_;
+  std::chrono::steady_clock::time_point epoch_;  // transmit() only
   mutable std::mutex mu_;
-  Clock::time_point next_free_;
+  double next_free_ = 0.0;  // timeline seconds
   std::uint64_t total_bytes_ = 0;
 };
 

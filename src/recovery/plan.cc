@@ -27,7 +27,12 @@ std::uint64_t RecoveryPlan::cross_rack_bytes() const noexcept {
 std::uint64_t RecoveryPlan::intra_rack_bytes() const noexcept {
   std::uint64_t total = 0;
   for (const auto& s : steps) {
-    if (s.kind == StepKind::kTransfer && !s.cross_rack) total += s.bytes;
+    // Loopback moves (src == dst) never leave the node, so they are not
+    // network traffic — mirrored by the emulator, which reserves no link
+    // capacity for them.
+    if (s.kind == StepKind::kTransfer && !s.cross_rack && s.src != s.dst) {
+      total += s.bytes;
+    }
   }
   return total;
 }

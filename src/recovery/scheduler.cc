@@ -57,6 +57,35 @@ RecoveryPlan schedule_windowed(const RecoveryPlan& plan, std::size_t window) {
   return scheduled;
 }
 
+std::vector<std::size_t> step_indegrees(const RecoveryPlan& plan) {
+  const std::size_t n = plan.steps.size();
+  std::vector<std::size_t> indegrees(n, 0);
+  for (const auto& step : plan.steps) {
+    for (const std::size_t dep : step.deps) {
+      if (dep >= n) {
+        throw std::invalid_argument("step_indegrees: unknown dependency id");
+      }
+      ++indegrees[step.id];
+    }
+  }
+  return indegrees;
+}
+
+std::vector<std::vector<std::size_t>> step_dependents(
+    const RecoveryPlan& plan) {
+  const std::size_t n = plan.steps.size();
+  std::vector<std::vector<std::size_t>> dependents(n);
+  for (const auto& step : plan.steps) {
+    for (const std::size_t dep : step.deps) {
+      if (dep >= n) {
+        throw std::invalid_argument("step_dependents: unknown dependency id");
+      }
+      dependents[dep].push_back(step.id);
+    }
+  }
+  return dependents;
+}
+
 std::size_t max_inflight_stripes(const RecoveryPlan& plan) {
   const auto spans = stripe_spans(plan);
   if (spans.order.empty()) return 0;

@@ -30,4 +30,16 @@ RecoveryPlan schedule_windowed(const RecoveryPlan& plan, std::size_t window);
 /// plans it equals the stripe count.
 std::size_t max_inflight_stripes(const RecoveryPlan& plan);
 
+/// Readiness surface consumed by DAG executors (emul::Executor and the
+/// emulator's virtual-clock timing pass): per-step count of unfinished
+/// prerequisites.  Steps with indegree 0 are immediately runnable.
+/// Throws std::invalid_argument when a step references an unknown
+/// dependency id.
+std::vector<std::size_t> step_indegrees(const RecoveryPlan& plan);
+
+/// Reverse adjacency of the dependency DAG: dependents[i] lists the steps
+/// unblocked when step i completes.  Throws std::invalid_argument when a
+/// step references an unknown dependency id.
+std::vector<std::vector<std::size_t>> step_dependents(const RecoveryPlan& plan);
+
 }  // namespace car::recovery

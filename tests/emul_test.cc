@@ -8,6 +8,7 @@
 #include "cluster/configs.h"
 #include "emul/link.h"
 #include "recovery/balancer.h"
+#include "recovery/scheduler.h"
 
 namespace car::emul {
 namespace {
@@ -20,6 +21,29 @@ EmulConfig fast_config() {
   cfg.oversubscription = 4.0;
   cfg.page_bytes = 16 * 1024;
   return cfg;
+}
+
+EmulConfig virtual_config() {
+  EmulConfig cfg = fast_config();
+  cfg.clock_mode = ClockMode::kVirtual;
+  return cfg;
+}
+
+/// Hand-built single-transfer plan (src -> dst) for one stored chunk.
+recovery::RecoveryPlan one_transfer_plan(cluster::NodeId src,
+                                         cluster::NodeId dst,
+                                         std::uint64_t bytes) {
+  recovery::RecoveryPlan plan;
+  plan.chunk_size = bytes;
+  recovery::PlanStep step;
+  step.id = 0;
+  step.kind = recovery::StepKind::kTransfer;
+  step.src = src;
+  step.dst = dst;
+  step.payload = recovery::BufferRef::chunk(0, 0);
+  step.bytes = bytes;
+  plan.steps.push_back(std::move(step));
+  return plan;
 }
 
 TEST(SerialLink, TransmissionTakesBytesOverRate) {
@@ -49,6 +73,14 @@ TEST(SerialLink, ConcurrentSendersSerialise) {
 TEST(SerialLink, RejectsNonPositiveRate) {
   EXPECT_THROW(SerialLink(0.0), std::invalid_argument);
   EXPECT_THROW(SerialLink(-5.0), std::invalid_argument);
+}
+
+TEST(SerialLink, ReserveAccumulatesOnTimeline) {
+  SerialLink link(1e6);  // 1 MB/s
+  EXPECT_DOUBLE_EQ(link.reserve(0.0, 500'000), 0.5);
+  EXPECT_DOUBLE_EQ(link.reserve(0.0, 500'000), 1.0);  // queued behind first
+  EXPECT_DOUBLE_EQ(link.reserve(2.0, 1'000'000), 3.0);  // idle gap skipped
+  EXPECT_EQ(link.bytes_transmitted(), 2'000'000u);
 }
 
 TEST(Cluster, StoreFindEraseChunks) {
@@ -93,11 +125,11 @@ struct RecoveryFixture {
   std::vector<recovery::StripeCensus> censuses;
 
   RecoveryFixture(int cfg_index, std::uint64_t seed, std::size_t stripes,
-                  std::uint64_t chunk_size)
+                  std::uint64_t chunk_size, EmulConfig emul = fast_config())
       : cfg(cluster::paper_configs()[cfg_index]),
         placement(make_placement(cfg, stripes, seed)),
         code(cfg.k, cfg.m),
-        cluster(cfg.topology(), fast_config()) {
+        cluster(cfg.topology(), emul) {
     util::Rng rng(seed + 1);
     originals = cluster.populate(placement, code, chunk_size, rng);
     scenario = cluster::inject_random_failure(placement, rng);
@@ -186,6 +218,132 @@ TEST(ClusterExecute, MissingBufferRaises) {
   EXPECT_THROW(f.cluster.execute(plan), std::runtime_error);
 }
 
+TEST(Cluster, RejectsOutOfRangeBufferIds) {
+  Cluster cluster(Topology({2, 2}), fast_config());
+  // chunk_index >= 2^24 or stripe >= 2^39 cannot be packed into a buffer
+  // key and must be rejected instead of silently colliding.
+  EXPECT_THROW(cluster.store_chunk(0, 0, 1ull << 24, rs::Chunk{1}),
+               std::out_of_range);
+  EXPECT_THROW(cluster.store_chunk(0, 1ull << 39, 0, rs::Chunk{1}),
+               std::out_of_range);
+  EXPECT_THROW((void)cluster.find_chunk(0, 0, 1ull << 24), std::out_of_range);
+  EXPECT_THROW((void)cluster.find_chunk(0, 1ull << 39, 0), std::out_of_range);
+}
+
+TEST(Cluster, WideChunkIndexDoesNotCollideAcrossStripes) {
+  // Regression: the old key packed (stripe << 20 | index), so stripe 0 /
+  // index 2^20 collided with stripe 1 / index 0 and its *step-output*
+  // cousins near bit 63.
+  Cluster cluster(Topology({2, 2}), fast_config());
+  cluster.store_chunk(0, 0, 1ull << 20, rs::Chunk{1, 1});
+  cluster.store_chunk(0, 1, 0, rs::Chunk{2, 2});
+  const auto* wide = cluster.find_chunk(0, 0, 1ull << 20);
+  const auto* narrow = cluster.find_chunk(0, 1, 0);
+  ASSERT_NE(wide, nullptr);
+  ASSERT_NE(narrow, nullptr);
+  EXPECT_EQ(*wide, (rs::Chunk{1, 1}));
+  EXPECT_EQ(*narrow, (rs::Chunk{2, 2}));
+}
+
+TEST(ClusterExecute, TransferSizeMismatchRaises) {
+  // The plan declares 2048 bytes but the stored payload holds 1024: traffic
+  // accounting would silently diverge from the bytes actually moved, so the
+  // emulator must refuse.
+  Cluster cluster(Topology({2, 2}), fast_config());
+  cluster.store_chunk(0, 0, 0, rs::Chunk(1024, 7));
+  const auto plan = one_transfer_plan(0, 2, 2048);
+  EXPECT_THROW(cluster.execute(plan), std::runtime_error);
+}
+
+TEST(ClusterExecute, LoopbackTransferReportsZeroBytes) {
+  // src == dst never touches a NIC or rack link: zero reported traffic, in
+  // agreement with the counting back-end.
+  Cluster cluster(Topology({2, 2}), fast_config());
+  cluster.store_chunk(1, 0, 0, rs::Chunk(4096, 3));
+  const auto plan = one_transfer_plan(1, 1, 4096);
+  const auto report = cluster.execute(plan);
+  EXPECT_EQ(report.cross_rack_bytes, 0u);
+  EXPECT_EQ(report.intra_rack_bytes, 0u);
+  for (const auto bytes : report.per_rack_cross_bytes) EXPECT_EQ(bytes, 0u);
+  EXPECT_EQ(plan.cross_rack_bytes(), 0u);
+  EXPECT_EQ(plan.intra_rack_bytes(), 0u);
+}
+
+TEST(ClusterExecute, VirtualClockSingleTransferMatchesAnalyticTime) {
+  // Topology {2,2} with fast_config: rack link rate = 2 * 200e6 / 4 =
+  // 100 MB/s is the bottleneck hop, so a 64 KiB cross-rack transfer takes
+  // exactly 65536 / 100e6 virtual seconds.
+  Cluster cluster(Topology({2, 2}), virtual_config());
+  cluster.store_chunk(0, 0, 0, rs::Chunk(64 * 1024, 9));
+  const auto report = cluster.execute(one_transfer_plan(0, 2, 64 * 1024));
+  EXPECT_NEAR(report.wall_s, 65536.0 / 100e6, 1e-12);
+  EXPECT_EQ(report.cross_rack_bytes, 65536u);
+}
+
+TEST(ClusterExecute, VirtualClockRecoversBitExactlyAndDeterministically) {
+  auto run = [] {
+    RecoveryFixture f(0, 101, 12, 64 * 1024, virtual_config());
+    const auto balanced =
+        recovery::balance_greedy(f.placement, f.censuses, {50});
+    const auto plan = recovery::build_car_plan(
+        f.placement, f.code, balanced.solutions, 64 * 1024,
+        f.scenario.failed_node);
+    const auto report = f.cluster.execute(plan);
+    f.verify_recovered();
+    EXPECT_EQ(report.cross_rack_bytes, plan.cross_rack_bytes());
+    EXPECT_EQ(report.intra_rack_bytes, plan.intra_rack_bytes());
+    return report;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_GT(a.wall_s, 0.0);
+  EXPECT_GT(a.compute_s, 0.0);
+  EXPECT_GT(a.transmission_s(), 0.0);
+  // Bit-identical across runs — exact double equality is intentional.
+  EXPECT_EQ(a.wall_s, b.wall_s);
+  EXPECT_EQ(a.compute_s, b.compute_s);
+  EXPECT_EQ(a.replacement_compute_s, b.replacement_compute_s);
+  EXPECT_EQ(a.cross_rack_bytes, b.cross_rack_bytes);
+  EXPECT_EQ(a.intra_rack_bytes, b.intra_rack_bytes);
+  EXPECT_EQ(a.per_rack_cross_bytes, b.per_rack_cross_bytes);
+}
+
+TEST(ClusterExecute, VirtualClockThousandStripeSweepIsFast) {
+  // Under the seed implementation this plan would spawn one thread per step
+  // and sleep through emulated transfer times; with the worker pool and the
+  // virtual clock it completes in host milliseconds.
+  RecoveryFixture f(1, 707, 1000, 1024, virtual_config());
+  const auto balanced = recovery::balance_greedy(f.placement, f.censuses,
+                                                 {50});
+  const auto plan = recovery::build_car_plan(
+      f.placement, f.code, balanced.solutions, 1024, f.scenario.failed_node);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto report = f.cluster.execute(plan);
+  const std::chrono::duration<double> host =
+      std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(host.count(), 5.0);  // generous bound for loaded CI machines
+  EXPECT_GT(report.wall_s, 0.0);
+  EXPECT_EQ(report.cross_rack_bytes, plan.cross_rack_bytes());
+  f.verify_recovered();
+}
+
+TEST(ClusterExecute, WindowedVirtualPlanNeverBeatsUnwindowed) {
+  // Bounding in-flight stripes can only lengthen (or keep) the virtual
+  // makespan, and traffic must be unchanged.
+  RecoveryFixture f(0, 515, 16, 32 * 1024, virtual_config());
+  const auto balanced = recovery::balance_greedy(f.placement, f.censuses,
+                                                 {50});
+  const auto plan = recovery::build_car_plan(
+      f.placement, f.code, balanced.solutions, 32 * 1024,
+      f.scenario.failed_node);
+  RecoveryFixture g(0, 515, 16, 32 * 1024, virtual_config());
+  const auto serial = recovery::schedule_windowed(plan, 1);
+  const auto full = f.cluster.execute(plan);
+  const auto windowed = g.cluster.execute(serial);
+  EXPECT_GE(windowed.wall_s, full.wall_s * (1.0 - 1e-9));
+  EXPECT_EQ(windowed.cross_rack_bytes, full.cross_rack_bytes);
+}
+
 TEST(ClusterExecute, EmptyPlanIsANoOp) {
   Cluster cluster(Topology({2, 2}), fast_config());
   recovery::RecoveryPlan plan;
@@ -199,6 +357,9 @@ TEST(ClusterExecute, InvalidConfigRejected) {
   EmulConfig bad = fast_config();
   bad.page_bytes = 0;
   EXPECT_THROW(Cluster(Topology({2}), bad), std::invalid_argument);
+  EmulConfig bad_gf = fast_config();
+  bad_gf.virtual_gf_bps = 0.0;
+  EXPECT_THROW(Cluster(Topology({2}), bad_gf), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,170 @@
+// Concurrency tests for the bounded worker-pool DAG executor.  These are the
+// tests meant to run under the `tsan` CMake preset: they exercise wide
+// fan-out, mid-plan failures, and cycle detection with real thread
+// interleavings.
+#include "emul/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace car::emul {
+namespace {
+
+struct Dag {
+  std::vector<std::size_t> indegrees;
+  std::vector<std::vector<std::size_t>> dependents;
+
+  explicit Dag(std::size_t n) : indegrees(n, 0), dependents(n) {}
+
+  void edge(std::size_t from, std::size_t to) {
+    dependents[from].push_back(to);
+    ++indegrees[to];
+  }
+};
+
+TEST(Executor, RejectsZeroWorkers) {
+  EXPECT_THROW(Executor(0), std::invalid_argument);
+}
+
+TEST(Executor, EmptyDagIsANoOp) {
+  Executor exec(4);
+  exec.run(0, {}, {}, [](std::size_t) { FAIL() << "no tasks to run"; });
+}
+
+TEST(Executor, RejectsMismatchedAdjacency) {
+  Executor exec(4);
+  EXPECT_THROW(exec.run(3, {0, 0}, {{}, {}, {}}, [](std::size_t) {}),
+               std::invalid_argument);
+}
+
+TEST(Executor, WideFanOutRunsEveryTaskOnce) {
+  // One root unlocking 4000 leaves: the seed implementation would have
+  // created 4001 threads here; the pool must stay bounded.
+  constexpr std::size_t kLeaves = 4000;
+  Dag dag(kLeaves + 1);
+  for (std::size_t leaf = 1; leaf <= kLeaves; ++leaf) dag.edge(0, leaf);
+
+  Executor exec(64);
+  std::vector<std::atomic<int>> runs(kLeaves + 1);
+  std::atomic<std::size_t> concurrent{0};
+  std::atomic<std::size_t> high_water{0};
+  exec.run(kLeaves + 1, dag.indegrees, dag.dependents, [&](std::size_t id) {
+    const std::size_t now = ++concurrent;
+    std::size_t peak = high_water.load();
+    while (now > peak && !high_water.compare_exchange_weak(peak, now)) {
+    }
+    ++runs[id];
+    --concurrent;
+  });
+
+  for (std::size_t id = 0; id <= kLeaves; ++id) {
+    EXPECT_EQ(runs[id].load(), 1) << "task " << id;
+  }
+  EXPECT_LE(high_water.load(), exec.planned_workers(kLeaves + 1));
+}
+
+TEST(Executor, NeverExceedsHardwareConcurrency) {
+  Executor exec(100000);
+  const std::size_t hw = std::max<unsigned>(
+      1, std::thread::hardware_concurrency());
+  EXPECT_LE(exec.planned_workers(1u << 20), hw);
+  EXPECT_EQ(exec.planned_workers(1), 1u);
+}
+
+TEST(Executor, TasksSeeCompletedDependencies) {
+  // Layered random DAG: every task checks that all its prerequisites
+  // finished before it started.
+  constexpr std::size_t kTasks = 2000;
+  util::Rng rng(123);
+  Dag dag(kTasks);
+  std::vector<std::vector<std::size_t>> deps_of(kTasks);
+  for (std::size_t id = 1; id < kTasks; ++id) {
+    const std::size_t n_deps = rng.next_below(3);
+    for (std::size_t d = 0; d < n_deps; ++d) {
+      const std::size_t dep = rng.next_below(id);
+      deps_of[id].push_back(dep);
+      dag.edge(dep, id);
+    }
+  }
+
+  std::vector<std::atomic<bool>> done(kTasks);
+  Executor exec(16);
+  exec.run(kTasks, dag.indegrees, dag.dependents, [&](std::size_t id) {
+    for (const std::size_t dep : deps_of[id]) {
+      EXPECT_TRUE(done[dep].load()) << "task " << id << " ran before dep "
+                                    << dep;
+    }
+    done[id] = true;
+  });
+  for (std::size_t id = 0; id < kTasks; ++id) EXPECT_TRUE(done[id].load());
+}
+
+TEST(Executor, MidPlanFailureDrainsAndRethrows) {
+  // fan-in -> failing task -> dependents: the failure must abandon every
+  // task downstream of it, drain the pool without deadlock, and rethrow.
+  constexpr std::size_t kRoots = 50;
+  constexpr std::size_t kTail = 50;
+  const std::size_t failing = kRoots;
+  Dag dag(kRoots + 1 + kTail);
+  for (std::size_t r = 0; r < kRoots; ++r) dag.edge(r, failing);
+  for (std::size_t t = 0; t < kTail; ++t) dag.edge(failing, failing + 1 + t);
+
+  std::atomic<std::size_t> tail_runs{0};
+  Executor exec(8);
+  EXPECT_THROW(
+      exec.run(dag.indegrees.size(), dag.indegrees, dag.dependents,
+               [&](std::size_t id) {
+                 if (id == failing) throw std::runtime_error("step exploded");
+                 if (id > failing) ++tail_runs;
+               }),
+      std::runtime_error);
+  EXPECT_EQ(tail_runs.load(), 0u);
+}
+
+TEST(Executor, FirstOfManyConcurrentFailuresWins) {
+  constexpr std::size_t kTasks = 100;
+  Dag dag(kTasks);  // all independent
+  Executor exec(16);
+  try {
+    exec.run(kTasks, dag.indegrees, dag.dependents, [&](std::size_t id) {
+      throw std::runtime_error("task " + std::to_string(id) + " failed");
+    });
+    FAIL() << "expected a rethrown task error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("failed"), std::string::npos);
+  }
+}
+
+TEST(Executor, DetectsCycleWithNoRoots) {
+  Dag dag(2);
+  dag.edge(0, 1);
+  dag.edge(1, 0);
+  Executor exec(4);
+  EXPECT_THROW(exec.run(2, dag.indegrees, dag.dependents, [](std::size_t) {}),
+               std::invalid_argument);
+}
+
+TEST(Executor, DetectsCycleBehindCompletedPrefix) {
+  // Task 0 runs fine; tasks 1 and 2 depend on each other, so after 0
+  // completes the ready queue drains with work outstanding.
+  Dag dag(3);
+  dag.edge(0, 1);
+  dag.edge(1, 2);
+  dag.edge(2, 1);
+  std::atomic<std::size_t> runs{0};
+  Executor exec(4);
+  EXPECT_THROW(
+      exec.run(3, dag.indegrees, dag.dependents,
+               [&](std::size_t) { ++runs; }),
+      std::invalid_argument);
+  EXPECT_EQ(runs.load(), 1u);
+}
+
+}  // namespace
+}  // namespace car::emul
