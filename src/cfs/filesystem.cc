@@ -5,6 +5,7 @@
 
 #include "recovery/degraded.h"
 #include "recovery/multi.h"
+#include "util/check.h"
 
 namespace car::cfs {
 
@@ -14,19 +15,14 @@ FileSystem::FileSystem(FsConfig config)
       placement_(config_.topology, config_.k, config_.m),
       cluster_(config_.topology, config_.emul),
       rng_(config_.seed) {
-  if (config_.chunk_size == 0) {
-    throw std::invalid_argument("FileSystem: chunk_size must be > 0");
-  }
+  CAR_CHECK(config_.chunk_size > 0, "FileSystem: chunk_size must be > 0");
 }
 
 FileMeta FileSystem::write_file(const std::string& name,
                                 std::span<const std::uint8_t> data) {
-  if (files_.contains(name)) {
-    throw std::invalid_argument("FileSystem::write_file: name already exists");
-  }
-  if (data.empty()) {
-    throw std::invalid_argument("FileSystem::write_file: empty data");
-  }
+  CAR_CHECK(!files_.contains(name),
+            "FileSystem::write_file: name already exists");
+  CAR_CHECK(!data.empty(), "FileSystem::write_file: empty data");
   if (!failed_.empty()) {
     throw std::logic_error(
         "FileSystem::write_file: repair failed nodes before writing");
@@ -99,18 +95,15 @@ std::vector<std::uint8_t> FileSystem::read_file(const std::string& name) {
             break;
           }
         }
-        if (reader == config_.topology.num_nodes()) {
-          throw std::runtime_error("FileSystem::read_file: no node alive");
-        }
+        CAR_CHECK_STATE(reader != config_.topology.num_nodes(),
+                        "FileSystem::read_file: no node alive");
         degraded_plan = recovery::plan_degraded_read_car(
             placement_, code_, {stripe, c, reader}, config_.chunk_size);
         cluster_.execute(degraded_plan);
         chunk = cluster_.find_step_output(reader,
                                           degraded_plan.outputs[0].step_id);
-        if (chunk == nullptr) {
-          throw std::runtime_error(
-              "FileSystem::read_file: degraded read failed");
-        }
+        CAR_CHECK_STATE(chunk != nullptr,
+                        "FileSystem::read_file: degraded read failed");
       }
       const std::uint64_t want =
           std::min<std::uint64_t>(config_.chunk_size, meta.size - out.size());
@@ -135,11 +128,9 @@ RepairReport FileSystem::repair(std::optional<cluster::NodeId> replacement) {
   }
   std::vector<cluster::NodeId> failed(failed_.begin(), failed_.end());
   const cluster::NodeId target = replacement.value_or(failed.front());
-  if (failed_.contains(target) && target != failed.front()) {
-    throw std::invalid_argument(
-        "FileSystem::repair: replacement must be alive or the primary "
-        "failed node");
-  }
+  CAR_CHECK(!failed_.contains(target) || target == failed.front(),
+            "FileSystem::repair: replacement must be alive or the primary "
+            "failed node");
 
   // Anchor the scenario at the chosen replacement.
   auto scenario = recovery::make_multi_failure(placement_, failed);
@@ -178,16 +169,14 @@ RepairReport FileSystem::repair(std::optional<cluster::NodeId> replacement) {
             break;
           }
         }
-        if (host == config_.topology.num_nodes()) {
-          throw std::runtime_error(
-              "FileSystem::repair: no valid host for a rebuilt chunk");
-        }
+        CAR_CHECK_STATE(host != config_.topology.num_nodes(),
+                        "FileSystem::repair: no valid host for a rebuilt "
+                        "chunk");
         const rs::Chunk* rebuilt =
             cluster_.find_chunk(target, out.stripe, out.chunk_index);
-        if (rebuilt == nullptr) {
-          throw std::runtime_error(
-              "FileSystem::repair: rebuilt chunk missing on replacement");
-        }
+        CAR_CHECK_STATE(rebuilt != nullptr,
+                        "FileSystem::repair: rebuilt chunk missing on "
+                        "replacement");
         cluster_.store_chunk(host, out.stripe, out.chunk_index, *rebuilt);
       }
       placement_.set_host(out.stripe, out.chunk_index, host);

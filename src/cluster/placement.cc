@@ -6,15 +6,15 @@
 #include <unordered_set>
 #include <utility>
 
+#include "util/check.h"
+
 namespace car::cluster {
 
 Placement::Placement(Topology topology, std::size_t k, std::size_t m)
     : topology_(std::move(topology)), k_(k), m_(m) {
-  if (k_ == 0) throw std::invalid_argument("Placement: k must be >= 1");
-  if (k_ + m_ > topology_.num_nodes()) {
-    throw std::invalid_argument(
-        "Placement: stripe width exceeds total node count");
-  }
+  CAR_CHECK_GE(k_, std::size_t{1}, "Placement: k must be >= 1");
+  CAR_CHECK_LE(k_ + m_, topology_.num_nodes(),
+               "Placement: stripe width exceeds total node count");
 }
 
 NodeId Placement::node_of(StripeId stripe, std::size_t chunk_index) const {
@@ -35,25 +35,19 @@ std::span<const NodeId> Placement::stripe(StripeId id) const {
 }
 
 void Placement::check_stripe(std::span<const NodeId> chunk_nodes) const {
-  if (chunk_nodes.size() != chunks_per_stripe()) {
-    throw std::invalid_argument("Placement: stripe must have k+m chunks");
-  }
+  CAR_CHECK_EQ(chunk_nodes.size(), chunks_per_stripe(),
+               "Placement: stripe must have k+m chunks");
   std::unordered_set<NodeId> seen;
   std::vector<std::size_t> per_rack(topology_.num_racks(), 0);
   for (NodeId node : chunk_nodes) {
-    if (node >= topology_.num_nodes()) {
-      throw std::invalid_argument("Placement: node id out of range");
-    }
-    if (!seen.insert(node).second) {
-      throw std::invalid_argument(
-          "Placement: chunks of a stripe must be on distinct nodes");
-    }
+    CAR_CHECK_LT(node, topology_.num_nodes(),
+                 "Placement: node id out of range");
+    CAR_CHECK(seen.insert(node).second,
+              "Placement: chunks of a stripe must be on distinct nodes");
     const RackId rack = topology_.rack_of(node);
-    if (++per_rack[rack] > m_) {
-      throw std::invalid_argument(
-          "Placement: rack quota violated (c_{i,j} must be <= m for "
-          "single-rack fault tolerance)");
-    }
+    CAR_CHECK_LE(++per_rack[rack], m_,
+                 "Placement: rack quota violated (c_{i,j} must be <= m for "
+                 "single-rack fault tolerance)");
   }
 }
 
@@ -134,11 +128,9 @@ std::vector<NodeId> Placement::choose_stripe_nodes(const Topology& topology,
   for (RackId r = 0; r < topology.num_racks(); ++r) {
     capacity += std::min(topology.nodes_in_rack_count(r), m);
   }
-  if (capacity < k + m) {
-    throw std::invalid_argument(
-        "Placement: topology cannot host a stripe under the single-rack "
-        "fault-tolerance quota");
-  }
+  CAR_CHECK_GE(capacity, k + m,
+               "Placement: topology cannot host a stripe under the "
+               "single-rack fault-tolerance quota");
 
   // Rejection-free greedy: shuffle all nodes, then take them in order while
   // their rack still has quota.  The shuffle makes the selection uniform
@@ -170,9 +162,8 @@ Placement Placement::random(Topology topology, std::size_t k, std::size_t m,
 }
 
 void Placement::move_chunks(NodeId from, NodeId to) {
-  if (from >= topology_.num_nodes() || to >= topology_.num_nodes()) {
-    throw std::invalid_argument("Placement::move_chunks: node out of range");
-  }
+  CAR_CHECK(from < topology_.num_nodes() && to < topology_.num_nodes(),
+            "Placement::move_chunks: node out of range");
   if (from == to) return;
   // Validate against a copy first so a failed move leaves the placement
   // untouched.
@@ -213,11 +204,9 @@ Placement Placement::round_robin(Topology topology, std::size_t k,
       ++per_rack[rack];
       chosen.push_back(node);
     }
-    if (chosen.size() != k + m) {
-      throw std::invalid_argument(
-          "Placement::round_robin: topology cannot host a stripe under the "
-          "single-rack fault-tolerance quota");
-    }
+    CAR_CHECK_EQ(chosen.size(), k + m,
+                 "Placement::round_robin: topology cannot host a stripe under "
+                 "the single-rack fault-tolerance quota");
     p.add_stripe(std::move(chosen));
   }
   return p;
@@ -267,11 +256,9 @@ Placement Placement::spread(Topology topology, std::size_t k, std::size_t m,
     capacity[rack] = std::min(topo.nodes_in_rack_count(rack), m);
     total_capacity += capacity[rack];
   }
-  if (total_capacity < width) {
-    throw std::invalid_argument(
-        "Placement::spread: topology cannot host a stripe under the "
-        "single-rack fault-tolerance quota");
-  }
+  CAR_CHECK_GE(total_capacity, width,
+               "Placement::spread: topology cannot host a stripe under the "
+               "single-rack fault-tolerance quota");
 
   for (StripeId s = 0; s < num_stripes; ++s) {
     // Water-filling: each chunk goes to the least-loaded rack with spare
@@ -326,11 +313,9 @@ Placement Placement::compact(Topology topology, std::size_t k, std::size_t m,
       chosen.insert(chosen.end(), nodes.begin(),
                     nodes.begin() + static_cast<std::ptrdiff_t>(take));
     }
-    if (chosen.size() != width) {
-      throw std::invalid_argument(
-          "Placement::compact: topology cannot host a stripe under the "
-          "single-rack fault-tolerance quota");
-    }
+    CAR_CHECK_EQ(chosen.size(), width,
+                 "Placement::compact: topology cannot host a stripe under the "
+                 "single-rack fault-tolerance quota");
     p.add_stripe(std::move(chosen));
   }
   return p;

@@ -3,19 +3,17 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/check.h"
+
 namespace car::cluster {
 
 Topology::Topology(std::vector<std::size_t> nodes_per_rack)
     : nodes_per_rack_(std::move(nodes_per_rack)) {
-  if (nodes_per_rack_.empty()) {
-    throw std::invalid_argument("Topology: at least one rack required");
-  }
+  CAR_CHECK(!nodes_per_rack_.empty(), "Topology: at least one rack required");
   rack_first_node_.reserve(nodes_per_rack_.size() + 1);
   rack_first_node_.push_back(0);
   for (std::size_t n : nodes_per_rack_) {
-    if (n == 0) {
-      throw std::invalid_argument("Topology: racks must be non-empty");
-    }
+    CAR_CHECK(n > 0, "Topology: racks must be non-empty");
     total_nodes_ += n;
     rack_first_node_.push_back(total_nodes_);
   }

@@ -11,6 +11,7 @@
 #include "emul/executor.h"
 #include "gf/region.h"
 #include "recovery/scheduler.h"
+#include "util/check.h"
 
 namespace car::emul {
 
@@ -88,11 +89,14 @@ Cluster::Cluster(cluster::Topology topology, EmulConfig config)
     : impl_(std::make_unique<Impl>(config.clock_mode)),
       topology_(std::move(topology)),
       config_(config) {
-  if (config_.node_bps <= 0 || config_.oversubscription <= 0 ||
-      config_.page_bytes == 0 || config_.max_parallel_steps == 0 ||
-      config_.virtual_gf_bps <= 0) {
-    throw std::invalid_argument("EmulConfig: invalid parameters");
-  }
+  CAR_CHECK(config_.node_bps > 0, "EmulConfig: node_bps must be positive");
+  CAR_CHECK(config_.oversubscription > 0,
+            "EmulConfig: oversubscription must be positive");
+  CAR_CHECK(config_.page_bytes > 0, "EmulConfig: page_bytes must be > 0");
+  CAR_CHECK(config_.max_parallel_steps > 0,
+            "EmulConfig: max_parallel_steps must be > 0");
+  CAR_CHECK(config_.virtual_gf_bps > 0,
+            "EmulConfig: virtual_gf_bps must be positive");
   const std::size_t n = topology_.num_nodes();
   const std::size_t r = topology_.num_racks();
   impl_->stores = std::vector<Impl::NodeStore>(n);
@@ -147,9 +151,7 @@ void Cluster::erase_node(cluster::NodeId node) {
 std::vector<std::vector<rs::Chunk>> Cluster::populate(
     const cluster::Placement& placement, const rs::Code& code,
     std::uint64_t chunk_size, util::Rng& rng) {
-  if (chunk_size == 0) {
-    throw std::invalid_argument("Cluster::populate: chunk_size must be > 0");
-  }
+  CAR_CHECK(chunk_size > 0, "Cluster::populate: chunk_size must be > 0");
   std::vector<std::vector<rs::Chunk>> originals;
   originals.reserve(placement.num_stripes());
   for (cluster::StripeId s = 0; s < placement.num_stripes(); ++s) {
@@ -206,17 +208,17 @@ ExecutionReport Cluster::execute(const recovery::RecoveryPlan& plan) {
 
   auto run_transfer = [&](const PlanStep& step) {
     const rs::Chunk* src_buf = impl_->find(step.src, key_of(step.payload));
-    if (src_buf == nullptr) {
-      throw std::runtime_error(
-          "Cluster::execute: transfer payload missing on source node");
-    }
+    CAR_CHECK_STATE(src_buf != nullptr,
+                    "Cluster::execute: transfer payload missing on source "
+                    "node");
     rs::Chunk data = *src_buf;  // read once; the copy is the wire payload
-    if (data.size() != step.bytes) {
-      throw std::runtime_error(
-          "Cluster::execute: transfer size mismatch: plan declares " +
-          std::to_string(step.bytes) + " bytes but payload holds " +
-          std::to_string(data.size()));
-    }
+    // Buffer-size contract: the plan's declared transfer size must match the
+    // actual payload, or every byte of traffic accounting downstream lies.
+    CAR_CHECK_STATE(data.size() == step.bytes,
+                    "Cluster::execute: transfer size mismatch: plan declares " +
+                        std::to_string(step.bytes) +
+                        " bytes but payload holds " +
+                        std::to_string(data.size()));
     if (step.src == step.dst) {
       // Loopback: the buffer never leaves the node, so no link is reserved
       // and no traffic is reported.
@@ -249,16 +251,26 @@ ExecutionReport Cluster::execute(const recovery::RecoveryPlan& plan) {
     inputs.reserve(step.inputs.size());
     for (const auto& in : step.inputs) {
       const rs::Chunk* buf = impl_->find(step.node, key_of(in.buffer));
-      if (buf == nullptr) {
-        throw std::runtime_error(
-            "Cluster::execute: compute input missing on node");
-      }
+      CAR_CHECK_STATE(buf != nullptr,
+                      "Cluster::execute: compute input missing on node");
       inputs.push_back(buf);
     }
-    if (inputs.empty()) {
-      throw std::runtime_error("Cluster::execute: compute with no inputs");
+    CAR_CHECK_STATE(!inputs.empty(),
+                    "Cluster::execute: compute with no inputs");
+    const std::size_t chunk_bytes = inputs.front()->size();
+    // Buffer-size contract: every input of a linear combination must be the
+    // same length, and the plan's declared compute volume must equal
+    // |inputs| * chunk bytes.
+    for (const rs::Chunk* buf : inputs) {
+      CAR_CHECK_STATE(buf->size() == chunk_bytes,
+                      "Cluster::execute: compute input size mismatch");
     }
-    rs::Chunk out(inputs.front()->size(), 0);
+    CAR_CHECK_STATE(step.bytes ==
+                        static_cast<std::uint64_t>(chunk_bytes) *
+                            inputs.size(),
+                    "Cluster::execute: compute bytes do not equal "
+                    "inputs * chunk size");
+    rs::Chunk out(chunk_bytes, 0);
 
     // The measured window covers the finite-field work only — the paper's
     // "computation time" is the decoding arithmetic, not buffer management.
@@ -339,9 +351,8 @@ ExecutionReport Cluster::execute(const recovery::RecoveryPlan& plan) {
   // Publish recovered chunks as regular chunk replicas on the replacement.
   for (const auto& out : plan.outputs) {
     const rs::Chunk* buf = impl_->find(plan.replacement, step_key(out.step_id));
-    if (buf == nullptr) {
-      throw std::runtime_error("Cluster::execute: recovered chunk missing");
-    }
+    CAR_CHECK_STATE(buf != nullptr,
+                    "Cluster::execute: recovered chunk missing");
     impl_->put(plan.replacement, chunk_key(out.stripe, out.chunk_index), *buf);
   }
   return report;

@@ -8,12 +8,12 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/check.h"
+
 namespace car::emul {
 
 Executor::Executor(std::size_t max_workers) : max_workers_(max_workers) {
-  if (max_workers == 0) {
-    throw std::invalid_argument("Executor: max_workers must be >= 1");
-  }
+  CAR_CHECK(max_workers > 0, "Executor: max_workers must be >= 1");
 }
 
 std::size_t Executor::planned_workers(std::size_t num_tasks) const {
@@ -26,9 +26,8 @@ void Executor::run(std::size_t num_tasks, std::vector<std::size_t> indegrees,
                    const std::vector<std::vector<std::size_t>>& dependents,
                    const std::function<void(std::size_t)>& fn) {
   if (num_tasks == 0) return;
-  if (indegrees.size() != num_tasks || dependents.size() != num_tasks) {
-    throw std::invalid_argument("Executor::run: adjacency size mismatch");
-  }
+  CAR_CHECK(indegrees.size() == num_tasks && dependents.size() == num_tasks,
+            "Executor::run: adjacency size mismatch");
 
   std::mutex mu;
   std::condition_variable cv;
@@ -42,9 +41,7 @@ void Executor::run(std::size_t num_tasks, std::vector<std::size_t> indegrees,
   for (std::size_t id = 0; id < num_tasks; ++id) {
     if (indegrees[id] == 0) ready.push_back(id);
   }
-  if (ready.empty()) {
-    throw std::invalid_argument("Executor::run: dependency cycle (no roots)");
-  }
+  CAR_CHECK(!ready.empty(), "Executor::run: dependency cycle (no roots)");
 
   auto worker = [&] {
     std::unique_lock lock(mu);
@@ -92,9 +89,7 @@ void Executor::run(std::size_t num_tasks, std::vector<std::size_t> indegrees,
   for (auto& t : pool) t.join();
 
   if (error) std::rethrow_exception(error);
-  if (cycle) {
-    throw std::invalid_argument("Executor::run: dependency cycle in DAG");
-  }
+  CAR_CHECK(!cycle, "Executor::run: dependency cycle in DAG");
 }
 
 }  // namespace car::emul

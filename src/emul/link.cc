@@ -1,22 +1,30 @@
 #include "emul/link.h"
 
 #include <algorithm>
-#include <stdexcept>
+#include <cmath>
 #include <thread>
+
+#include "util/check.h"
 
 namespace car::emul {
 
 SerialLink::SerialLink(double bytes_per_second)
     : rate_(bytes_per_second), epoch_(std::chrono::steady_clock::now()) {
-  if (bytes_per_second <= 0) {
-    throw std::invalid_argument("SerialLink: rate must be positive");
-  }
+  CAR_CHECK(bytes_per_second > 0, "SerialLink: rate must be positive");
 }
 
 double SerialLink::reserve(double start, std::uint64_t bytes) {
+  CAR_CHECK(std::isfinite(start) && start >= 0.0,
+            "SerialLink::reserve: start must be a finite non-negative time");
   const double duration = static_cast<double>(bytes) / rate_;
   std::scoped_lock lock(mu_);
+  const double previous_free = next_free_;
   next_free_ = std::max(next_free_, start) + duration;
+  // Timeline monotonicity: the link frees strictly later with every
+  // reservation (never travels back in time), and no earlier than the
+  // requested start plus the transmission itself.
+  CAR_DCHECK_GE(next_free_, previous_free, "SerialLink timeline regressed");
+  CAR_DCHECK_GE(next_free_, start + duration, "SerialLink finish too early");
   total_bytes_ += bytes;
   return next_free_;
 }

@@ -1,16 +1,16 @@
 #include "gf/region.h"
 
 #include <cstring>
-#include <stdexcept>
 #include <string>
 
 #include "gf/gf256.h"
+#include "util/check.h"
 
 namespace car::gf {
 
 namespace {
 void require_same_size(std::size_t a, std::size_t b, const char* what) {
-  if (a != b) throw std::invalid_argument(std::string(what) + ": size mismatch");
+  if (a != b) CAR_CHECK_FAIL(std::string(what) + ": size mismatch");
 }
 }  // namespace
 
@@ -40,7 +40,8 @@ void mul_region(std::uint8_t c, std::span<const std::uint8_t> src,
     return;
   }
   if (c == 1) {
-    if (dst.data() != src.data()) {
+    // Empty spans may carry a null data(), which memcpy must never see.
+    if (!src.empty() && dst.data() != src.data()) {
       std::memcpy(dst.data(), src.data(), src.size());
     }
     return;
@@ -82,15 +83,15 @@ void scale_region(std::uint8_t c, std::span<std::uint8_t> dst) {
 }
 
 void zero_region(std::span<std::uint8_t> dst) noexcept {
+  if (dst.empty()) return;  // empty spans may carry a null data()
   std::memset(dst.data(), 0, dst.size());
 }
 
 void linear_combine(std::span<const std::uint8_t> coeffs,
                     std::span<const std::span<const std::uint8_t>> rows,
                     std::span<std::uint8_t> out) {
-  if (coeffs.size() != rows.size()) {
-    throw std::invalid_argument("linear_combine: coeffs/rows arity mismatch");
-  }
+  CAR_CHECK_EQ(coeffs.size(), rows.size(),
+               "linear_combine: coeffs/rows arity mismatch");
   zero_region(out);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     require_same_size(rows[i].size(), out.size(), "linear_combine");

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace car::gf {
 
 std::uint32_t primitive_polynomial(unsigned w) {
@@ -24,8 +26,7 @@ std::uint32_t primitive_polynomial(unsigned w) {
     case 15: return 0x8003;    // x^15+x+1
     case 16: return 0x1100B;   // x^16+x^12+x^3+x+1
     default:
-      throw std::invalid_argument(
-          "primitive_polynomial: unsupported field width");
+      CAR_CHECK_FAIL("primitive_polynomial: unsupported field width");
   }
 }
 

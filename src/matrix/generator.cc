@@ -1,9 +1,9 @@
 #include "matrix/generator.h"
 
-#include <stdexcept>
 #include <vector>
 
 #include "gf/gf256.h"
+#include "util/check.h"
 
 namespace car::matrix {
 
@@ -12,10 +12,9 @@ using gf::Gf256;
 namespace {
 
 void check_params(std::size_t k, std::size_t m) {
-  if (k == 0) throw std::invalid_argument("generator: k must be >= 1");
-  if (k + m > Gf256::kFieldSize) {
-    throw std::invalid_argument("generator: k + m must be <= 256 for GF(2^8)");
-  }
+  CAR_CHECK_GE(k, std::size_t{1}, "generator: k must be >= 1");
+  CAR_CHECK_LE(k + m, Gf256::kFieldSize,
+               "generator: k + m must be <= 256 for GF(2^8)");
 }
 
 }  // namespace

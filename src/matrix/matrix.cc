@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "gf/gf256.h"
+#include "util/check.h"
 
 namespace car::matrix {
 
@@ -17,9 +18,8 @@ Matrix::Matrix(std::size_t rows, std::size_t cols)
 Matrix::Matrix(std::size_t rows, std::size_t cols,
                std::vector<std::uint8_t> data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
-  if (data_.size() != rows_ * cols_) {
-    throw std::invalid_argument("Matrix: data size != rows*cols");
-  }
+  CAR_CHECK_EQ(data_.size(), rows_ * cols_,
+               "Matrix: data size != rows*cols");
 }
 
 Matrix Matrix::from_rows(
@@ -30,9 +30,7 @@ Matrix Matrix::from_rows(
   Matrix m(r, c);
   std::size_t i = 0;
   for (const auto& row : rows) {
-    if (row.size() != c) {
-      throw std::invalid_argument("Matrix::from_rows: ragged rows");
-    }
+    CAR_CHECK_EQ(row.size(), c, "Matrix::from_rows: ragged rows");
     std::size_t j = 0;
     for (std::uint8_t v : row) m(i, j++) = v;
     ++i;
@@ -64,9 +62,7 @@ std::span<std::uint8_t> Matrix::row(std::size_t r) {
 }
 
 Matrix Matrix::operator*(const Matrix& rhs) const {
-  if (cols_ != rhs.rows_) {
-    throw std::invalid_argument("Matrix::operator*: shape mismatch");
-  }
+  CAR_CHECK_EQ(cols_, rhs.rows_, "Matrix::operator*: shape mismatch");
   const auto& f = Gf256::instance();
   Matrix out(rows_, rhs.cols_);
   for (std::size_t i = 0; i < rows_; ++i) {
@@ -84,9 +80,7 @@ Matrix Matrix::operator*(const Matrix& rhs) const {
 
 std::vector<std::uint8_t> Matrix::apply(
     std::span<const std::uint8_t> vec) const {
-  if (vec.size() != cols_) {
-    throw std::invalid_argument("Matrix::apply: vector size mismatch");
-  }
+  CAR_CHECK_EQ(vec.size(), cols_, "Matrix::apply: vector size mismatch");
   const auto& f = Gf256::instance();
   std::vector<std::uint8_t> out(rows_, 0);
   for (std::size_t i = 0; i < rows_; ++i) {
@@ -100,9 +94,8 @@ std::vector<std::uint8_t> Matrix::apply(
 }
 
 Matrix Matrix::operator+(const Matrix& rhs) const {
-  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
-    throw std::invalid_argument("Matrix::operator+: shape mismatch");
-  }
+  CAR_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+            "Matrix::operator+: shape mismatch");
   Matrix out(rows_, cols_);
   for (std::size_t i = 0; i < data_.size(); ++i) {
     out.data_[i] = data_[i] ^ rhs.data_[i];
@@ -172,9 +165,7 @@ bool gauss_jordan(Matrix& a, Matrix& b) {
 }  // namespace
 
 Matrix Matrix::inverted() const {
-  if (rows_ != cols_) {
-    throw std::invalid_argument("Matrix::inverted: matrix not square");
-  }
+  CAR_CHECK_EQ(rows_, cols_, "Matrix::inverted: matrix not square");
   Matrix a = *this;
   Matrix inv = identity(rows_);
   if (!gauss_jordan(a, inv)) {

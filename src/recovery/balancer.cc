@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace car::recovery {
 
 namespace {
@@ -28,9 +30,7 @@ double lambda_of(const std::vector<std::size_t>& t,
 BalanceResult balance_greedy(const cluster::Placement& placement,
                              const std::vector<StripeCensus>& censuses,
                              const BalanceOptions& options) {
-  if (censuses.empty()) {
-    throw std::invalid_argument("balance_greedy: no stripes to recover");
-  }
+  CAR_CHECK(!censuses.empty(), "balance_greedy: no stripes to recover");
   const cluster::RackId failed_rack = censuses.front().failed_rack;
   const std::size_t num_racks = censuses.front().num_racks();
 
@@ -110,9 +110,7 @@ BalanceResult balance_greedy(const cluster::Placement& placement,
 
 std::optional<ExhaustiveResult> balance_exhaustive(
     const std::vector<StripeCensus>& censuses, std::uint64_t max_nodes) {
-  if (censuses.empty()) {
-    throw std::invalid_argument("balance_exhaustive: no stripes");
-  }
+  CAR_CHECK(!censuses.empty(), "balance_exhaustive: no stripes");
   const cluster::RackId failed_rack = censuses.front().failed_rack;
   const std::size_t num_racks = censuses.front().num_racks();
 

@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace car::recovery {
 
 DegradedReadCensus build_degraded_census(const cluster::Placement& placement,
                                          const DegradedReadRequest& request) {
-  if (request.chunk_index >= placement.chunks_per_stripe()) {
-    throw std::invalid_argument("degraded read: chunk index out of range");
-  }
+  CAR_CHECK_LT(request.chunk_index, placement.chunks_per_stripe(),
+               "degraded read: chunk index out of range");
   const auto& topology = placement.topology();
   DegradedReadCensus census;
   census.stripe = request.stripe;
@@ -125,9 +126,7 @@ RecoveryPlan plan_degraded_read_car(const cluster::Placement& placement,
                                     const rs::Code& code,
                                     const DegradedReadRequest& request,
                                     std::uint64_t chunk_size) {
-  if (chunk_size == 0) {
-    throw std::invalid_argument("degraded read: chunk_size must be > 0");
-  }
+  CAR_CHECK(chunk_size > 0, "degraded read: chunk_size must be > 0");
   const auto census = build_degraded_census(placement, request);
   const auto set =
       default_rack_set(census.k, census.reader_rack, census.surviving);
@@ -164,9 +163,7 @@ RecoveryPlan plan_degraded_read_direct(const cluster::Placement& placement,
                                        const DegradedReadRequest& request,
                                        std::uint64_t chunk_size,
                                        util::Rng& rng) {
-  if (chunk_size == 0) {
-    throw std::invalid_argument("degraded read: chunk_size must be > 0");
-  }
+  CAR_CHECK(chunk_size > 0, "degraded read: chunk_size must be > 0");
   std::vector<std::size_t> survivors;
   for (std::size_t c = 0; c < placement.chunks_per_stripe(); ++c) {
     if (c != request.chunk_index) survivors.push_back(c);

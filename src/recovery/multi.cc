@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "util/check.h"
+
 namespace car::recovery {
 
 bool MultiFailureScenario::is_failed(cluster::NodeId node) const noexcept {
@@ -13,17 +15,13 @@ bool MultiFailureScenario::is_failed(cluster::NodeId node) const noexcept {
 
 MultiFailureScenario make_multi_failure(const cluster::Placement& placement,
                                         std::vector<cluster::NodeId> nodes) {
-  if (nodes.empty()) {
-    throw std::invalid_argument("make_multi_failure: no failed nodes");
-  }
+  CAR_CHECK(!nodes.empty(), "make_multi_failure: no failed nodes");
   std::unordered_set<cluster::NodeId> seen;
   for (cluster::NodeId node : nodes) {
-    if (node >= placement.topology().num_nodes()) {
-      throw std::invalid_argument("make_multi_failure: node id out of range");
-    }
-    if (!seen.insert(node).second) {
-      throw std::invalid_argument("make_multi_failure: duplicate node id");
-    }
+    CAR_CHECK_LT(node, placement.topology().num_nodes(),
+                 "make_multi_failure: node id out of range");
+    CAR_CHECK(seen.insert(node).second,
+              "make_multi_failure: duplicate node id");
   }
   MultiFailureScenario scenario;
   scenario.replacement = nodes.front();
@@ -52,11 +50,9 @@ std::vector<MultiStripeCensus> build_multi_censuses(
       }
     }
     if (census.lost_chunks.empty()) continue;
-    if (census.lost_chunks.size() > placement.m()) {
-      throw std::invalid_argument(
-          "build_multi_censuses: stripe lost more than m chunks — beyond "
-          "the code's fault tolerance");
-    }
+    CAR_CHECK_LE(census.lost_chunks.size(), placement.m(),
+                 "build_multi_censuses: stripe lost more than m chunks — "
+                 "beyond the code's fault tolerance");
     out.push_back(std::move(census));
   }
   return out;
@@ -90,11 +86,9 @@ std::vector<std::size_t> surviving_in_rack(const cluster::Placement& placement,
 MultiStripeSolution materialize_multi(const cluster::Placement& placement,
                                       const MultiStripeCensus& census,
                                       const RackSet& set) {
-  if (!is_valid_minimal_for(census.k, census.replacement_rack,
-                            census.surviving, set)) {
-    throw std::invalid_argument(
-        "materialize_multi: rack set is not a valid minimal solution");
-  }
+  CAR_CHECK(is_valid_minimal_for(census.k, census.replacement_rack,
+                                 census.surviving, set),
+            "materialize_multi: rack set is not a valid minimal solution");
 
   MultiStripeSolution solution;
   solution.stripe = census.stripe;
@@ -159,9 +153,7 @@ double lambda_of(const std::vector<std::size_t>& t, cluster::RackId home) {
 MultiBalanceResult balance_multi(
     const cluster::Placement& placement,
     const std::vector<MultiStripeCensus>& censuses, std::size_t iterations) {
-  if (censuses.empty()) {
-    throw std::invalid_argument("balance_multi: no stripes to recover");
-  }
+  CAR_CHECK(!censuses.empty(), "balance_multi: no stripes to recover");
   const cluster::RackId home = censuses.front().replacement_rack;
   const std::size_t num_racks = censuses.front().num_racks();
 
@@ -255,9 +247,7 @@ RecoveryPlan build_multi_car_plan(
     const cluster::Placement& placement, const rs::Code& code,
     std::span<const MultiStripeSolution> solutions, std::uint64_t chunk_size,
     cluster::NodeId replacement) {
-  if (chunk_size == 0) {
-    throw std::invalid_argument("build_multi_car_plan: chunk_size must be > 0");
-  }
+  CAR_CHECK(chunk_size > 0, "build_multi_car_plan: chunk_size must be > 0");
   const auto& topology = placement.topology();
   RecoveryPlan plan;
   plan.replacement = replacement;
@@ -364,9 +354,8 @@ std::vector<MultiRrSolution> plan_multi_rr(
         survivors.push_back(c);
       }
     }
-    if (survivors.size() < census.k) {
-      throw std::invalid_argument("plan_multi_rr: fewer than k survivors");
-    }
+    CAR_CHECK_GE(survivors.size(), census.k,
+                 "plan_multi_rr: fewer than k survivors");
     rng.shuffle(survivors);
     survivors.resize(census.k);
     std::sort(survivors.begin(), survivors.end());
@@ -396,9 +385,7 @@ RecoveryPlan build_multi_rr_plan(const cluster::Placement& placement,
                                  std::span<const MultiRrSolution> solutions,
                                  std::uint64_t chunk_size,
                                  cluster::NodeId replacement) {
-  if (chunk_size == 0) {
-    throw std::invalid_argument("build_multi_rr_plan: chunk_size must be > 0");
-  }
+  CAR_CHECK(chunk_size > 0, "build_multi_rr_plan: chunk_size must be > 0");
   const auto& topology = placement.topology();
   RecoveryPlan plan;
   plan.replacement = replacement;

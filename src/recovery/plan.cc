@@ -1,6 +1,6 @@
 #include "recovery/plan.h"
 
-#include <stdexcept>
+#include "util/check.h"
 
 namespace car::recovery {
 
@@ -62,11 +62,22 @@ struct PlanBuilder {
   RecoveryPlan plan;
   const cluster::Topology& topology;
 
+  // Plan-DAG well-formedness: every appended step may only depend on steps
+  // that already exist, which keeps the DAG acyclic by construction.
+  void check_deps(std::size_t id, const std::vector<std::size_t>& deps) const {
+    for (const std::size_t dep : deps) {
+      CAR_CHECK_LT(dep, id, "PlanBuilder: dependency on a future step");
+    }
+  }
+
   std::size_t add_transfer(cluster::StripeId stripe, cluster::NodeId src,
                            cluster::NodeId dst, BufferRef payload,
                            std::vector<std::size_t> deps) {
+    CAR_CHECK_LT(src, topology.num_nodes(), "PlanBuilder: bad src node");
+    CAR_CHECK_LT(dst, topology.num_nodes(), "PlanBuilder: bad dst node");
     PlanStep step;
     step.id = plan.steps.size();
+    check_deps(step.id, deps);
     step.kind = StepKind::kTransfer;
     step.stripe = stripe;
     step.src = src;
@@ -82,8 +93,11 @@ struct PlanBuilder {
   std::size_t add_compute(cluster::StripeId stripe, cluster::NodeId node,
                           std::vector<ComputeInput> inputs,
                           std::vector<std::size_t> deps) {
+    CAR_CHECK_LT(node, topology.num_nodes(), "PlanBuilder: bad compute node");
+    CAR_CHECK(!inputs.empty(), "PlanBuilder: compute without inputs");
     PlanStep step;
     step.id = plan.steps.size();
+    check_deps(step.id, deps);
     step.kind = StepKind::kCompute;
     step.stripe = stripe;
     step.node = node;
@@ -102,9 +116,7 @@ RecoveryPlan build_car_plan(const cluster::Placement& placement,
                             std::span<const PerStripeSolution> solutions,
                             std::uint64_t chunk_size,
                             cluster::NodeId replacement) {
-  if (chunk_size == 0) {
-    throw std::invalid_argument("build_car_plan: chunk_size must be > 0");
-  }
+  CAR_CHECK(chunk_size > 0, "build_car_plan: chunk_size must be > 0");
   const auto& topology = placement.topology();
   PlanBuilder b{{}, topology};
   b.plan.replacement = replacement;
@@ -114,6 +126,8 @@ RecoveryPlan build_car_plan(const cluster::Placement& placement,
   for (const auto& solution : solutions) {
     const auto survivors = solution.all_chunk_indices();
     const auto y = code.repair_vector(solution.lost_chunk, survivors);
+    CAR_CHECK_EQ(y.size(), survivors.size(),
+                 "build_car_plan: repair vector arity");
 
     std::size_t position = 0;  // index into survivors / y, follows pick order
     std::vector<std::size_t> partial_transfer_ids;
@@ -145,6 +159,11 @@ RecoveryPlan build_car_plan(const cluster::Placement& placement,
       final_inputs.push_back({BufferRef::step(partial), 1});
     }
 
+    // Partial-decoding sum: the per-rack partials must cover every survivor
+    // term exactly once to reconstruct H_i.
+    CAR_CHECK_EQ(position, survivors.size(),
+                 "build_car_plan: picks do not cover the survivor set");
+
     const std::size_t final_step =
         b.add_compute(solution.stripe, replacement, std::move(final_inputs),
                       std::move(partial_transfer_ids));
@@ -159,9 +178,7 @@ RecoveryPlan build_rr_plan(const cluster::Placement& placement,
                            std::span<const RrSolution> solutions,
                            std::uint64_t chunk_size,
                            cluster::NodeId replacement) {
-  if (chunk_size == 0) {
-    throw std::invalid_argument("build_rr_plan: chunk_size must be > 0");
-  }
+  CAR_CHECK(chunk_size > 0, "build_rr_plan: chunk_size must be > 0");
   const auto& topology = placement.topology();
   PlanBuilder b{{}, topology};
   b.plan.replacement = replacement;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace car::recovery {
 
 std::vector<std::size_t> PerStripeSolution::all_chunk_indices() const {
@@ -16,10 +18,8 @@ std::vector<std::size_t> PerStripeSolution::all_chunk_indices() const {
 
 PerStripeSolution materialize(const cluster::Placement& placement,
                               const StripeCensus& census, const RackSet& set) {
-  if (!is_valid_minimal(census, set)) {
-    throw std::invalid_argument(
-        "materialize: rack set is not a valid minimal solution");
-  }
+  CAR_CHECK(is_valid_minimal(census, set),
+            "materialize: rack set is not a valid minimal solution");
 
   PerStripeSolution solution;
   solution.stripe = census.stripe;

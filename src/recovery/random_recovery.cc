@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace car::recovery {
 
 RrSolution random_recovery(const cluster::Placement& placement,
@@ -13,9 +15,8 @@ RrSolution random_recovery(const cluster::Placement& placement,
   for (std::size_t c = 0; c < n; ++c) {
     if (c != census.lost_chunk) survivors.push_back(c);
   }
-  if (survivors.size() < census.k) {
-    throw std::invalid_argument("random_recovery: fewer than k survivors");
-  }
+  CAR_CHECK_GE(survivors.size(), census.k,
+               "random_recovery: fewer than k survivors");
   rng.shuffle(survivors);
   survivors.resize(census.k);
   std::sort(survivors.begin(), survivors.end());

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <map>
-#include <stdexcept>
 #include <vector>
+
+#include "util/check.h"
 
 namespace car::recovery {
 
@@ -32,9 +33,7 @@ StripeSpans stripe_spans(const RecoveryPlan& plan) {
 }  // namespace
 
 RecoveryPlan schedule_windowed(const RecoveryPlan& plan, std::size_t window) {
-  if (window == 0) {
-    throw std::invalid_argument("schedule_windowed: window must be >= 1");
-  }
+  CAR_CHECK_GE(window, std::size_t{1}, "schedule_windowed");
   RecoveryPlan scheduled = plan;
   const auto spans = stripe_spans(plan);
   if (spans.order.size() <= window) return scheduled;
@@ -61,10 +60,10 @@ std::vector<std::size_t> step_indegrees(const RecoveryPlan& plan) {
   const std::size_t n = plan.steps.size();
   std::vector<std::size_t> indegrees(n, 0);
   for (const auto& step : plan.steps) {
+    // Plan-DAG well-formedness: dependency ids must name existing steps.
+    CAR_CHECK_LT(step.id, n, "step_indegrees: step id out of range");
     for (const std::size_t dep : step.deps) {
-      if (dep >= n) {
-        throw std::invalid_argument("step_indegrees: unknown dependency id");
-      }
+      CAR_CHECK_LT(dep, n, "step_indegrees: unknown dependency id");
       ++indegrees[step.id];
     }
   }
@@ -76,10 +75,9 @@ std::vector<std::vector<std::size_t>> step_dependents(
   const std::size_t n = plan.steps.size();
   std::vector<std::vector<std::size_t>> dependents(n);
   for (const auto& step : plan.steps) {
+    CAR_CHECK_LT(step.id, n, "step_dependents: step id out of range");
     for (const std::size_t dep : step.deps) {
-      if (dep >= n) {
-        throw std::invalid_argument("step_dependents: unknown dependency id");
-      }
+      CAR_CHECK_LT(dep, n, "step_dependents: unknown dependency id");
       dependents[dep].push_back(step.id);
     }
   }

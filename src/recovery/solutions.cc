@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace car::recovery {
 
 bool RackSet::contains(cluster::RackId rack) const noexcept {
@@ -30,16 +32,13 @@ std::vector<cluster::RackId> ranked_racks(
 
 std::size_t min_racks_for(std::size_t needed, cluster::RackId home,
                           std::span<const std::size_t> available) {
-  if (home >= available.size()) {
-    throw std::invalid_argument("min_racks_for: home rack out of range");
-  }
+  CAR_CHECK_LT(home, available.size(),
+               "min_racks_for: home rack out of range");
   std::size_t total = 0;
   for (std::size_t a : available) total += a;
-  if (total < needed) {
-    throw std::invalid_argument(
-        "min_racks_for: fewer than `needed` chunks available — "
-        "unrecoverable");
-  }
+  CAR_CHECK_GE(total, needed,
+               "min_racks_for: fewer than `needed` chunks available — "
+               "unrecoverable");
   const auto ranked = ranked_racks(home, available);
   std::size_t gathered = available[home];
   std::size_t d = 0;
@@ -126,7 +125,7 @@ std::size_t min_intact_racks(const StripeCensus& census) {
   try {
     return min_racks_for(census.k, census.failed_rack, census.surviving);
   } catch (const std::invalid_argument&) {
-    throw std::invalid_argument(
+    CAR_CHECK_FAIL(
         "min_intact_racks: fewer than k surviving chunks — unrecoverable");
   }
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace car::recovery {
 
 namespace {
@@ -34,19 +36,13 @@ WeightedBalanceResult balance_weighted(
     const cluster::Placement& placement,
     const std::vector<StripeCensus>& censuses,
     const std::vector<double>& rack_bandwidth, std::size_t iterations) {
-  if (censuses.empty()) {
-    throw std::invalid_argument("balance_weighted: no stripes to recover");
-  }
+  CAR_CHECK(!censuses.empty(), "balance_weighted: no stripes to recover");
   const cluster::RackId failed_rack = censuses.front().failed_rack;
   const std::size_t num_racks = censuses.front().num_racks();
-  if (rack_bandwidth.size() != num_racks) {
-    throw std::invalid_argument("balance_weighted: bandwidth arity mismatch");
-  }
+  CAR_CHECK_EQ(rack_bandwidth.size(), num_racks,
+               "balance_weighted: bandwidth arity mismatch");
   for (double b : rack_bandwidth) {
-    if (b <= 0) {
-      throw std::invalid_argument(
-          "balance_weighted: bandwidths must be positive");
-    }
+    CAR_CHECK(b > 0, "balance_weighted: bandwidths must be positive");
   }
 
   std::vector<std::vector<RackSet>> candidates(censuses.size());

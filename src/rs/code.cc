@@ -7,6 +7,7 @@
 #include "gf/gf256.h"
 #include "gf/region.h"
 #include "matrix/generator.h"
+#include "util/check.h"
 
 namespace car::rs {
 
@@ -19,23 +20,18 @@ Code::Code(std::size_t k, std::size_t m, Construction construction)
 
 std::span<const std::uint8_t> Code::generator_row(
     std::size_t chunk_index) const {
-  if (chunk_index >= n()) {
-    throw std::invalid_argument("Code::generator_row: chunk index out of range");
-  }
+  CAR_CHECK_LT(chunk_index, n(),
+               "Code::generator_row: chunk index out of range");
   return generator_.row(chunk_index);
 }
 
 namespace {
 
 std::size_t common_chunk_size(std::span<const ChunkView> chunks) {
-  if (chunks.empty()) {
-    throw std::invalid_argument("rs: empty chunk list");
-  }
+  CAR_CHECK(!chunks.empty(), "rs: empty chunk list");
   const std::size_t size = chunks.front().size();
   for (const auto& c : chunks) {
-    if (c.size() != size) {
-      throw std::invalid_argument("rs: chunks must all be the same size");
-    }
+    CAR_CHECK_EQ(c.size(), size, "rs: chunks must all be the same size");
   }
   return size;
 }
@@ -43,9 +39,7 @@ std::size_t common_chunk_size(std::span<const ChunkView> chunks) {
 }  // namespace
 
 std::vector<Chunk> Code::encode(std::span<const ChunkView> data) const {
-  if (data.size() != k_) {
-    throw std::invalid_argument("Code::encode: expected k data chunks");
-  }
+  CAR_CHECK_EQ(data.size(), k_, "Code::encode: expected k data chunks");
   const std::size_t size = common_chunk_size(data);
   std::vector<Chunk> parity(m_, Chunk(size, 0));
   for (std::size_t p = 0; p < m_; ++p) {
@@ -68,20 +62,14 @@ std::vector<Chunk> Code::encode_stripe(std::span<const ChunkView> data) const {
 
 void Code::validate_survivors(std::span<const std::size_t> survivor_ids,
                               std::size_t exclude) const {
-  if (survivor_ids.size() != k_) {
-    throw std::invalid_argument("rs: need exactly k survivor chunks");
-  }
+  CAR_CHECK_EQ(survivor_ids.size(), k_,
+               "rs: need exactly k survivor chunks");
   std::unordered_set<std::size_t> seen;
   for (std::size_t id : survivor_ids) {
-    if (id >= n()) {
-      throw std::invalid_argument("rs: survivor id out of range");
-    }
-    if (id == exclude) {
-      throw std::invalid_argument("rs: survivor set contains the lost chunk");
-    }
-    if (!seen.insert(id).second) {
-      throw std::invalid_argument("rs: duplicate survivor id");
-    }
+    CAR_CHECK_LT(id, n(), "rs: survivor id out of range");
+    CAR_CHECK_NE(id, exclude,
+                 "rs: survivor set contains the lost chunk");
+    CAR_CHECK(seen.insert(id).second, "rs: duplicate survivor id");
   }
 }
 
@@ -92,9 +80,7 @@ matrix::Matrix Code::survivor_inverse(
 
 std::vector<std::uint8_t> Code::repair_vector(
     std::size_t target, std::span<const std::size_t> survivors) const {
-  if (target >= n()) {
-    throw std::invalid_argument("Code::repair_vector: target out of range");
-  }
+  CAR_CHECK_LT(target, n(), "Code::repair_vector: target out of range");
   validate_survivors(survivors, target);
   // y = g_target * X, where X inverts the survivor rows of G (Eq. 5-6).
   const matrix::Matrix x = survivor_inverse(survivors);
@@ -114,9 +100,8 @@ std::vector<std::uint8_t> Code::repair_vector(
 Chunk Code::reconstruct(std::size_t target,
                         std::span<const std::size_t> survivor_ids,
                         std::span<const ChunkView> survivor_chunks) const {
-  if (survivor_chunks.size() != survivor_ids.size()) {
-    throw std::invalid_argument("Code::reconstruct: ids/chunks arity mismatch");
-  }
+  CAR_CHECK_EQ(survivor_chunks.size(), survivor_ids.size(),
+               "Code::reconstruct: ids/chunks arity mismatch");
   const auto y = repair_vector(target, survivor_ids);
   const std::size_t size = common_chunk_size(survivor_chunks);
   Chunk out(size, 0);
@@ -129,9 +114,8 @@ Chunk Code::reconstruct(std::size_t target,
 std::vector<Chunk> Code::decode_data(
     std::span<const std::size_t> survivor_ids,
     std::span<const ChunkView> survivor_chunks) const {
-  if (survivor_chunks.size() != survivor_ids.size()) {
-    throw std::invalid_argument("Code::decode_data: ids/chunks arity mismatch");
-  }
+  CAR_CHECK_EQ(survivor_chunks.size(), survivor_ids.size(),
+               "Code::decode_data: ids/chunks arity mismatch");
   validate_survivors(survivor_ids, n());  // `n()` never matches an id
   const std::size_t size = common_chunk_size(survivor_chunks);
   const matrix::Matrix x = survivor_inverse(survivor_ids);

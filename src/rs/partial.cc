@@ -1,41 +1,34 @@
 #include "rs/partial.h"
 
-#include <stdexcept>
 #include <vector>
 
 #include "gf/region.h"
+#include "util/check.h"
 
 namespace car::rs {
 
 Chunk partial_decode(std::span<const std::uint8_t> repair_vector,
                      const PartialGroup& group,
                      std::span<const ChunkView> survivor_chunks) {
-  if (survivor_chunks.empty()) {
-    throw std::invalid_argument("partial_decode: no survivor chunks");
-  }
+  CAR_CHECK(!survivor_chunks.empty(), "partial_decode: no survivor chunks");
   const std::size_t size = survivor_chunks.front().size();
   Chunk out(size, 0);
   for (std::size_t pos : group.positions) {
-    if (pos >= survivor_chunks.size() || pos >= repair_vector.size()) {
-      throw std::invalid_argument("partial_decode: position out of range");
-    }
-    if (survivor_chunks[pos].size() != size) {
-      throw std::invalid_argument("partial_decode: chunk size mismatch");
-    }
+    CAR_CHECK(pos < survivor_chunks.size() && pos < repair_vector.size(),
+              "partial_decode: position out of range");
+    CAR_CHECK_EQ(survivor_chunks[pos].size(), size,
+                 "partial_decode: chunk size mismatch");
     gf::mul_region_acc(repair_vector[pos], survivor_chunks[pos], out);
   }
   return out;
 }
 
 Chunk combine_partials(std::span<const ChunkView> partials) {
-  if (partials.empty()) {
-    throw std::invalid_argument("combine_partials: empty input");
-  }
+  CAR_CHECK(!partials.empty(), "combine_partials: empty input");
   Chunk out(partials.front().begin(), partials.front().end());
   for (std::size_t i = 1; i < partials.size(); ++i) {
-    if (partials[i].size() != out.size()) {
-      throw std::invalid_argument("combine_partials: size mismatch");
-    }
+    CAR_CHECK_EQ(partials[i].size(), out.size(),
+                 "combine_partials: size mismatch");
     gf::xor_region(partials[i], out);
   }
   return out;
@@ -45,28 +38,33 @@ Chunk reconstruct_grouped(const Code& code, std::size_t target,
                           std::span<const std::size_t> survivor_ids,
                           std::span<const ChunkView> survivor_chunks,
                           std::span<const PartialGroup> groups) {
-  if (survivor_chunks.size() != survivor_ids.size()) {
-    throw std::invalid_argument("reconstruct_grouped: ids/chunks mismatch");
-  }
-  // Check the groups partition the survivor positions exactly.
+  CAR_CHECK_EQ(survivor_chunks.size(), survivor_ids.size(),
+               "reconstruct_grouped: ids/chunks mismatch");
+  // Precondition for generator-matrix invertibility: the repair vector is
+  // y = e_target · G_surv⁻¹ · …, which exists only when exactly k distinct
+  // survivor rows are selected (any k rows of an MDS generator matrix are
+  // invertible; fewer can never be).
+  CAR_CHECK_EQ(survivor_ids.size(), code.k(),
+               "reconstruct_grouped: need exactly k survivors");
+  // Check the groups partition the survivor positions exactly — this is the
+  // paper's partial-decoding identity: the per-group sums reconstruct H_i
+  // only when every survivor term appears in exactly one group.
   std::vector<bool> covered(survivor_ids.size(), false);
   for (const auto& g : groups) {
     for (std::size_t pos : g.positions) {
-      if (pos >= covered.size() || covered[pos]) {
-        throw std::invalid_argument(
-            "reconstruct_grouped: groups must partition survivor positions");
-      }
+      CAR_CHECK(pos < covered.size() && !covered[pos],
+                "reconstruct_grouped: groups must partition survivor "
+                "positions");
       covered[pos] = true;
     }
   }
   for (bool c : covered) {
-    if (!c) {
-      throw std::invalid_argument(
-          "reconstruct_grouped: some survivor position is unassigned");
-    }
+    CAR_CHECK(c, "reconstruct_grouped: some survivor position is unassigned");
   }
 
   const auto y = code.repair_vector(target, survivor_ids);
+  CAR_CHECK_EQ(y.size(), survivor_ids.size(),
+               "reconstruct_grouped: repair vector arity");
   std::vector<Chunk> partials;
   partials.reserve(groups.size());
   for (const auto& g : groups) {

@@ -1,15 +1,13 @@
 #include "rs/update.h"
 
-#include <stdexcept>
-
 #include "gf/region.h"
+#include "util/check.h"
 
 namespace car::rs {
 
 Chunk data_delta(ChunkView old_data, ChunkView new_data) {
-  if (old_data.size() != new_data.size()) {
-    throw std::invalid_argument("data_delta: size mismatch");
-  }
+  CAR_CHECK_EQ(old_data.size(), new_data.size(),
+               "data_delta: size mismatch");
   Chunk delta(old_data.begin(), old_data.end());
   gf::xor_region(new_data, delta);
   return delta;
@@ -17,12 +15,10 @@ Chunk data_delta(ChunkView old_data, ChunkView new_data) {
 
 Chunk parity_delta(const Code& code, std::size_t data_index,
                    std::size_t parity_index, ChunkView delta) {
-  if (data_index >= code.k()) {
-    throw std::invalid_argument("parity_delta: data index out of range");
-  }
-  if (parity_index >= code.m()) {
-    throw std::invalid_argument("parity_delta: parity index out of range");
-  }
+  CAR_CHECK_LT(data_index, code.k(),
+               "parity_delta: data index out of range");
+  CAR_CHECK_LT(parity_index, code.m(),
+               "parity_delta: parity index out of range");
   const auto row = code.generator_row(code.k() + parity_index);
   Chunk update(delta.size(), 0);
   gf::mul_region(row[data_index], delta, update);

@@ -3,8 +3,9 @@
 
 #include <cstddef>
 #include <optional>
-#include <stdexcept>
 #include <vector>
+
+#include "util/check.h"
 
 namespace car::simnet {
 
@@ -44,31 +45,20 @@ struct NetConfig {
   std::vector<double> rack_compute_multiplier;
 
   void validate(std::size_t num_racks) const {
-    if (node_bps <= 0 || oversubscription <= 0 || gf_compute_bps <= 0 ||
-        xor_compute_bps <= 0) {
-      throw std::invalid_argument("NetConfig: rates must be positive");
-    }
-    if (rack_link_bps && *rack_link_bps <= 0) {
-      throw std::invalid_argument("NetConfig: rack_link_bps must be positive");
-    }
-    if (per_hop_latency_s < 0) {
-      throw std::invalid_argument(
-          "NetConfig: per_hop_latency_s must be non-negative");
-    }
-    if (background_load < 0 || background_load >= 1.0) {
-      throw std::invalid_argument(
-          "NetConfig: background_load must be in [0, 1)");
-    }
-    if (!rack_compute_multiplier.empty() &&
-        rack_compute_multiplier.size() != num_racks) {
-      throw std::invalid_argument(
-          "NetConfig: rack_compute_multiplier arity mismatch");
-    }
+    CAR_CHECK(node_bps > 0 && oversubscription > 0 && gf_compute_bps > 0 &&
+                  xor_compute_bps > 0,
+              "NetConfig: rates must be positive");
+    CAR_CHECK(!rack_link_bps || *rack_link_bps > 0,
+              "NetConfig: rack_link_bps must be positive");
+    CAR_CHECK(per_hop_latency_s >= 0,
+              "NetConfig: per_hop_latency_s must be non-negative");
+    CAR_CHECK(background_load >= 0 && background_load < 1.0,
+              "NetConfig: background_load must be in [0, 1)");
+    CAR_CHECK(rack_compute_multiplier.empty() ||
+                  rack_compute_multiplier.size() == num_racks,
+              "NetConfig: rack_compute_multiplier arity mismatch");
     for (double m : rack_compute_multiplier) {
-      if (m <= 0) {
-        throw std::invalid_argument(
-            "NetConfig: compute multipliers must be positive");
-      }
+      CAR_CHECK(m > 0, "NetConfig: compute multipliers must be positive");
     }
   }
 

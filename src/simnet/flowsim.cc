@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace car::simnet {
 
 namespace {
@@ -146,9 +148,7 @@ SimResult simulate_plan(const cluster::Topology& topology,
   std::vector<std::vector<std::size_t>> dependents(n_steps);
   for (const auto& step : plan.steps) {
     for (std::size_t dep : step.deps) {
-      if (dep >= n_steps) {
-        throw std::invalid_argument("simulate_plan: unknown dependency id");
-      }
+      CAR_CHECK_LT(dep, n_steps, "simulate_plan: unknown dependency id");
       ++pending_deps[step.id];
       dependents[dep].push_back(step.id);
     }
@@ -255,10 +255,9 @@ SimResult simulate_plan(const cluster::Topology& topology,
     }
 
     if (flows.empty() && running.empty()) {
-      if (completed < n_steps) {
-        throw std::invalid_argument(
-            "simulate_plan: plan has a dependency cycle or orphan steps");
-      }
+      CAR_CHECK_EQ(completed, n_steps,
+                   "simulate_plan: plan has a dependency cycle or orphan "
+                   "steps");
       break;
     }
 

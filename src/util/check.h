@@ -1,0 +1,156 @@
+// CAR_CHECK / CAR_DCHECK — contract macros for preconditions and invariants.
+//
+// The paper's correctness argument lives in invariants (Theorem 1 rack
+// minima, partial-decoding sums that must reconstruct H_i exactly, link
+// timeline monotonicity).  These macros make such contracts explicit and
+// loud instead of relying on tests to trip over a violation downstream.
+//
+//   CAR_CHECK(cond)            always on; throws util::CheckError
+//   CAR_CHECK(cond, "msg")     same, with an extra message
+//   CAR_CHECK_EQ/NE/LT/LE/GT/GE(a, b [, "msg"])
+//                              comparison forms that print both operands
+//   CAR_CHECK_FAIL("msg")      unconditional contract failure
+//   CAR_DCHECK* variants       compiled out when NDEBUG is defined — for
+//                              hot-path invariants too costly for release
+//
+// CheckError derives from std::invalid_argument so existing callers (and
+// tests) that catch std::invalid_argument or std::logic_error keep working
+// when a hand-rolled throw is converted to a CAR_CHECK.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace car::util {
+
+/// Thrown on precondition violation.  what() carries file:line, the
+/// stringified condition, and any user message.
+class CheckError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown by CAR_CHECK_STATE on violated runtime-state invariants (missing
+/// buffer, mis-sized payload) — is-a std::runtime_error, matching the
+/// emulator's historical error contract.
+class StateError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+inline std::string check_message(const char* file, int line,
+                                 std::string_view condition,
+                                 std::string_view message) {
+  std::ostringstream os;
+  os << "CAR_CHECK failed at " << file << ':' << line << ": " << condition;
+  if (!message.empty()) os << " — " << message;
+  return os.str();
+}
+
+[[noreturn]] inline void check_fail(const char* file, int line,
+                                    std::string_view condition,
+                                    std::string_view message) {
+  throw CheckError(check_message(file, line, condition, message));
+}
+
+[[noreturn]] inline void check_state_fail(const char* file, int line,
+                                          std::string_view condition,
+                                          std::string_view message) {
+  throw StateError(check_message(file, line, condition, message));
+}
+
+/// Prints operands of a failed comparison.  Small integer types are widened
+/// so std::uint8_t values print as numbers, not control characters.
+template <typename T>
+decltype(auto) printable(const T& value) {
+  if constexpr (std::is_integral_v<T> && sizeof(T) < sizeof(int)) {
+    return static_cast<int>(value);
+  } else {
+    return (value);
+  }
+}
+
+template <typename A, typename B>
+[[noreturn]] void check_op_fail(const char* file, int line,
+                                std::string_view condition, const A& a,
+                                const B& b, std::string_view message) {
+  std::ostringstream os;
+  os << condition << " (with " << printable(a) << " vs " << printable(b)
+     << ')';
+  if (!message.empty()) os << ' ' << message;
+  check_fail(file, line, os.str(), {});
+}
+
+}  // namespace detail
+}  // namespace car::util
+
+#define CAR_CHECK(cond, ...)                                              \
+  do {                                                                    \
+    if (!(cond)) [[unlikely]] {                                           \
+      ::car::util::detail::check_fail(__FILE__, __LINE__, #cond,          \
+                                      ::std::string_view{__VA_ARGS__});   \
+    }                                                                     \
+  } while (false)
+
+#define CAR_CHECK_FAIL(...)                                               \
+  ::car::util::detail::check_fail(__FILE__, __LINE__, "failure",          \
+                                  ::std::string_view{__VA_ARGS__})
+
+/// Runtime-state invariant (throws util::StateError, a std::runtime_error).
+#define CAR_CHECK_STATE(cond, ...)                                        \
+  do {                                                                    \
+    if (!(cond)) [[unlikely]] {                                           \
+      ::car::util::detail::check_state_fail(                              \
+          __FILE__, __LINE__, #cond, ::std::string_view{__VA_ARGS__});    \
+    }                                                                     \
+  } while (false)
+
+#define CAR_CHECK_OP_(op, a, b, ...)                                      \
+  do {                                                                    \
+    const auto& car_check_a_ = (a);                                       \
+    const auto& car_check_b_ = (b);                                       \
+    if (!(car_check_a_ op car_check_b_)) [[unlikely]] {                   \
+      ::car::util::detail::check_op_fail(__FILE__, __LINE__,              \
+                                         #a " " #op " " #b, car_check_a_, \
+                                         car_check_b_,                    \
+                                         ::std::string_view{__VA_ARGS__}); \
+    }                                                                     \
+  } while (false)
+
+#define CAR_CHECK_EQ(a, b, ...) CAR_CHECK_OP_(==, a, b, __VA_ARGS__)
+#define CAR_CHECK_NE(a, b, ...) CAR_CHECK_OP_(!=, a, b, __VA_ARGS__)
+#define CAR_CHECK_LT(a, b, ...) CAR_CHECK_OP_(<, a, b, __VA_ARGS__)
+#define CAR_CHECK_LE(a, b, ...) CAR_CHECK_OP_(<=, a, b, __VA_ARGS__)
+#define CAR_CHECK_GT(a, b, ...) CAR_CHECK_OP_(>, a, b, __VA_ARGS__)
+#define CAR_CHECK_GE(a, b, ...) CAR_CHECK_OP_(>=, a, b, __VA_ARGS__)
+
+// Debug-only variants: full checks in debug builds, no code (and no operand
+// evaluation) when NDEBUG is defined.  Operands must still compile either
+// way, so a DCHECK never rots silently.
+#ifdef NDEBUG
+#define CAR_DCHECK_STUB_(cond)                  \
+  do {                                          \
+    if (false && (cond)) { /* not evaluated */  \
+    }                                           \
+  } while (false)
+#define CAR_DCHECK(cond, ...) CAR_DCHECK_STUB_(cond)
+#define CAR_DCHECK_EQ(a, b, ...) CAR_DCHECK_STUB_((a) == (b))
+#define CAR_DCHECK_NE(a, b, ...) CAR_DCHECK_STUB_((a) != (b))
+#define CAR_DCHECK_LT(a, b, ...) CAR_DCHECK_STUB_((a) < (b))
+#define CAR_DCHECK_LE(a, b, ...) CAR_DCHECK_STUB_((a) <= (b))
+#define CAR_DCHECK_GT(a, b, ...) CAR_DCHECK_STUB_((a) > (b))
+#define CAR_DCHECK_GE(a, b, ...) CAR_DCHECK_STUB_((a) >= (b))
+#else
+#define CAR_DCHECK(cond, ...) CAR_CHECK(cond, __VA_ARGS__)
+#define CAR_DCHECK_EQ(a, b, ...) CAR_CHECK_EQ(a, b, __VA_ARGS__)
+#define CAR_DCHECK_NE(a, b, ...) CAR_CHECK_NE(a, b, __VA_ARGS__)
+#define CAR_DCHECK_LT(a, b, ...) CAR_CHECK_LT(a, b, __VA_ARGS__)
+#define CAR_DCHECK_LE(a, b, ...) CAR_CHECK_LE(a, b, __VA_ARGS__)
+#define CAR_DCHECK_GT(a, b, ...) CAR_CHECK_GT(a, b, __VA_ARGS__)
+#define CAR_DCHECK_GE(a, b, ...) CAR_CHECK_GE(a, b, __VA_ARGS__)
+#endif

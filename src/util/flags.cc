@@ -2,27 +2,27 @@
 
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace car::util {
 
 Flags Flags::parse(int argc, const char* const* argv) {
   Flags flags;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) {
+    if (!arg.starts_with("--")) {
       flags.positional_.push_back(arg);
       continue;
     }
     std::string body = arg.substr(2);
-    if (body.empty()) {
-      throw std::invalid_argument("Flags: bare '--' is not a valid flag");
-    }
+    CAR_CHECK(!body.empty(), "Flags: bare '--' is not a valid flag");
     const auto eq = body.find('=');
     if (eq != std::string::npos) {
       flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
       continue;
     }
     // `--name value` unless the next token is another flag (then boolean).
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    if (i + 1 < argc && !std::string_view(argv[i + 1]).starts_with("--")) {
       flags.values_[body] = argv[++i];
     } else {
       flags.values_[body] = "true";

@@ -9,8 +9,9 @@
 #include <cstdint>
 #include <limits>
 #include <span>
-#include <stdexcept>
 #include <vector>
+
+#include "util/check.h"
 
 namespace car::util {
 
@@ -36,9 +37,10 @@ class Rng {
     return z ^ (z >> 31);
   }
 
-  /// Uniform integer in [0, bound). Requires bound > 0.
+  /// Uniform integer in [0, bound). Requires bound > 0; fails loudly (via
+  /// CAR_CHECK) instead of wrapping.
   std::uint64_t next_below(std::uint64_t bound) {
-    if (bound == 0) throw std::invalid_argument("Rng::next_below: bound == 0");
+    CAR_CHECK(bound > 0, "Rng::next_below: bound == 0");
     // Lemire's unbiased multiply-shift rejection method.
     std::uint64_t x = (*this)();
     __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -54,9 +56,10 @@ class Rng {
     return static_cast<std::uint64_t>(m >> 64);
   }
 
-  /// Uniform integer in the inclusive range [lo, hi].
+  /// Uniform integer in the inclusive range [lo, hi].  An empty range
+  /// (lo > hi) fails loudly instead of silently wrapping the span width.
   std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
-    if (lo > hi) throw std::invalid_argument("Rng::next_in: lo > hi");
+    CAR_CHECK_LE(lo, hi, "Rng::next_in: empty range");
     const auto span =
         static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
     return lo + static_cast<std::int64_t>(next_below(span));
@@ -88,9 +91,7 @@ class Rng {
   /// Sample `count` distinct indices from [0, population) in random order.
   std::vector<std::size_t> sample_indices(std::size_t population,
                                           std::size_t count) {
-    if (count > population) {
-      throw std::invalid_argument("Rng::sample_indices: count > population");
-    }
+    CAR_CHECK_LE(count, population, "Rng::sample_indices");
     std::vector<std::size_t> all(population);
     for (std::size_t i = 0; i < population; ++i) all[i] = i;
     // Partial Fisher–Yates: only the first `count` slots need to be drawn.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace car::util {
 
 void RunningStats::merge(const RunningStats& other) noexcept {
@@ -23,8 +25,8 @@ void RunningStats::merge(const RunningStats& other) noexcept {
 }
 
 double percentile(std::span<const double> sample, double q) {
-  if (sample.empty()) throw std::invalid_argument("percentile: empty sample");
-  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile: q not in [0,1]");
+  CAR_CHECK(!sample.empty(), "percentile: empty sample");
+  CAR_CHECK(q >= 0.0 && q <= 1.0, "percentile: q not in [0,1]");
   std::vector<double> sorted(sample.begin(), sample.end());
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();
@@ -36,7 +38,7 @@ double percentile(std::span<const double> sample, double q) {
 }
 
 double mean_of(std::span<const double> sample) {
-  if (sample.empty()) throw std::invalid_argument("mean_of: empty sample");
+  CAR_CHECK(!sample.empty(), "mean_of: empty sample");
   double s = 0.0;
   for (double x : sample) s += x;
   return s / static_cast<double>(sample.size());

@@ -4,21 +4,18 @@
 #include <cstdio>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
+
+#include "util/check.h"
 
 namespace car::util {
 
 TextTable::TextTable(std::vector<std::string> header)
     : header_(std::move(header)) {
-  if (header_.empty()) {
-    throw std::invalid_argument("TextTable: header must be non-empty");
-  }
+  CAR_CHECK(!header_.empty(), "TextTable: header must be non-empty");
 }
 
 void TextTable::add_row(std::vector<std::string> row) {
-  if (row.size() != header_.size()) {
-    throw std::invalid_argument("TextTable: row arity mismatch");
-  }
+  CAR_CHECK_EQ(row.size(), header_.size(), "TextTable: row arity mismatch");
   rows_.push_back(std::move(row));
 }
 

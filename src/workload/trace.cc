@@ -2,23 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 #include "recovery/balancer.h"
 #include "recovery/metrics.h"
 #include "recovery/plan.h"
 #include "rs/code.h"
 #include "simnet/flowsim.h"
+#include "util/check.h"
 
 namespace car::workload {
 
 std::vector<FailureEvent> generate_failure_trace(
     const cluster::Topology& topology, const TraceConfig& config,
     util::Rng& rng) {
-  if (config.mean_interarrival_s <= 0) {
-    throw std::invalid_argument(
-        "generate_failure_trace: mean inter-arrival must be positive");
-  }
+  CAR_CHECK(config.mean_interarrival_s > 0,
+            "generate_failure_trace: mean inter-arrival must be positive");
   std::vector<FailureEvent> events;
   events.reserve(config.num_failures);
   double clock = 0.0;
@@ -37,9 +35,7 @@ TraceReport run_failure_trace(const cluster::Placement& placement,
                               const std::vector<FailureEvent>& events,
                               Strategy strategy, std::uint64_t chunk_size,
                               const simnet::NetConfig& net, util::Rng& rng) {
-  if (chunk_size == 0) {
-    throw std::invalid_argument("run_failure_trace: chunk_size must be > 0");
-  }
+  CAR_CHECK(chunk_size > 0, "run_failure_trace: chunk_size must be > 0");
   const rs::Code code(placement.k(), placement.m());
   TraceReport report;
   std::vector<std::size_t> per_rack(placement.topology().num_racks(), 0);

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <set>
-#include <stdexcept>
 
 #include "gf/region.h"
+#include "util/check.h"
 
 namespace car::xorcode {
 
@@ -29,25 +29,20 @@ void xor_into(ChunkView src, Chunk& dst) {
 }  // namespace
 
 Rdp::Rdp(std::size_t p) : p_(p) {
-  if (p < 3 || !is_prime(p)) {
-    throw std::invalid_argument("Rdp: p must be a prime >= 3");
-  }
+  CAR_CHECK(p >= 3 && is_prime(p), "Rdp: p must be a prime >= 3");
 }
 
 Stripe Rdp::encode(const std::vector<std::vector<Chunk>>& data) const {
-  if (data.size() != data_disks()) {
-    throw std::invalid_argument("Rdp::encode: expected p-1 data columns");
-  }
+  CAR_CHECK_EQ(data.size(), data_disks(),
+               "Rdp::encode: expected p-1 data columns");
   std::size_t symbol_size = 0;
   for (const auto& column : data) {
-    if (column.size() != rows()) {
-      throw std::invalid_argument("Rdp::encode: each column needs p-1 rows");
-    }
+    CAR_CHECK_EQ(column.size(), rows(),
+                 "Rdp::encode: each column needs p-1 rows");
     for (const auto& symbol : column) {
       if (symbol_size == 0) symbol_size = symbol.size();
-      if (symbol.size() != symbol_size) {
-        throw std::invalid_argument("Rdp::encode: symbol size mismatch");
-      }
+      CAR_CHECK_EQ(symbol.size(), symbol_size,
+                   "Rdp::encode: symbol size mismatch");
     }
   }
 
@@ -76,13 +71,11 @@ Stripe Rdp::encode(const std::vector<std::vector<Chunk>>& data) const {
 }
 
 void Rdp::check_stripe(const Stripe& stripe) const {
-  if (stripe.size() != total_disks()) {
-    throw std::invalid_argument("Rdp: stripe must have p+1 columns");
-  }
+  CAR_CHECK_EQ(stripe.size(), total_disks(),
+               "Rdp: stripe must have p+1 columns");
   for (const auto& column : stripe) {
-    if (column.size() != rows()) {
-      throw std::invalid_argument("Rdp: each column must have p-1 rows");
-    }
+    CAR_CHECK_EQ(column.size(), rows(),
+                 "Rdp: each column must have p-1 rows");
   }
 }
 
@@ -98,9 +91,7 @@ bool Rdp::verify(const Stripe& stripe) const {
 std::vector<Chunk> Rdp::recover_conventional(const Stripe& stripe,
                                              std::size_t failed_disk) const {
   check_stripe(stripe);
-  if (failed_disk >= total_disks()) {
-    throw std::invalid_argument("Rdp: failed disk out of range");
-  }
+  CAR_CHECK_LT(failed_disk, total_disks(), "Rdp: failed disk out of range");
   std::vector<Chunk> rebuilt(rows());
   if (failed_disk == kDiagParity(p_)) {
     // Re-encode the diagonals from the surviving p columns.
@@ -124,13 +115,10 @@ std::vector<Chunk> Rdp::recover_conventional(const Stripe& stripe,
 
 Rdp::RecoveryPlan Rdp::plan_recovery(
     std::size_t failed_disk, const std::vector<bool>& use_diagonal) const {
-  if (failed_disk >= data_disks()) {
-    throw std::invalid_argument(
-        "Rdp::plan_recovery: hybrid recovery targets data disks");
-  }
-  if (use_diagonal.size() != rows()) {
-    throw std::invalid_argument("Rdp::plan_recovery: assignment arity");
-  }
+  CAR_CHECK_LT(failed_disk, data_disks(),
+               "Rdp::plan_recovery: hybrid recovery targets data disks");
+  CAR_CHECK_EQ(use_diagonal.size(), rows(),
+               "Rdp::plan_recovery: assignment arity");
 
   RecoveryPlan plan;
   plan.failed_disk = failed_disk;
@@ -146,11 +134,9 @@ Rdp::RecoveryPlan Rdp::plan_recovery(
       continue;
     }
     const std::size_t d = (r + failed_disk) % p_;
-    if (d + 1 == p_) {
-      throw std::invalid_argument(
-          "Rdp::plan_recovery: row lies on the missing diagonal and must "
-          "use its row group");
-    }
+    CAR_CHECK_NE(d + 1, p_,
+                 "Rdp::plan_recovery: row lies on the missing diagonal and "
+                 "must use its row group");
     // Diagonal group: the other cells of diagonal d plus its parity.
     for (std::size_t j = 0; j < p_; ++j) {
       if (j == failed_disk) continue;
@@ -164,10 +150,9 @@ Rdp::RecoveryPlan Rdp::plan_recovery(
 }
 
 Rdp::RecoveryPlan Rdp::plan_hybrid_recovery(std::size_t failed_disk) const {
-  if (failed_disk >= data_disks()) {
-    throw std::invalid_argument(
-        "Rdp::plan_hybrid_recovery: hybrid recovery targets data disks");
-  }
+  CAR_CHECK_LT(failed_disk, data_disks(),
+               "Rdp::plan_hybrid_recovery: hybrid recovery targets data "
+               "disks");
   const std::size_t n = rows();
   RecoveryPlan best;
   std::size_t best_reads = static_cast<std::size_t>(-1);

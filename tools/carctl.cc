@@ -6,6 +6,8 @@
 //   simulate  recovery time on the flow-level simulator       (paper Fig. 9)
 //   emulate   real-byte recovery on the in-process emulator
 //   trace     long-horizon Poisson failure trace study
+//   validate  statically check an emitted recovery plan (DAG shape, byte
+//             sizing, data flow, aggregator structure, traffic claims)
 //
 // Common flags:
 //   --cfs 1|2|3           pick a paper configuration (Table II), or
@@ -16,12 +18,18 @@
 //   carctl traffic --cfs 3 --runs 50
 //   carctl simulate --racks 5,5,5,5 --k 8 --m 4 --oversub 8 --chunk-mib 16
 //   carctl emulate --cfs 2 --stripes 20 --chunk-mib 1
+#include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "cluster/configs.h"
 #include "emul/cluster.h"
 #include "recovery/balancer.h"
+#include "recovery/scheduler.h"
+#include "recovery/validate.h"
+#include "recovery/weighted.h"
 #include "simnet/flowsim.h"
 #include "util/bytes.h"
 #include "util/flags.h"
@@ -234,6 +242,163 @@ int cmd_emulate(const util::Flags& flags) {
   return 0;
 }
 
+// Deliberately corrupt a well-formed plan so the validator's rejection paths
+// can be exercised end to end (`--inject`): each fixture mirrors one class of
+// planner bug the validator must catch.
+void inject_fault(recovery::RecoveryPlan& plan,
+                  const cluster::Topology& topology,
+                  const std::string& fault) {
+  if (fault == "cycle") {
+    // The first step of stripe 0 feeds (transitively) its final compute;
+    // making it also *depend* on that compute closes a cycle.
+    if (plan.steps.empty() || plan.outputs.empty()) return;
+    plan.steps.front().deps.push_back(plan.outputs.front().step_id);
+    return;
+  }
+  if (fault == "dangling-dep") {
+    if (plan.steps.empty()) return;
+    plan.steps.back().deps.push_back(plan.steps.size() + 1000);
+    return;
+  }
+  if (fault == "byte-mismatch") {
+    for (auto& step : plan.steps) {
+      if (step.kind == recovery::StepKind::kTransfer) {
+        step.bytes += 1;
+        return;
+      }
+    }
+    return;
+  }
+  if (fault == "double-aggregator") {
+    // Duplicate an aggregator compute onto a sibling node in the same rack:
+    // the rack now funnels through two aggregators for one stripe.
+    for (const auto& step : plan.steps) {
+      if (step.kind != recovery::StepKind::kCompute) continue;
+      if (step.node == plan.replacement) continue;
+      for (const auto sibling :
+           topology.nodes_in_rack(topology.rack_of(step.node))) {
+        if (sibling == step.node || sibling == plan.replacement) continue;
+        recovery::PlanStep twin = step;
+        twin.id = plan.steps.size();
+        twin.node = sibling;
+        plan.steps.push_back(std::move(twin));
+        return;
+      }
+    }
+    return;
+  }
+  throw std::invalid_argument(
+      "--inject must be one of cycle, dangling-dep, byte-mismatch, "
+      "double-aggregator");
+}
+
+int cmd_validate(const util::Flags& flags) {
+  const auto cfg = config_from(flags);
+  const auto stripes = static_cast<std::size_t>(flags.get_int("stripes", 50));
+  const std::uint64_t chunk =
+      static_cast<std::uint64_t>(flags.get_int("chunk-mib", 4)) * util::kMiB;
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const auto window = static_cast<std::size_t>(flags.get_int("window", 0));
+  const std::string strategy = flags.get("strategy", "all");
+  const std::string inject = flags.get("inject", "");
+  const rs::Code code(cfg.k, cfg.m);
+
+  util::Rng rng(seed);
+  const auto placement =
+      cluster::Placement::random(cfg.topology(), cfg.k, cfg.m, stripes, rng);
+  const auto& topology = placement.topology();
+  const auto scenario = cluster::inject_random_failure(placement, rng);
+  const auto censuses = recovery::build_censuses(placement, scenario);
+  const auto replacement_rack = topology.rack_of(scenario.failed_node);
+
+  struct Candidate {
+    std::string name;
+    recovery::RecoveryPlan plan;
+    std::optional<std::uint64_t> claimed;
+  };
+  std::vector<Candidate> candidates;
+  const bool all = strategy == "all";
+
+  if (all || strategy == "car") {
+    const auto car = recovery::balance_greedy(placement, censuses, {50});
+    candidates.push_back(
+        {"car",
+         recovery::build_car_plan(placement, code, car.solutions, chunk,
+                                  scenario.failed_node),
+         recovery::claimed_cross_rack_chunks(car.solutions,
+                                             replacement_rack)});
+  }
+  if (all || strategy == "rr") {
+    util::Rng rr_rng(seed + 1);
+    const auto rr = recovery::plan_rr(placement, censuses, rr_rng);
+    const auto summary =
+        recovery::rr_traffic(placement, rr, scenario.failed_rack);
+    candidates.push_back(
+        {"rr",
+         recovery::build_rr_plan(placement, code, rr, chunk,
+                                 scenario.failed_node),
+         summary.total_chunks()});
+  }
+  if (all || strategy == "weighted") {
+    std::vector<double> bandwidth(topology.num_racks());
+    for (std::size_t i = 0; i < bandwidth.size(); ++i) {
+      bandwidth[i] = 1.0 + static_cast<double>(i % 3);
+    }
+    const auto weighted =
+        recovery::balance_weighted(placement, censuses, bandwidth);
+    candidates.push_back(
+        {"weighted",
+         recovery::build_car_plan(placement, code, weighted.solutions, chunk,
+                                  scenario.failed_node),
+         recovery::claimed_cross_rack_chunks(weighted.solutions,
+                                             replacement_rack)});
+  }
+  if (all || strategy == "multi") {
+    const auto multi_scenario = recovery::make_multi_failure(
+        placement, {scenario.failed_node,
+                    (scenario.failed_node + 1) % topology.num_nodes()});
+    const auto multi_censuses =
+        recovery::build_multi_censuses(placement, multi_scenario);
+    const auto balanced = recovery::balance_multi(placement, multi_censuses);
+    candidates.push_back(
+        {"multi",
+         recovery::build_multi_car_plan(placement, code, balanced.solutions,
+                                        chunk, multi_scenario.replacement),
+         recovery::claimed_cross_rack_chunks(balanced.solutions,
+                                             multi_scenario.replacement_rack)});
+  }
+  if (candidates.empty()) {
+    throw std::invalid_argument(
+        "--strategy must be car, rr, weighted, multi, or all");
+  }
+
+  util::TextTable table({"plan", "steps", "verdict", "errors"});
+  bool all_ok = true;
+  for (auto& candidate : candidates) {
+    if (window > 0) {
+      candidate.plan = recovery::schedule_windowed(candidate.plan, window);
+    }
+    if (!inject.empty()) {
+      inject_fault(candidate.plan, topology, inject);
+    }
+    recovery::ValidateOptions options;
+    options.placement = &placement;
+    options.expected_cross_rack_chunks = candidate.claimed;
+    const auto report =
+        recovery::validate_plan(candidate.plan, topology, options);
+    all_ok = all_ok && report.ok();
+    table.add_row({candidate.name,
+                   std::to_string(candidate.plan.steps.size()),
+                   report.ok() ? "ok" : "INVALID",
+                   std::to_string(report.errors.size())});
+    if (!report.ok()) {
+      std::fputs(report.to_string().c_str(), stderr);
+    }
+  }
+  emit(table, flags);
+  return all_ok ? 0 : 1;
+}
+
 int cmd_trace(const util::Flags& flags) {
   const auto cfg = config_from(flags);
   const auto stripes = static_cast<std::size_t>(flags.get_int("stripes", 100));
@@ -269,12 +434,16 @@ int cmd_trace(const util::Flags& flags) {
 
 void usage() {
   std::puts(
-      "usage: carctl <traffic|balance|simulate|emulate|trace> [flags]\n"
+      "usage: carctl <traffic|balance|simulate|emulate|trace|validate> "
+      "[flags]\n"
       "  --cfs 1|2|3 | --racks 4,3,3 --k 6 --m 3\n"
       "  --stripes N --runs N --seed S --chunk-mib N --csv\n"
       "  simulate: --node-gbps G --oversub X --hop-latency-us U\n"
       "  emulate:  --node-mbps M --oversub X\n"
-      "  trace:    --failures N");
+      "  trace:    --failures N\n"
+      "  validate: --strategy car|rr|weighted|multi|all --window W\n"
+      "            --inject cycle|dangling-dep|byte-mismatch|"
+      "double-aggregator");
 }
 
 }  // namespace
@@ -292,6 +461,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(flags);
     if (command == "emulate") return cmd_emulate(flags);
     if (command == "trace") return cmd_trace(flags);
+    if (command == "validate") return cmd_validate(flags);
     usage();
     return 2;
   } catch (const std::exception& error) {
