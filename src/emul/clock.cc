@@ -1,6 +1,9 @@
 #include "emul/clock.h"
 
+#include <string>
 #include <thread>
+
+#include "util/check.h"
 
 namespace car::emul {
 
@@ -31,6 +34,13 @@ void EmulClock::advance_to(double t) {
   if (mode_ == ClockMode::kReal) return;
   std::scoped_lock lock(mu_);
   if (t > virtual_now_) virtual_now_ = t;
+}
+
+void EmulClock::require_virtual(const char* who) const {
+  CAR_CHECK_STATE(mode_ == ClockMode::kVirtual,
+                  std::string(who) +
+                      ": requires ClockMode::kVirtual (wall-clock timelines "
+                      "are not reproducible)");
 }
 
 }  // namespace car::emul

@@ -44,6 +44,12 @@ class EmulClock {
   /// wall clock advances itself) and for `t` in the past.
   void advance_to(double t);
 
+  /// Contract helper for deterministic consumers (the fault-injection
+  /// runtime): throws util::StateError naming `who` unless the clock is
+  /// virtual.  Wall-clock timelines cannot reproduce an EventLog
+  /// byte-for-byte, so such consumers refuse them up front.
+  void require_virtual(const char* who) const;
+
  private:
   ClockMode mode_;
   std::chrono::steady_clock::time_point epoch_;

@@ -1,6 +1,7 @@
 #include "emul/cluster.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <mutex>
 #include <queue>
@@ -71,6 +72,14 @@ struct Cluster::Impl {
   std::vector<std::unique_ptr<SerialLink>> rack_down;
   std::vector<std::mutex> cpu;  // serialises compute per emulated node
 
+  // Liveness state: which nodes have been dropped (dead for the run), the
+  // currently guarded recovery destination, and a drop epoch that lets an
+  // execute() in flight notice a concurrent drop and abort.
+  mutable std::mutex state_mu;
+  std::vector<bool> dropped;
+  std::optional<cluster::NodeId> guarded;
+  std::atomic<std::uint64_t> drop_epoch{0};
+
   const rs::Chunk* find(cluster::NodeId node, std::uint64_t key) const {
     const auto& store = stores[node];
     std::scoped_lock lock(store.mu);
@@ -82,6 +91,17 @@ struct Cluster::Impl {
     auto& store = stores[node];
     std::scoped_lock lock(store.mu);
     store.buffers[key] = std::move(data);
+  }
+
+  bool is_dropped(cluster::NodeId node) const {
+    std::scoped_lock lock(state_mu);
+    return dropped[node];
+  }
+
+  void check_alive(cluster::NodeId node, const char* what) const {
+    CAR_CHECK_STATE(!is_dropped(node),
+                    std::string(what) + ": node " + std::to_string(node) +
+                        " has been dropped");
   }
 };
 
@@ -101,6 +121,7 @@ Cluster::Cluster(cluster::Topology topology, EmulConfig config)
   const std::size_t r = topology_.num_racks();
   impl_->stores = std::vector<Impl::NodeStore>(n);
   impl_->cpu = std::vector<std::mutex>(n);
+  impl_->dropped.assign(n, false);
   for (std::size_t i = 0; i < n; ++i) {
     impl_->node_up.push_back(std::make_unique<SerialLink>(config_.node_bps));
     impl_->node_down.push_back(std::make_unique<SerialLink>(config_.node_bps));
@@ -118,11 +139,14 @@ Cluster::Cluster(cluster::Topology topology, EmulConfig config)
 
 Cluster::~Cluster() = default;
 
+EmulClock& Cluster::clock() noexcept { return impl_->clock; }
+
 void Cluster::store_chunk(cluster::NodeId node, cluster::StripeId stripe,
                           std::size_t chunk_index, rs::Chunk data) {
   if (node >= topology_.num_nodes()) {
     throw std::out_of_range("Cluster::store_chunk: bad node id");
   }
+  impl_->check_alive(node, "Cluster::store_chunk");
   impl_->put(node, chunk_key(stripe, chunk_index), std::move(data));
 }
 
@@ -139,6 +163,21 @@ const rs::Chunk* Cluster::find_step_output(cluster::NodeId node,
   return impl_->find(node, step_key(step_id));
 }
 
+const rs::Chunk* Cluster::find_buffer(cluster::NodeId node,
+                                      const recovery::BufferRef& ref) const {
+  if (node >= topology_.num_nodes()) return nullptr;
+  return impl_->find(node, key_of(ref));
+}
+
+void Cluster::put_buffer(cluster::NodeId node, const recovery::BufferRef& ref,
+                         rs::Chunk data) {
+  if (node >= topology_.num_nodes()) {
+    throw std::out_of_range("Cluster::put_buffer: bad node id");
+  }
+  impl_->check_alive(node, "Cluster::put_buffer");
+  impl_->put(node, key_of(ref), std::move(data));
+}
+
 void Cluster::erase_node(cluster::NodeId node) {
   if (node >= topology_.num_nodes()) {
     throw std::out_of_range("Cluster::erase_node: bad node id");
@@ -146,6 +185,76 @@ void Cluster::erase_node(cluster::NodeId node) {
   auto& store = impl_->stores[node];
   std::scoped_lock lock(store.mu);
   store.buffers.clear();
+}
+
+void Cluster::drop_node(cluster::NodeId node) {
+  if (node >= topology_.num_nodes()) {
+    throw std::out_of_range("Cluster::drop_node: bad node id");
+  }
+  {
+    std::scoped_lock lock(impl_->state_mu);
+    CAR_CHECK(!impl_->guarded || *impl_->guarded != node,
+              "Cluster::drop_node: refusing to drop the replacement node — "
+              "the recovery destination cannot fail mid-plan; choose a fresh "
+              "replacement and re-plan instead");
+    if (impl_->dropped[node]) return;  // idempotent
+    impl_->dropped[node] = true;
+  }
+  impl_->drop_epoch.fetch_add(1, std::memory_order_release);
+  erase_node(node);
+}
+
+bool Cluster::is_dropped(cluster::NodeId node) const {
+  if (node >= topology_.num_nodes()) {
+    throw std::out_of_range("Cluster::is_dropped: bad node id");
+  }
+  return impl_->is_dropped(node);
+}
+
+void Cluster::guard_replacement(std::optional<cluster::NodeId> node) {
+  if (node && *node >= topology_.num_nodes()) {
+    throw std::out_of_range("Cluster::guard_replacement: bad node id");
+  }
+  std::scoped_lock lock(impl_->state_mu);
+  impl_->guarded = node;
+}
+
+void Cluster::clear_step_outputs() {
+  for (auto& store : impl_->stores) {
+    std::scoped_lock lock(store.mu);
+    std::erase_if(store.buffers,
+                  [](const auto& kv) { return (kv.first & kStepBit) != 0; });
+  }
+}
+
+LinkPath Cluster::path(cluster::NodeId src, cluster::NodeId dst) const {
+  if (src >= topology_.num_nodes() || dst >= topology_.num_nodes()) {
+    throw std::out_of_range("Cluster::path: bad node id");
+  }
+  if (src == dst) return LinkPath{};
+  const auto src_rack = topology_.rack_of(src);
+  const auto dst_rack = topology_.rack_of(dst);
+  std::vector<SerialLink*> hops;
+  hops.push_back(impl_->node_up[src].get());
+  if (src_rack != dst_rack) {
+    hops.push_back(impl_->rack_up[src_rack].get());
+    hops.push_back(impl_->rack_down[dst_rack].get());
+  }
+  hops.push_back(impl_->node_down[dst].get());
+  return LinkPath{std::move(hops)};
+}
+
+SerialLink& Cluster::node_up_link(cluster::NodeId node) {
+  return *impl_->node_up.at(node);
+}
+SerialLink& Cluster::node_down_link(cluster::NodeId node) {
+  return *impl_->node_down.at(node);
+}
+SerialLink& Cluster::rack_up_link(cluster::RackId rack) {
+  return *impl_->rack_up.at(rack);
+}
+SerialLink& Cluster::rack_down_link(cluster::RackId rack) {
+  return *impl_->rack_down.at(rack);
 }
 
 std::vector<std::vector<rs::Chunk>> Cluster::populate(
@@ -179,34 +288,26 @@ ExecutionReport Cluster::execute(const recovery::RecoveryPlan& plan) {
   EmulClock& clock = impl_->clock;
   std::mutex report_mu;
 
-  // Page-wise reservation across every hop of the path, starting no earlier
-  // than timeline second `start`; the transfer completes when its last page
-  // drains from the slowest hop.  Pages keep contention fair between
-  // concurrent flows on a shared link while the hops of one transfer
-  // pipeline instead of adding up.
-  auto reserve_path = [&](const PlanStep& step, double start) -> double {
-    const auto src_rack = topology_.rack_of(step.src);
-    const auto dst_rack = topology_.rack_of(step.dst);
-    double finish = start;
-    std::uint64_t remaining = step.bytes;
-    while (remaining > 0) {
-      const std::uint64_t page =
-          std::min<std::uint64_t>(remaining, config_.page_bytes);
-      finish = std::max(finish, impl_->node_up[step.src]->reserve(start, page));
-      if (src_rack != dst_rack) {
-        finish =
-            std::max(finish, impl_->rack_up[src_rack]->reserve(start, page));
-        finish =
-            std::max(finish, impl_->rack_down[dst_rack]->reserve(start, page));
-      }
-      finish =
-          std::max(finish, impl_->node_down[step.dst]->reserve(start, page));
-      remaining -= page;
-    }
-    return finish;
+  // The recovery destination must outlive the plan: guard it so a
+  // concurrent drop_node(replacement) fails loudly instead of racing the
+  // final publish.  Restored on every exit path.
+  struct GuardScope {
+    Cluster* cluster;
+    std::optional<cluster::NodeId> previous;
+    ~GuardScope() { cluster->guard_replacement(previous); }
   };
+  std::optional<cluster::NodeId> previous_guard;
+  {
+    std::scoped_lock lock(impl_->state_mu);
+    previous_guard = impl_->guarded;
+    impl_->guarded = plan.replacement;
+  }
+  GuardScope guard_scope{this, previous_guard};
+  impl_->check_alive(plan.replacement, "Cluster::execute: replacement");
 
   auto run_transfer = [&](const PlanStep& step) {
+    impl_->check_alive(step.src, "Cluster::execute: transfer source");
+    impl_->check_alive(step.dst, "Cluster::execute: transfer destination");
     const rs::Chunk* src_buf = impl_->find(step.src, key_of(step.payload));
     CAR_CHECK_STATE(src_buf != nullptr,
                     "Cluster::execute: transfer payload missing on source "
@@ -226,7 +327,9 @@ ExecutionReport Cluster::execute(const recovery::RecoveryPlan& plan) {
       return;
     }
     if (!virtual_time) {
-      clock.sleep_until(reserve_path(step, clock.now()));
+      clock.sleep_until(path(step.src, step.dst)
+                            .reserve(clock.now(), step.bytes,
+                                     config_.page_bytes));
     }
     const std::uint64_t moved = data.size();  // == step.bytes, validated
     impl_->put(step.dst, key_of(step.payload), std::move(data));
@@ -242,6 +345,7 @@ ExecutionReport Cluster::execute(const recovery::RecoveryPlan& plan) {
   };
 
   auto run_compute = [&](const PlanStep& step) {
+    impl_->check_alive(step.node, "Cluster::execute: compute node");
     std::scoped_lock cpu_lock(impl_->cpu[step.node]);
 
     // Gather input buffers.  unordered_map references are stable under
@@ -295,17 +399,27 @@ ExecutionReport Cluster::execute(const recovery::RecoveryPlan& plan) {
   // Pass 1 — execute the DAG on the bounded worker pool: real bytes move,
   // real GF kernels run.  In real-time mode transfers also reserve links
   // and sleep, so this pass *is* the measurement; in virtual mode nothing
-  // sleeps and timing is replayed deterministically below.
+  // sleeps and timing is replayed deterministically below.  A node dropped
+  // mid-execution bumps the drop epoch; the pool notices before issuing the
+  // next step and aborts.
   Executor executor(config_.max_parallel_steps);
+  const std::uint64_t epoch_at_start =
+      impl_->drop_epoch.load(std::memory_order_acquire);
   const double t_start = clock.now();
-  executor.run(n_steps, indegrees, dependents, [&](std::size_t id) {
-    const PlanStep& step = plan.steps[id];
-    if (step.kind == StepKind::kTransfer) {
-      run_transfer(step);
-    } else {
-      run_compute(step);
-    }
-  });
+  executor.run(
+      n_steps, indegrees, dependents,
+      [&](std::size_t id) {
+        const PlanStep& step = plan.steps[id];
+        if (step.kind == StepKind::kTransfer) {
+          run_transfer(step);
+        } else {
+          run_compute(step);
+        }
+      },
+      [&] {
+        return impl_->drop_epoch.load(std::memory_order_acquire) !=
+               epoch_at_start;
+      });
 
   if (virtual_time) {
     // Pass 2 — deterministic timing replay.  Steps are processed in
@@ -328,7 +442,10 @@ ExecutionReport Cluster::execute(const recovery::RecoveryPlan& plan) {
       const PlanStep& step = plan.steps[id];
       double finish = at;
       if (step.kind == StepKind::kTransfer) {
-        if (step.src != step.dst) finish = reserve_path(step, at);
+        if (step.src != step.dst) {
+          finish = path(step.src, step.dst)
+                       .reserve(at, step.bytes, config_.page_bytes);
+        }
       } else {
         const double dt =
             static_cast<double>(step.bytes) / config_.virtual_gf_bps;

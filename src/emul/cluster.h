@@ -7,6 +7,14 @@
 // real GF(2^8) kernels.  Executing a RecoveryPlan therefore measures real
 // wall-clock recovery time with a genuine transmission/computation split —
 // the quantities behind the paper's Fig. 9 and Fig. 10.
+//
+// Node liveness: erase_node wipes a node's buffers but leaves the slot
+// usable (the single-failure methodology — the replacement machine takes
+// over the failed node's id), while drop_node marks the node *dead* for the
+// rest of the run: its buffers are gone, every transfer/compute/store that
+// touches it fails, and an execute() in flight aborts.  drop_node is how
+// the fault-injection runtime (src/inject) models a second node dying
+// mid-recovery before escalating to the recovery/multi re-plan.
 #pragma once
 
 #include <cstdint>
@@ -83,10 +91,16 @@ class Cluster {
   [[nodiscard]] const cluster::Topology& topology() const noexcept {
     return topology_;
   }
+  [[nodiscard]] const EmulConfig& config() const noexcept { return config_; }
+
+  /// The shared timeline every link reservation is expressed on.  Exposed
+  /// for runtimes that drive step timing themselves (src/inject).
+  [[nodiscard]] EmulClock& clock() noexcept;
 
   /// Store a chunk replica on a node (overwrites an existing copy).
   /// Throws std::out_of_range for a bad node id or when the buffer key
-  /// cannot represent the ids (stripe >= 2^39 or chunk_index >= 2^24).
+  /// cannot represent the ids (stripe >= 2^39 or chunk_index >= 2^24), and
+  /// util::StateError when the node has been dropped.
   void store_chunk(cluster::NodeId node, cluster::StripeId stripe,
                    std::size_t chunk_index, rs::Chunk data);
 
@@ -101,8 +115,53 @@ class Cluster {
   [[nodiscard]] const rs::Chunk* find_step_output(cluster::NodeId node,
                                                   std::size_t step_id) const;
 
-  /// Drop every buffer a node holds (single node failure).
+  /// Generic buffer access by plan reference (chunk or step output), for
+  /// external step runtimes.  find_buffer returns nullptr when absent;
+  /// put_buffer throws util::StateError when the node has been dropped.
+  [[nodiscard]] const rs::Chunk* find_buffer(
+      cluster::NodeId node, const recovery::BufferRef& ref) const;
+  void put_buffer(cluster::NodeId node, const recovery::BufferRef& ref,
+                  rs::Chunk data);
+
+  /// Drop every buffer a node holds (single node failure).  The node slot
+  /// stays usable — the replacement machine takes over its id.
   void erase_node(cluster::NodeId node);
+
+  /// Permanently fail a node: wipe its buffers and mark it dead for the
+  /// rest of the run.  Idempotent — dropping an already-dropped node is a
+  /// no-op.  Throws std::out_of_range for a bad id and util::CheckError
+  /// when the node is the currently guarded recovery destination (see
+  /// guard_replacement): losing the replacement is not a recoverable
+  /// scenario — pick a fresh replacement and re-plan instead.  An
+  /// execute() in flight observes the drop and aborts with
+  /// util::StateError.
+  void drop_node(cluster::NodeId node);
+
+  /// True when drop_node(node) has been called.
+  [[nodiscard]] bool is_dropped(cluster::NodeId node) const;
+
+  /// Protect the active recovery destination: while set, drop_node on that
+  /// node throws.  execute() guards its plan's replacement automatically;
+  /// external runtimes (src/inject) set it around their own execution.
+  /// Pass std::nullopt to clear.
+  void guard_replacement(std::optional<cluster::NodeId> node);
+
+  /// Remove every step-output buffer cluster-wide.  Called between a
+  /// cancelled plan and its re-plan so the fresh plan's dense step ids
+  /// cannot collide with stale partial results.
+  void clear_step_outputs();
+
+  /// The link path a transfer src -> dst traverses (loopback when
+  /// src == dst).  Hops stay owned by the cluster; the path is valid for
+  /// the cluster's lifetime.
+  [[nodiscard]] LinkPath path(cluster::NodeId src, cluster::NodeId dst) const;
+
+  /// Direct link handles, for arming fault windows (inject::FaultPlan).
+  /// All throw std::out_of_range on a bad id.
+  [[nodiscard]] SerialLink& node_up_link(cluster::NodeId node);
+  [[nodiscard]] SerialLink& node_down_link(cluster::NodeId node);
+  [[nodiscard]] SerialLink& rack_up_link(cluster::RackId rack);
+  [[nodiscard]] SerialLink& rack_down_link(cluster::RackId rack);
 
   /// Generate random stripes per the placement, encode them with `code`,
   /// and store each chunk on its host node.  Returns the full original
@@ -119,8 +178,9 @@ class Cluster {
   /// sequential pass so reported times are bit-identical across runs.
   /// After success the recovered chunks are stored on the replacement node
   /// both as step outputs and as regular chunks.  Throws std::runtime_error
-  /// when a referenced buffer is missing or a transfer's declared size
-  /// disagrees with the stored payload, and std::invalid_argument on a
+  /// when a referenced buffer is missing, a transfer's declared size
+  /// disagrees with the stored payload, a step touches a dropped node, or a
+  /// node is dropped mid-execution (abort), and std::invalid_argument on a
   /// malformed DAG (unknown dependency or cycle).
   ExecutionReport execute(const recovery::RecoveryPlan& plan);
 

@@ -24,7 +24,8 @@ std::size_t Executor::planned_workers(std::size_t num_tasks) const {
 
 void Executor::run(std::size_t num_tasks, std::vector<std::size_t> indegrees,
                    const std::vector<std::vector<std::size_t>>& dependents,
-                   const std::function<void(std::size_t)>& fn) {
+                   const std::function<void(std::size_t)>& fn,
+                   const std::function<bool()>& should_abort) {
   if (num_tasks == 0) return;
   CAR_CHECK(indegrees.size() == num_tasks && dependents.size() == num_tasks,
             "Executor::run: adjacency size mismatch");
@@ -36,6 +37,7 @@ void Executor::run(std::size_t num_tasks, std::vector<std::size_t> indegrees,
   std::size_t active = 0;
   bool stop = false;
   bool cycle = false;
+  bool aborted = false;
   std::exception_ptr error;
 
   for (std::size_t id = 0; id < num_tasks; ++id) {
@@ -48,6 +50,13 @@ void Executor::run(std::size_t num_tasks, std::vector<std::size_t> indegrees,
     for (;;) {
       cv.wait(lock, [&] { return stop || !ready.empty(); });
       if (stop) return;
+      if (should_abort && should_abort()) {
+        // Abandon queued work; in-flight tasks drain like the error path.
+        aborted = true;
+        stop = true;
+        cv.notify_all();
+        return;
+      }
       const std::size_t id = ready.front();
       ready.pop_front();
       ++active;
@@ -90,6 +99,7 @@ void Executor::run(std::size_t num_tasks, std::vector<std::size_t> indegrees,
 
   if (error) std::rethrow_exception(error);
   CAR_CHECK(!cycle, "Executor::run: dependency cycle in DAG");
+  CAR_CHECK_STATE(!aborted, "Executor::run: aborted by should_abort");
 }
 
 }  // namespace car::emul

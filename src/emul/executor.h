@@ -11,7 +11,11 @@
 // (they never see torn state), every worker drains, and the captured
 // exception is rethrown to the caller.  A DAG whose ready queue empties
 // while tasks remain unfinished (a dependency cycle) raises
-// std::invalid_argument instead of deadlocking.
+// std::invalid_argument instead of deadlocking.  An optional should_abort
+// predicate adds cooperative cancellation with the same drain discipline:
+// checked before each task is issued, and util::StateError is raised once
+// the pool has drained (the emulator aborts a plan when a node it is
+// recovering onto or from is dropped mid-execution).
 #pragma once
 
 #include <cstddef>
@@ -34,10 +38,14 @@ class Executor {
   /// by `indegrees` (number of unfinished prerequisites per task) and
   /// `dependents` (tasks unblocked when task i finishes).  `fn(task)` runs
   /// on a pool thread; tasks whose indegree is 0 are eligible immediately.
-  /// Returns when every task ran, or throws (see failure semantics above).
+  /// When `should_abort` is set it is polled (under the queue lock) before
+  /// each task is issued; once it returns true no further tasks start,
+  /// in-flight tasks drain, and util::StateError is thrown.  Returns when
+  /// every task ran, or throws (see failure semantics above).
   void run(std::size_t num_tasks, std::vector<std::size_t> indegrees,
            const std::vector<std::vector<std::size_t>>& dependents,
-           const std::function<void(std::size_t)>& fn);
+           const std::function<void(std::size_t)>& fn,
+           const std::function<bool()>& should_abort = {});
 
  private:
   std::size_t max_workers_;

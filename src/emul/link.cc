@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <thread>
+#include <utility>
 
 #include "util/check.h"
 
@@ -13,20 +15,83 @@ SerialLink::SerialLink(double bytes_per_second)
   CAR_CHECK(bytes_per_second > 0, "SerialLink: rate must be positive");
 }
 
+void SerialLink::add_rate_window(double start, double end, double factor) {
+  CAR_CHECK(std::isfinite(start) && std::isfinite(end),
+            "SerialLink::add_rate_window: window bounds must be finite");
+  CAR_CHECK(start >= 0.0 && start < end,
+            "SerialLink::add_rate_window: requires 0 <= start < end");
+  CAR_CHECK(factor >= 0.0,
+            "SerialLink::add_rate_window: factor must be >= 0");
+  std::scoped_lock lock(mu_);
+  windows_.push_back({start, end, factor});
+}
+
+double SerialLink::rate_at(double t) const {
+  std::scoped_lock lock(mu_);
+  double rate = rate_;
+  for (const auto& w : windows_) {
+    if (t >= w.start && t < w.end) rate *= w.factor;
+  }
+  return rate;
+}
+
+double SerialLink::drain_locked(double begin, std::uint64_t bytes) const {
+  if (bytes == 0) return begin;
+  if (windows_.empty()) {
+    return begin + static_cast<double>(bytes) / rate_;
+  }
+  // Integrate the piecewise-constant rate profile from `begin` until the
+  // payload drains.  Every window start/end after `t` is a potential rate
+  // change; a zero effective rate fast-forwards to the next boundary (all
+  // windows end, so a blackout cannot extend to infinity).
+  double t = begin;
+  double remaining = static_cast<double>(bytes);
+  for (;;) {
+    double rate = rate_;
+    double boundary = std::numeric_limits<double>::infinity();
+    for (const auto& w : windows_) {
+      if (t >= w.start && t < w.end) rate *= w.factor;
+      if (w.start > t) boundary = std::min(boundary, w.start);
+      if (w.end > t) boundary = std::min(boundary, w.end);
+    }
+    if (rate > 0.0) {
+      const double finish = t + remaining / rate;
+      if (finish <= boundary) return finish;
+      remaining -= rate * (boundary - t);
+    } else {
+      CAR_CHECK_STATE(std::isfinite(boundary),
+                      "SerialLink: blacked out with no closing window");
+    }
+    t = boundary;
+  }
+}
+
+double SerialLink::drain_from(double busy_until, double start,
+                              std::uint64_t bytes) const {
+  std::scoped_lock lock(mu_);
+  return drain_locked(std::max(busy_until, start), bytes);
+}
+
 double SerialLink::reserve(double start, std::uint64_t bytes) {
   CAR_CHECK(std::isfinite(start) && start >= 0.0,
             "SerialLink::reserve: start must be a finite non-negative time");
-  const double duration = static_cast<double>(bytes) / rate_;
   std::scoped_lock lock(mu_);
   const double previous_free = next_free_;
-  next_free_ = std::max(next_free_, start) + duration;
-  // Timeline monotonicity: the link frees strictly later with every
-  // reservation (never travels back in time), and no earlier than the
-  // requested start plus the transmission itself.
+  const double begin = std::max(next_free_, start);
+  next_free_ = drain_locked(begin, bytes);
+  // Timeline monotonicity: the link frees no earlier with every reservation
+  // (never travels back in time), and no earlier than the requested start.
   CAR_DCHECK_GE(next_free_, previous_free, "SerialLink timeline regressed");
-  CAR_DCHECK_GE(next_free_, start + duration, "SerialLink finish too early");
+  CAR_DCHECK_GE(next_free_, begin, "SerialLink finish before start");
   total_bytes_ += bytes;
   return next_free_;
+}
+
+double SerialLink::preview(double start, std::uint64_t bytes) const {
+  CAR_CHECK(std::isfinite(start) && start >= 0.0,
+            "SerialLink::preview: start must be a finite non-negative time");
+  std::scoped_lock lock(mu_);
+  return drain_locked(std::max(next_free_, start), bytes);
 }
 
 void SerialLink::transmit(std::uint64_t bytes) {
@@ -38,9 +103,57 @@ void SerialLink::transmit(std::uint64_t bytes) {
                    std::chrono::duration<double>(finish)));
 }
 
+double SerialLink::next_free() const {
+  std::scoped_lock lock(mu_);
+  return next_free_;
+}
+
 std::uint64_t SerialLink::bytes_transmitted() const noexcept {
   std::scoped_lock lock(mu_);
   return total_bytes_;
+}
+
+LinkPath::LinkPath(std::vector<SerialLink*> hops) : hops_(std::move(hops)) {
+  for (const SerialLink* hop : hops_) {
+    CAR_CHECK(hop != nullptr, "LinkPath: null hop");
+  }
+}
+
+double LinkPath::reserve(double start, std::uint64_t bytes,
+                         std::uint64_t page_bytes) {
+  CAR_CHECK(page_bytes > 0, "LinkPath::reserve: page_bytes must be > 0");
+  double finish = start;
+  std::uint64_t remaining = bytes;
+  while (remaining > 0) {
+    const std::uint64_t page = std::min(remaining, page_bytes);
+    for (SerialLink* hop : hops_) {
+      finish = std::max(finish, hop->reserve(start, page));
+    }
+    remaining -= page;
+  }
+  return finish;
+}
+
+double LinkPath::preview(double start, std::uint64_t bytes,
+                         std::uint64_t page_bytes) const {
+  CAR_CHECK(page_bytes > 0, "LinkPath::preview: page_bytes must be > 0");
+  // Shadow each hop's next-free time so successive pages of this transfer
+  // queue behind each other exactly as the committing loop would make them.
+  std::vector<double> busy(hops_.size());
+  for (std::size_t h = 0; h < hops_.size(); ++h) {
+    busy[h] = hops_[h]->next_free();
+  }
+  double finish = start;
+  std::uint64_t remaining = bytes;
+  while (remaining > 0) {
+    const std::uint64_t page = std::min(remaining, page_bytes);
+    for (std::size_t h = 0; h < hops_.size(); ++h) {
+      busy[h] = hops_[h]->drain_from(busy[h], start, page);
+      finish = std::max(finish, busy[h]);
+    }
+    remaining -= page;
+  }
+  return finish;
 }
 
 }  // namespace car::emul

@@ -1,21 +1,28 @@
 // Serial link emulation for the in-process cluster emulator.
 //
-// A SerialLink models a store-and-forward network link of a fixed rate.
-// Each transmission *reserves* link occupancy of bytes/rate seconds on an
-// abstract timeline (seconds since the owning cluster's epoch), so
-// concurrent transfers through a shared (e.g. oversubscribed rack) link
-// really contend with each other.  Reservations are non-blocking and
-// clock-agnostic: the caller supplies the earliest start time and decides
-// what the returned finish time means — the real-time executor sleeps until
-// it on the wall clock, the virtual-clock timing pass simply advances the
-// simulated clock (see emul/clock.h).  Either way a multi-hop transfer
-// pipelines across its links: it completes when the slowest hop drains, not
-// after the sum of hops.
+// A SerialLink models a store-and-forward network link of a fixed base rate.
+// Each transmission *reserves* link occupancy on an abstract timeline
+// (seconds since the owning cluster's epoch), so concurrent transfers
+// through a shared (e.g. oversubscribed rack) link really contend with each
+// other.  Reservations are non-blocking and clock-agnostic: the caller
+// supplies the earliest start time and decides what the returned finish time
+// means — the real-time executor sleeps until it on the wall clock, the
+// virtual-clock timing pass simply advances the simulated clock (see
+// emul/clock.h).  Either way a multi-hop transfer pipelines across its
+// links: it completes when the slowest hop drains, not after the sum of
+// hops.
+//
+// Fault windows (inject/): a link may carry *rate windows* — intervals
+// during which its effective rate is scaled by a factor (0 = blackout,
+// 0.5 = half speed).  Reservations integrate the piecewise rate profile, so
+// a transfer that straddles a blackout stalls until the window closes.
+// Overlapping windows multiply.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <mutex>
+#include <vector>
 
 namespace car::emul {
 
@@ -24,11 +31,32 @@ class SerialLink {
   /// rate in bytes/second; must be positive.
   explicit SerialLink(double bytes_per_second);
 
+  /// Scale the link's rate by `factor` during [start, end) timeline seconds.
+  /// factor == 0 blacks the link out for the window; factors of overlapping
+  /// windows multiply.  Requires 0 <= start < end, both finite, and
+  /// factor >= 0 (CheckError otherwise).  Thread-safe.
+  void add_rate_window(double start, double end, double factor);
+
+  /// Effective rate at timeline second `t` (base rate times the factors of
+  /// every window containing `t`).
+  [[nodiscard]] double rate_at(double t) const;
+
   /// Reserve link occupancy for `bytes`, starting no earlier than timeline
   /// second `start` and no earlier than the link is free.  Returns the
-  /// timeline second at which the last byte leaves the link.  Does not
-  /// block; thread-safe.
+  /// timeline second at which the last byte leaves the link, honouring any
+  /// rate windows.  Does not block; thread-safe.
   double reserve(double start, std::uint64_t bytes);
+
+  /// Finish time reserve(start, bytes) *would* return right now, without
+  /// committing anything.  Thread-safe.
+  [[nodiscard]] double preview(double start, std::uint64_t bytes) const;
+
+  /// Pure timing helper for shadow (what-if) reservations: the finish time
+  /// of `bytes` entering the link no earlier than `start` on a link that is
+  /// busy until `busy_until`, honouring rate windows.  Used by LinkPath's
+  /// preview; does not touch the link's own occupancy.
+  [[nodiscard]] double drain_from(double busy_until, double start,
+                                  std::uint64_t bytes) const;
 
   /// Wall-clock convenience for standalone use (tests, demos): reserve
   /// against real elapsed time since construction and block until the bytes
@@ -37,15 +65,57 @@ class SerialLink {
 
   [[nodiscard]] double rate() const noexcept { return rate_; }
 
+  /// Timeline second at which the link is next free (for shadow previews).
+  [[nodiscard]] double next_free() const;
+
   /// Total bytes ever reserved on this link (for accounting/tests).
   [[nodiscard]] std::uint64_t bytes_transmitted() const noexcept;
 
  private:
+  struct RateWindow {
+    double start = 0.0;
+    double end = 0.0;
+    double factor = 1.0;
+  };
+
+  /// drain_from without taking mu_ (callers hold it).
+  [[nodiscard]] double drain_locked(double begin, std::uint64_t bytes) const;
+
   double rate_;
   std::chrono::steady_clock::time_point epoch_;  // transmit() only
   mutable std::mutex mu_;
   double next_free_ = 0.0;  // timeline seconds
   std::uint64_t total_bytes_ = 0;
+  std::vector<RateWindow> windows_;
+};
+
+/// The ordered hop list of one transfer path (src access link, core links
+/// when crossing racks, dst access link).  An empty path is a loopback:
+/// reservations are no-ops completing instantly.  reserve/preview page the
+/// transfer so concurrent flows interleave fairly on shared links while the
+/// hops of one transfer pipeline (finish = slowest hop, not sum of hops).
+class LinkPath {
+ public:
+  LinkPath() = default;
+  explicit LinkPath(std::vector<SerialLink*> hops);
+
+  /// Commit page-wise reservations on every hop starting no earlier than
+  /// `start`; returns the finish time of the last page on the slowest hop.
+  double reserve(double start, std::uint64_t bytes, std::uint64_t page_bytes);
+
+  /// Finish time reserve would return right now, committing nothing.  Exact
+  /// only while no concurrent reservations land on the hops (the
+  /// fault-injection runtime is single-threaded, which is the point).
+  [[nodiscard]] double preview(double start, std::uint64_t bytes,
+                               std::uint64_t page_bytes) const;
+
+  [[nodiscard]] bool loopback() const noexcept { return hops_.empty(); }
+  [[nodiscard]] const std::vector<SerialLink*>& hops() const noexcept {
+    return hops_;
+  }
+
+ private:
+  std::vector<SerialLink*> hops_;
 };
 
 }  // namespace car::emul

@@ -1,0 +1,81 @@
+// Structured event log for fault-injection runs.
+//
+// Every fault, transfer attempt, timeout, retry, crash, re-plan, and
+// completion the resilient runtime observes is recorded as one Event with a
+// virtual timestamp.  The log is the run's ground truth: JSON export uses a
+// canonical field order and fixed-precision timestamps, so two runs with
+// the same seed and FaultPlan serialise to *byte-identical* text — logs are
+// diffable artifacts, and determinism is asserted by comparing them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace car::inject {
+
+enum class EventKind : std::uint8_t {
+  kRunStart,
+  kLinkFaultArmed,
+  kTransferAttempt,
+  kTransferComplete,
+  kTransferTimeout,
+  kTransferDrop,
+  kTransferCorrupt,
+  kRetryScheduled,
+  kComputeComplete,
+  kNodeCrash,
+  kStepsCancelled,
+  kReplanStart,
+  kReplanValidated,
+  kResume,
+  kOutputsPublished,
+  kRunComplete,
+};
+
+[[nodiscard]] const char* to_string(EventKind kind) noexcept;
+
+/// One timestamped occurrence.  Unused numeric fields stay -1 (bytes: 0);
+/// the JSON always serialises every field so the byte layout of a log is a
+/// pure function of the event sequence.
+struct Event {
+  std::size_t seq = 0;
+  double t = 0.0;  // virtual seconds on the cluster timeline
+  EventKind kind = EventKind::kRunStart;
+  std::int64_t step = -1;
+  std::int64_t attempt = -1;
+  std::int64_t node = -1;
+  std::uint64_t bytes = 0;
+  std::string detail;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+class EventLog {
+ public:
+  /// Append an event; seq is assigned from the running counter.
+  void record(double t, EventKind kind, std::int64_t step = -1,
+              std::int64_t attempt = -1, std::int64_t node = -1,
+              std::uint64_t bytes = 0, std::string detail = {});
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] std::size_t count(EventKind kind) const noexcept;
+
+  /// Canonical JSON array, one event object per line, fixed field order,
+  /// timestamps as %.9f seconds.  Byte-identical across identical runs.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Human-oriented per-kind counts ("transfer-attempt x41, ...").
+  [[nodiscard]] std::string summary() const;
+
+  friend bool operator==(const EventLog&, const EventLog&) = default;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace car::inject

@@ -1,0 +1,573 @@
+#include "inject/runtime.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <optional>
+#include <queue>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "gf/region.h"
+#include "recovery/multi.h"
+#include "recovery/scheduler.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace car::inject {
+
+namespace {
+
+using recovery::BufferRef;
+using recovery::PlanStep;
+using recovery::RecoveryPlan;
+using recovery::StepKind;
+
+std::string fmt_s(double t) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.9f", t);
+  return {buf.data()};
+}
+
+std::string fmt_hex(std::uint64_t v) {
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%016llx",
+                static_cast<unsigned long long>(v));
+  return {buf.data()};
+}
+
+/// FNV-1a over a payload — the emulated transfer checksum.  Only used to
+/// produce a deterministic, human-checkable mismatch in corrupt events.
+std::uint64_t fnv64(const rs::Chunk& data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string describe(const BufferRef& ref) {
+  if (ref.kind == BufferRef::Kind::kChunk) {
+    return "chunk s" + std::to_string(ref.stripe) + "#" +
+           std::to_string(ref.chunk_index);
+  }
+  return "step-output #" + std::to_string(ref.step_id);
+}
+
+std::string describe_nodes(const std::vector<cluster::NodeId>& nodes) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(nodes[i]);
+  }
+  return out + "}";
+}
+
+/// Restores the cluster's replacement guard no matter how execute() exits.
+class GuardScope {
+ public:
+  GuardScope(emul::Cluster& cluster, cluster::NodeId replacement)
+      : cluster_(cluster) {
+    cluster_.guard_replacement(replacement);
+  }
+  ~GuardScope() { cluster_.guard_replacement(std::nullopt); }
+  GuardScope(const GuardScope&) = delete;
+  GuardScope& operator=(const GuardScope&) = delete;
+
+ private:
+  emul::Cluster& cluster_;
+};
+
+/// The sequential virtual-time engine behind ResilientRuntime::execute.
+/// One instance spans the whole run, including crash escalations: the
+/// timeline (`now`), stats, and log carry across re-plans.
+class Engine {
+ public:
+  Engine(emul::Cluster& cluster, const FaultPlan& faults,
+         const RetryPolicy& policy, std::uint64_t seed,
+         const ReplanContext& ctx)
+      : cluster_(cluster),
+        faults_(faults),
+        policy_(policy),
+        seed_(seed),
+        ctx_(ctx),
+        backoff_rng_(seed ^ 0x8badf00ddeadbeefULL),
+        replan_rng_(seed ^ 0x5bd1e9955bd1e995ULL),
+        crash_fired_(faults.node_crashes.size(), false),
+        t0_(cluster.clock().now()),
+        now_(t0_) {
+    result_.report.per_rack_cross_bytes.assign(
+        cluster_.topology().num_racks(), 0);
+  }
+
+  RunResult run(const RecoveryPlan& plan) {
+    result_.log.record(now_, EventKind::kRunStart, -1, -1, plan.replacement,
+                       0,
+                       std::to_string(plan.steps.size()) + " steps, " +
+                           std::to_string(plan.outputs.size()) +
+                           " outputs, seed " + std::to_string(seed_));
+    arm_link_faults(cluster_, faults_, t0_);
+    for (const auto& fault : faults_.link_faults) {
+      result_.log.record(
+          now_, EventKind::kLinkFaultArmed, -1, -1,
+          static_cast<std::int64_t>(fault.id), 0,
+          std::string(to_string(fault.side)) + " #" +
+              std::to_string(fault.id) + " x" + fmt_s(fault.factor) + " [" +
+              fmt_s(fault.start_s) + ", " + fmt_s(fault.end_s) + ")");
+    }
+
+    RecoveryPlan current = plan;
+    for (;;) {
+      auto next = run_plan(current);
+      if (!next) break;
+      current = std::move(*next);
+    }
+    publish_outputs(current, nullptr);
+    result_.report.wall_s = now_ - t0_;
+    result_.log.record(now_, EventKind::kRunComplete, -1, -1, -1, 0,
+                       "wall " + fmt_s(result_.report.wall_s) + "s, " +
+                           std::to_string(result_.stats.attempts) +
+                           " transfer attempts, " +
+                           std::to_string(result_.stats.replans) +
+                           " re-plans");
+    result_.final_plan = std::move(current);
+    return std::move(result_);
+  }
+
+ private:
+  // (ready time, step id, 1-based attempt) — ties break on the lowest step
+  // id, then attempt, so the pop order is a pure function of the plan.
+  using Entry = std::tuple<double, std::size_t, std::size_t>;
+  using Heap = std::priority_queue<Entry, std::vector<Entry>, std::greater<>>;
+
+  /// Execute one plan until it completes (returns nullopt) or a node crash
+  /// escalates into a re-plan (returns the validated next plan).
+  std::optional<RecoveryPlan> run_plan(const RecoveryPlan& plan) {
+    const std::size_t n = plan.steps.size();
+    auto indegrees = recovery::step_indegrees(plan);
+    const auto dependents = recovery::step_dependents(plan);
+    std::vector<char> done(n, 0);
+    std::vector<double> ready_at(n, now_);
+    std::size_t completed = 0;
+
+    Heap heap;
+    for (std::size_t id = 0; id < n; ++id) {
+      if (indegrees[id] == 0) heap.emplace(now_, id, 1);
+    }
+
+    // A fraction trigger can already be satisfied at plan start (e.g.
+    // at_fraction == 0, or a re-plan entered with the trigger pending).
+    if (const auto crash = pending_fraction_crash(completed, n)) {
+      return escalate(*crash, now_, plan, done, completed);
+    }
+
+    while (!heap.empty()) {
+      const auto [t, id, attempt] = heap.top();
+      heap.pop();
+
+      // Time-triggered crashes fire the moment the timeline would pass
+      // them, before the event that exposed them runs.
+      if (const auto crash = pending_time_crash(t)) {
+        const double tc =
+            t0_ + *faults_.node_crashes[*crash].at_time_s;
+        return escalate(*crash, std::max(tc, now_), plan, done, completed);
+      }
+
+      advance(t);
+      const PlanStep& step = plan.steps[id];
+      double finish = 0.0;
+      if (step.kind == StepKind::kCompute) {
+        finish = run_compute(plan, step, t);
+      } else {
+        const auto attempt_finish =
+            run_transfer_attempt(step, t, attempt, heap);
+        if (!attempt_finish) continue;  // failed; retry already queued
+        finish = *attempt_finish;
+      }
+
+      done[id] = 1;
+      ++completed;
+      advance(finish);
+      for (const std::size_t dep : dependents[id]) {
+        ready_at[dep] = std::max(ready_at[dep], finish);
+        if (--indegrees[dep] == 0) heap.emplace(ready_at[dep], dep, 1);
+      }
+      if (const auto crash = pending_fraction_crash(completed, n)) {
+        return escalate(*crash, finish, plan, done, completed);
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Compute steps run the real GF kernels immediately; only their *timing*
+  /// is modelled (step.bytes / virtual_gf_bps, same charge as the
+  /// emulator's virtual timing pass).
+  double run_compute(const RecoveryPlan& plan, const PlanStep& step,
+                     double t) {
+    std::vector<const rs::Chunk*> inputs;
+    inputs.reserve(step.inputs.size());
+    for (const auto& in : step.inputs) {
+      const rs::Chunk* buf = cluster_.find_buffer(step.node, in.buffer);
+      CAR_CHECK_STATE(buf != nullptr,
+                      "inject: compute input " + describe(in.buffer) +
+                          " missing on node " + std::to_string(step.node));
+      inputs.push_back(buf);
+    }
+    CAR_CHECK_STATE(!inputs.empty(), "inject: compute step " +
+                                         std::to_string(step.id) +
+                                         " has no inputs");
+    const std::size_t chunk_bytes = inputs.front()->size();
+    for (const rs::Chunk* buf : inputs) {
+      CAR_CHECK_STATE(buf->size() == chunk_bytes,
+                      "inject: compute input size mismatch");
+    }
+    CAR_CHECK_STATE(
+        step.bytes ==
+            static_cast<std::uint64_t>(chunk_bytes) * inputs.size(),
+        "inject: compute bytes do not equal inputs * chunk size");
+
+    rs::Chunk out(chunk_bytes, 0);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      gf::mul_region_acc(step.inputs[i].coeff, *inputs[i], out);
+    }
+    cluster_.put_buffer(step.node, BufferRef::step(step.id), std::move(out));
+
+    const double dt =
+        static_cast<double>(step.bytes) / cluster_.config().virtual_gf_bps;
+    const double finish = t + dt;
+    result_.report.compute_s += dt;
+    if (step.node == plan.replacement) {
+      result_.report.replacement_compute_s += dt;
+    }
+    result_.log.record(finish, EventKind::kComputeComplete,
+                       static_cast<std::int64_t>(step.id), -1,
+                       static_cast<std::int64_t>(step.node), step.bytes,
+                       std::to_string(step.inputs.size()) + " inputs");
+    return finish;
+  }
+
+  /// One transfer attempt.  Returns the delivery time on success; on
+  /// timeout/drop/corruption returns nullopt after queueing the retry (or
+  /// throws once the attempt budget is spent).
+  std::optional<double> run_transfer_attempt(const PlanStep& step, double t,
+                                             std::size_t attempt,
+                                             Heap& heap) {
+    ++result_.stats.attempts;
+    if (attempt > 1) ++result_.stats.retries;
+
+    const rs::Chunk* payload = cluster_.find_buffer(step.src, step.payload);
+    CAR_CHECK_STATE(payload != nullptr,
+                    "inject: transfer payload " + describe(step.payload) +
+                        " missing on node " + std::to_string(step.src));
+    CAR_CHECK_STATE(payload->size() == step.bytes,
+                    "inject: transfer bytes do not match stored payload");
+
+    result_.log.record(t, EventKind::kTransferAttempt,
+                       static_cast<std::int64_t>(step.id),
+                       static_cast<std::int64_t>(attempt),
+                       static_cast<std::int64_t>(step.src), step.bytes,
+                       "-> " + std::to_string(step.dst) + ", " +
+                           describe(step.payload));
+
+    if (step.src == step.dst) {
+      cluster_.put_buffer(step.dst, step.payload, *payload);
+      result_.log.record(t, EventKind::kTransferComplete,
+                         static_cast<std::int64_t>(step.id),
+                         static_cast<std::int64_t>(attempt),
+                         static_cast<std::int64_t>(step.dst), 0, "loopback");
+      return t;
+    }
+
+    // The first declared fault that matches this (step, attempt) decides
+    // its fate; the decision is order-independent (see fault.h).
+    const TransferFault* fault = nullptr;
+    std::size_t fault_index = 0;
+    for (std::size_t i = 0; i < faults_.transfer_faults.size(); ++i) {
+      if (transfer_fault_applies(faults_.transfer_faults[i], i, step.id,
+                                 attempt, seed_)) {
+        fault = &faults_.transfer_faults[i];
+        fault_index = i;
+        break;
+      }
+    }
+
+    const std::uint64_t page = cluster_.config().page_bytes;
+    emul::LinkPath path = cluster_.path(step.src, step.dst);
+    const double deadline = t + policy_.transfer_timeout_s;
+    const double projected = path.preview(t, step.bytes, page);
+
+    double failed_at = 0.0;
+    if (projected > deadline) {
+      // The sender gives up at the deadline without committing the link:
+      // an abandoned attempt occupies no wire in this model.
+      ++result_.stats.timeouts;
+      failed_at = deadline;
+      result_.log.record(deadline, EventKind::kTransferTimeout,
+                         static_cast<std::int64_t>(step.id),
+                         static_cast<std::int64_t>(attempt),
+                         static_cast<std::int64_t>(step.src), step.bytes,
+                         "projected finish " + fmt_s(projected) +
+                             " past deadline " + fmt_s(deadline));
+    } else if (fault != nullptr &&
+               fault->kind == TransferFault::Kind::kDrop) {
+      // The bytes burn wire all the way, the receiver never sees them, and
+      // the sender only learns at the ack deadline.
+      const double finish = path.reserve(t, step.bytes, page);
+      ++result_.stats.drops;
+      result_.stats.wasted_wire_bytes += step.bytes;
+      failed_at = deadline;
+      result_.log.record(finish, EventKind::kTransferDrop,
+                         static_cast<std::int64_t>(step.id),
+                         static_cast<std::int64_t>(attempt),
+                         static_cast<std::int64_t>(step.src), step.bytes,
+                         "fault #" + std::to_string(fault_index) +
+                             ", ack deadline " + fmt_s(deadline));
+    } else if (fault != nullptr) {  // kCorrupt
+      const double finish = path.reserve(t, step.bytes, page);
+      rs::Chunk garbled = *payload;
+      garbled[(step.id * 1315423911ULL + attempt) % garbled.size()] ^= 0xA5;
+      ++result_.stats.corruptions;
+      result_.stats.wasted_wire_bytes += step.bytes;
+      failed_at = finish;  // checksum mismatch is detected on delivery
+      result_.log.record(finish, EventKind::kTransferCorrupt,
+                         static_cast<std::int64_t>(step.id),
+                         static_cast<std::int64_t>(attempt),
+                         static_cast<std::int64_t>(step.dst), step.bytes,
+                         "fault #" + std::to_string(fault_index) +
+                             ", checksum sent=" + fmt_hex(fnv64(*payload)) +
+                             " got=" + fmt_hex(fnv64(garbled)));
+    } else {
+      const double finish = path.reserve(t, step.bytes, page);
+      cluster_.put_buffer(step.dst, step.payload, *payload);
+      // At-most-once accounting: payload bytes land in the report here and
+      // only here — failed attempts never reach this branch.
+      if (step.cross_rack) {
+        result_.report.cross_rack_bytes += step.bytes;
+        result_.report
+            .per_rack_cross_bytes[cluster_.topology().rack_of(step.src)] +=
+            step.bytes;
+      } else {
+        result_.report.intra_rack_bytes += step.bytes;
+      }
+      result_.log.record(finish, EventKind::kTransferComplete,
+                         static_cast<std::int64_t>(step.id),
+                         static_cast<std::int64_t>(attempt),
+                         static_cast<std::int64_t>(step.dst), step.bytes,
+                         step.cross_rack ? "cross-rack" : "intra-rack");
+      return finish;
+    }
+
+    CAR_CHECK_STATE(attempt < policy_.max_attempts,
+                    "inject: transfer step " + std::to_string(step.id) +
+                        " permanently failed after " +
+                        std::to_string(attempt) + " attempts");
+    const double delay = policy_.backoff.delay(attempt, backoff_rng_);
+    const double retry_at = failed_at + delay;
+    result_.log.record(failed_at, EventKind::kRetryScheduled,
+                       static_cast<std::int64_t>(step.id),
+                       static_cast<std::int64_t>(attempt + 1),
+                       static_cast<std::int64_t>(step.src), 0,
+                       "backoff " + fmt_s(delay) + "s, retry at " +
+                           fmt_s(retry_at));
+    heap.emplace(retry_at, step.id, attempt + 1);
+    return std::nullopt;
+  }
+
+  /// First unfired fraction-triggered crash satisfied by the completion
+  /// ratio, if any.
+  std::optional<std::size_t> pending_fraction_crash(std::size_t completed,
+                                                    std::size_t total) const {
+    for (std::size_t i = 0; i < faults_.node_crashes.size(); ++i) {
+      const auto& crash = faults_.node_crashes[i];
+      if (crash_fired_[i] || !crash.at_fraction) continue;
+      const double ratio =
+          total == 0 ? 1.0
+                     : static_cast<double>(completed) /
+                           static_cast<double>(total);
+      if (ratio >= *crash.at_fraction) return i;
+    }
+    return std::nullopt;
+  }
+
+  /// First unfired time-triggered crash whose deadline the timeline would
+  /// pass by processing an event at `t`, if any.
+  std::optional<std::size_t> pending_time_crash(double t) const {
+    for (std::size_t i = 0; i < faults_.node_crashes.size(); ++i) {
+      const auto& crash = faults_.node_crashes[i];
+      if (crash_fired_[i] || !crash.at_time_s) continue;
+      if (t0_ + *crash.at_time_s <= t) return i;
+    }
+    return std::nullopt;
+  }
+
+  /// Crash escalation: publish what finished, cancel the rest, drop the
+  /// node, re-plan the (now multi-)failure, validate, and hand back the
+  /// plan to resume with.
+  RecoveryPlan escalate(std::size_t crash_index, double tc,
+                        const RecoveryPlan& plan,
+                        const std::vector<char>& done,
+                        std::size_t completed) {
+    const NodeCrash& crash = faults_.node_crashes[crash_index];
+    crash_fired_[crash_index] = true;
+    advance(tc);
+
+    CAR_CHECK_STATE(ctx_.placement != nullptr && ctx_.code != nullptr,
+                    "inject: node crash fired but ReplanContext has no "
+                    "placement/code to re-plan with");
+
+    result_.log.record(
+        now_, EventKind::kNodeCrash, -1, -1,
+        static_cast<std::int64_t>(crash.node), 0,
+        crash.at_fraction
+            ? "at completion fraction " + fmt_s(*crash.at_fraction)
+            : "at scheduled time " + fmt_s(*crash.at_time_s));
+    const std::size_t cancelled = plan.steps.size() - completed;
+    result_.stats.cancelled_steps += cancelled;
+    result_.log.record(now_, EventKind::kStepsCancelled, -1, -1, -1, 0,
+                       std::to_string(cancelled) + " of " +
+                           std::to_string(plan.steps.size()) + " steps");
+
+    // Durability first: recovered chunks whose final step completed are
+    // already correct — promote them to regular replicas before the step
+    // outputs are wiped.  (The re-plan recomputes every lost chunk anyway;
+    // published replicas are simply overwritten with identical bytes.)
+    publish_outputs(plan, &done);
+
+    cluster_.drop_node(crash.node);  // CheckError if it is the replacement
+    cluster_.clear_step_outputs();
+    crashed_nodes_.push_back(crash.node);
+
+    recovery::MultiFailureScenario scenario;
+    scenario.failed_nodes = ctx_.failed_nodes;
+    for (const cluster::NodeId node : crashed_nodes_) {
+      scenario.failed_nodes.push_back(node);
+    }
+    scenario.replacement = plan.replacement;
+    scenario.replacement_rack =
+        cluster_.topology().rack_of(plan.replacement);
+
+    const bool car = ctx_.strategy == ReplanStrategy::kCar;
+    result_.log.record(now_, EventKind::kReplanStart, -1, -1,
+                       static_cast<std::int64_t>(crash.node), 0,
+                       std::string("multi-failure re-plan (") +
+                           (car ? "car" : "rr") + "), failed nodes " +
+                           describe_nodes(scenario.failed_nodes));
+
+    const auto censuses =
+        recovery::build_multi_censuses(*ctx_.placement, scenario);
+    RecoveryPlan next;
+    recovery::ValidateOptions options;
+    options.placement = ctx_.placement;
+    if (car) {
+      const auto balanced =
+          recovery::balance_multi(*ctx_.placement, censuses);
+      next = recovery::build_multi_car_plan(*ctx_.placement, *ctx_.code,
+                                            balanced.solutions,
+                                            plan.chunk_size,
+                                            plan.replacement);
+      options.expected_cross_rack_chunks = recovery::claimed_cross_rack_chunks(
+          balanced.solutions, scenario.replacement_rack);
+    } else {
+      const auto solutions =
+          recovery::plan_multi_rr(*ctx_.placement, censuses, replan_rng_);
+      next = recovery::build_multi_rr_plan(*ctx_.placement, *ctx_.code,
+                                           solutions, plan.chunk_size,
+                                           plan.replacement);
+    }
+
+    auto report = recovery::validate_plan(next, cluster_.topology(), options);
+    CAR_CHECK_STATE(report.ok(), "inject: re-plan failed validation:\n" +
+                                     report.to_string());
+    result_.log.record(now_, EventKind::kReplanValidated, -1, -1, -1, 0,
+                       std::to_string(next.steps.size()) + " steps, " +
+                           std::to_string(next.outputs.size()) +
+                           " outputs, 0 errors");
+    result_.log.record(now_, EventKind::kResume, -1, -1,
+                       static_cast<std::int64_t>(plan.replacement), 0,
+                       "resuming recovery on the re-planned DAG");
+
+    ++result_.stats.replans;
+    result_.replanned = true;
+    result_.replan_validation = std::move(report);
+    return next;
+  }
+
+  /// Promote recovered chunks to regular replicas on the replacement.
+  /// `done` restricts to completed output steps; nullptr publishes all.
+  void publish_outputs(const RecoveryPlan& plan,
+                       const std::vector<char>* done) {
+    std::size_t published = 0;
+    for (const auto& out : plan.outputs) {
+      if (done != nullptr && (*done)[out.step_id] == 0) continue;
+      const rs::Chunk* buf =
+          cluster_.find_step_output(plan.replacement, out.step_id);
+      CAR_CHECK_STATE(buf != nullptr,
+                      "inject: completed output of step " +
+                          std::to_string(out.step_id) +
+                          " missing on the replacement");
+      cluster_.store_chunk(plan.replacement, out.stripe, out.chunk_index,
+                           *buf);
+      ++published;
+    }
+    if (published > 0 || done == nullptr) {
+      result_.log.record(now_, EventKind::kOutputsPublished, -1, -1,
+                         static_cast<std::int64_t>(plan.replacement),
+                         static_cast<std::uint64_t>(published) *
+                             plan.chunk_size,
+                         std::to_string(published) + " of " +
+                             std::to_string(plan.outputs.size()) +
+                             " recovered chunks");
+    }
+  }
+
+  void advance(double t) {
+    now_ = std::max(now_, t);
+    cluster_.clock().advance_to(now_);
+  }
+
+  emul::Cluster& cluster_;
+  const FaultPlan& faults_;
+  const RetryPolicy& policy_;
+  std::uint64_t seed_;
+  const ReplanContext& ctx_;
+  util::Rng backoff_rng_;
+  util::Rng replan_rng_;
+  std::vector<bool> crash_fired_;
+  std::vector<cluster::NodeId> crashed_nodes_;
+  double t0_;
+  double now_;
+  RunResult result_;
+};
+
+}  // namespace
+
+ResilientRuntime::ResilientRuntime(emul::Cluster& cluster, FaultPlan faults,
+                                   RetryPolicy policy, std::uint64_t seed)
+    : cluster_(cluster),
+      faults_(std::move(faults)),
+      policy_(std::move(policy)),
+      seed_(seed) {}
+
+RunResult ResilientRuntime::execute(const recovery::RecoveryPlan& plan,
+                                    const ReplanContext& context) {
+  cluster_.clock().require_virtual("inject::ResilientRuntime");
+  faults_.validate(cluster_.topology());
+  for (const auto& crash : faults_.node_crashes) {
+    CAR_CHECK(crash.node != plan.replacement,
+              "inject: a NodeCrash targets the replacement node — that is "
+              "not a recoverable scenario");
+  }
+  if (!faults_.node_crashes.empty()) {
+    CAR_CHECK(context.placement != nullptr && context.code != nullptr,
+              "inject: FaultPlan contains node crashes; ReplanContext needs "
+              "placement and code");
+  }
+
+  GuardScope guard(cluster_, plan.replacement);
+  Engine engine(cluster_, faults_, policy_, seed_, context);
+  return engine.run(plan);
+}
+
+}  // namespace car::inject

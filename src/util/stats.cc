@@ -24,6 +24,32 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+BackoffSchedule::BackoffSchedule(double base_s, double factor, double cap_s,
+                                 double jitter)
+    : base_s_(base_s), factor_(factor), cap_s_(cap_s), jitter_(jitter) {
+  CAR_CHECK(base_s > 0.0, "BackoffSchedule: base must be positive");
+  CAR_CHECK(factor >= 1.0, "BackoffSchedule: factor must be >= 1");
+  CAR_CHECK_GE(cap_s, base_s, "BackoffSchedule: cap must be >= base");
+  CAR_CHECK(jitter >= 0.0 && jitter < 1.0,
+            "BackoffSchedule: jitter must be in [0, 1)");
+}
+
+double BackoffSchedule::raw_delay(std::size_t attempt) const {
+  CAR_CHECK(attempt > 0, "BackoffSchedule: attempts are 1-based");
+  // Once base * factor^(a-1) crosses the cap, stop exponentiating — the
+  // uncapped value overflows to inf for large attempt counts otherwise.
+  double delay = base_s_;
+  for (std::size_t i = 1; i < attempt && delay < cap_s_; ++i) {
+    delay *= factor_;
+  }
+  return std::min(delay, cap_s_);
+}
+
+double BackoffSchedule::delay(std::size_t attempt, Rng& rng) const {
+  const double scale = 1.0 + jitter_ * (2.0 * rng.next_double() - 1.0);
+  return raw_delay(attempt) * scale;
+}
+
 double percentile(std::span<const double> sample, double q) {
   CAR_CHECK(!sample.empty(), "percentile: empty sample");
   CAR_CHECK(q >= 0.0 && q <= 1.0, "percentile: q not in [0,1]");

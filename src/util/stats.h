@@ -1,5 +1,6 @@
 // Streaming descriptive statistics (Welford) and small helpers used by the
-// benchmark harnesses to report mean/stddev over repeated experiment runs.
+// benchmark harnesses to report mean/stddev over repeated experiment runs,
+// plus the seeded exponential-backoff schedule shared by retry loops.
 #pragma once
 
 #include <cmath>
@@ -7,6 +8,8 @@
 #include <span>
 #include <stdexcept>
 #include <vector>
+
+#include "util/rng.h"
 
 namespace car::util {
 
@@ -51,6 +54,37 @@ class RunningStats {
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+};
+
+/// Exponential backoff with full-range seeded jitter, the one retry-delay
+/// policy in the repository (the fault-injection runtime's transfer retries
+/// use it instead of ad-hoc math).  The un-jittered delay for 1-based retry
+/// attempt `a` is min(base * factor^(a-1), cap); jitter then scales it
+/// uniformly into [1-jitter, 1+jitter] using the caller's Rng, so a seeded
+/// run produces an identical delay sequence every time.
+class BackoffSchedule {
+ public:
+  /// Requires base > 0, factor >= 1, cap >= base, jitter in [0, 1).
+  /// Throws CheckError otherwise.
+  BackoffSchedule(double base_s, double factor, double cap_s, double jitter);
+
+  /// Deterministic (jitter-free) delay for 1-based attempt `attempt`.
+  /// Throws CheckError when attempt == 0.
+  [[nodiscard]] double raw_delay(std::size_t attempt) const;
+
+  /// Jittered delay for 1-based attempt `attempt`, drawn from `rng`.
+  [[nodiscard]] double delay(std::size_t attempt, Rng& rng) const;
+
+  [[nodiscard]] double base_s() const noexcept { return base_s_; }
+  [[nodiscard]] double factor() const noexcept { return factor_; }
+  [[nodiscard]] double cap_s() const noexcept { return cap_s_; }
+  [[nodiscard]] double jitter() const noexcept { return jitter_; }
+
+ private:
+  double base_s_;
+  double factor_;
+  double cap_s_;
+  double jitter_;
 };
 
 /// Exact percentile of a sample (linear interpolation between order stats).

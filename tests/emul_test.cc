@@ -9,6 +9,7 @@
 #include "emul/link.h"
 #include "recovery/balancer.h"
 #include "recovery/scheduler.h"
+#include "util/check.h"
 
 namespace car::emul {
 namespace {
@@ -360,6 +361,104 @@ TEST(ClusterExecute, InvalidConfigRejected) {
   EmulConfig bad_gf = fast_config();
   bad_gf.virtual_gf_bps = 0.0;
   EXPECT_THROW(Cluster(Topology({2}), bad_gf), std::invalid_argument);
+}
+
+TEST(SerialLink, RateWindowDegradesThroughput) {
+  SerialLink link(1e6);  // 1 MB/s
+  link.add_rate_window(0.0, 10.0, 0.5);
+  // 100 KB at half rate: 0.2 s instead of 0.1 s.
+  EXPECT_DOUBLE_EQ(link.preview(0.0, 100'000), 0.2);
+  EXPECT_DOUBLE_EQ(link.reserve(0.0, 100'000), 0.2);
+}
+
+TEST(SerialLink, BlackoutStallsUntilWindowCloses) {
+  SerialLink link(1e6);
+  link.add_rate_window(0.0, 1.0, 0.0);
+  // Nothing moves during the blackout; the transfer drains after it.
+  EXPECT_DOUBLE_EQ(link.reserve(0.0, 100'000), 1.1);
+  // Overlapping windows multiply: 0.5 * 0.5 = quarter rate.
+  SerialLink slow(1e6);
+  slow.add_rate_window(0.0, 10.0, 0.5);
+  slow.add_rate_window(0.0, 10.0, 0.5);
+  EXPECT_DOUBLE_EQ(slow.reserve(0.0, 100'000), 0.4);
+}
+
+TEST(SerialLink, TransferStraddlingWindowIntegratesPiecewise) {
+  SerialLink link(1e6);
+  link.add_rate_window(0.05, 0.15, 0.0);
+  // 100 KB: 50 KB drain in [0, 0.05), blackout until 0.15, rest by 0.2.
+  EXPECT_DOUBLE_EQ(link.reserve(0.0, 100'000), 0.2);
+}
+
+TEST(SerialLink, RejectsMalformedRateWindows) {
+  SerialLink link(1e6);
+  EXPECT_THROW(link.add_rate_window(0.5, 0.5, 0.5), util::CheckError);
+  EXPECT_THROW(link.add_rate_window(-1.0, 1.0, 0.5), util::CheckError);
+  EXPECT_THROW(link.add_rate_window(0.0, 1.0, -0.1), util::CheckError);
+}
+
+TEST(LinkPath, PreviewMatchesReserveExactly) {
+  Cluster cluster(Topology({3, 3}), virtual_config());
+  LinkPath path = cluster.path(0, 4);  // cross-rack: 4 hops
+  ASSERT_EQ(path.hops().size(), 4u);
+  const double projected = path.preview(0.0, 300'000, 16 * 1024);
+  EXPECT_DOUBLE_EQ(path.reserve(0.0, 300'000, 16 * 1024), projected);
+  // Loopback paths complete instantly.
+  LinkPath self = cluster.path(2, 2);
+  EXPECT_TRUE(self.loopback());
+  EXPECT_DOUBLE_EQ(self.reserve(5.0, 1'000'000, 1024), 5.0);
+}
+
+TEST(Cluster, DropNodeIsIdempotentAndFailsFurtherUse) {
+  Cluster cluster(Topology({2, 2}), fast_config());
+  cluster.store_chunk(1, 0, 0, rs::Chunk{1, 2, 3});
+  EXPECT_FALSE(cluster.is_dropped(1));
+
+  cluster.drop_node(1);
+  EXPECT_TRUE(cluster.is_dropped(1));
+  EXPECT_EQ(cluster.find_chunk(1, 0, 0), nullptr);  // buffers wiped
+  EXPECT_THROW(cluster.store_chunk(1, 0, 0, rs::Chunk{9}), util::StateError);
+
+  cluster.drop_node(1);  // idempotent: second drop is a no-op
+  EXPECT_TRUE(cluster.is_dropped(1));
+  EXPECT_THROW(cluster.drop_node(99), std::out_of_range);
+}
+
+TEST(Cluster, DropNodeRefusesTheGuardedReplacement) {
+  Cluster cluster(Topology({2, 2}), fast_config());
+  cluster.guard_replacement(2);
+  EXPECT_THROW(cluster.drop_node(2), util::CheckError);
+  EXPECT_FALSE(cluster.is_dropped(2));
+  cluster.drop_node(3);  // other nodes still droppable
+
+  cluster.guard_replacement(std::nullopt);
+  cluster.drop_node(2);  // guard cleared: now allowed
+  EXPECT_TRUE(cluster.is_dropped(2));
+}
+
+TEST(ClusterExecute, PlanTouchingDroppedNodeRaises) {
+  Cluster cluster(Topology({2, 2}), fast_config());
+  cluster.store_chunk(0, 0, 0, rs::Chunk(1024, 7));
+  cluster.drop_node(3);
+  auto plan = one_transfer_plan(0, 3, 1024);
+  EXPECT_THROW(cluster.execute(plan), util::StateError);
+  // The replacement itself being dropped is also rejected (guard installed
+  // by execute() for the duration of the run).
+  auto self_plan = one_transfer_plan(0, 1, 1024);
+  self_plan.replacement = 1;
+  cluster.guard_replacement(1);
+  EXPECT_THROW(cluster.drop_node(1), util::CheckError);
+  cluster.guard_replacement(std::nullopt);
+}
+
+TEST(Cluster, ClearStepOutputsKeepsChunks) {
+  Cluster cluster(Topology({2, 2}), fast_config());
+  cluster.store_chunk(0, 3, 1, rs::Chunk{1, 2});
+  cluster.put_buffer(0, recovery::BufferRef::step(5), rs::Chunk{9, 9});
+  ASSERT_NE(cluster.find_step_output(0, 5), nullptr);
+  cluster.clear_step_outputs();
+  EXPECT_EQ(cluster.find_step_output(0, 5), nullptr);
+  ASSERT_NE(cluster.find_chunk(0, 3, 1), nullptr);
 }
 
 }  // namespace

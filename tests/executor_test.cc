@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace car::emul {
@@ -164,6 +165,48 @@ TEST(Executor, DetectsCycleBehindCompletedPrefix) {
                [&](std::size_t) { ++runs; }),
       std::invalid_argument);
   EXPECT_EQ(runs.load(), 1u);
+}
+
+TEST(Executor, ShouldAbortStopsIssuingAndThrowsStateError) {
+  // A long serial chain: flip the abort flag after a few tasks and verify
+  // the rest never start and the run raises util::StateError.
+  constexpr std::size_t kTasks = 200;
+  Dag dag(kTasks);
+  for (std::size_t i = 0; i + 1 < kTasks; ++i) dag.edge(i, i + 1);
+
+  std::atomic<std::size_t> runs{0};
+  std::atomic<bool> abort{false};
+  Executor exec(4);
+  EXPECT_THROW(exec.run(
+                   kTasks, dag.indegrees, dag.dependents,
+                   [&](std::size_t) {
+                     if (++runs == 5) abort = true;
+                   },
+                   [&] { return abort.load(); }),
+               util::StateError);
+  EXPECT_LT(runs.load(), kTasks);
+  EXPECT_GE(runs.load(), 5u);
+}
+
+TEST(Executor, ShouldAbortBeforeStartRunsNothing) {
+  Dag dag(32);
+  std::atomic<std::size_t> runs{0};
+  Executor exec(4);
+  EXPECT_THROW(exec.run(
+                   32, dag.indegrees, dag.dependents,
+                   [&](std::size_t) { ++runs; }, [] { return true; }),
+               util::StateError);
+  EXPECT_EQ(runs.load(), 0u);
+}
+
+TEST(Executor, NullShouldAbortNeverTriggers) {
+  Dag dag(16);
+  std::atomic<std::size_t> runs{0};
+  Executor exec(4);
+  exec.run(
+      16, dag.indegrees, dag.dependents, [&](std::size_t) { ++runs; },
+      std::function<bool()>{});
+  EXPECT_EQ(runs.load(), 16u);
 }
 
 }  // namespace

@@ -1,0 +1,169 @@
+// Scenario-layer tests: the spec parser, the canned scenario library, and
+// end-to-end determinism of run_scenario — two identical runs must produce
+// byte-identical event logs (the property CI asserts on every canned
+// scenario, and the test meant to run under the asan/tsan presets).
+#include "inject/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace car::inject {
+namespace {
+
+TEST(ParseScenario, ReadsEveryKeyAndFaultType) {
+  const auto scenario = parse_scenario(R"(# header comment
+name parsed
+racks 2,2,2        # trailing comment
+k 3
+m 1
+stripes 5
+chunk-kib 32
+page-kib 8
+seed 99
+strategy rr
+fail-node 1
+node-mbps 250
+oversub 3.5
+timeout 0.125
+max-attempts 9
+backoff-base 0.01
+backoff-factor 3
+backoff-cap 0.5
+backoff-jitter 0.1
+fault link side=node-down id=4 start=0.1 end=0.2 factor=0.75
+fault drop step=2 attempts=1,3 prob=0.5
+fault corrupt attempts=2
+fault crash node=5 at-fraction=0.25
+fault crash node=3 at-time=1.5
+)");
+  EXPECT_EQ(scenario.name, "parsed");
+  EXPECT_EQ(scenario.racks, (std::vector<std::size_t>{2, 2, 2}));
+  EXPECT_EQ(scenario.k, 3u);
+  EXPECT_EQ(scenario.m, 1u);
+  EXPECT_EQ(scenario.stripes, 5u);
+  EXPECT_EQ(scenario.chunk_bytes, 32u * 1024u);
+  EXPECT_EQ(scenario.page_bytes, 8u * 1024u);
+  EXPECT_EQ(scenario.seed, 99u);
+  EXPECT_EQ(scenario.strategy, "rr");
+  ASSERT_TRUE(scenario.fail_node.has_value());
+  EXPECT_EQ(*scenario.fail_node, 1u);
+  EXPECT_DOUBLE_EQ(scenario.node_bps, 250e6);
+  EXPECT_DOUBLE_EQ(scenario.oversubscription, 3.5);
+  EXPECT_DOUBLE_EQ(scenario.retry.transfer_timeout_s, 0.125);
+  EXPECT_EQ(scenario.retry.max_attempts, 9u);
+  EXPECT_DOUBLE_EQ(scenario.retry.backoff.base_s(), 0.01);
+  EXPECT_DOUBLE_EQ(scenario.retry.backoff.factor(), 3.0);
+  EXPECT_DOUBLE_EQ(scenario.retry.backoff.cap_s(), 0.5);
+  EXPECT_DOUBLE_EQ(scenario.retry.backoff.jitter(), 0.1);
+
+  ASSERT_EQ(scenario.faults.link_faults.size(), 1u);
+  const auto& link = scenario.faults.link_faults.front();
+  EXPECT_EQ(link.side, LinkSide::kNodeDown);
+  EXPECT_EQ(link.id, 4u);
+  EXPECT_DOUBLE_EQ(link.factor, 0.75);
+
+  ASSERT_EQ(scenario.faults.transfer_faults.size(), 2u);
+  const auto& drop = scenario.faults.transfer_faults[0];
+  EXPECT_EQ(drop.kind, TransferFault::Kind::kDrop);
+  ASSERT_TRUE(drop.step.has_value());
+  EXPECT_EQ(*drop.step, 2u);
+  EXPECT_EQ(drop.attempts, (std::vector<std::size_t>{1, 3}));
+  EXPECT_DOUBLE_EQ(drop.probability, 0.5);
+  EXPECT_EQ(scenario.faults.transfer_faults[1].kind,
+            TransferFault::Kind::kCorrupt);
+
+  ASSERT_EQ(scenario.faults.node_crashes.size(), 2u);
+  EXPECT_DOUBLE_EQ(*scenario.faults.node_crashes[0].at_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(*scenario.faults.node_crashes[1].at_time_s, 1.5);
+}
+
+TEST(ParseScenario, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_scenario("bogus-key 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("k\n"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("k one\n"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("strategy fancy\n"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("fault\n"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("fault warp speed=9\n"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("fault link side=sideways id=0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario("fault drop step\n"), std::invalid_argument);
+  EXPECT_NO_THROW(parse_scenario(""));  // empty spec = defaults
+}
+
+TEST(CannedScenarios, AllParseAndAreListed) {
+  const auto names = canned_scenario_names();
+  ASSERT_EQ(names.size(), 4u);
+  for (const auto& name : names) {
+    const auto scenario = canned_scenario(name);
+    EXPECT_EQ(scenario.name, name);
+    EXPECT_FALSE(scenario.faults.empty());
+  }
+  EXPECT_THROW(canned_scenario("no-such-scenario"), std::invalid_argument);
+}
+
+TEST(RunScenario, LinkFlapTimesOutRetriesAndStaysBitExact) {
+  const auto outcome = run_scenario(canned_scenario("link-flap"));
+  EXPECT_TRUE(outcome.bit_exact);
+  EXPECT_GT(outcome.chunks_expected, 0u);
+  EXPECT_TRUE(outcome.initial_validation.ok());
+  EXPECT_GT(outcome.run.stats.timeouts, 0u);
+  EXPECT_GT(outcome.run.stats.retries, 0u);
+  EXPECT_FALSE(outcome.run.replanned);
+}
+
+TEST(RunScenario, MidRecoveryCrashMeetsTheAcceptanceCriteria) {
+  const auto outcome = run_scenario(canned_scenario("mid-recovery-crash"));
+  // A second node dies at 40% completion: the run must finish with
+  // bit-exact data via the recovery/multi re-plan, and the re-plan must
+  // pass recovery/validate.
+  EXPECT_TRUE(outcome.run.replanned);
+  EXPECT_TRUE(outcome.run.replan_validation.ok());
+  EXPECT_TRUE(outcome.bit_exact);
+  EXPECT_GT(outcome.chunks_expected, 0u);
+  EXPECT_EQ(outcome.run.log.count(EventKind::kNodeCrash), 1u);
+  EXPECT_EQ(outcome.run.log.count(EventKind::kReplanValidated), 1u);
+}
+
+TEST(RunScenario, SlowStragglerRackRecoversDespiteDrops) {
+  const auto outcome = run_scenario(canned_scenario("slow-straggler-rack"));
+  EXPECT_TRUE(outcome.bit_exact);
+  EXPECT_GT(outcome.run.stats.drops, 0u);
+  EXPECT_GT(outcome.run.stats.wasted_wire_bytes, 0u);
+}
+
+TEST(RunScenario, RrStrategyAlsoSurvivesTheCrash) {
+  auto scenario = canned_scenario("mid-recovery-crash");
+  scenario.strategy = "rr";
+  const auto outcome = run_scenario(scenario);
+  EXPECT_TRUE(outcome.run.replanned);
+  EXPECT_TRUE(outcome.run.replan_validation.ok());
+  EXPECT_TRUE(outcome.bit_exact);
+}
+
+// The determinism satellite: same seed + same FaultPlan => byte-identical
+// EventLog across two full runs (fresh cluster each time).
+TEST(RunScenario, SameSeedRunsAreByteIdentical) {
+  for (const auto& name : {"link-flap", "mid-recovery-crash"}) {
+    const auto a = run_scenario(canned_scenario(name));
+    const auto b = run_scenario(canned_scenario(name));
+    EXPECT_EQ(a.run.log, b.run.log) << name;
+    EXPECT_EQ(a.run.log.to_json(), b.run.log.to_json()) << name;
+    EXPECT_EQ(a.run.report.wall_s, b.run.report.wall_s) << name;
+    EXPECT_EQ(a.chunks_verified, b.chunks_verified) << name;
+  }
+}
+
+TEST(RunScenario, DifferentSeedsDiverge) {
+  auto scenario = canned_scenario("slow-straggler-rack");
+  const auto a = run_scenario(scenario);
+  scenario.seed += 1;
+  const auto b = run_scenario(scenario);
+  EXPECT_TRUE(a.bit_exact);
+  EXPECT_TRUE(b.bit_exact);
+  EXPECT_NE(a.run.log.to_json(), b.run.log.to_json());
+}
+
+}  // namespace
+}  // namespace car::inject

@@ -156,6 +156,48 @@ TEST(TextTable, CsvEscapesSpecialCharacters) {
   EXPECT_EQ(t.to_csv(), "a\n\"x,y\"\n\"quote\"\"inside\"\n");
 }
 
+TEST(BackoffSchedule, GrowsGeometricallyUpToCap) {
+  const BackoffSchedule schedule(0.01, 2.0, 0.25, 0.0);
+  EXPECT_DOUBLE_EQ(schedule.raw_delay(1), 0.01);
+  EXPECT_DOUBLE_EQ(schedule.raw_delay(2), 0.02);
+  EXPECT_DOUBLE_EQ(schedule.raw_delay(3), 0.04);
+  EXPECT_DOUBLE_EQ(schedule.raw_delay(5), 0.16);
+  EXPECT_DOUBLE_EQ(schedule.raw_delay(6), 0.25);   // capped
+  EXPECT_DOUBLE_EQ(schedule.raw_delay(60), 0.25);  // stays capped, no inf
+  EXPECT_DOUBLE_EQ(schedule.raw_delay(100000), 0.25);
+}
+
+TEST(BackoffSchedule, ZeroJitterEqualsRawDelay) {
+  const BackoffSchedule schedule(0.05, 3.0, 1.0, 0.0);
+  Rng rng(7);
+  for (std::size_t attempt = 1; attempt <= 8; ++attempt) {
+    EXPECT_DOUBLE_EQ(schedule.delay(attempt, rng),
+                     schedule.raw_delay(attempt));
+  }
+}
+
+TEST(BackoffSchedule, JitterStaysWithinBandAndIsSeedDeterministic) {
+  const BackoffSchedule schedule(0.1, 2.0, 5.0, 0.25);
+  Rng a(99), b(99);
+  for (std::size_t attempt = 1; attempt <= 12; ++attempt) {
+    const double raw = schedule.raw_delay(attempt);
+    const double jittered = schedule.delay(attempt, a);
+    EXPECT_GE(jittered, raw * 0.75);
+    EXPECT_LE(jittered, raw * 1.25);
+    EXPECT_DOUBLE_EQ(jittered, schedule.delay(attempt, b));
+  }
+}
+
+TEST(BackoffSchedule, RejectsMalformedParametersAndAttemptZero) {
+  EXPECT_THROW(BackoffSchedule(0.0, 2.0, 1.0, 0.1), CheckError);
+  EXPECT_THROW(BackoffSchedule(0.1, 0.5, 1.0, 0.1), CheckError);
+  EXPECT_THROW(BackoffSchedule(0.5, 2.0, 0.1, 0.1), CheckError);
+  EXPECT_THROW(BackoffSchedule(0.1, 2.0, 1.0, 1.0), CheckError);
+  EXPECT_THROW(BackoffSchedule(0.1, 2.0, 1.0, -0.1), CheckError);
+  const BackoffSchedule schedule(0.1, 2.0, 1.0, 0.0);
+  EXPECT_THROW((void)schedule.raw_delay(0), CheckError);
+}
+
 TEST(Bytes, FormatsHumanReadableSizes) {
   using namespace literals;
   EXPECT_EQ(format_bytes(512), "512 B");
