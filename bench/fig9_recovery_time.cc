@@ -33,6 +33,9 @@ car::simnet::NetConfig testbed_net(std::size_t num_racks) {
   car::simnet::NetConfig net;
   net.node_bps = 125e6;       // 1 GbE
   net.oversubscription = 5.0; // scarce cross-rack bandwidth
+  // Deliberately pinned to the paper's 2016-era testbed CPUs, NOT the repo
+  // default (which is calibrated to this host's SIMD kernels via
+  // BENCH_gf.json) — fig9 reproduces the paper's hardware balance.
   net.gf_compute_bps = 1.5e9;
   net.xor_compute_bps = 6e9;
   // Heterogeneous racks (paper Table III): A1 hosts the slowest CPUs.

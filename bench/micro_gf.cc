@@ -1,12 +1,31 @@
 // Microbenchmarks for the GF(2^8) kernels that dominate decode time.
-// Supports the compute-throughput constants used by the flow simulator
-// (simnet::NetConfig::gf_compute_bps / xor_compute_bps).
+//
+// Every available kernel variant (scalar, and SSSE3/AVX2 when the host
+// supports them) is benchmarked separately so the dispatch win is visible,
+// and the fused linear_combine is raced against the naive k-sweep loop it
+// replaced.  Results calibrate the compute-throughput constants used by the
+// flow simulator (simnet::NetConfig::gf_compute_bps / xor_compute_bps) and
+// the emulator's virtual clock (emul::EmulConfig::virtual_gf_bps).
+//
+// Usage:
+//   micro_gf [--json <path>] [google-benchmark flags]
+//
+// --json writes the machine-readable baseline (schema car-gf-bench/1,
+// documented in docs/architecture.md); the repo's committed BENCH_gf.json is
+// produced this way.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "gf/galois.h"
 #include "gf/gf256.h"
+#include "gf/kernels.h"
 #include "gf/region.h"
 #include "util/rng.h"
 
@@ -21,46 +40,182 @@ std::vector<std::uint8_t> random_buffer(std::size_t n, std::uint64_t seed) {
   return buf;
 }
 
-void BM_XorRegion(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto src = random_buffer(n, 1);
-  auto dst = random_buffer(n, 2);
-  for (auto _ : state) {
-    gf::xor_region(src, dst);
-    benchmark::DoNotOptimize(dst.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_XorRegion)->Range(1 << 10, 1 << 22);
+/// What one benchmark measures, keyed by its registered name; the JSON
+/// reporter joins this with google-benchmark's timing.
+struct BenchMeta {
+  std::string op;      // "xor_region" | "mul_region" | "mul_region_acc" | ...
+  std::string kernel;  // "scalar" | "ssse3" | "avx2" | "active"
+  std::size_t buffer_bytes = 0;    // per-source region size
+  std::size_t sources = 1;         // rows combined per iteration
+  std::size_t bytes_per_iter = 0;  // total bytes processed per iteration
+};
 
-void BM_MulRegionAcc(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto src = random_buffer(n, 3);
-  auto dst = random_buffer(n, 4);
-  std::uint8_t c = 2;
-  for (auto _ : state) {
-    gf::mul_region_acc(c, src, dst);
-    benchmark::DoNotOptimize(dst.data());
-    c = static_cast<std::uint8_t>(c * 3 + 1) | 2;  // avoid 0/1 fast paths
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
+std::map<std::string, BenchMeta>& meta_registry() {
+  static std::map<std::string, BenchMeta> registry;
+  return registry;
 }
-BENCHMARK(BM_MulRegionAcc)->Range(1 << 10, 1 << 22);
 
-void BM_MulRegionCopy(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto src = random_buffer(n, 5);
-  std::vector<std::uint8_t> dst(n);
-  for (auto _ : state) {
-    gf::mul_region(0x8E, src, dst);
-    benchmark::DoNotOptimize(dst.data());
+/// One timed result, joined with its metadata.
+struct CollectedRun {
+  std::string name;
+  BenchMeta meta;
+  std::int64_t iterations = 0;
+  double real_seconds = 0.0;  // accumulated over all iterations
+};
+
+/// Console output as usual, plus collection for the --json reporter.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      const auto it = meta_registry().find(run.benchmark_name());
+      if (it == meta_registry().end()) continue;
+      CollectedRun c;
+      c.name = run.benchmark_name();
+      c.meta = it->second;
+      c.iterations = run.iterations;
+      c.real_seconds = run.real_accumulated_time;
+      collected_.push_back(std::move(c));
+    }
+    ConsoleReporter::ReportRuns(runs);
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
+
+  [[nodiscard]] const std::vector<CollectedRun>& collected() const noexcept {
+    return collected_;
+  }
+
+ private:
+  std::vector<CollectedRun> collected_;
+};
+
+double throughput_bps(const CollectedRun& run) {
+  if (run.real_seconds <= 0.0 || run.iterations <= 0) return 0.0;
+  return static_cast<double>(run.meta.bytes_per_iter) *
+         static_cast<double>(run.iterations) / run.real_seconds;
 }
-BENCHMARK(BM_MulRegionCopy)->Range(1 << 12, 1 << 22);
+
+// ---------------------------------------------------------------------------
+// Per-kernel region-op benchmarks.
+
+constexpr std::size_t kRegionSizes[] = {4096, 65536, std::size_t{1} << 20,
+                                        std::size_t{1} << 22};
+constexpr std::uint8_t kCoeff = 0x8E;  // generic coefficient, no 0/1 fast path
+
+void register_kernel_benches(const gf::Kernels& k) {
+  const std::string kernel = k.name;
+  for (const std::size_t n : kRegionSizes) {
+    {
+      const std::string name =
+          "xor_region/" + kernel + "/" + std::to_string(n);
+      meta_registry()[name] = {"xor_region", kernel, n, 1, n};
+      benchmark::RegisterBenchmark(
+          name.c_str(), [fn = k.xor_region, n](benchmark::State& state) {
+            const auto src = random_buffer(n, 1);
+            auto dst = random_buffer(n, 2);
+            for (auto _ : state) {
+              fn(src.data(), dst.data(), n);
+              benchmark::DoNotOptimize(dst.data());
+            }
+          });
+    }
+    {
+      const std::string name =
+          "mul_region/" + kernel + "/" + std::to_string(n);
+      meta_registry()[name] = {"mul_region", kernel, n, 1, n};
+      benchmark::RegisterBenchmark(
+          name.c_str(), [fn = k.mul_region, n](benchmark::State& state) {
+            const auto src = random_buffer(n, 3);
+            std::vector<std::uint8_t> dst(n, 0);
+            for (auto _ : state) {
+              fn(kCoeff, src.data(), dst.data(), n);
+              benchmark::DoNotOptimize(dst.data());
+            }
+          });
+    }
+    {
+      const std::string name =
+          "mul_region_acc/" + kernel + "/" + std::to_string(n);
+      meta_registry()[name] = {"mul_region_acc", kernel, n, 1, n};
+      benchmark::RegisterBenchmark(
+          name.c_str(), [fn = k.mul_region_acc, n](benchmark::State& state) {
+            const auto src = random_buffer(n, 4);
+            auto dst = random_buffer(n, 5);
+            for (auto _ : state) {
+              fn(kCoeff, src.data(), dst.data(), n);
+              benchmark::DoNotOptimize(dst.data());
+            }
+          });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused k-way combine vs the naive k-sweep loop it replaced (both run on the
+// dispatched kernels; the contrast isolates the tiling, not the ISA).
+
+constexpr std::size_t kCombineChunk = std::size_t{1} << 20;
+constexpr std::size_t kCombineWays[] = {2, 4, 6, 10};
+
+struct CombineFixture {
+  std::vector<std::vector<std::uint8_t>> rows;
+  std::vector<std::span<const std::uint8_t>> views;
+  std::vector<std::uint8_t> coeffs;
+  std::vector<std::uint8_t> out;
+};
+
+CombineFixture make_combine_fixture(std::size_t ways) {
+  CombineFixture f;
+  for (std::size_t i = 0; i < ways; ++i) {
+    f.rows.push_back(random_buffer(kCombineChunk, 10 + i));
+  }
+  f.views.assign(f.rows.begin(), f.rows.end());
+  f.coeffs.resize(ways);
+  util::Rng rng(99);
+  for (auto& c : f.coeffs) {
+    // Generic coefficients only: keep every row on the multiply path.
+    c = static_cast<std::uint8_t>(2 + rng.next_below(250));
+  }
+  f.out = random_buffer(kCombineChunk, 77);
+  return f;
+}
+
+void register_combine_benches() {
+  for (const std::size_t ways : kCombineWays) {
+    {
+      const std::string name = "linear_combine/fused/" + std::to_string(ways);
+      meta_registry()[name] = {"linear_combine_fused", "active", kCombineChunk,
+                               ways, ways * kCombineChunk};
+      benchmark::RegisterBenchmark(
+          name.c_str(), [ways](benchmark::State& state) {
+            CombineFixture f = make_combine_fixture(ways);
+            for (auto _ : state) {
+              gf::linear_combine_acc(f.coeffs, f.views, f.out);
+              benchmark::DoNotOptimize(f.out.data());
+            }
+          });
+    }
+    {
+      const std::string name = "linear_combine/naive/" + std::to_string(ways);
+      meta_registry()[name] = {"linear_combine_naive", "active", kCombineChunk,
+                               ways, ways * kCombineChunk};
+      benchmark::RegisterBenchmark(
+          name.c_str(), [ways](benchmark::State& state) {
+            CombineFixture f = make_combine_fixture(ways);
+            for (auto _ : state) {
+              // The pre-fusion shape: one full-buffer sweep per source row.
+              for (std::size_t i = 0; i < ways; ++i) {
+                gf::mul_region_acc(f.coeffs[i], f.views[i], f.out);
+              }
+              benchmark::DoNotOptimize(f.out.data());
+            }
+          });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Element-op benchmarks (unchanged from the scalar era, kept for trend
+// continuity).
 
 void BM_Gf256ScalarMul(benchmark::State& state) {
   const auto& f = gf::Gf256::instance();
@@ -87,28 +242,108 @@ void BM_GenericFieldMul(benchmark::State& state) {
 }
 BENCHMARK(BM_GenericFieldMul)->Arg(8)->Arg(16);
 
-void BM_LinearCombine(benchmark::State& state) {
-  // k-way combine of 1 MiB chunks — the inner loop of a full decode.
-  const auto k = static_cast<std::size_t>(state.range(0));
-  constexpr std::size_t kChunk = 1 << 20;
-  std::vector<std::vector<std::uint8_t>> rows;
-  for (std::size_t i = 0; i < k; ++i) {
-    rows.push_back(random_buffer(kChunk, 10 + i));
+// ---------------------------------------------------------------------------
+// JSON baseline writer (schema car-gf-bench/1).
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
   }
-  std::vector<std::span<const std::uint8_t>> views(rows.begin(), rows.end());
-  std::vector<std::uint8_t> coeffs(k);
-  util::Rng rng(99);
-  rng.fill_bytes(coeffs);
-  std::vector<std::uint8_t> out(kChunk);
-  for (auto _ : state) {
-    gf::linear_combine(coeffs, views, out);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(k * kChunk));
+  return out;
 }
-BENCHMARK(BM_LinearCombine)->Arg(4)->Arg(6)->Arg(10);
+
+/// Throughput of `op` on `kernel` at buffer size `bytes`, or 0 when the
+/// benchmark did not run.
+double find_bps(const std::vector<CollectedRun>& runs, const std::string& op,
+                const std::string& kernel, std::size_t bytes) {
+  for (const CollectedRun& run : runs) {
+    if (run.meta.op == op && run.meta.kernel == kernel &&
+        run.meta.buffer_bytes == bytes) {
+      return throughput_bps(run);
+    }
+  }
+  return 0.0;
+}
+
+void write_json(const std::string& path,
+                const std::vector<CollectedRun>& runs) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "micro_gf: cannot open --json path %s\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  os << std::setprecision(10);
+  const gf::Kernels& active = gf::active_kernels();
+  os << "{\n";
+  os << "  \"schema\": \"car-gf-bench/1\",\n";
+  os << "  \"active_kernel\": \"" << active.name << "\",\n";
+  os << "  \"cpu\": {\"ssse3\": "
+     << (gf::cpu_supports(gf::KernelKind::kSsse3) ? "true" : "false")
+     << ", \"avx2\": "
+     << (gf::cpu_supports(gf::KernelKind::kAvx2) ? "true" : "false")
+     << "},\n";
+  // The constants experiments should be calibrated against: sustained
+  // multiply-accumulate / XOR throughput of the dispatched kernel at 1 MiB.
+  os << "  \"calibration\": {\"gf_compute_bps\": "
+     << find_bps(runs, "mul_region_acc", active.name, std::size_t{1} << 20)
+     << ", \"xor_compute_bps\": "
+     << find_bps(runs, "xor_region", active.name, std::size_t{1} << 20)
+     << "},\n";
+  os << "  \"results\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const CollectedRun& run = runs[i];
+    os << "    {\"name\": \"" << json_escape(run.name) << "\", \"op\": \""
+       << json_escape(run.meta.op) << "\", \"kernel\": \""
+       << json_escape(run.meta.kernel) << "\", \"bytes\": "
+       << run.meta.buffer_bytes << ", \"sources\": " << run.meta.sources
+       << ", \"iterations\": " << run.iterations << ", \"real_time_s\": "
+       << run.real_seconds << ", \"bytes_per_second\": "
+       << throughput_bps(run) << "}" << (i + 1 < runs.size() ? "," : "")
+       << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Extract --json <path> / --json=<path> before google-benchmark parses the
+  // rest of the command line.
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+
+  register_kernel_benches(gf::scalar_kernels());
+  if (gf::cpu_supports(gf::KernelKind::kSsse3)) {
+    register_kernel_benches(*gf::ssse3_kernels());
+  }
+  if (gf::cpu_supports(gf::KernelKind::kAvx2)) {
+    register_kernel_benches(*gf::avx2_kernels());
+  }
+  register_combine_benches();
+
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) write_json(json_path, reporter.collected());
+  return 0;
+}

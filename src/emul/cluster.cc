@@ -10,7 +10,7 @@
 #include <utility>
 
 #include "emul/executor.h"
-#include "gf/region.h"
+#include "recovery/compute.h"
 #include "recovery/scheduler.h"
 #include "util/check.h"
 
@@ -359,29 +359,14 @@ ExecutionReport Cluster::execute(const recovery::RecoveryPlan& plan) {
                       "Cluster::execute: compute input missing on node");
       inputs.push_back(buf);
     }
-    CAR_CHECK_STATE(!inputs.empty(),
-                    "Cluster::execute: compute with no inputs");
-    const std::size_t chunk_bytes = inputs.front()->size();
-    // Buffer-size contract: every input of a linear combination must be the
-    // same length, and the plan's declared compute volume must equal
-    // |inputs| * chunk bytes.
-    for (const rs::Chunk* buf : inputs) {
-      CAR_CHECK_STATE(buf->size() == chunk_bytes,
-                      "Cluster::execute: compute input size mismatch");
-    }
-    CAR_CHECK_STATE(step.bytes ==
-                        static_cast<std::uint64_t>(chunk_bytes) *
-                            inputs.size(),
-                    "Cluster::execute: compute bytes do not equal "
-                    "inputs * chunk size");
-    rs::Chunk out(chunk_bytes, 0);
-
-    // The measured window covers the finite-field work only — the paper's
-    // "computation time" is the decoding arithmetic, not buffer management.
+    // The measured window covers the finite-field work (plus an output
+    // allocation) — the paper's "computation time" is the decoding
+    // arithmetic, not buffer management.  The step contract (equal input
+    // sizes, bytes == inputs * chunk size) and the fused combine live in the
+    // shared helper, which inject/runtime.cc executes identically.
     const auto t0 = std::chrono::steady_clock::now();
-    for (std::size_t i = 0; i < inputs.size(); ++i) {
-      gf::mul_region_acc(step.inputs[i].coeff, *inputs[i], out);
-    }
+    rs::Chunk out =
+        recovery::execute_compute_step(step, inputs, "Cluster::execute");
     const std::chrono::duration<double> dt =
         std::chrono::steady_clock::now() - t0;
     impl_->put(step.node, step_key(step.id), std::move(out));

@@ -61,7 +61,10 @@ struct EmulConfig {
 
   /// Modelled GF(2^8) multiply-accumulate throughput charged per compute
   /// step in virtual-clock mode, bytes/second of input processed.
-  double virtual_gf_bps = 1.5e9;
+  /// Calibrated against the dispatched SIMD kernels (BENCH_gf.json:
+  /// mul_region_acc at 1 MiB, ~1.92e10 B/s on an AVX2 host); re-derive with
+  /// `bench/micro_gf --json` when hardware or kernels change.
+  double virtual_gf_bps = 1.9e10;
 };
 
 /// Outcome of executing one recovery plan.

@@ -1,0 +1,175 @@
+// Portable scalar kernels, nibble-table construction, and runtime dispatch.
+//
+// The SIMD vtables (detail::kSsse3Kernels / kAvx2Kernels) are defined in
+// kernels_ssse3.cc / kernels_avx2.cc, which the build compiles with the
+// matching -m flags only when the target architecture and compiler allow it;
+// CAR_GF_HAVE_SSSE3 / CAR_GF_HAVE_AVX2 record that decision for this TU.
+#include "gf/kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "gf/gf256.h"
+#include "util/check.h"
+
+namespace car::gf {
+
+const NibbleTables& nibble_tables() {
+  static const NibbleTables tables = [] {
+    NibbleTables t{};
+    const Gf256& field = Gf256::instance();
+    for (unsigned c = 0; c < 256; ++c) {
+      const std::uint8_t* row = field.mul_row(static_cast<std::uint8_t>(c));
+      for (unsigned x = 0; x < 16; ++x) {
+        t.lo[c][x] = row[x];
+        t.hi[c][x] = row[x << 4];
+      }
+    }
+    return t;
+  }();
+  return tables;
+}
+
+namespace {
+
+void xor_region_scalar(const std::uint8_t* src, std::uint8_t* dst,
+                       std::size_t n) {
+  std::size_t i = 0;
+  // Word-at-a-time XOR; memcpy keeps it strict-aliasing clean and compiles
+  // to plain loads/stores.  Loading both words before the store makes the
+  // exact-alias (src == dst) case well-defined.
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, src + i, 8);
+    std::memcpy(&b, dst + i, 8);
+    b ^= a;
+    std::memcpy(dst + i, &b, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void mul_region_scalar(std::uint8_t c, const std::uint8_t* src,
+                       std::uint8_t* dst, std::size_t n) {
+  const std::uint8_t* row = Gf256::instance().mul_row(c);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    dst[i] = row[src[i]];
+    dst[i + 1] = row[src[i + 1]];
+    dst[i + 2] = row[src[i + 2]];
+    dst[i + 3] = row[src[i + 3]];
+    dst[i + 4] = row[src[i + 4]];
+    dst[i + 5] = row[src[i + 5]];
+    dst[i + 6] = row[src[i + 6]];
+    dst[i + 7] = row[src[i + 7]];
+  }
+  for (; i < n; ++i) dst[i] = row[src[i]];
+}
+
+void mul_region_acc_scalar(std::uint8_t c, const std::uint8_t* src,
+                           std::uint8_t* dst, std::size_t n) {
+  const std::uint8_t* row = Gf256::instance().mul_row(c);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    dst[i] ^= row[src[i]];
+    dst[i + 1] ^= row[src[i + 1]];
+    dst[i + 2] ^= row[src[i + 2]];
+    dst[i + 3] ^= row[src[i + 3]];
+    dst[i + 4] ^= row[src[i + 4]];
+    dst[i + 5] ^= row[src[i + 5]];
+    dst[i + 6] ^= row[src[i + 6]];
+    dst[i + 7] ^= row[src[i + 7]];
+  }
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+}  // namespace
+
+namespace detail {
+const Kernels kScalarKernels = {KernelKind::kScalar, "scalar",
+                                &xor_region_scalar, &mul_region_scalar,
+                                &mul_region_acc_scalar};
+}  // namespace detail
+
+bool cpu_supports(KernelKind kind) noexcept {
+  switch (kind) {
+    case KernelKind::kScalar:
+      return true;
+    case KernelKind::kSsse3:
+#if CAR_GF_HAVE_SSSE3
+      return __builtin_cpu_supports("ssse3") != 0;
+#else
+      return false;
+#endif
+    case KernelKind::kAvx2:
+#if CAR_GF_HAVE_AVX2
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const Kernels& scalar_kernels() noexcept { return detail::kScalarKernels; }
+
+const Kernels* ssse3_kernels() noexcept {
+#if CAR_GF_HAVE_SSSE3
+  return &detail::kSsse3Kernels;
+#else
+  return nullptr;
+#endif
+}
+
+const Kernels* avx2_kernels() noexcept {
+#if CAR_GF_HAVE_AVX2
+  return &detail::kAvx2Kernels;
+#else
+  return nullptr;
+#endif
+}
+
+const char* kernel_name(KernelKind kind) noexcept {
+  switch (kind) {
+    case KernelKind::kScalar:
+      return "scalar";
+    case KernelKind::kSsse3:
+      return "ssse3";
+    case KernelKind::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+const Kernels& select_kernels(std::string_view name) {
+  if (name.empty() || name == "auto") {
+    if (cpu_supports(KernelKind::kAvx2)) return *avx2_kernels();
+    if (cpu_supports(KernelKind::kSsse3)) return *ssse3_kernels();
+    return scalar_kernels();
+  }
+  if (name == "scalar") return scalar_kernels();
+  if (name == "ssse3") {
+    CAR_CHECK(cpu_supports(KernelKind::kSsse3),
+              "CAR_GF_KERNEL=ssse3: variant not available on this host/build");
+    return *ssse3_kernels();
+  }
+  if (name == "avx2") {
+    CAR_CHECK(cpu_supports(KernelKind::kAvx2),
+              "CAR_GF_KERNEL=avx2: variant not available on this host/build");
+    return *avx2_kernels();
+  }
+  CAR_CHECK_FAIL("CAR_GF_KERNEL: unknown kernel '" + std::string(name) +
+                 "' (expected scalar, ssse3, avx2, or auto)");
+}
+
+const Kernels& active_kernels() {
+  static const Kernels& kernels = []() -> const Kernels& {
+    const char* env = std::getenv("CAR_GF_KERNEL");
+    return select_kernels(env == nullptr ? std::string_view{}
+                                         : std::string_view{env});
+  }();
+  return kernels;
+}
+
+}  // namespace car::gf

@@ -1,0 +1,97 @@
+// Runtime-dispatched GF(2^8) region kernels.
+//
+// Every byte the recovery pipeline moves or reconstructs funnels through
+// three bulk operations — xor_region, mul_region, mul_region_acc — so they
+// get hand-written SIMD variants: SSSE3 (PSHUFB over split nibble tables)
+// and AVX2 (VPSHUFB, 64 bytes per iteration), plus a portable scalar path
+// unrolled 8 bytes at a time.  The best variant the CPU supports is picked
+// once at startup (CPUID via __builtin_cpu_supports) and exposed through a
+// small function-pointer vtable, so one binary runs optimally everywhere.
+//
+// The CAR_GF_KERNEL environment variable (scalar|ssse3|avx2, or auto/empty
+// for autodetect) pins the dispatch for testing and benchmarking; asking for
+// a variant the host or build cannot run is a loud CheckError, never a
+// silent fallback.
+//
+// Pointer contract (applies to every kernel entry point):
+//   * src and dst are raw byte runs of exactly n bytes; n == 0 is legal and
+//     the pointers may then be null.
+//   * src == dst (exact aliasing, the in-place case) is explicitly safe:
+//     kernels load each block before storing it.  Partial overlap is
+//     undefined.
+//   * No alignment requirement — SIMD paths use unaligned loads/stores and
+//     finish tails scalar, so results are byte-identical at any offset.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace car::gf {
+
+enum class KernelKind : std::uint8_t { kScalar = 0, kSsse3 = 1, kAvx2 = 2 };
+
+/// Split multiplication tables: for every coefficient c,
+///   c * x == lo[c][x & 0xF] ^ hi[c][x >> 4].
+/// Each 16-byte row is exactly one PSHUFB shuffle control load; the scalar
+/// tail code in the SIMD kernels indexes the same rows so every path
+/// computes the identical field product.
+struct NibbleTables {
+  alignas(32) std::uint8_t lo[256][16];
+  alignas(32) std::uint8_t hi[256][16];
+};
+
+/// Process-wide nibble tables, derived from the Gf256 multiplication table
+/// on first use (thread-safe).
+const NibbleTables& nibble_tables();
+
+/// Function-pointer vtable for one kernel variant.  See the pointer
+/// contract above; all three functions accept any c including 0 and 1 (the
+/// span-level wrappers in region.h shortcut those, the kernels just compute).
+struct Kernels {
+  KernelKind kind = KernelKind::kScalar;
+  const char* name = nullptr;  // "scalar" | "ssse3" | "avx2"
+  void (*xor_region)(const std::uint8_t* src, std::uint8_t* dst,
+                     std::size_t n) = nullptr;
+  void (*mul_region)(std::uint8_t c, const std::uint8_t* src,
+                     std::uint8_t* dst, std::size_t n) = nullptr;
+  void (*mul_region_acc)(std::uint8_t c, const std::uint8_t* src,
+                         std::uint8_t* dst, std::size_t n) = nullptr;
+};
+
+/// True when `kind` can run on this host *and* was compiled into the binary
+/// (non-x86 builds and compilers without -mssse3/-mavx2 report false).
+/// Scalar is always available.
+[[nodiscard]] bool cpu_supports(KernelKind kind) noexcept;
+
+/// The portable scalar kernel set (always present).
+[[nodiscard]] const Kernels& scalar_kernels() noexcept;
+
+/// SIMD kernel sets; nullptr when not compiled into this binary.  Calling
+/// their entry points on a CPU where cpu_supports() is false is undefined.
+[[nodiscard]] const Kernels* ssse3_kernels() noexcept;
+[[nodiscard]] const Kernels* avx2_kernels() noexcept;
+
+/// Resolve a kernel name to a vtable: "" / "auto" picks the best supported
+/// variant (avx2 > ssse3 > scalar); "scalar" / "ssse3" / "avx2" pin one.
+/// Throws util::CheckError for unknown names or variants this host/build
+/// cannot run.  active_kernels() caches select_kernels($CAR_GF_KERNEL).
+[[nodiscard]] const Kernels& select_kernels(std::string_view name);
+
+/// The dispatched kernel set for this process: resolved once, on first use,
+/// from the CAR_GF_KERNEL environment variable (empty/unset = autodetect).
+[[nodiscard]] const Kernels& active_kernels();
+
+/// Human-readable name for a kernel kind ("scalar" | "ssse3" | "avx2").
+[[nodiscard]] const char* kernel_name(KernelKind kind) noexcept;
+
+namespace detail {
+// Vtable definitions live in per-ISA translation units compiled with the
+// matching -m flags; only the accessors above may reference them (they know
+// which ones were actually built).
+extern const Kernels kScalarKernels;
+extern const Kernels kSsse3Kernels;
+extern const Kernels kAvx2Kernels;
+}  // namespace detail
+
+}  // namespace car::gf

@@ -1,0 +1,130 @@
+// AVX2 kernel variant: GF(2^8) multiply via VPSHUFB over split nibble
+// tables broadcast to both 128-bit lanes, 64 bytes per unrolled iteration.
+//
+// This translation unit is compiled with -mavx2 and must contain nothing
+// that runs before the CPUID check in select_kernels() — only the three
+// kernel functions and their vtable.  All loads/stores are unaligned;
+// loading every block before storing it makes exact aliasing (src == dst)
+// well-defined, as the contract in kernels.h promises.
+#include <immintrin.h>
+
+#include "gf/kernels.h"
+
+namespace car::gf {
+namespace {
+
+void xor_region_avx2(const std::uint8_t* src, std::uint8_t* dst,
+                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i a0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i a1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(a0, b0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                        _mm256_xor_si256(a1, b1));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(a, b));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+/// c * x for one 32-byte vector via two lane-local shuffles.
+inline __m256i mul_bytes_avx2(__m256i x, __m256i lo, __m256i hi,
+                              __m256i mask) {
+  const __m256i pl = _mm256_shuffle_epi8(lo, _mm256_and_si256(x, mask));
+  const __m256i ph = _mm256_shuffle_epi8(
+      hi, _mm256_and_si256(_mm256_srli_epi64(x, 4), mask));
+  return _mm256_xor_si256(pl, ph);
+}
+
+void mul_region_avx2(std::uint8_t c, const std::uint8_t* src,
+                     std::uint8_t* dst, std::size_t n) {
+  const NibbleTables& t = nibble_tables();
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c])));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c])));
+  const __m256i mask = _mm256_set1_epi8(static_cast<char>(0x0F));
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i x0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i x1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        mul_bytes_avx2(x0, lo, hi, mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                        mul_bytes_avx2(x1, lo, hi, mask));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        mul_bytes_avx2(x, lo, hi, mask));
+  }
+  for (; i < n; ++i) {
+    dst[i] = static_cast<std::uint8_t>(t.lo[c][src[i] & 0x0F] ^
+                                       t.hi[c][src[i] >> 4]);
+  }
+}
+
+void mul_region_acc_avx2(std::uint8_t c, const std::uint8_t* src,
+                         std::uint8_t* dst, std::size_t n) {
+  const NibbleTables& t = nibble_tables();
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c])));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c])));
+  const __m256i mask = _mm256_set1_epi8(static_cast<char>(0x0F));
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i x0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i x1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    const __m256i d0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i d1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_xor_si256(d0, mul_bytes_avx2(x0, lo, hi, mask)));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i + 32),
+        _mm256_xor_si256(d1, mul_bytes_avx2(x1, lo, hi, mask)));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, mul_bytes_avx2(x, lo, hi, mask)));
+  }
+  for (; i < n; ++i) {
+    dst[i] ^= static_cast<std::uint8_t>(t.lo[c][src[i] & 0x0F] ^
+                                        t.hi[c][src[i] >> 4]);
+  }
+}
+
+}  // namespace
+
+namespace detail {
+const Kernels kAvx2Kernels = {KernelKind::kAvx2, "avx2", &xor_region_avx2,
+                              &mul_region_avx2, &mul_region_acc_avx2};
+}  // namespace detail
+
+}  // namespace car::gf

@@ -1,0 +1,93 @@
+// SSSE3 kernel variant: GF(2^8) multiply via PSHUFB over split nibble
+// tables, 16 bytes per shuffle pair.
+//
+// This translation unit is compiled with -mssse3 and must contain nothing
+// that runs before the CPUID check in select_kernels() — only the three
+// kernel functions and their vtable.  All loads/stores are unaligned;
+// loading every block before storing it makes exact aliasing (src == dst)
+// well-defined, as the contract in kernels.h promises.
+#include <tmmintrin.h>
+
+#include "gf/kernels.h"
+
+namespace car::gf {
+namespace {
+
+void xor_region_ssse3(const std::uint8_t* src, std::uint8_t* dst,
+                      std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m128i a0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i a1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 16));
+    const __m128i b0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i b1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i + 16));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(a0, b0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 16),
+                     _mm_xor_si128(a1, b1));
+  }
+  for (; i + 16 <= n; i += 16) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(a, b));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void mul_region_ssse3(std::uint8_t c, const std::uint8_t* src,
+                      std::uint8_t* dst, std::size_t n) {
+  const NibbleTables& t = nibble_tables();
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c]));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c]));
+  const __m128i mask = _mm_set1_epi8(static_cast<char>(0x0F));
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(x, mask));
+    const __m128i ph = _mm_shuffle_epi8(
+        hi, _mm_and_si128(_mm_srli_epi64(x, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(pl, ph));
+  }
+  for (; i < n; ++i) {
+    dst[i] = static_cast<std::uint8_t>(t.lo[c][src[i] & 0x0F] ^
+                                       t.hi[c][src[i] >> 4]);
+  }
+}
+
+void mul_region_acc_ssse3(std::uint8_t c, const std::uint8_t* src,
+                          std::uint8_t* dst, std::size_t n) {
+  const NibbleTables& t = nibble_tables();
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c]));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c]));
+  const __m128i mask = _mm_set1_epi8(static_cast<char>(0x0F));
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(x, mask));
+    const __m128i ph = _mm_shuffle_epi8(
+        hi, _mm_and_si128(_mm_srli_epi64(x, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, _mm_xor_si128(pl, ph)));
+  }
+  for (; i < n; ++i) {
+    dst[i] ^= static_cast<std::uint8_t>(t.lo[c][src[i] & 0x0F] ^
+                                        t.hi[c][src[i] >> 4]);
+  }
+}
+
+}  // namespace
+
+namespace detail {
+const Kernels kSsse3Kernels = {KernelKind::kSsse3, "ssse3", &xor_region_ssse3,
+                               &mul_region_ssse3, &mul_region_acc_ssse3};
+}  // namespace detail
+
+}  // namespace car::gf

@@ -1,35 +1,32 @@
 #include "gf/region.h"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 
-#include "gf/gf256.h"
+#include "gf/kernels.h"
 #include "util/check.h"
 
 namespace car::gf {
 
 namespace {
+
 void require_same_size(std::size_t a, std::size_t b, const char* what) {
   if (a != b) CAR_CHECK_FAIL(std::string(what) + ": size mismatch");
 }
+
+// Destination tile for the fused combine: small enough that a tile stays in
+// L1/L2 while every source row is folded into it, large enough that kernel
+// call overhead and table reloads amortise away.
+constexpr std::size_t kCombineTileBytes = std::size_t{32} * 1024;
+
 }  // namespace
 
 void xor_region(std::span<const std::uint8_t> src,
                 std::span<std::uint8_t> dst) {
   require_same_size(src.size(), dst.size(), "xor_region");
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-  // Word-at-a-time XOR; memcpy keeps it strict-aliasing clean and compiles to
-  // plain loads/stores.
-  for (; i + 8 <= n; i += 8) {
-    std::uint64_t a;
-    std::uint64_t b;
-    std::memcpy(&a, src.data() + i, 8);
-    std::memcpy(&b, dst.data() + i, 8);
-    b ^= a;
-    std::memcpy(dst.data() + i, &b, 8);
-  }
-  for (; i < n; ++i) dst[i] ^= src[i];
+  if (dst.empty()) return;  // empty spans may carry a null data()
+  active_kernels().xor_region(src.data(), dst.data(), dst.size());
 }
 
 void mul_region(std::uint8_t c, std::span<const std::uint8_t> src,
@@ -39,43 +36,26 @@ void mul_region(std::uint8_t c, std::span<const std::uint8_t> src,
     zero_region(dst);
     return;
   }
+  if (dst.empty()) return;
   if (c == 1) {
-    // Empty spans may carry a null data(), which memcpy must never see.
-    if (!src.empty() && dst.data() != src.data()) {
+    if (dst.data() != src.data()) {
       std::memcpy(dst.data(), src.data(), src.size());
     }
     return;
   }
-  const std::uint8_t* row = Gf256::instance().mul_row(c);
-  const std::size_t n = src.size();
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    dst[i] = row[src[i]];
-    dst[i + 1] = row[src[i + 1]];
-    dst[i + 2] = row[src[i + 2]];
-    dst[i + 3] = row[src[i + 3]];
-  }
-  for (; i < n; ++i) dst[i] = row[src[i]];
+  active_kernels().mul_region(c, src.data(), dst.data(), dst.size());
 }
 
 void mul_region_acc(std::uint8_t c, std::span<const std::uint8_t> src,
                     std::span<std::uint8_t> dst) {
   require_same_size(src.size(), dst.size(), "mul_region_acc");
-  if (c == 0) return;
+  if (c == 0 || dst.empty()) return;
+  const Kernels& k = active_kernels();
   if (c == 1) {
-    xor_region(src, dst);
+    k.xor_region(src.data(), dst.data(), dst.size());
     return;
   }
-  const std::uint8_t* row = Gf256::instance().mul_row(c);
-  const std::size_t n = src.size();
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    dst[i] ^= row[src[i]];
-    dst[i + 1] ^= row[src[i + 1]];
-    dst[i + 2] ^= row[src[i + 2]];
-    dst[i + 3] ^= row[src[i + 3]];
-  }
-  for (; i < n; ++i) dst[i] ^= row[src[i]];
+  k.mul_region_acc(c, src.data(), dst.data(), dst.size());
 }
 
 void scale_region(std::uint8_t c, std::span<std::uint8_t> dst) {
@@ -90,12 +70,34 @@ void zero_region(std::span<std::uint8_t> dst) noexcept {
 void linear_combine(std::span<const std::uint8_t> coeffs,
                     std::span<const std::span<const std::uint8_t>> rows,
                     std::span<std::uint8_t> out) {
+  zero_region(out);
+  linear_combine_acc(coeffs, rows, out);
+}
+
+void linear_combine_acc(std::span<const std::uint8_t> coeffs,
+                        std::span<const std::span<const std::uint8_t>> rows,
+                        std::span<std::uint8_t> out) {
   CAR_CHECK_EQ(coeffs.size(), rows.size(),
                "linear_combine: coeffs/rows arity mismatch");
-  zero_region(out);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    require_same_size(rows[i].size(), out.size(), "linear_combine");
-    mul_region_acc(coeffs[i], rows[i], out);
+  for (const auto& row : rows) {
+    require_same_size(row.size(), out.size(), "linear_combine");
+  }
+  if (out.empty()) return;
+  const Kernels& k = active_kernels();
+  const std::size_t n = out.size();
+  for (std::size_t off = 0; off < n; off += kCombineTileBytes) {
+    const std::size_t len = std::min(kCombineTileBytes, n - off);
+    std::uint8_t* o = out.data() + off;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const std::uint8_t c = coeffs[i];
+      if (c == 0) continue;
+      const std::uint8_t* s = rows[i].data() + off;
+      if (c == 1) {
+        k.xor_region(s, o, len);
+      } else {
+        k.mul_region_acc(c, s, o, len);
+      }
+    }
   }
 }
 

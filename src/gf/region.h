@@ -1,9 +1,18 @@
 // Bulk (region) operations over GF(2^8) buffers.
 //
 // These are the kernels the Reed–Solomon codec spends its time in: multiply a
-// whole chunk by a coefficient and accumulate into a destination chunk.
+// whole chunk by a coefficient and accumulate into a destination chunk.  The
+// heavy lifting is done by the runtime-dispatched SIMD kernels in
+// gf/kernels.h (scalar / SSSE3 / AVX2, selected once at startup); this header
+// is the span-typed API the rest of the repo uses.
+//
 // All functions require dst.size() == src.size(); they throw
-// std::invalid_argument otherwise.  Buffers may not alias unless stated.
+// util::CheckError (a std::invalid_argument) otherwise.
+//
+// Aliasing contract: src and dst may be the *same* region (identical data
+// pointer and size — the in-place case used by scale_region); every kernel
+// variant loads each block before storing it, so exact aliasing is safe on
+// scalar and SIMD paths alike.  Partially overlapping regions are undefined.
 #pragma once
 
 #include <cstdint>
@@ -15,15 +24,17 @@ namespace car::gf {
 /// (result is then all zeros) but partial overlap is undefined.
 void xor_region(std::span<const std::uint8_t> src, std::span<std::uint8_t> dst);
 
-/// dst = c * src.  c == 0 zeroes dst; c == 1 copies.
+/// dst = c * src.  c == 0 zeroes dst; c == 1 copies.  In-place safe.
 void mul_region(std::uint8_t c, std::span<const std::uint8_t> src,
                 std::span<std::uint8_t> dst);
 
 /// dst ^= c * src — the fused multiply-accumulate used by encode/decode.
+/// In-place safe (dst == src computes dst ^= c * dst).
 void mul_region_acc(std::uint8_t c, std::span<const std::uint8_t> src,
                     std::span<std::uint8_t> dst);
 
-/// In-place dst *= c.
+/// In-place dst *= c (forwards dst as both operands of mul_region, which the
+/// aliasing contract above makes explicitly safe on every kernel path).
 void scale_region(std::uint8_t c, std::span<std::uint8_t> dst);
 
 /// Zero a region.
@@ -31,9 +42,20 @@ void zero_region(std::span<std::uint8_t> dst) noexcept;
 
 /// Dot product of coefficient vector and chunk rows:
 /// out = sum_i coeffs[i] * rows[i]; rows.size() == coeffs.size() required.
-/// `rows` are equally sized chunks; `out` must match their size.
+/// `rows` are equally sized chunks; `out` must match their size and may not
+/// overlap any row.
+///
+/// Fused: the sum is evaluated in cache-sized tiles — every source row is
+/// folded into a destination tile while that tile is still resident — so a
+/// k-way combine makes one pass over `out` instead of k full-buffer sweeps.
 void linear_combine(std::span<const std::uint8_t> coeffs,
                     std::span<const std::span<const std::uint8_t>> rows,
                     std::span<std::uint8_t> out);
+
+/// out ^= sum_i coeffs[i] * rows[i] — the accumulating form of
+/// linear_combine (same tiling, same contracts, no initial zeroing).
+void linear_combine_acc(std::span<const std::uint8_t> coeffs,
+                        std::span<const std::span<const std::uint8_t>> rows,
+                        std::span<std::uint8_t> out);
 
 }  // namespace car::gf

@@ -9,7 +9,7 @@
 #include <tuple>
 #include <utility>
 
-#include "gf/region.h"
+#include "recovery/compute.h"
 #include "recovery/multi.h"
 #include "recovery/scheduler.h"
 #include "util/check.h"
@@ -215,23 +215,10 @@ class Engine {
                           " missing on node " + std::to_string(step.node));
       inputs.push_back(buf);
     }
-    CAR_CHECK_STATE(!inputs.empty(), "inject: compute step " +
-                                         std::to_string(step.id) +
-                                         " has no inputs");
-    const std::size_t chunk_bytes = inputs.front()->size();
-    for (const rs::Chunk* buf : inputs) {
-      CAR_CHECK_STATE(buf->size() == chunk_bytes,
-                      "inject: compute input size mismatch");
-    }
-    CAR_CHECK_STATE(
-        step.bytes ==
-            static_cast<std::uint64_t>(chunk_bytes) * inputs.size(),
-        "inject: compute bytes do not equal inputs * chunk size");
-
-    rs::Chunk out(chunk_bytes, 0);
-    for (std::size_t i = 0; i < inputs.size(); ++i) {
-      gf::mul_region_acc(step.inputs[i].coeff, *inputs[i], out);
-    }
+    // Step contract checks and the fused GF combine are shared with the
+    // emulator (recovery/compute.h), so both runtimes execute compute steps
+    // bit-identically.
+    rs::Chunk out = recovery::execute_compute_step(step, inputs, "inject");
     cluster_.put_buffer(step.node, BufferRef::step(step.id), std::move(out));
 
     const double dt =

@@ -1,0 +1,45 @@
+#include "recovery/compute.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "gf/region.h"
+#include "util/check.h"
+
+namespace car::recovery {
+
+rs::Chunk execute_compute_step(const PlanStep& step,
+                               std::span<const rs::Chunk* const> inputs,
+                               const std::string& context) {
+  CAR_CHECK_STATE(inputs.size() == step.inputs.size(),
+                  context + ": gathered inputs do not match step arity");
+  CAR_CHECK_STATE(!inputs.empty(), context + ": compute with no inputs");
+  for (const rs::Chunk* buf : inputs) {
+    CAR_CHECK_STATE(buf != nullptr, context + ": compute input missing");
+  }
+  const std::size_t chunk_bytes = inputs.front()->size();
+  // Buffer-size contract: every input of a linear combination must be the
+  // same length, and the plan's declared compute volume must equal
+  // |inputs| * chunk bytes.
+  for (const rs::Chunk* buf : inputs) {
+    CAR_CHECK_STATE(buf->size() == chunk_bytes,
+                    context + ": compute input size mismatch");
+  }
+  CAR_CHECK_STATE(
+      step.bytes == static_cast<std::uint64_t>(chunk_bytes) * inputs.size(),
+      context + ": compute bytes do not equal inputs * chunk size");
+
+  std::vector<std::uint8_t> coeffs;
+  std::vector<rs::ChunkView> views;
+  coeffs.reserve(inputs.size());
+  views.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    coeffs.push_back(step.inputs[i].coeff);
+    views.emplace_back(*inputs[i]);
+  }
+  rs::Chunk out(chunk_bytes, 0);
+  gf::linear_combine_acc(coeffs, views, out);
+  return out;
+}
+
+}  // namespace car::recovery

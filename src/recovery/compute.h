@@ -1,0 +1,28 @@
+// Shared execution of a compute PlanStep's linear combination.
+//
+// The emulator (emul/cluster.cc) and the resilient runtime
+// (inject/runtime.cc) both execute compute steps over real chunk buffers;
+// this helper is the single implementation of the step contract they used to
+// duplicate: every gathered input has the same size, the step's declared
+// compute volume equals |inputs| * chunk size, and the output is the fused
+// GF(2^8) combination sum_i coeff_i * input_i.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "recovery/plan.h"
+#include "rs/code.h"
+
+namespace car::recovery {
+
+/// Evaluates compute step `step` over `inputs` (one non-null buffer per
+/// step.inputs entry, in the same order) and returns the combined chunk.
+/// Throws util::StateError on any contract violation; `context` prefixes the
+/// failure messages so callers keep their own error voice ("Cluster::execute",
+/// "inject", ...).
+[[nodiscard]] rs::Chunk execute_compute_step(
+    const PlanStep& step, std::span<const rs::Chunk* const> inputs,
+    const std::string& context);
+
+}  // namespace car::recovery

@@ -43,10 +43,9 @@ std::vector<Chunk> Code::encode(std::span<const ChunkView> data) const {
   const std::size_t size = common_chunk_size(data);
   std::vector<Chunk> parity(m_, Chunk(size, 0));
   for (std::size_t p = 0; p < m_; ++p) {
-    const auto row = generator_.row(k_ + p);
-    for (std::size_t j = 0; j < k_; ++j) {
-      gf::mul_region_acc(row[j], data[j], parity[p]);
-    }
+    // Fused combine: one tiled pass over the parity chunk instead of k
+    // full-buffer multiply-accumulate sweeps.
+    gf::linear_combine_acc(generator_.row(k_ + p), data, parity[p]);
   }
   return parity;
 }
@@ -105,9 +104,7 @@ Chunk Code::reconstruct(std::size_t target,
   const auto y = repair_vector(target, survivor_ids);
   const std::size_t size = common_chunk_size(survivor_chunks);
   Chunk out(size, 0);
-  for (std::size_t i = 0; i < survivor_chunks.size(); ++i) {
-    gf::mul_region_acc(y[i], survivor_chunks[i], out);
-  }
+  gf::linear_combine_acc(y, survivor_chunks, out);
   return out;
 }
 
@@ -121,9 +118,7 @@ std::vector<Chunk> Code::decode_data(
   const matrix::Matrix x = survivor_inverse(survivor_ids);
   std::vector<Chunk> data(k_, Chunk(size, 0));
   for (std::size_t i = 0; i < k_; ++i) {
-    for (std::size_t j = 0; j < k_; ++j) {
-      gf::mul_region_acc(x(i, j), survivor_chunks[j], data[i]);
-    }
+    gf::linear_combine_acc(x.row(i), survivor_chunks, data[i]);
   }
   return data;
 }

@@ -12,25 +12,33 @@ Chunk partial_decode(std::span<const std::uint8_t> repair_vector,
                      std::span<const ChunkView> survivor_chunks) {
   CAR_CHECK(!survivor_chunks.empty(), "partial_decode: no survivor chunks");
   const std::size_t size = survivor_chunks.front().size();
-  Chunk out(size, 0);
+  std::vector<std::uint8_t> coeffs;
+  std::vector<ChunkView> views;
+  coeffs.reserve(group.positions.size());
+  views.reserve(group.positions.size());
   for (std::size_t pos : group.positions) {
     CAR_CHECK(pos < survivor_chunks.size() && pos < repair_vector.size(),
               "partial_decode: position out of range");
     CAR_CHECK_EQ(survivor_chunks[pos].size(), size,
                  "partial_decode: chunk size mismatch");
-    gf::mul_region_acc(repair_vector[pos], survivor_chunks[pos], out);
+    coeffs.push_back(repair_vector[pos]);
+    views.push_back(survivor_chunks[pos]);
   }
+  Chunk out(size, 0);
+  gf::linear_combine_acc(coeffs, views, out);
   return out;
 }
 
 Chunk combine_partials(std::span<const ChunkView> partials) {
   CAR_CHECK(!partials.empty(), "combine_partials: empty input");
-  Chunk out(partials.front().begin(), partials.front().end());
-  for (std::size_t i = 1; i < partials.size(); ++i) {
-    CAR_CHECK_EQ(partials[i].size(), out.size(),
+  for (const auto& p : partials) {
+    CAR_CHECK_EQ(p.size(), partials.front().size(),
                  "combine_partials: size mismatch");
-    gf::xor_region(partials[i], out);
   }
+  // All-ones combine: XORs every partial into the output one tile at a time.
+  const std::vector<std::uint8_t> ones(partials.size(), 1);
+  Chunk out(partials.front().size(), 0);
+  gf::linear_combine_acc(ones, partials, out);
   return out;
 }
 

@@ -34,10 +34,15 @@ struct NetConfig {
   double background_load = 0.0;
 
   /// Per-node compute throughput for GF multiply-accumulate, bytes/second.
-  double gf_compute_bps = 1.5e9;
+  /// Calibrated against the dispatched SIMD kernels (BENCH_gf.json:
+  /// mul_region_acc on the active kernel at 1 MiB measured ~1.92e10 B/s on
+  /// an AVX2 host; forced-scalar measures ~2.6e9).  Re-derive with
+  /// `bench/micro_gf --json` when hardware or kernels change.
+  double gf_compute_bps = 1.9e10;
 
-  /// Per-node compute throughput for pure XOR combining, bytes/second.
-  double xor_compute_bps = 6e9;
+  /// Per-node compute throughput for pure XOR combining, bytes/second
+  /// (BENCH_gf.json: xor_region at 1 MiB, ~2.4e10 B/s on an AVX2 host).
+  double xor_compute_bps = 2.4e10;
 
   /// Per-rack compute speed multipliers (heterogeneous hardware, paper
   /// Table III).  Empty means 1.0 everywhere; otherwise must have one entry

@@ -1,0 +1,291 @@
+// Differential tests for the runtime-dispatched GF(2^8) kernel variants.
+//
+// Every kernel the binary carries (scalar always; SSSE3/AVX2 when the host
+// supports them) must produce byte-identical output for every region op —
+// across sizes 0..257 (every tail shape), misaligned offsets, the special
+// coefficients 0/1 and table extremes, and the exact-aliasing (in-place)
+// case the contract in gf/kernels.h promises.  The reference is an
+// independent per-byte evaluation against Gf256, not another kernel.
+#include "gf/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gf/gf256.h"
+#include "gf/region.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace car::gf {
+namespace {
+
+std::vector<std::uint8_t> random_buffer(std::size_t n, util::Rng& rng) {
+  std::vector<std::uint8_t> buf(n);
+  rng.fill_bytes(buf);
+  return buf;
+}
+
+std::vector<const Kernels*> available_kernels() {
+  std::vector<const Kernels*> out = {&scalar_kernels()};
+  if (cpu_supports(KernelKind::kSsse3)) out.push_back(ssse3_kernels());
+  if (cpu_supports(KernelKind::kAvx2)) out.push_back(avx2_kernels());
+  return out;
+}
+
+constexpr std::uint8_t kCoeffs[] = {0, 1, 2, 3, 0x1D, 0x8E, 0xFE, 0xFF};
+
+TEST(GfKernels, NibbleTablesMatchFullMulTable) {
+  const auto& f = Gf256::instance();
+  const NibbleTables& t = nibble_tables();
+  for (unsigned c = 0; c < 256; ++c) {
+    for (unsigned x = 0; x < 256; ++x) {
+      const auto expected = f.mul(static_cast<std::uint8_t>(c),
+                                  static_cast<std::uint8_t>(x));
+      const auto split = static_cast<std::uint8_t>(t.lo[c][x & 0x0F] ^
+                                                   t.hi[c][x >> 4]);
+      ASSERT_EQ(split, expected) << "c=" << c << " x=" << x;
+    }
+  }
+}
+
+// Every kernel, every size 0..257, every coefficient class: byte-identical
+// to the per-byte Gf256 reference.
+TEST(GfKernels, AllKernelsMatchReferenceForAllTailShapes) {
+  const auto& f = Gf256::instance();
+  util::Rng rng(2024);
+  for (const Kernels* k : available_kernels()) {
+    SCOPED_TRACE(k->name);
+    for (std::size_t n = 0; n <= 257; ++n) {
+      const auto src = random_buffer(n, rng);
+      const auto dst0 = random_buffer(n, rng);
+      // xor_region
+      {
+        auto dst = dst0;
+        k->xor_region(src.data(), dst.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(dst[i], static_cast<std::uint8_t>(dst0[i] ^ src[i]))
+              << k->name << " xor n=" << n << " i=" << i;
+        }
+      }
+      for (const std::uint8_t c : kCoeffs) {
+        // mul_region
+        {
+          auto dst = dst0;
+          k->mul_region(c, src.data(), dst.data(), n);
+          for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(dst[i], f.mul(c, src[i]))
+                << k->name << " mul n=" << n << " c=" << int(c) << " i=" << i;
+          }
+        }
+        // mul_region_acc
+        {
+          auto dst = dst0;
+          k->mul_region_acc(c, src.data(), dst.data(), n);
+          for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(dst[i],
+                      static_cast<std::uint8_t>(dst0[i] ^ f.mul(c, src[i])))
+                << k->name << " acc n=" << n << " c=" << int(c) << " i=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Misaligned source and destination: SIMD paths use unaligned loads/stores,
+// so any (src_offset, dst_offset) pair inside a page must agree with scalar.
+TEST(GfKernels, MisalignedOffsetsMatchScalar) {
+  util::Rng rng(7);
+  constexpr std::size_t kMax = 1024;
+  const auto src_pool = random_buffer(kMax + 64, rng);
+  const auto dst_pool = random_buffer(kMax + 64, rng);
+  const Kernels& ref = scalar_kernels();
+  for (const Kernels* k : available_kernels()) {
+    if (k == &ref) continue;
+    SCOPED_TRACE(k->name);
+    for (std::size_t src_off = 0; src_off < 16; ++src_off) {
+      for (const std::size_t dst_off : {std::size_t{0}, std::size_t{1},
+                                        std::size_t{7}, std::size_t{15}}) {
+        for (const std::size_t n :
+             {std::size_t{0}, std::size_t{15}, std::size_t{16},
+              std::size_t{17}, std::size_t{63}, std::size_t{64},
+              std::size_t{65}, std::size_t{255}, kMax}) {
+          auto expected = dst_pool;
+          auto actual = dst_pool;
+          ref.mul_region_acc(0x53, src_pool.data() + src_off,
+                             expected.data() + dst_off, n);
+          k->mul_region_acc(0x53, src_pool.data() + src_off,
+                            actual.data() + dst_off, n);
+          ASSERT_EQ(actual, expected)
+              << k->name << " src_off=" << src_off << " dst_off=" << dst_off
+              << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+// Exact aliasing (src == dst) is part of the kernel contract: in-place
+// results must match the out-of-place ones on every variant.  This is the
+// regression test for the historical scale_region alias forwarding.
+TEST(GfKernels, InPlaceCallsMatchOutOfPlace) {
+  util::Rng rng(13);
+  for (const Kernels* k : available_kernels()) {
+    SCOPED_TRACE(k->name);
+    for (const std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{16}, std::size_t{31},
+          std::size_t{257}, std::size_t{4096}}) {
+      for (const std::uint8_t c : kCoeffs) {
+        const auto original = random_buffer(n, rng);
+        // mul_region in place
+        {
+          std::vector<std::uint8_t> expected(n, 0);
+          k->mul_region(c, original.data(), expected.data(), n);
+          auto buf = original;
+          k->mul_region(c, buf.data(), buf.data(), n);
+          ASSERT_EQ(buf, expected) << k->name << " mul c=" << int(c);
+        }
+        // mul_region_acc in place: dst ^= c*dst == (c^1)*dst
+        {
+          auto expected = original;
+          std::vector<std::uint8_t> product(n, 0);
+          k->mul_region(c, original.data(), product.data(), n);
+          k->xor_region(product.data(), expected.data(), n);
+          auto buf = original;
+          k->mul_region_acc(c, buf.data(), buf.data(), n);
+          ASSERT_EQ(buf, expected) << k->name << " acc c=" << int(c);
+        }
+        // xor_region in place zeroes the buffer
+        {
+          auto buf = original;
+          k->xor_region(buf.data(), buf.data(), n);
+          ASSERT_EQ(buf, std::vector<std::uint8_t>(n, 0)) << k->name;
+        }
+      }
+    }
+  }
+}
+
+// scale_region forwards dst as both src and dst into mul_region; under the
+// in-place-safe contract the result must equal the out-of-place multiply on
+// buffers large enough to cross every SIMD width and the combine tile.
+TEST(GfKernels, ScaleRegionAliasRegression) {
+  util::Rng rng(21);
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{257}, std::size_t{65536 + 17}}) {
+    for (const std::uint8_t c : kCoeffs) {
+      auto buf = random_buffer(n, rng);
+      std::vector<std::uint8_t> expected(n, 0);
+      mul_region(c, buf, expected);
+      scale_region(c, buf);
+      ASSERT_EQ(buf, expected) << "n=" << n << " c=" << int(c);
+    }
+  }
+}
+
+// The tiled fused combine must equal the naive k-sweep evaluation, including
+// on buffers that span multiple tiles with a ragged tail.
+TEST(GfKernels, FusedLinearCombineMatchesNaiveAcrossTiles) {
+  util::Rng rng(31);
+  const auto& f = Gf256::instance();
+  constexpr std::size_t kN = 3 * 32 * 1024 + 257;  // > 3 combine tiles
+  constexpr std::size_t kWays = 6;
+  std::vector<std::vector<std::uint8_t>> rows;
+  for (std::size_t i = 0; i < kWays; ++i) {
+    rows.push_back(random_buffer(kN, rng));
+  }
+  std::vector<std::span<const std::uint8_t>> views(rows.begin(), rows.end());
+  const std::vector<std::uint8_t> coeffs = {0, 1, 2, 0x8E, 0xFF, 0x35};
+  const auto out0 = random_buffer(kN, rng);
+
+  auto fused = out0;
+  linear_combine_acc(coeffs, views, fused);
+  for (std::size_t i = 0; i < kN; ++i) {
+    std::uint8_t expected = out0[i];
+    for (std::size_t r = 0; r < kWays; ++r) {
+      expected ^= f.mul(coeffs[r], rows[r][i]);
+    }
+    ASSERT_EQ(fused[i], expected) << "i=" << i;
+  }
+
+  // linear_combine == zero + accumulate.
+  std::vector<std::uint8_t> combined(kN, 0xAA);
+  linear_combine(coeffs, views, combined);
+  auto expected = std::vector<std::uint8_t>(kN, 0);
+  linear_combine_acc(coeffs, views, expected);
+  EXPECT_EQ(combined, expected);
+}
+
+TEST(GfKernels, SelectKernelsResolvesNamesAndRejectsUnknown) {
+  EXPECT_EQ(select_kernels("scalar").kind, KernelKind::kScalar);
+  EXPECT_EQ(std::string(select_kernels("scalar").name), "scalar");
+  // Autodetect picks the best supported variant.
+  const Kernels& best = select_kernels("");
+  EXPECT_EQ(&best, &select_kernels("auto"));
+  if (cpu_supports(KernelKind::kAvx2)) {
+    EXPECT_EQ(best.kind, KernelKind::kAvx2);
+    EXPECT_EQ(&select_kernels("avx2"), avx2_kernels());
+  } else if (cpu_supports(KernelKind::kSsse3)) {
+    EXPECT_EQ(best.kind, KernelKind::kSsse3);
+  } else {
+    EXPECT_EQ(best.kind, KernelKind::kScalar);
+  }
+  if (cpu_supports(KernelKind::kSsse3)) {
+    EXPECT_EQ(&select_kernels("ssse3"), ssse3_kernels());
+  } else {
+    EXPECT_THROW(static_cast<void>(select_kernels("ssse3")),
+                 util::CheckError);
+  }
+  EXPECT_THROW(static_cast<void>(select_kernels("avx512")),
+               util::CheckError);
+  EXPECT_THROW(static_cast<void>(select_kernels("SCALAR")),
+               util::CheckError);
+}
+
+TEST(GfKernels, KernelNamesAreStable) {
+  EXPECT_STREQ(kernel_name(KernelKind::kScalar), "scalar");
+  EXPECT_STREQ(kernel_name(KernelKind::kSsse3), "ssse3");
+  EXPECT_STREQ(kernel_name(KernelKind::kAvx2), "avx2");
+  EXPECT_TRUE(cpu_supports(KernelKind::kScalar));
+  // The dispatched set is one of the available ones and is consistent with
+  // what select_kernels resolves for the process environment.
+  const Kernels& active = active_kernels();
+  EXPECT_TRUE(cpu_supports(active.kind));
+}
+
+// Randomized differential sweep: larger buffers, random coefficients, all
+// kernels must agree with scalar byte-for-byte.
+TEST(GfKernels, RandomizedDifferentialSweep) {
+  util::Rng rng(1234);
+  const Kernels& ref = scalar_kernels();
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + rng.next_below(20000);
+    const auto c = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto src = random_buffer(n, rng);
+    const auto dst0 = random_buffer(n, rng);
+    std::vector<std::uint8_t> expected_mul(n, 0);
+    auto expected_acc = dst0;
+    auto expected_xor = dst0;
+    ref.mul_region(c, src.data(), expected_mul.data(), n);
+    ref.mul_region_acc(c, src.data(), expected_acc.data(), n);
+    ref.xor_region(src.data(), expected_xor.data(), n);
+    for (const Kernels* k : available_kernels()) {
+      if (k == &ref) continue;
+      std::vector<std::uint8_t> mul(n, 0);
+      auto acc = dst0;
+      auto xored = dst0;
+      k->mul_region(c, src.data(), mul.data(), n);
+      k->mul_region_acc(c, src.data(), acc.data(), n);
+      k->xor_region(src.data(), xored.data(), n);
+      ASSERT_EQ(mul, expected_mul) << k->name << " n=" << n << " c=" << int(c);
+      ASSERT_EQ(acc, expected_acc) << k->name << " n=" << n << " c=" << int(c);
+      ASSERT_EQ(xored, expected_xor) << k->name << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace car::gf

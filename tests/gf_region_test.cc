@@ -74,6 +74,31 @@ TEST_P(RegionOps, ScaleRegionIsInPlaceMul) {
   EXPECT_EQ(buf, tmp);
 }
 
+// The aliasing contract: passing the same span as src and dst must match the
+// out-of-place result for every region op (this is what scale_region relies
+// on; SIMD kernels load each block before storing it).
+TEST_P(RegionOps, ExactAliasingMatchesOutOfPlace) {
+  const std::size_t n = GetParam();
+  const auto original = random_buffer(n, rng_);
+  for (std::uint8_t c : {std::uint8_t{0}, std::uint8_t{1}, std::uint8_t{2},
+                         std::uint8_t{0x8E}, std::uint8_t{0xFF}}) {
+    std::vector<std::uint8_t> expected(n, 0);
+    mul_region(c, original, expected);
+    auto buf = original;
+    mul_region(c, buf, buf);
+    ASSERT_EQ(buf, expected) << "mul c=" << int(c);
+
+    auto acc_expected = original;
+    mul_region_acc(c, original, acc_expected);
+    buf = original;
+    mul_region_acc(c, buf, buf);
+    ASSERT_EQ(buf, acc_expected) << "acc c=" << int(c);
+  }
+  auto buf = original;
+  xor_region(buf, buf);
+  EXPECT_EQ(buf, std::vector<std::uint8_t>(n, 0));
+}
+
 INSTANTIATE_TEST_SUITE_P(Sizes, RegionOps,
                          ::testing::Values(0u, 1u, 3u, 7u, 8u, 9u, 64u, 1000u,
                                            4096u));
@@ -109,6 +134,28 @@ TEST(RegionOps, LinearCombineValidatesArity) {
   std::vector<std::span<const std::uint8_t>> views = {row};
   const std::vector<std::uint8_t> coeffs = {1, 2};
   EXPECT_THROW(linear_combine(coeffs, views, out), std::invalid_argument);
+  EXPECT_THROW(linear_combine_acc(coeffs, views, out),
+               std::invalid_argument);
+}
+
+TEST(RegionOps, LinearCombineAccAccumulatesIntoExistingContents) {
+  util::Rng rng(123);
+  const auto& f = Gf256::instance();
+  constexpr std::size_t kN = 1000;
+  std::vector<std::vector<std::uint8_t>> rows;
+  for (int i = 0; i < 3; ++i) rows.push_back(random_buffer(kN, rng));
+  const std::vector<std::uint8_t> coeffs = {7, 1, 0xC3};
+  std::vector<std::span<const std::uint8_t>> views(rows.begin(), rows.end());
+  const auto out0 = random_buffer(kN, rng);
+  auto out = out0;
+  linear_combine_acc(coeffs, views, out);
+  for (std::size_t i = 0; i < kN; ++i) {
+    std::uint8_t expected = out0[i];
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      expected ^= f.mul(coeffs[r], rows[r][i]);
+    }
+    ASSERT_EQ(out[i], expected);
+  }
 }
 
 }  // namespace
