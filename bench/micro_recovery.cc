@@ -1,12 +1,33 @@
 // Microbenchmarks for the CAR planning path itself, verifying the paper's
 // §IV-D complexity claim: Algorithm 2 runs in O(e * r * s), i.e. planning is
-// cheap relative to the recovery it optimises.
+// cheap relative to the recovery it optimises — plus the slice-pipelining
+// makespan study on the fig9 fabric.
+//
+// Usage:
+//   micro_recovery [--json <path>] [google-benchmark flags]
+//
+// --json writes the machine-readable baseline (schema car-recovery-bench/1,
+// documented in docs/architecture.md); the repo's committed
+// BENCH_recovery.json is produced this way.  The fig9 makespan points are
+// measured on the virtual clock and are therefore bit-deterministic — CI
+// diffs their structure and speedup direction, not host timing.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "cluster/configs.h"
 #include "emul/cluster.h"
 #include "recovery/balancer.h"
+#include "recovery/scheduler.h"
+#include "recovery/slice.h"
 #include "simnet/flowsim.h"
+#include "util/bytes.h"
 
 namespace {
 
@@ -27,6 +48,130 @@ Scenario make_scenario(const cluster::CfsConfig& cfg, std::size_t stripes,
   auto censuses = recovery::build_censuses(placement, failure);
   return {std::move(placement), std::move(failure), std::move(censuses)};
 }
+
+// ---------------------------------------------------------------------------
+// JSON collection (mirrors bench/micro_gf.cc).
+
+struct BenchMeta {
+  std::string op;                  // "plan" | "execute" | "slice_lowering"
+  std::uint64_t chunk_bytes = 0;
+  std::uint64_t slice_bytes = 0;   // 0 = unsliced
+};
+
+std::map<std::string, BenchMeta>& meta_registry() {
+  static std::map<std::string, BenchMeta> registry;
+  return registry;
+}
+
+struct CollectedRun {
+  std::string name;
+  BenchMeta meta;
+  std::int64_t iterations = 0;
+  double real_seconds = 0.0;  // accumulated over all iterations
+};
+
+/// Console output as usual, plus collection for the --json reporter.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      const auto it = meta_registry().find(run.benchmark_name());
+      if (it == meta_registry().end()) continue;
+      CollectedRun c;
+      c.name = run.benchmark_name();
+      c.meta = it->second;
+      c.iterations = run.iterations;
+      c.real_seconds = run.real_accumulated_time;
+      collected_.push_back(std::move(c));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<CollectedRun>& collected() const noexcept {
+    return collected_;
+  }
+
+ private:
+  std::vector<CollectedRun> collected_;
+};
+
+// ---------------------------------------------------------------------------
+// Fig9-fabric makespan study: sliced vs. unsliced execution of the same CAR
+// plan on the virtual-clock emulator, paper-era hardware balance (1 GbE node
+// links, 5x-oversubscribed core, 1.5 GB/s GF compute — see
+// bench/fig9_recovery_time.cc).  The virtual clock makes every number here
+// bit-deterministic; speedups are structural, not measurement noise.
+
+constexpr std::uint64_t kFig9Chunk = util::kMiB;
+constexpr std::uint64_t kFig9Slice = 64 * util::kKiB;  // kDefaultSliceBytes
+constexpr std::size_t kFig9Window = 1;
+constexpr std::size_t kFig9Stripes = 12;
+
+struct Fig9Point {
+  std::string config;      // "cfs1" | "cfs2" | "cfs3"
+  std::size_t k = 0;
+  std::size_t m = 0;
+  std::size_t racks = 0;
+  double core_scale = 1.0;  // 0.5 = 50%-degraded core spec
+  double unsliced_makespan_s = 0.0;
+  double sliced_makespan_s = 0.0;
+
+  [[nodiscard]] double speedup() const {
+    return sliced_makespan_s > 0.0 ? unsliced_makespan_s / sliced_makespan_s
+                                   : 0.0;
+  }
+};
+
+emul::EmulConfig fig9_emul(double core_scale) {
+  emul::EmulConfig cfg;
+  cfg.clock_mode = emul::ClockMode::kVirtual;
+  cfg.node_bps = 125e6;        // 1 GbE
+  // Scaling oversubscription scales every rack uplink proportionally, which
+  // keeps cfs3's heterogeneous racks {6,4,5,3,2} heterogeneous.
+  cfg.oversubscription = 5.0 / core_scale;
+  cfg.virtual_gf_bps = 1.5e9;  // paper-era testbed CPUs, not this host
+  return cfg;
+}
+
+Fig9Point measure_fig9_point(std::size_t cfg_index, double core_scale) {
+  const auto cfg = cluster::paper_configs()[cfg_index];
+  const auto s = make_scenario(cfg, kFig9Stripes, 0xF19 + cfg_index);
+  const rs::Code code(cfg.k, cfg.m);
+  const auto balanced = recovery::balance_greedy(s.placement, s.censuses, {50});
+  const auto plan = recovery::schedule_windowed(
+      recovery::build_car_plan(s.placement, code, balanced.solutions,
+                               kFig9Chunk, s.failure.failed_node),
+      kFig9Window);
+
+  emul::Cluster cluster(s.placement.topology(), fig9_emul(core_scale));
+  util::Rng data_rng(0xDA7A + cfg_index);
+  cluster.populate(s.placement, code, kFig9Chunk, data_rng);
+  cluster.erase_node(s.failure.failed_node);
+
+  Fig9Point point;
+  point.config = cfg.name;
+  point.k = cfg.k;
+  point.m = cfg.m;
+  point.racks = cfg.topology().num_racks();
+  point.core_scale = core_scale;
+  point.unsliced_makespan_s = cluster.execute(plan).wall_s;
+  point.sliced_makespan_s =
+      cluster.execute(recovery::slice_plan(plan, kFig9Slice)).wall_s;
+  return point;
+}
+
+std::vector<Fig9Point> measure_fig9_points() {
+  std::vector<Fig9Point> points;
+  for (const double core_scale : {1.0, 0.5}) {
+    for (std::size_t i = 0; i < cluster::paper_configs().size(); ++i) {
+      points.push_back(measure_fig9_point(i, core_scale));
+    }
+  }
+  return points;
+}
+
+// ---------------------------------------------------------------------------
+// Planning-path benchmarks (paper §IV-D).
 
 void BM_BalanceGreedy_Stripes(benchmark::State& state) {
   // Runtime should scale ~linearly with s (stripes).
@@ -78,6 +223,21 @@ void BM_BuildCarPlan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BuildCarPlan);
+
+void BM_SliceCarPlan(benchmark::State& state) {
+  // The slice lowering is pure index arithmetic; it must stay negligible
+  // next to the execution it pipelines.
+  const auto s = make_scenario(cluster::cfs3(), 100, 31);
+  const rs::Code code(10, 4);
+  const auto balanced = recovery::balance_greedy(s.placement, s.censuses, {50});
+  const auto plan = recovery::build_car_plan(
+      s.placement, code, balanced.solutions, 1 << 22, s.failure.failed_node);
+  for (auto _ : state) {
+    auto sliced = recovery::slice_plan(plan, 64 * util::kKiB);
+    benchmark::DoNotOptimize(sliced.steps.data());
+  }
+}
+BENCHMARK(BM_SliceCarPlan);
 
 void BM_SimulateCarPlan(benchmark::State& state) {
   const auto s = make_scenario(cluster::cfs3(), 100, 37);
@@ -137,6 +297,152 @@ void BM_SimulateRrPlan(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateRrPlan);
 
+// ---------------------------------------------------------------------------
+// Host-latency benchmarks for the sliced execution path itself: the same
+// fig9 plan, unsliced vs. sliced, real bytes + pooled staging.  These feed
+// the host_results section of the JSON baseline (timings are host-specific;
+// CI diffs structure only).
+
+void register_fig9_exec_benches() {
+  for (const std::uint64_t slice : {std::uint64_t{0}, kFig9Slice}) {
+    const std::string name = slice == 0
+                                 ? std::string("fig9_execute/unsliced")
+                                 : "fig9_execute/sliced/" +
+                                       std::to_string(slice / util::kKiB) +
+                                       "KiB";
+    meta_registry()[name] = {"execute", kFig9Chunk, slice};
+    benchmark::RegisterBenchmark(name.c_str(), [slice](
+                                                   benchmark::State& state) {
+      const auto cfg = cluster::cfs2();
+      const auto s = make_scenario(cfg, kFig9Stripes, 0xF19 + 1);
+      const rs::Code code(cfg.k, cfg.m);
+      const auto balanced =
+          recovery::balance_greedy(s.placement, s.censuses, {50});
+      const auto plan = recovery::schedule_windowed(
+          recovery::build_car_plan(s.placement, code, balanced.solutions,
+                                   kFig9Chunk, s.failure.failed_node),
+          kFig9Window);
+      emul::Cluster cluster(s.placement.topology(), fig9_emul(1.0));
+      util::Rng data_rng(0xDA7A + 1);
+      cluster.populate(s.placement, code, kFig9Chunk, data_rng);
+      cluster.erase_node(s.failure.failed_node);
+      double makespan = 0.0;
+      if (slice == 0) {
+        for (auto _ : state) {
+          makespan = cluster.execute(plan).wall_s;
+          benchmark::DoNotOptimize(makespan);
+        }
+      } else {
+        const auto sliced = recovery::slice_plan(plan, slice);
+        for (auto _ : state) {
+          makespan = cluster.execute(sliced).wall_s;
+          benchmark::DoNotOptimize(makespan);
+        }
+      }
+      state.counters["virtual_makespan_s"] = makespan;
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON baseline writer (schema car-recovery-bench/1).
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+  return out;
+}
+
+void write_json(const std::string& path, const std::vector<Fig9Point>& points,
+                const std::vector<CollectedRun>& runs) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "micro_recovery: cannot open --json path %s\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  os << std::setprecision(10);
+  os << "{\n";
+  os << "  \"schema\": \"car-recovery-bench/1\",\n";
+  os << "  \"fabric\": {\"node_bps\": 125e6, \"oversubscription\": 5.0, "
+        "\"virtual_gf_bps\": 1.5e9},\n";
+  os << "  \"workload\": {\"chunk_bytes\": " << kFig9Chunk
+     << ", \"slice_bytes\": " << kFig9Slice << ", \"window\": " << kFig9Window
+     << ", \"stripes\": " << kFig9Stripes << "},\n";
+  os << "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Fig9Point& p = points[i];
+    os << "    {\"config\": \"" << json_escape(p.config) << "\", \"k\": "
+       << p.k << ", \"m\": " << p.m << ", \"racks\": " << p.racks
+       << ", \"core_scale\": " << p.core_scale
+       << ", \"unsliced_makespan_s\": " << p.unsliced_makespan_s
+       << ", \"sliced_makespan_s\": " << p.sliced_makespan_s
+       << ", \"speedup\": " << p.speedup() << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"host_results\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const CollectedRun& run = runs[i];
+    os << "    {\"name\": \"" << json_escape(run.name) << "\", \"op\": \""
+       << json_escape(run.meta.op) << "\", \"chunk_bytes\": "
+       << run.meta.chunk_bytes << ", \"slice_bytes\": " << run.meta.slice_bytes
+       << ", \"iterations\": " << run.iterations << ", \"real_time_s\": "
+       << run.real_seconds << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+void print_fig9_table(const std::vector<Fig9Point>& points) {
+  std::printf("\n== fig9 fabric: sliced (%llu KiB) vs unsliced makespan, "
+              "window %zu ==\n",
+              static_cast<unsigned long long>(kFig9Slice / util::kKiB),
+              kFig9Window);
+  for (const Fig9Point& p : points) {
+    std::printf("  %-5s k=%-2zu m=%zu core=%.0f%%  unsliced %8.3f s  "
+                "sliced %8.3f s  speedup %.2fx\n",
+                p.config.c_str(), p.k, p.m, 100.0 * p.core_scale,
+                p.unsliced_makespan_s, p.sliced_makespan_s, p.speedup());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Extract --json <path> / --json=<path> before google-benchmark parses the
+  // rest of the command line.
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+
+  register_fig9_exec_benches();
+
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    const auto points = measure_fig9_points();
+    print_fig9_table(points);
+    write_json(json_path, points, reporter.collected());
+  }
+  return 0;
+}

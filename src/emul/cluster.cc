@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <mutex>
 #include <queue>
 #include <stdexcept>
@@ -12,6 +13,8 @@
 #include "emul/executor.h"
 #include "recovery/compute.h"
 #include "recovery/scheduler.h"
+#include "recovery/slice.h"
+#include "util/buffer_pool.h"
 #include "util/check.h"
 
 namespace car::emul {
@@ -20,6 +23,8 @@ namespace {
 
 using recovery::BufferRef;
 using recovery::PlanStep;
+using recovery::SliceInfo;
+using recovery::SlicePlan;
 using recovery::StepKind;
 
 /// Buffer keys: bit 63 selects step outputs; chunks pack (stripe, index)
@@ -80,6 +85,11 @@ struct Cluster::Impl {
   std::optional<cluster::NodeId> guarded;
   std::atomic<std::uint64_t> drop_epoch{0};
 
+  // Pooled staging + store capacity: all wire copies, compute scratch, and
+  // store buffers created by execution come from here, so steady-state
+  // recovery allocates nothing per slice (see util/buffer_pool.h).
+  util::BufferPool pool;
+
   const rs::Chunk* find(cluster::NodeId node, std::uint64_t key) const {
     const auto& store = stores[node];
     std::scoped_lock lock(store.mu);
@@ -89,8 +99,46 @@ struct Cluster::Impl {
 
   void put(cluster::NodeId node, std::uint64_t key, rs::Chunk data) {
     auto& store = stores[node];
-    std::scoped_lock lock(store.mu);
-    store.buffers[key] = std::move(data);
+    rs::Chunk evicted;
+    {
+      std::scoped_lock lock(store.mu);
+      rs::Chunk& slot = store.buffers[key];
+      evicted = std::move(slot);
+      slot = std::move(data);
+    }
+    pool.recycle(std::move(evicted));  // replaced capacity goes back
+  }
+
+  /// Ranged write: materialise the buffer at full_size (from the pool when
+  /// absent or mis-sized) and copy `data` into [offset, offset + size).
+  /// The store lock serialises writers of one buffer; distinct slices touch
+  /// disjoint ranges, so the plan's slice coverage assembles the chunk
+  /// exactly.  Once a buffer is established at full_size it is never
+  /// re-materialised, which keeps concurrent readers' pointers valid
+  /// (unordered_map references are stable; see the compute gather below).
+  void write_range(cluster::NodeId node, std::uint64_t key,
+                   std::uint64_t full_size, std::uint64_t offset,
+                   std::span<const std::uint8_t> data) {
+    CAR_CHECK(offset + data.size() <= full_size,
+              "Cluster::write_buffer_range: slice range exceeds the buffer");
+    auto& store = stores[node];
+    rs::Chunk evicted;
+    {
+      std::scoped_lock lock(store.mu);
+      rs::Chunk& slot = store.buffers[key];
+      if (slot.size() != full_size) {
+        if (slot.capacity() >= full_size) {
+          slot.resize(full_size);
+        } else {
+          evicted = std::move(slot);
+          slot = pool.take(full_size);
+        }
+      }
+      if (!data.empty()) {
+        std::memcpy(slot.data() + offset, data.data(), data.size());
+      }
+    }
+    pool.recycle(std::move(evicted));
   }
 
   bool is_dropped(cluster::NodeId node) const {
@@ -178,13 +226,32 @@ void Cluster::put_buffer(cluster::NodeId node, const recovery::BufferRef& ref,
   impl_->put(node, key_of(ref), std::move(data));
 }
 
+void Cluster::write_buffer_range(cluster::NodeId node,
+                                 const recovery::BufferRef& ref,
+                                 std::uint64_t full_size, std::uint64_t offset,
+                                 std::span<const std::uint8_t> data) {
+  if (node >= topology_.num_nodes()) {
+    throw std::out_of_range("Cluster::write_buffer_range: bad node id");
+  }
+  impl_->check_alive(node, "Cluster::write_buffer_range");
+  impl_->write_range(node, key_of(ref), full_size, offset, data);
+}
+
+util::BufferPool& Cluster::buffer_pool() noexcept { return impl_->pool; }
+
 void Cluster::erase_node(cluster::NodeId node) {
   if (node >= topology_.num_nodes()) {
     throw std::out_of_range("Cluster::erase_node: bad node id");
   }
   auto& store = impl_->stores[node];
-  std::scoped_lock lock(store.mu);
-  store.buffers.clear();
+  std::vector<rs::Chunk> evicted;
+  {
+    std::scoped_lock lock(store.mu);
+    evicted.reserve(store.buffers.size());
+    for (auto& [key, buf] : store.buffers) evicted.push_back(std::move(buf));
+    store.buffers.clear();
+  }
+  for (auto& buf : evicted) impl_->pool.recycle(std::move(buf));
 }
 
 void Cluster::drop_node(cluster::NodeId node) {
@@ -221,9 +288,16 @@ void Cluster::guard_replacement(std::optional<cluster::NodeId> node) {
 
 void Cluster::clear_step_outputs() {
   for (auto& store : impl_->stores) {
-    std::scoped_lock lock(store.mu);
-    std::erase_if(store.buffers,
-                  [](const auto& kv) { return (kv.first & kStepBit) != 0; });
+    std::vector<rs::Chunk> evicted;
+    {
+      std::scoped_lock lock(store.mu);
+      for (auto& [key, buf] : store.buffers) {
+        if ((key & kStepBit) != 0) evicted.push_back(std::move(buf));
+      }
+      std::erase_if(store.buffers,
+                    [](const auto& kv) { return (kv.first & kStepBit) != 0; });
+    }
+    for (auto& buf : evicted) impl_->pool.recycle(std::move(buf));
   }
 }
 
@@ -277,13 +351,23 @@ std::vector<std::vector<rs::Chunk>> Cluster::populate(
 }
 
 ExecutionReport Cluster::execute(const recovery::RecoveryPlan& plan) {
+  // Degenerate lowering: one slice per step with identical ids, deps, and
+  // bytes — the sliced core below then performs the exact same computation
+  // a chunk-granular executor would.
+  return execute(recovery::slice_plan(
+      plan, std::max<std::uint64_t>(plan.chunk_size, 1)));
+}
+
+ExecutionReport Cluster::execute(const recovery::SlicePlan& plan) {
   const std::size_t n_steps = plan.steps.size();
   ExecutionReport report;
   report.per_rack_cross_bytes.assign(topology_.num_racks(), 0);
   if (n_steps == 0) return report;
 
-  const auto indegrees = recovery::step_indegrees(plan);
-  const auto dependents = recovery::step_dependents(plan);
+  const auto indegrees =
+      recovery::step_indegrees(std::span<const PlanStep>(plan.steps));
+  const auto dependents =
+      recovery::step_dependents(std::span<const PlanStep>(plan.steps));
   const bool virtual_time = config_.clock_mode == ClockMode::kVirtual;
   EmulClock& clock = impl_->clock;
   std::mutex report_mu;
@@ -305,25 +389,34 @@ ExecutionReport Cluster::execute(const recovery::RecoveryPlan& plan) {
   GuardScope guard_scope{this, previous_guard};
   impl_->check_alive(plan.replacement, "Cluster::execute: replacement");
 
-  auto run_transfer = [&](const PlanStep& step) {
+  auto run_transfer = [&](const PlanStep& step, const SliceInfo& slice) {
     impl_->check_alive(step.src, "Cluster::execute: transfer source");
     impl_->check_alive(step.dst, "Cluster::execute: transfer destination");
     const rs::Chunk* src_buf = impl_->find(step.src, key_of(step.payload));
     CAR_CHECK_STATE(src_buf != nullptr,
                     "Cluster::execute: transfer payload missing on source "
                     "node");
-    rs::Chunk data = *src_buf;  // read once; the copy is the wire payload
-    // Buffer-size contract: the plan's declared transfer size must match the
-    // actual payload, or every byte of traffic accounting downstream lies.
-    CAR_CHECK_STATE(data.size() == step.bytes,
+    // Buffer-size contract: the plan's declared chunk size must match the
+    // actual payload, or every byte of traffic accounting downstream lies
+    // (and the slice grid would read past the buffer).
+    CAR_CHECK_STATE(src_buf->size() == plan.chunk_size,
                     "Cluster::execute: transfer size mismatch: plan declares " +
-                        std::to_string(step.bytes) +
+                        std::to_string(plan.chunk_size) +
                         " bytes but payload holds " +
-                        std::to_string(data.size()));
+                        std::to_string(src_buf->size()));
+    // Stage the slice through a pooled lease — the wire payload.  Reading
+    // slice s here is safe against concurrent writers: they only touch
+    // other slices' (disjoint) ranges, and a buffer is never re-materialised
+    // once established at full size (see Impl::write_range).
+    util::BufferLease wire = impl_->pool.acquire(
+        static_cast<std::size_t>(slice.length));
+    std::memcpy(wire.data(), src_buf->data() + slice.offset, slice.length);
     if (step.src == step.dst) {
       // Loopback: the buffer never leaves the node, so no link is reserved
-      // and no traffic is reported.
-      impl_->put(step.dst, key_of(step.payload), std::move(data));
+      // and no traffic is reported.  The staged copy makes the self-write
+      // well-defined.
+      impl_->write_range(step.dst, key_of(step.payload), plan.chunk_size,
+                         slice.offset, {wire.data(), wire.size()});
       return;
     }
     if (!virtual_time) {
@@ -331,9 +424,10 @@ ExecutionReport Cluster::execute(const recovery::RecoveryPlan& plan) {
                             .reserve(clock.now(), step.bytes,
                                      config_.page_bytes));
     }
-    const std::uint64_t moved = data.size();  // == step.bytes, validated
-    impl_->put(step.dst, key_of(step.payload), std::move(data));
+    impl_->write_range(step.dst, key_of(step.payload), plan.chunk_size,
+                       slice.offset, {wire.data(), wire.size()});
 
+    const std::uint64_t moved = slice.length;  // == step.bytes by the grid
     const auto src_rack = topology_.rack_of(step.src);
     std::scoped_lock lock(report_mu);
     if (src_rack != topology_.rack_of(step.dst)) {
@@ -344,13 +438,13 @@ ExecutionReport Cluster::execute(const recovery::RecoveryPlan& plan) {
     }
   };
 
-  auto run_compute = [&](const PlanStep& step) {
+  auto run_compute = [&](const PlanStep& step, const SliceInfo& slice) {
     impl_->check_alive(step.node, "Cluster::execute: compute node");
     std::scoped_lock cpu_lock(impl_->cpu[step.node]);
 
     // Gather input buffers.  unordered_map references are stable under
     // concurrent inserts of other keys (guarded by the store mutex inside
-    // find), and nothing erases buffers during execution.
+    // find), and nothing erases or re-materialises buffers during execution.
     std::vector<const rs::Chunk*> inputs;
     inputs.reserve(step.inputs.size());
     for (const auto& in : step.inputs) {
@@ -359,17 +453,23 @@ ExecutionReport Cluster::execute(const recovery::RecoveryPlan& plan) {
                       "Cluster::execute: compute input missing on node");
       inputs.push_back(buf);
     }
-    // The measured window covers the finite-field work (plus an output
-    // allocation) — the paper's "computation time" is the decoding
-    // arithmetic, not buffer management.  The step contract (equal input
-    // sizes, bytes == inputs * chunk size) and the fused combine live in the
-    // shared helper, which inject/runtime.cc executes identically.
+    // The measured window covers the finite-field work — the paper's
+    // "computation time" is the decoding arithmetic, not buffer management
+    // (staging comes from the pool, outside the window).  The step contract
+    // and the fused combine live in the shared helper, which
+    // inject/runtime.cc executes identically.  The output is staged in a
+    // lease (the kernels' combine output may not alias its inputs) and then
+    // assembled into the base step's output buffer.
+    util::BufferLease out = impl_->pool.acquire(
+        static_cast<std::size_t>(slice.length));
     const auto t0 = std::chrono::steady_clock::now();
-    rs::Chunk out =
-        recovery::execute_compute_step(step, inputs, "Cluster::execute");
+    recovery::execute_compute_slice(step, inputs, plan.chunk_size,
+                                    slice.offset, {out.data(), out.size()},
+                                    "Cluster::execute");
     const std::chrono::duration<double> dt =
         std::chrono::steady_clock::now() - t0;
-    impl_->put(step.node, step_key(step.id), std::move(out));
+    impl_->write_range(step.node, step_key(slice.base_step), plan.chunk_size,
+                       slice.offset, {out.data(), out.size()});
 
     // Virtual mode charges modelled compute time in the timing pass instead
     // of the (nondeterministic) measured duration.
@@ -395,10 +495,11 @@ ExecutionReport Cluster::execute(const recovery::RecoveryPlan& plan) {
       n_steps, indegrees, dependents,
       [&](std::size_t id) {
         const PlanStep& step = plan.steps[id];
+        const SliceInfo& slice = plan.info[id];
         if (step.kind == StepKind::kTransfer) {
-          run_transfer(step);
+          run_transfer(step, slice);
         } else {
-          run_compute(step);
+          run_compute(step, slice);
         }
       },
       [&] {
@@ -451,11 +552,17 @@ ExecutionReport Cluster::execute(const recovery::RecoveryPlan& plan) {
   }
 
   // Publish recovered chunks as regular chunk replicas on the replacement.
+  // Output ids are *base* step ids — all slices of the producing step have
+  // completed (the DAG drained), so the assembled buffer is whole.  The
+  // replica copy is drawn from the pool like every other buffer.
   for (const auto& out : plan.outputs) {
     const rs::Chunk* buf = impl_->find(plan.replacement, step_key(out.step_id));
     CAR_CHECK_STATE(buf != nullptr,
                     "Cluster::execute: recovered chunk missing");
-    impl_->put(plan.replacement, chunk_key(out.stripe, out.chunk_index), *buf);
+    rs::Chunk copy = impl_->pool.take(buf->size());
+    if (!buf->empty()) std::memcpy(copy.data(), buf->data(), buf->size());
+    impl_->put(plan.replacement, chunk_key(out.stripe, out.chunk_index),
+               std::move(copy));
   }
   return report;
 }

@@ -23,13 +23,17 @@
 #include <unordered_map>
 #include <vector>
 
+#include <span>
+
 #include "cluster/placement.h"
 #include "cluster/topology.h"
 #include "cluster/types.h"
 #include "emul/clock.h"
 #include "emul/link.h"
 #include "recovery/plan.h"
+#include "recovery/slice.h"
 #include "rs/code.h"
+#include "util/buffer_pool.h"
 #include "util/rng.h"
 
 namespace car::emul {
@@ -126,6 +130,25 @@ class Cluster {
   void put_buffer(cluster::NodeId node, const recovery::BufferRef& ref,
                   rs::Chunk data);
 
+  /// Ranged buffer write for slice-level execution: ensure the buffer at
+  /// `ref` on `node` holds exactly `full_size` bytes (materialised from the
+  /// buffer pool when absent or mis-sized) and copy `data` into
+  /// [offset, offset + data.size()).  Slice writers of one buffer serialise
+  /// on the node's store lock; distinct slices touch disjoint ranges, so a
+  /// plan whose slices cover the chunk assembles it exactly.  Throws
+  /// std::out_of_range for a bad node id, util::StateError when the node
+  /// has been dropped, and util::CheckError when the range exceeds
+  /// full_size.
+  void write_buffer_range(cluster::NodeId node, const recovery::BufferRef& ref,
+                          std::uint64_t full_size, std::uint64_t offset,
+                          std::span<const std::uint8_t> data);
+
+  /// The buffer pool backing all transfer/compute staging and store
+  /// buffers created by execution (see util/buffer_pool.h).  Exposed so
+  /// external runtimes (src/inject) stage through the same pool and tests
+  /// can assert the staging high-water mark.
+  [[nodiscard]] util::BufferPool& buffer_pool() noexcept;
+
   /// Drop every buffer a node holds (single node failure).  The node slot
   /// stays usable — the replacement machine takes over its id.
   void erase_node(cluster::NodeId node);
@@ -184,8 +207,18 @@ class Cluster {
   /// when a referenced buffer is missing, a transfer's declared size
   /// disagrees with the stored payload, a step touches a dropped node, or a
   /// node is dropped mid-execution (abort), and std::invalid_argument on a
-  /// malformed DAG (unknown dependency or cycle).
+  /// malformed DAG (unknown dependency or cycle).  Internally lowers the
+  /// plan onto a degenerate one-slice-per-step grid and runs the sliced
+  /// core below — the identical computation, byte for byte.
   ExecutionReport execute(const recovery::RecoveryPlan& plan);
+
+  /// Execute a slice-lowered plan (recovery/slice.h): same semantics as
+  /// above, but transfer and compute steps run at slice granularity, so
+  /// cross-rack shipping of slice s overlaps aggregation of slice s+1.
+  /// Traffic accounting equals the base plan's bit for bit (slices of one
+  /// transfer sum to exactly chunk_size).  All staging goes through the
+  /// buffer pool — steady-state execution allocates nothing per slice.
+  ExecutionReport execute(const recovery::SlicePlan& plan);
 
  private:
   struct Impl;

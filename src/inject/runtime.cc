@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <cstring>
 #include <optional>
 #include <queue>
+#include <span>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -12,6 +14,8 @@
 #include "recovery/compute.h"
 #include "recovery/multi.h"
 #include "recovery/scheduler.h"
+#include "recovery/slice.h"
+#include "util/buffer_pool.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -22,6 +26,8 @@ namespace {
 using recovery::BufferRef;
 using recovery::PlanStep;
 using recovery::RecoveryPlan;
+using recovery::SliceInfo;
+using recovery::SlicePlan;
 using recovery::StepKind;
 
 std::string fmt_s(double t) {
@@ -37,9 +43,10 @@ std::string fmt_hex(std::uint64_t v) {
   return {buf.data()};
 }
 
-/// FNV-1a over a payload — the emulated transfer checksum.  Only used to
-/// produce a deterministic, human-checkable mismatch in corrupt events.
-std::uint64_t fnv64(const rs::Chunk& data) noexcept {
+/// FNV-1a over a (slice of a) payload — the emulated transfer checksum.
+/// Only used to produce a deterministic, human-checkable mismatch in
+/// corrupt events.
+std::uint64_t fnv64(std::span<const std::uint8_t> data) noexcept {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (const std::uint8_t b : data) {
     h ^= b;
@@ -87,11 +94,12 @@ class Engine {
  public:
   Engine(emul::Cluster& cluster, const FaultPlan& faults,
          const RetryPolicy& policy, std::uint64_t seed,
-         const ReplanContext& ctx)
+         std::uint64_t slice_bytes, const ReplanContext& ctx)
       : cluster_(cluster),
         faults_(faults),
         policy_(policy),
         seed_(seed),
+        slice_bytes_(slice_bytes),
         ctx_(ctx),
         backoff_rng_(seed ^ 0x8badf00ddeadbeefULL),
         replan_rng_(seed ^ 0x5bd1e9955bd1e995ULL),
@@ -103,11 +111,21 @@ class Engine {
   }
 
   RunResult run(const RecoveryPlan& plan) {
+    // Lower onto the slice grid up front (degenerate when slice_bytes_
+    // covers the chunk — one slice per step with identical ids and bytes,
+    // so a chunk-granular run and its log are reproduced byte for byte).
+    SlicePlan sliced = recovery::slice_plan(plan, slice_bytes_);
+    std::string start_detail = std::to_string(plan.steps.size()) +
+                               " steps, " +
+                               std::to_string(plan.outputs.size()) +
+                               " outputs, seed " + std::to_string(seed_);
+    if (sliced.num_slices > 1) {
+      start_detail += ", sliced " + std::to_string(sliced.slice_size) +
+                      " B x" + std::to_string(sliced.num_slices) + " (" +
+                      std::to_string(sliced.steps.size()) + " slice steps)";
+    }
     result_.log.record(now_, EventKind::kRunStart, -1, -1, plan.replacement,
-                       0,
-                       std::to_string(plan.steps.size()) + " steps, " +
-                           std::to_string(plan.outputs.size()) +
-                           " outputs, seed " + std::to_string(seed_));
+                       0, start_detail);
     arm_link_faults(cluster_, faults_, t0_);
     for (const auto& fault : faults_.link_faults) {
       result_.log.record(
@@ -120,11 +138,14 @@ class Engine {
 
     RecoveryPlan current = plan;
     for (;;) {
-      auto next = run_plan(current);
+      auto next = run_plan(current, sliced);
       if (!next) break;
       current = std::move(*next);
+      // Crash escalations re-plan at chunk granularity; re-lower the fresh
+      // plan onto the same slice grid before resuming.
+      sliced = recovery::slice_plan(current, slice_bytes_);
     }
-    publish_outputs(current, nullptr);
+    publish_outputs(current, nullptr, sliced.num_slices);
     result_.report.wall_s = now_ - t0_;
     result_.log.record(now_, EventKind::kRunComplete, -1, -1, -1, 0,
                        "wall " + fmt_s(result_.report.wall_s) + "s, " +
@@ -142,12 +163,17 @@ class Engine {
   using Entry = std::tuple<double, std::size_t, std::size_t>;
   using Heap = std::priority_queue<Entry, std::vector<Entry>, std::greater<>>;
 
-  /// Execute one plan until it completes (returns nullopt) or a node crash
-  /// escalates into a re-plan (returns the validated next plan).
-  std::optional<RecoveryPlan> run_plan(const RecoveryPlan& plan) {
-    const std::size_t n = plan.steps.size();
-    auto indegrees = recovery::step_indegrees(plan);
-    const auto dependents = recovery::step_dependents(plan);
+  /// Execute one slice-lowered plan until it completes (returns nullopt) or
+  /// a node crash escalates into a re-plan (returns the validated next
+  /// *chunk-granular* plan; the caller re-lowers it).  `plan` is the base
+  /// plan `sliced` was lowered from — the re-plan needs its metadata.
+  std::optional<RecoveryPlan> run_plan(const RecoveryPlan& plan,
+                                       const SlicePlan& sliced) {
+    const std::size_t n = sliced.steps.size();
+    auto indegrees = recovery::step_indegrees(
+        std::span<const PlanStep>(sliced.steps));
+    const auto dependents = recovery::step_dependents(
+        std::span<const PlanStep>(sliced.steps));
     std::vector<char> done(n, 0);
     std::vector<double> ready_at(n, now_);
     std::size_t completed = 0;
@@ -160,7 +186,7 @@ class Engine {
     // A fraction trigger can already be satisfied at plan start (e.g.
     // at_fraction == 0, or a re-plan entered with the trigger pending).
     if (const auto crash = pending_fraction_crash(completed, n)) {
-      return escalate(*crash, now_, plan, done, completed);
+      return escalate(*crash, now_, plan, sliced, done, completed);
     }
 
     while (!heap.empty()) {
@@ -172,17 +198,19 @@ class Engine {
       if (const auto crash = pending_time_crash(t)) {
         const double tc =
             t0_ + *faults_.node_crashes[*crash].at_time_s;
-        return escalate(*crash, std::max(tc, now_), plan, done, completed);
+        return escalate(*crash, std::max(tc, now_), plan, sliced, done,
+                        completed);
       }
 
       advance(t);
-      const PlanStep& step = plan.steps[id];
+      const PlanStep& step = sliced.steps[id];
+      const SliceInfo& slice = sliced.info[id];
       double finish = 0.0;
       if (step.kind == StepKind::kCompute) {
-        finish = run_compute(plan, step, t);
+        finish = run_compute(sliced, step, slice, t);
       } else {
         const auto attempt_finish =
-            run_transfer_attempt(step, t, attempt, heap);
+            run_transfer_attempt(sliced, step, slice, t, attempt, heap);
         if (!attempt_finish) continue;  // failed; retry already queued
         finish = *attempt_finish;
       }
@@ -195,17 +223,28 @@ class Engine {
         if (--indegrees[dep] == 0) heap.emplace(ready_at[dep], dep, 1);
       }
       if (const auto crash = pending_fraction_crash(completed, n)) {
-        return escalate(*crash, finish, plan, done, completed);
+        return escalate(*crash, finish, plan, sliced, done, completed);
       }
     }
     return std::nullopt;
   }
 
+  /// Log-detail suffix identifying the slice; empty for degenerate
+  /// lowerings so chunk-granular logs stay byte-identical to the
+  /// pre-slicing engine's.
+  static std::string slice_suffix(const SlicePlan& sp, const SliceInfo& sl) {
+    if (sp.num_slices <= 1) return {};
+    return ", slice " + std::to_string(sl.slice + 1) + "/" +
+           std::to_string(sp.num_slices) + " @" + std::to_string(sl.offset);
+  }
+
   /// Compute steps run the real GF kernels immediately; only their *timing*
   /// is modelled (step.bytes / virtual_gf_bps, same charge as the
-  /// emulator's virtual timing pass).
-  double run_compute(const RecoveryPlan& plan, const PlanStep& step,
-                     double t) {
+  /// emulator's virtual timing pass — slice charges sum to the base
+  /// step's).  The output slice is staged in a pooled lease and assembled
+  /// into the base step's output buffer in place.
+  double run_compute(const SlicePlan& sliced, const PlanStep& step,
+                     const SliceInfo& slice, double t) {
     std::vector<const rs::Chunk*> inputs;
     inputs.reserve(step.inputs.size());
     for (const auto& in : step.inputs) {
@@ -218,29 +257,37 @@ class Engine {
     // Step contract checks and the fused GF combine are shared with the
     // emulator (recovery/compute.h), so both runtimes execute compute steps
     // bit-identically.
-    rs::Chunk out = recovery::execute_compute_step(step, inputs, "inject");
-    cluster_.put_buffer(step.node, BufferRef::step(step.id), std::move(out));
+    util::BufferLease out = cluster_.buffer_pool().acquire(
+        static_cast<std::size_t>(slice.length));
+    recovery::execute_compute_slice(step, inputs, sliced.chunk_size,
+                                    slice.offset, {out.data(), out.size()},
+                                    "inject");
+    cluster_.write_buffer_range(step.node, BufferRef::step(slice.base_step),
+                                sliced.chunk_size, slice.offset,
+                                {out.data(), out.size()});
 
     const double dt =
         static_cast<double>(step.bytes) / cluster_.config().virtual_gf_bps;
     const double finish = t + dt;
     result_.report.compute_s += dt;
-    if (step.node == plan.replacement) {
+    if (step.node == sliced.replacement) {
       result_.report.replacement_compute_s += dt;
     }
     result_.log.record(finish, EventKind::kComputeComplete,
                        static_cast<std::int64_t>(step.id), -1,
                        static_cast<std::int64_t>(step.node), step.bytes,
-                       std::to_string(step.inputs.size()) + " inputs");
+                       std::to_string(step.inputs.size()) + " inputs" +
+                           slice_suffix(sliced, slice));
     return finish;
   }
 
-  /// One transfer attempt.  Returns the delivery time on success; on
-  /// timeout/drop/corruption returns nullopt after queueing the retry (or
-  /// throws once the attempt budget is spent).
-  std::optional<double> run_transfer_attempt(const PlanStep& step, double t,
-                                             std::size_t attempt,
-                                             Heap& heap) {
+  /// One transfer attempt of one slice.  Returns the delivery time on
+  /// success; on timeout/drop/corruption returns nullopt after queueing the
+  /// retry (or throws once the attempt budget is spent).
+  std::optional<double> run_transfer_attempt(const SlicePlan& sliced,
+                                             const PlanStep& step,
+                                             const SliceInfo& slice, double t,
+                                             std::size_t attempt, Heap& heap) {
     ++result_.stats.attempts;
     if (attempt > 1) ++result_.stats.retries;
 
@@ -248,22 +295,33 @@ class Engine {
     CAR_CHECK_STATE(payload != nullptr,
                     "inject: transfer payload " + describe(step.payload) +
                         " missing on node " + std::to_string(step.src));
-    CAR_CHECK_STATE(payload->size() == step.bytes,
+    CAR_CHECK_STATE(payload->size() == sliced.chunk_size,
                     "inject: transfer bytes do not match stored payload");
+    const std::span<const std::uint8_t> wire(
+        payload->data() + slice.offset,
+        static_cast<std::size_t>(slice.length));
 
     result_.log.record(t, EventKind::kTransferAttempt,
                        static_cast<std::int64_t>(step.id),
                        static_cast<std::int64_t>(attempt),
                        static_cast<std::int64_t>(step.src), step.bytes,
                        "-> " + std::to_string(step.dst) + ", " +
-                           describe(step.payload));
+                           describe(step.payload) +
+                           slice_suffix(sliced, slice));
 
     if (step.src == step.dst) {
-      cluster_.put_buffer(step.dst, step.payload, *payload);
+      // Loopback never touches a link or a fault.  Stage the slice through
+      // a pooled lease so the (self-)write is well-defined.
+      util::BufferLease staged = cluster_.buffer_pool().acquire(wire.size());
+      std::memcpy(staged.data(), wire.data(), wire.size());
+      cluster_.write_buffer_range(step.dst, step.payload, sliced.chunk_size,
+                                  slice.offset,
+                                  {staged.data(), staged.size()});
       result_.log.record(t, EventKind::kTransferComplete,
                          static_cast<std::int64_t>(step.id),
                          static_cast<std::int64_t>(attempt),
-                         static_cast<std::int64_t>(step.dst), 0, "loopback");
+                         static_cast<std::int64_t>(step.dst), 0,
+                         "loopback" + slice_suffix(sliced, slice));
       return t;
     }
 
@@ -313,8 +371,14 @@ class Engine {
                              ", ack deadline " + fmt_s(deadline));
     } else if (fault != nullptr) {  // kCorrupt
       const double finish = path.reserve(t, step.bytes, page);
-      rs::Chunk garbled = *payload;
-      garbled[(step.id * 1315423911ULL + attempt) % garbled.size()] ^= 0xA5;
+      // Garble one byte of the slice in a pooled staging copy — the stored
+      // payload stays pristine for the retry.  For a degenerate lowering
+      // the staged slice is the whole chunk and the garbled index matches
+      // the chunk-granular engine's, so logs stay byte-identical.
+      util::BufferLease staged = cluster_.buffer_pool().acquire(wire.size());
+      std::memcpy(staged.data(), wire.data(), wire.size());
+      staged.data()[(step.id * 1315423911ULL + attempt) % staged.size()] ^=
+          0xA5;
       ++result_.stats.corruptions;
       result_.stats.wasted_wire_bytes += step.bytes;
       failed_at = finish;  // checksum mismatch is detected on delivery
@@ -323,13 +387,18 @@ class Engine {
                          static_cast<std::int64_t>(attempt),
                          static_cast<std::int64_t>(step.dst), step.bytes,
                          "fault #" + std::to_string(fault_index) +
-                             ", checksum sent=" + fmt_hex(fnv64(*payload)) +
-                             " got=" + fmt_hex(fnv64(garbled)));
+                             ", checksum sent=" + fmt_hex(fnv64(wire)) +
+                             " got=" +
+                             fmt_hex(fnv64({staged.data(), staged.size()})) +
+                             slice_suffix(sliced, slice));
     } else {
       const double finish = path.reserve(t, step.bytes, page);
-      cluster_.put_buffer(step.dst, step.payload, *payload);
-      // At-most-once accounting: payload bytes land in the report here and
-      // only here — failed attempts never reach this branch.
+      cluster_.write_buffer_range(step.dst, step.payload, sliced.chunk_size,
+                                  slice.offset, wire);
+      // At-most-once accounting: slice bytes land in the report here and
+      // only here — failed attempts never reach this branch.  A transfer's
+      // slices partition the chunk, so the delivered total per base step is
+      // exactly chunk_size no matter the grid.
       if (step.cross_rack) {
         result_.report.cross_rack_bytes += step.bytes;
         result_.report
@@ -342,7 +411,9 @@ class Engine {
                          static_cast<std::int64_t>(step.id),
                          static_cast<std::int64_t>(attempt),
                          static_cast<std::int64_t>(step.dst), step.bytes,
-                         step.cross_rack ? "cross-rack" : "intra-rack");
+                         (step.cross_rack ? std::string("cross-rack")
+                                          : std::string("intra-rack")) +
+                             slice_suffix(sliced, slice));
       return finish;
     }
 
@@ -391,9 +462,11 @@ class Engine {
 
   /// Crash escalation: publish what finished, cancel the rest, drop the
   /// node, re-plan the (now multi-)failure, validate, and hand back the
-  /// plan to resume with.
+  /// plan to resume with.  `done` and `completed` are at slice granularity;
+  /// an output counts as finished only when *every* slice of its producing
+  /// step delivered.
   RecoveryPlan escalate(std::size_t crash_index, double tc,
-                        const RecoveryPlan& plan,
+                        const RecoveryPlan& plan, const SlicePlan& sliced,
                         const std::vector<char>& done,
                         std::size_t completed) {
     const NodeCrash& crash = faults_.node_crashes[crash_index];
@@ -410,17 +483,17 @@ class Engine {
         crash.at_fraction
             ? "at completion fraction " + fmt_s(*crash.at_fraction)
             : "at scheduled time " + fmt_s(*crash.at_time_s));
-    const std::size_t cancelled = plan.steps.size() - completed;
+    const std::size_t cancelled = sliced.steps.size() - completed;
     result_.stats.cancelled_steps += cancelled;
     result_.log.record(now_, EventKind::kStepsCancelled, -1, -1, -1, 0,
                        std::to_string(cancelled) + " of " +
-                           std::to_string(plan.steps.size()) + " steps");
+                           std::to_string(sliced.steps.size()) + " steps");
 
     // Durability first: recovered chunks whose final step completed are
     // already correct — promote them to regular replicas before the step
     // outputs are wiped.  (The re-plan recomputes every lost chunk anyway;
     // published replicas are simply overwritten with identical bytes.)
-    publish_outputs(plan, &done);
+    publish_outputs(plan, &done, sliced.num_slices);
 
     cluster_.drop_node(crash.node);  // CheckError if it is the replacement
     cluster_.clear_step_outputs();
@@ -482,12 +555,24 @@ class Engine {
   }
 
   /// Promote recovered chunks to regular replicas on the replacement.
-  /// `done` restricts to completed output steps; nullptr publishes all.
+  /// `done` (slice-granular, over the `num_slices` grid) restricts to
+  /// outputs whose producing step delivered *every* slice; nullptr
+  /// publishes all.
   void publish_outputs(const RecoveryPlan& plan,
-                       const std::vector<char>* done) {
+                       const std::vector<char>* done,
+                       std::uint64_t num_slices) {
     std::size_t published = 0;
     for (const auto& out : plan.outputs) {
-      if (done != nullptr && (*done)[out.step_id] == 0) continue;
+      if (done != nullptr) {
+        bool whole = true;
+        for (std::uint64_t s = 0; s < num_slices; ++s) {
+          if ((*done)[out.step_id * num_slices + s] == 0) {
+            whole = false;
+            break;
+          }
+        }
+        if (!whole) continue;
+      }
       const rs::Chunk* buf =
           cluster_.find_step_output(plan.replacement, out.step_id);
       CAR_CHECK_STATE(buf != nullptr,
@@ -518,6 +603,7 @@ class Engine {
   const FaultPlan& faults_;
   const RetryPolicy& policy_;
   std::uint64_t seed_;
+  std::uint64_t slice_bytes_;
   const ReplanContext& ctx_;
   util::Rng backoff_rng_;
   util::Rng replan_rng_;
@@ -539,7 +625,17 @@ ResilientRuntime::ResilientRuntime(emul::Cluster& cluster, FaultPlan faults,
 
 RunResult ResilientRuntime::execute(const recovery::RecoveryPlan& plan,
                                     const ReplanContext& context) {
+  // Degenerate lowering: one slice per step reproduces the chunk-granular
+  // engine's events, bytes, and timeline exactly.
+  return execute_sliced(plan, std::max<std::uint64_t>(plan.chunk_size, 1),
+                        context);
+}
+
+RunResult ResilientRuntime::execute_sliced(const recovery::RecoveryPlan& plan,
+                                           std::uint64_t slice_bytes,
+                                           const ReplanContext& context) {
   cluster_.clock().require_virtual("inject::ResilientRuntime");
+  CAR_CHECK(slice_bytes > 0, "inject: slice_bytes must be positive");
   faults_.validate(cluster_.topology());
   for (const auto& crash : faults_.node_crashes) {
     CAR_CHECK(crash.node != plan.replacement,
@@ -553,7 +649,7 @@ RunResult ResilientRuntime::execute(const recovery::RecoveryPlan& plan,
   }
 
   GuardScope guard(cluster_, plan.replacement);
-  Engine engine(cluster_, faults_, policy_, seed_, context);
+  Engine engine(cluster_, faults_, policy_, seed_, slice_bytes, context);
   return engine.run(plan);
 }
 

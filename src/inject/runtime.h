@@ -102,8 +102,24 @@ class ResilientRuntime {
   /// fails validation, or a crash targets the replacement node; propagates
   /// util::CheckError from malformed plans/faults.  On success every plan
   /// output is published on the replacement as a regular chunk replica.
+  /// Runs chunk-granular (a degenerate one-slice lowering of the sliced
+  /// engine below — identical events, bytes, and timeline).
   RunResult execute(const recovery::RecoveryPlan& plan,
                     const ReplanContext& context);
+
+  /// Slice-pipelined variant: lower `plan` onto a `slice_bytes` grid
+  /// (recovery/slice.h) and run it with timeouts, retries, fault matching,
+  /// and crash escalation at slice granularity.  Cross-rack shipping of
+  /// slice s overlaps partial decoding of slice s+1 on the virtual
+  /// timeline, so the makespan approaches max(transfer, compute).
+  /// At-most-once accounting is preserved per slice (slices of one
+  /// transfer sum to exactly chunk_size), recovered bytes are bit-identical
+  /// to the chunk-granular run, and same-seed runs stay byte-identical in
+  /// the EventLog.  Crash escalations re-plan at chunk granularity and
+  /// re-lower the new plan onto the same grid.
+  RunResult execute_sliced(const recovery::RecoveryPlan& plan,
+                           std::uint64_t slice_bytes,
+                           const ReplanContext& context);
 
  private:
   emul::Cluster& cluster_;

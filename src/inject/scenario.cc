@@ -322,6 +322,8 @@ Scenario parse_scenario(const std::string& text) {
       scenario.chunk_bytes = parse_u64(line, value) * util::kKiB;
     } else if (key == "page-kib") {
       scenario.page_bytes = parse_u64(line, value) * util::kKiB;
+    } else if (key == "slice-kib") {
+      scenario.slice_bytes = parse_u64(line, value) * util::kKiB;
     } else if (key == "seed") {
       scenario.seed = parse_u64(line, value);
     } else if (key == "strategy") {
@@ -428,7 +430,10 @@ ScenarioOutcome run_scenario(const Scenario& scenario) {
   context.code = &code;
   context.failed_nodes = {failure.failed_node};
   context.strategy = car ? ReplanStrategy::kCar : ReplanStrategy::kRr;
-  outcome.run = runtime.execute(plan, context);
+  outcome.run =
+      scenario.slice_bytes > 0
+          ? runtime.execute_sliced(plan, scenario.slice_bytes, context)
+          : runtime.execute(plan, context);
 
   // Bit-exactness: every output of the plan that actually finished (the
   // re-plan after a crash, otherwise the original) must match the bytes the

@@ -12,6 +12,7 @@
 //   m 2
 //   stripes 12
 //   chunk-kib 64
+//   slice-kib 16           # optional; > 0 = slice-pipelined execution
 //   seed 7
 //   strategy car           # car | rr
 //   fail-node 2            # optional; default: seeded random data node
@@ -52,6 +53,11 @@ struct Scenario {
   std::size_t stripes = 12;
   std::uint64_t chunk_bytes = 64 * 1024;
   std::uint64_t page_bytes = 16 * 1024;
+  /// Slice-pipelined execution granularity (spec key `slice-kib`).  0 runs
+  /// the classic chunk-granular engine; > 0 lowers the plan onto that grid
+  /// (recovery/slice.h) so transfers and partial decodes overlap per slice.
+  /// Recovered bytes are identical either way.
+  std::uint64_t slice_bytes = 0;
   std::uint64_t seed = 7;
   /// "car" (rack-aware + partial decoding) or "rr" (ship-and-decode).
   std::string strategy = "car";

@@ -1,5 +1,6 @@
 #include "recovery/compute.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -8,26 +9,29 @@
 
 namespace car::recovery {
 
-rs::Chunk execute_compute_step(const PlanStep& step,
-                               std::span<const rs::Chunk* const> inputs,
-                               const std::string& context) {
+void execute_compute_slice(const PlanStep& step,
+                           std::span<const rs::Chunk* const> inputs,
+                           std::uint64_t chunk_size, std::uint64_t offset,
+                           std::span<std::uint8_t> out,
+                           const std::string& context) {
   CAR_CHECK_STATE(inputs.size() == step.inputs.size(),
                   context + ": gathered inputs do not match step arity");
   CAR_CHECK_STATE(!inputs.empty(), context + ": compute with no inputs");
   for (const rs::Chunk* buf : inputs) {
     CAR_CHECK_STATE(buf != nullptr, context + ": compute input missing");
   }
-  const std::size_t chunk_bytes = inputs.front()->size();
-  // Buffer-size contract: every input of a linear combination must be the
-  // same length, and the plan's declared compute volume must equal
-  // |inputs| * chunk bytes.
+  // Buffer-size contract: every input of a linear combination must hold a
+  // full chunk, the slice range must lie inside it, and the (sliced)
+  // step's declared compute volume must equal |inputs| * slice bytes.
   for (const rs::Chunk* buf : inputs) {
-    CAR_CHECK_STATE(buf->size() == chunk_bytes,
+    CAR_CHECK_STATE(buf->size() == chunk_size,
                     context + ": compute input size mismatch");
   }
+  CAR_CHECK_STATE(offset + out.size() <= chunk_size,
+                  context + ": compute slice range exceeds the chunk");
   CAR_CHECK_STATE(
-      step.bytes == static_cast<std::uint64_t>(chunk_bytes) * inputs.size(),
-      context + ": compute bytes do not equal inputs * chunk size");
+      step.bytes == static_cast<std::uint64_t>(out.size()) * inputs.size(),
+      context + ": compute bytes do not equal inputs * slice size");
 
   std::vector<std::uint8_t> coeffs;
   std::vector<rs::ChunkView> views;
@@ -35,10 +39,27 @@ rs::Chunk execute_compute_step(const PlanStep& step,
   views.reserve(inputs.size());
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     coeffs.push_back(step.inputs[i].coeff);
-    views.emplace_back(*inputs[i]);
+    views.push_back(rs::ChunkView(*inputs[i]).subspan(
+        static_cast<std::size_t>(offset), out.size()));
   }
-  rs::Chunk out(chunk_bytes, 0);
+  std::fill(out.begin(), out.end(), std::uint8_t{0});
   gf::linear_combine_acc(coeffs, views, out);
+}
+
+rs::Chunk execute_compute_step(const PlanStep& step,
+                               std::span<const rs::Chunk* const> inputs,
+                               const std::string& context) {
+  CAR_CHECK_STATE(inputs.size() == step.inputs.size(),
+                  context + ": gathered inputs do not match step arity");
+  CAR_CHECK_STATE(!inputs.empty(), context + ": compute with no inputs");
+  CAR_CHECK_STATE(inputs.front() != nullptr,
+                  context + ": compute input missing");
+  // The chunk size is inferred from the first input; the slice variant then
+  // enforces that every input matches it (degenerate single-slice call
+  // covering the whole chunk).
+  const std::size_t chunk_bytes = inputs.front()->size();
+  rs::Chunk out(chunk_bytes, 0);
+  execute_compute_slice(step, inputs, chunk_bytes, 0, out, context);
   return out;
 }
 

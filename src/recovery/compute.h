@@ -25,4 +25,17 @@ namespace car::recovery {
     const PlanStep& step, std::span<const rs::Chunk* const> inputs,
     const std::string& context);
 
+/// Slice-granular variant (recovery/slice.h): evaluates `step`'s linear
+/// combination over bytes [offset, offset + out.size()) of each full-chunk
+/// input, writing the result into `out`.  `step` is the *sliced* step, so
+/// its declared bytes must equal out.size() * |inputs|; every input buffer
+/// must hold a full chunk of `chunk_size` bytes.  `out` must not alias any
+/// input (the kernels' linear_combine contract) — executors stage it
+/// through a pool lease.  Throws util::StateError on contract violations.
+void execute_compute_slice(const PlanStep& step,
+                           std::span<const rs::Chunk* const> inputs,
+                           std::uint64_t chunk_size, std::uint64_t offset,
+                           std::span<std::uint8_t> out,
+                           const std::string& context);
+
 }  // namespace car::recovery

@@ -16,7 +16,7 @@ std::size_t RecoveryPlan::num_computes() const noexcept {
   return n;
 }
 
-std::uint64_t RecoveryPlan::cross_rack_bytes() const noexcept {
+std::uint64_t cross_rack_bytes(std::span<const PlanStep> steps) noexcept {
   std::uint64_t total = 0;
   for (const auto& s : steps) {
     if (s.kind == StepKind::kTransfer && s.cross_rack) total += s.bytes;
@@ -24,7 +24,7 @@ std::uint64_t RecoveryPlan::cross_rack_bytes() const noexcept {
   return total;
 }
 
-std::uint64_t RecoveryPlan::intra_rack_bytes() const noexcept {
+std::uint64_t intra_rack_bytes(std::span<const PlanStep> steps) noexcept {
   std::uint64_t total = 0;
   for (const auto& s : steps) {
     // Loopback moves (src == dst) never leave the node, so they are not
@@ -37,8 +37,8 @@ std::uint64_t RecoveryPlan::intra_rack_bytes() const noexcept {
   return total;
 }
 
-std::vector<std::uint64_t> RecoveryPlan::per_rack_cross_bytes(
-    const cluster::Topology& topology) const {
+std::vector<std::uint64_t> per_rack_cross_bytes(
+    std::span<const PlanStep> steps, const cluster::Topology& topology) {
   std::vector<std::uint64_t> per_rack(topology.num_racks(), 0);
   for (const auto& s : steps) {
     if (s.kind == StepKind::kTransfer && s.cross_rack) {
@@ -48,12 +48,30 @@ std::vector<std::uint64_t> RecoveryPlan::per_rack_cross_bytes(
   return per_rack;
 }
 
-std::uint64_t RecoveryPlan::compute_bytes() const noexcept {
+std::uint64_t compute_bytes(std::span<const PlanStep> steps) noexcept {
   std::uint64_t total = 0;
   for (const auto& s : steps) {
     if (s.kind == StepKind::kCompute) total += s.bytes;
   }
   return total;
+}
+
+std::uint64_t RecoveryPlan::cross_rack_bytes() const noexcept {
+  return recovery::cross_rack_bytes(std::span<const PlanStep>(steps));
+}
+
+std::uint64_t RecoveryPlan::intra_rack_bytes() const noexcept {
+  return recovery::intra_rack_bytes(std::span<const PlanStep>(steps));
+}
+
+std::vector<std::uint64_t> RecoveryPlan::per_rack_cross_bytes(
+    const cluster::Topology& topology) const {
+  return recovery::per_rack_cross_bytes(std::span<const PlanStep>(steps),
+                                        topology);
+}
+
+std::uint64_t RecoveryPlan::compute_bytes() const noexcept {
+  return recovery::compute_bytes(std::span<const PlanStep>(steps));
 }
 
 namespace {

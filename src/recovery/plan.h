@@ -96,6 +96,18 @@ struct RecoveryPlan {
   [[nodiscard]] std::uint64_t compute_bytes() const noexcept;
 };
 
+/// Byte-total accounting over any step sequence — shared by RecoveryPlan
+/// and the slice-level lowering (recovery/slice.h), so sliced and unsliced
+/// plans are summed by the same code and can be compared bit-for-bit.
+[[nodiscard]] std::uint64_t cross_rack_bytes(
+    std::span<const PlanStep> steps) noexcept;
+[[nodiscard]] std::uint64_t intra_rack_bytes(
+    std::span<const PlanStep> steps) noexcept;
+[[nodiscard]] std::uint64_t compute_bytes(
+    std::span<const PlanStep> steps) noexcept;
+[[nodiscard]] std::vector<std::uint64_t> per_rack_cross_bytes(
+    std::span<const PlanStep> steps, const cluster::Topology& topology);
+
 /// Compile a CAR multi-stripe solution into an executable plan.  Each
 /// contributing rack designates the host of its first picked chunk as
 /// aggregator; aggregators partially decode and forward one chunk to the

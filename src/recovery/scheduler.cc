@@ -56,10 +56,10 @@ RecoveryPlan schedule_windowed(const RecoveryPlan& plan, std::size_t window) {
   return scheduled;
 }
 
-std::vector<std::size_t> step_indegrees(const RecoveryPlan& plan) {
-  const std::size_t n = plan.steps.size();
+std::vector<std::size_t> step_indegrees(std::span<const PlanStep> steps) {
+  const std::size_t n = steps.size();
   std::vector<std::size_t> indegrees(n, 0);
-  for (const auto& step : plan.steps) {
+  for (const auto& step : steps) {
     // Plan-DAG well-formedness: dependency ids must name existing steps.
     CAR_CHECK_LT(step.id, n, "step_indegrees: step id out of range");
     for (const std::size_t dep : step.deps) {
@@ -70,11 +70,15 @@ std::vector<std::size_t> step_indegrees(const RecoveryPlan& plan) {
   return indegrees;
 }
 
+std::vector<std::size_t> step_indegrees(const RecoveryPlan& plan) {
+  return step_indegrees(std::span<const PlanStep>(plan.steps));
+}
+
 std::vector<std::vector<std::size_t>> step_dependents(
-    const RecoveryPlan& plan) {
-  const std::size_t n = plan.steps.size();
+    std::span<const PlanStep> steps) {
+  const std::size_t n = steps.size();
   std::vector<std::vector<std::size_t>> dependents(n);
-  for (const auto& step : plan.steps) {
+  for (const auto& step : steps) {
     CAR_CHECK_LT(step.id, n, "step_dependents: step id out of range");
     for (const std::size_t dep : step.deps) {
       CAR_CHECK_LT(dep, n, "step_dependents: unknown dependency id");
@@ -82,6 +86,11 @@ std::vector<std::vector<std::size_t>> step_dependents(
     }
   }
   return dependents;
+}
+
+std::vector<std::vector<std::size_t>> step_dependents(
+    const RecoveryPlan& plan) {
+  return step_dependents(std::span<const PlanStep>(plan.steps));
 }
 
 std::size_t max_inflight_stripes(const RecoveryPlan& plan) {

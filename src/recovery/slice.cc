@@ -1,0 +1,72 @@
+#include "recovery/slice.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace car::recovery {
+
+SlicePlan slice_plan(const RecoveryPlan& plan, std::uint64_t slice_size) {
+  CAR_CHECK(slice_size > 0, "slice_plan: slice_size must be > 0");
+
+  SlicePlan sliced;
+  sliced.replacement = plan.replacement;
+  sliced.replacement_rack = plan.replacement_rack;
+  sliced.chunk_size = plan.chunk_size;
+  sliced.outputs = plan.outputs;
+  sliced.num_base_steps = plan.steps.size();
+  if (plan.steps.empty()) {
+    sliced.slice_size = std::min(slice_size, plan.chunk_size);
+    sliced.num_slices = 1;
+    return sliced;
+  }
+
+  CAR_CHECK(plan.chunk_size > 0,
+            "slice_plan: non-empty plan with chunk_size == 0");
+  const std::uint64_t effective = std::min(slice_size, plan.chunk_size);
+  const std::size_t num_slices =
+      static_cast<std::size_t>((plan.chunk_size + effective - 1) / effective);
+  sliced.slice_size = effective;
+  sliced.num_slices = num_slices;
+
+  sliced.steps.reserve(plan.steps.size() * num_slices);
+  sliced.info.reserve(plan.steps.size() * num_slices);
+  for (std::size_t index = 0; index < plan.steps.size(); ++index) {
+    const PlanStep& base = plan.steps[index];
+    // The id grid (base id * num_slices + slice) requires dense base ids.
+    CAR_CHECK(base.id == index, "slice_plan: step ids must be dense");
+    // The slice grid only makes sense when the base step obeys the plan
+    // byte contract; a violation here would silently skew every slice.
+    if (base.kind == StepKind::kTransfer) {
+      CAR_CHECK(base.bytes == plan.chunk_size,
+                "slice_plan: transfer step bytes != chunk_size");
+    } else {
+      CAR_CHECK(base.bytes == plan.chunk_size * base.inputs.size(),
+                "slice_plan: compute step bytes != chunk_size * |inputs|");
+    }
+    for (std::size_t s = 0; s < num_slices; ++s) {
+      const std::uint64_t offset = static_cast<std::uint64_t>(s) * effective;
+      const std::uint64_t length =
+          std::min(effective, plan.chunk_size - offset);
+
+      PlanStep step = base;
+      step.id = sliced.sliced_id(base.id, s);
+      step.deps.clear();
+      step.deps.reserve(base.deps.size());
+      // Per-slice dependencies: slice s waits only on slice s of each
+      // prerequisite — the pipelining this whole lowering exists for.
+      for (const std::size_t dep : base.deps) {
+        step.deps.push_back(sliced.sliced_id(dep, s));
+      }
+      step.bytes = base.kind == StepKind::kTransfer
+                       ? length
+                       : length * static_cast<std::uint64_t>(
+                                      base.inputs.size());
+      sliced.steps.push_back(std::move(step));
+      sliced.info.push_back(SliceInfo{base.id, s, offset, length});
+    }
+  }
+  return sliced;
+}
+
+}  // namespace car::recovery

@@ -1,0 +1,127 @@
+#include "util/buffer_pool.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+namespace car::util {
+
+namespace {
+
+/// log2 of a power-of-two capacity (the freelist index).
+std::size_t class_index(std::size_t capacity) noexcept {
+  return static_cast<std::size_t>(std::bit_width(capacity) - 1);
+}
+
+}  // namespace
+
+BufferLease::BufferLease(BufferLease&& other) noexcept
+    : pool_(std::exchange(other.pool_, nullptr)),
+      buf_(std::move(other.buf_)),
+      accounted_(std::exchange(other.accounted_, 0)) {}
+
+BufferLease& BufferLease::operator=(BufferLease&& other) noexcept {
+  if (this != &other) {
+    release();
+    pool_ = std::exchange(other.pool_, nullptr);
+    buf_ = std::move(other.buf_);
+    accounted_ = std::exchange(other.accounted_, 0);
+  }
+  return *this;
+}
+
+BufferLease::~BufferLease() { release(); }
+
+void BufferLease::release() noexcept {
+  if (pool_ == nullptr) return;
+  pool_->end_lease(std::move(buf_), accounted_, /*park=*/true);
+  pool_ = nullptr;
+  accounted_ = 0;
+  buf_.clear();
+}
+
+std::vector<std::uint8_t> BufferLease::detach() && {
+  std::vector<std::uint8_t> out = std::move(buf_);
+  if (pool_ != nullptr) {
+    pool_->end_lease({}, accounted_, /*park=*/false);
+    pool_ = nullptr;
+    accounted_ = 0;
+  }
+  return out;
+}
+
+std::size_t BufferPool::class_bytes(std::size_t n) noexcept {
+  return std::bit_ceil(std::max(n, kMinClassBytes));
+}
+
+std::vector<std::uint8_t> BufferPool::checkout_locked(std::size_t n) {
+  const std::size_t capacity = class_bytes(n);
+  auto& list = free_[class_index(capacity)];
+  std::vector<std::uint8_t> buf;
+  if (!list.empty()) {
+    buf = std::move(list.back());
+    list.pop_back();
+    ++stats_.freelist_hits;
+    stats_.pooled_bytes -= capacity;
+  } else {
+    buf.reserve(capacity);
+  }
+  buf.resize(n);
+  return buf;
+}
+
+BufferLease BufferPool::acquire(std::size_t n) {
+  if (n == 0) return {};
+  const std::size_t capacity = class_bytes(n);
+  std::scoped_lock lock(mu_);
+  ++stats_.acquires;
+  auto buf = checkout_locked(n);
+  stats_.outstanding_bytes += capacity;
+  stats_.high_water_bytes =
+      std::max(stats_.high_water_bytes, stats_.outstanding_bytes);
+  return {this, std::move(buf), capacity};
+}
+
+std::vector<std::uint8_t> BufferPool::take(std::size_t n) {
+  if (n == 0) return {};
+  std::scoped_lock lock(mu_);
+  ++stats_.takes;
+  return checkout_locked(n);
+}
+
+void BufferPool::recycle(std::vector<std::uint8_t>&& buf) {
+  std::vector<std::uint8_t> victim = std::move(buf);
+  if (victim.capacity() < kMinClassBytes) return;  // not worth parking
+  // Park by the largest power of two the capacity can serve: a future
+  // checkout of that class is guaranteed to fit without reallocating.
+  const std::size_t capacity = std::bit_floor(victim.capacity());
+  std::scoped_lock lock(mu_);
+  ++stats_.recycles;
+  stats_.pooled_bytes += capacity;
+  free_[class_index(capacity)].push_back(std::move(victim));
+}
+
+void BufferPool::end_lease(std::vector<std::uint8_t>&& buf,
+                           std::size_t accounted, bool park) noexcept {
+  std::vector<std::uint8_t> victim = std::move(buf);
+  std::scoped_lock lock(mu_);
+  stats_.outstanding_bytes -= accounted;
+  if (!park || victim.capacity() < kMinClassBytes) return;
+  const std::size_t capacity = std::bit_floor(victim.capacity());
+  ++stats_.recycles;
+  stats_.pooled_bytes += capacity;
+  free_[class_index(capacity)].push_back(std::move(victim));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+void BufferPool::trim() {
+  std::scoped_lock lock(mu_);
+  for (auto& list : free_) list.clear();
+  stats_.pooled_bytes = 0;
+}
+
+}  // namespace car::util

@@ -1,0 +1,137 @@
+// Pooled byte buffers for the emulator's data plane.
+//
+// Executing a recovery plan used to allocate a fresh std::vector for every
+// transfer's wire copy and every compute step's output — at slice
+// granularity (recovery/slice.h) that is one malloc per slice, dominating
+// the data plane once the GF kernels run at tens of GB/s.  BufferPool
+// recycles buffers through power-of-two size classes so steady-state
+// execution performs zero heap allocation per slice.
+//
+// Two checkout modes with different accounting:
+//
+//   * acquire(n) -> BufferLease — a short-lived *staging* buffer (a wire
+//     payload, a compute scratch output).  Leases are RAII: the destructor
+//     parks the buffer back in its size class.  Leased capacity is tracked
+//     in outstanding_bytes / high_water_bytes, so the high-water mark
+//     measures peak staging memory — the quantity bounded by the scheduler
+//     window (see tests/slice_exec_test.cc).
+//
+//   * take(n) / recycle(buf) — a *long-lived* buffer that leaves the pool's
+//     custody (e.g. a chunk buffer parked in a node's store for the rest of
+//     the run).  take() reuses freelist capacity but deliberately does not
+//     count toward the staging high-water mark; recycle() returns capacity
+//     when the owner is done (a store eviction, a replaced buffer).
+//
+// Thread-safe; a single mutex guards the freelists and stats (checkout is
+// rare next to the memcpy/GF work done on the buffers themselves).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace car::util {
+
+class BufferPool;
+
+/// RAII checkout of a pooled staging buffer.  Move-only; the destructor
+/// returns the bytes to the pool and ends the high-water accounting.
+class BufferLease {
+ public:
+  BufferLease() = default;
+  BufferLease(BufferLease&& other) noexcept;
+  BufferLease& operator=(BufferLease&& other) noexcept;
+  BufferLease(const BufferLease&) = delete;
+  BufferLease& operator=(const BufferLease&) = delete;
+  ~BufferLease();
+
+  [[nodiscard]] bool active() const noexcept { return pool_ != nullptr; }
+  [[nodiscard]] std::vector<std::uint8_t>& bytes() noexcept { return buf_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::uint8_t* data() noexcept { return buf_.data(); }
+  [[nodiscard]] const std::uint8_t* data() const noexcept {
+    return buf_.data();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+  /// End the lease but keep the bytes: the buffer leaves the pool's staging
+  /// accounting and becomes the caller's to own (recycle() it when done).
+  [[nodiscard]] std::vector<std::uint8_t> detach() &&;
+
+  /// Return the buffer early (what the destructor does); idempotent.
+  void release() noexcept;
+
+ private:
+  friend class BufferPool;
+  BufferLease(BufferPool* pool, std::vector<std::uint8_t> buf,
+              std::size_t accounted) noexcept
+      : pool_(pool), buf_(std::move(buf)), accounted_(accounted) {}
+
+  BufferPool* pool_ = nullptr;
+  std::vector<std::uint8_t> buf_;
+  std::size_t accounted_ = 0;  // capacity charged to outstanding_bytes
+};
+
+class BufferPool {
+ public:
+  struct Stats {
+    std::size_t acquires = 0;       // staging leases handed out
+    std::size_t takes = 0;          // long-lived buffers checked out
+    std::size_t freelist_hits = 0;  // checkouts served without an allocation
+    std::size_t recycles = 0;       // buffers parked back (lease or recycle)
+    std::uint64_t outstanding_bytes = 0;  // live leased capacity (staging)
+    std::uint64_t high_water_bytes = 0;   // max outstanding over the run
+    std::uint64_t pooled_bytes = 0;       // idle capacity in the freelists
+  };
+
+  /// Requests below this round up to one minimum-sized class, so tiny
+  /// slices do not fragment the freelists.
+  static constexpr std::size_t kMinClassBytes = 1024;
+
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Check out a staging buffer of exactly n bytes (capacity rounded up to
+  /// the size class).  n == 0 returns an inactive lease.  Contents are
+  /// unspecified — callers overwrite the full range.
+  [[nodiscard]] BufferLease acquire(std::size_t n);
+
+  /// Check out a long-lived buffer of exactly n bytes.  Reuses pooled
+  /// capacity but is NOT tracked in outstanding/high-water stats — the
+  /// buffer belongs to the caller until recycle()d (or forever).
+  [[nodiscard]] std::vector<std::uint8_t> take(std::size_t n);
+
+  /// Park a buffer's capacity for reuse.  Accepts any vector (not only ones
+  /// from take()); buffers smaller than the minimum class are dropped.
+  void recycle(std::vector<std::uint8_t>&& buf);
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Drop all idle pooled capacity (freelists), keeping stats counters.
+  void trim();
+
+  /// The power-of-two capacity class serving a request of n bytes.
+  [[nodiscard]] static std::size_t class_bytes(std::size_t n) noexcept;
+
+ private:
+  friend class BufferLease;
+
+  /// Pop a freelist buffer for the class of n, or allocate one.  Returns it
+  /// resized to n.  Caller must hold mu_.
+  std::vector<std::uint8_t> checkout_locked(std::size_t n);
+
+  void end_lease(std::vector<std::uint8_t>&& buf, std::size_t accounted,
+                 bool park) noexcept;
+
+  mutable std::mutex mu_;
+  // Freelists indexed by log2(class capacity); 64 covers every size_t class.
+  std::array<std::vector<std::vector<std::uint8_t>>, 64> free_;
+  Stats stats_;
+};
+
+}  // namespace car::util

@@ -1,0 +1,162 @@
+#include "util/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace car::util {
+namespace {
+
+TEST(BufferPool, ClassBytesRoundsUpToPowersOfTwo) {
+  EXPECT_EQ(BufferPool::class_bytes(1), BufferPool::kMinClassBytes);
+  EXPECT_EQ(BufferPool::class_bytes(BufferPool::kMinClassBytes),
+            BufferPool::kMinClassBytes);
+  EXPECT_EQ(BufferPool::class_bytes(BufferPool::kMinClassBytes + 1),
+            2 * BufferPool::kMinClassBytes);
+  EXPECT_EQ(BufferPool::class_bytes(65536), 65536u);
+  EXPECT_EQ(BufferPool::class_bytes(65537), 131072u);
+}
+
+TEST(BufferPool, AcquireHandsOutExactSizeAndTracksHighWater) {
+  BufferPool pool;
+  {
+    BufferLease a = pool.acquire(1500);
+    ASSERT_TRUE(a.active());
+    EXPECT_EQ(a.size(), 1500u);
+    const auto s = pool.stats();
+    EXPECT_EQ(s.acquires, 1u);
+    EXPECT_EQ(s.outstanding_bytes, BufferPool::class_bytes(1500));
+    EXPECT_EQ(s.high_water_bytes, BufferPool::class_bytes(1500));
+  }
+  // Lease returned: nothing outstanding, capacity parked, high water keeps
+  // its maximum.
+  const auto s = pool.stats();
+  EXPECT_EQ(s.outstanding_bytes, 0u);
+  EXPECT_EQ(s.high_water_bytes, BufferPool::class_bytes(1500));
+  EXPECT_EQ(s.pooled_bytes, BufferPool::class_bytes(1500));
+  EXPECT_EQ(s.recycles, 1u);
+}
+
+TEST(BufferPool, SteadyStateReusesFreelistCapacity) {
+  BufferPool pool;
+  { BufferLease warm = pool.acquire(64 * 1024); }
+  for (int i = 0; i < 100; ++i) {
+    BufferLease lease = pool.acquire(64 * 1024);
+    std::memset(lease.data(), i, lease.size());
+  }
+  const auto s = pool.stats();
+  EXPECT_EQ(s.acquires, 101u);
+  // Every checkout after the first came from the freelist: steady-state
+  // staging performs zero heap allocation per slice.
+  EXPECT_EQ(s.freelist_hits, 100u);
+  EXPECT_EQ(s.pooled_bytes, 64u * 1024);
+}
+
+TEST(BufferPool, ZeroByteAcquireIsInactive) {
+  BufferPool pool;
+  BufferLease lease = pool.acquire(0);
+  EXPECT_FALSE(lease.active());
+  EXPECT_EQ(lease.size(), 0u);
+  EXPECT_EQ(pool.stats().outstanding_bytes, 0u);
+}
+
+TEST(BufferPool, TakeIsNotCountedInStagingHighWater) {
+  BufferPool pool;
+  std::vector<std::uint8_t> buf = pool.take(8192);
+  EXPECT_EQ(buf.size(), 8192u);
+  const auto s = pool.stats();
+  EXPECT_EQ(s.takes, 1u);
+  // take() buffers are long-lived store buffers — they must not inflate the
+  // staging high-water mark or the window bound in slice_exec_test would be
+  // unprovable.
+  EXPECT_EQ(s.outstanding_bytes, 0u);
+  EXPECT_EQ(s.high_water_bytes, 0u);
+  pool.recycle(std::move(buf));
+  EXPECT_EQ(pool.stats().pooled_bytes, 8192u);
+  // The next take of the same class is a freelist hit.
+  std::vector<std::uint8_t> again = pool.take(5000);
+  EXPECT_EQ(again.size(), 5000u);
+  EXPECT_GE(again.capacity(), 5000u);
+  EXPECT_EQ(pool.stats().freelist_hits, 1u);
+}
+
+TEST(BufferPool, RecycleDropsSubMinimumBuffers) {
+  BufferPool pool;
+  pool.recycle(std::vector<std::uint8_t>(10));
+  EXPECT_EQ(pool.stats().pooled_bytes, 0u);
+}
+
+TEST(BufferPool, DetachTransfersOwnership) {
+  BufferPool pool;
+  BufferLease lease = pool.acquire(2048);
+  std::memset(lease.data(), 0x5A, lease.size());
+  std::vector<std::uint8_t> owned = std::move(lease).detach();
+  EXPECT_EQ(owned.size(), 2048u);
+  EXPECT_EQ(owned[2047], 0x5A);
+  // Detach ends the staging accounting without parking the capacity.
+  const auto s = pool.stats();
+  EXPECT_EQ(s.outstanding_bytes, 0u);
+  EXPECT_EQ(s.pooled_bytes, 0u);
+}
+
+TEST(BufferPool, ReleaseIsIdempotentAndMoveSafe) {
+  BufferPool pool;
+  BufferLease a = pool.acquire(4096);
+  a.release();
+  a.release();  // no double-return
+  EXPECT_FALSE(a.active());
+  EXPECT_EQ(pool.stats().outstanding_bytes, 0u);
+  EXPECT_EQ(pool.stats().recycles, 1u);
+
+  BufferLease b = pool.acquire(4096);
+  BufferLease c = std::move(b);
+  EXPECT_FALSE(b.active());  // NOLINT(bugprone-use-after-move): moved-from
+  EXPECT_TRUE(c.active());
+  EXPECT_EQ(pool.stats().outstanding_bytes, 4096u);
+}
+
+TEST(BufferPool, HighWaterTracksPeakConcurrentLeases) {
+  BufferPool pool;
+  {
+    BufferLease a = pool.acquire(1024);
+    BufferLease b = pool.acquire(1024);
+    BufferLease c = pool.acquire(2048);
+    EXPECT_EQ(pool.stats().outstanding_bytes, 4096u);
+  }
+  {
+    BufferLease d = pool.acquire(1024);
+    EXPECT_EQ(pool.stats().outstanding_bytes, 1024u);
+  }
+  EXPECT_EQ(pool.stats().high_water_bytes, 4096u);
+}
+
+TEST(BufferPool, TrimDropsIdleCapacityKeepsCounters) {
+  BufferPool pool;
+  { BufferLease a = pool.acquire(32 * 1024); }
+  EXPECT_EQ(pool.stats().pooled_bytes, 32u * 1024);
+  pool.trim();
+  const auto s = pool.stats();
+  EXPECT_EQ(s.pooled_bytes, 0u);
+  EXPECT_EQ(s.acquires, 1u);
+  EXPECT_EQ(s.high_water_bytes, 32u * 1024);
+  // After a trim the next checkout allocates again.
+  { BufferLease b = pool.acquire(32 * 1024); }
+  EXPECT_EQ(pool.stats().freelist_hits, 0u);
+}
+
+TEST(BufferPool, MixedClassCheckoutsLandInTheRightFreelists) {
+  BufferPool pool;
+  { BufferLease small = pool.acquire(1024); }
+  { BufferLease big = pool.acquire(128 * 1024); }
+  EXPECT_EQ(pool.stats().pooled_bytes, 1024u + 128 * 1024);
+  // A 1 KiB request must not dequeue the 128 KiB buffer.
+  {
+    BufferLease again = pool.acquire(512);
+    EXPECT_EQ(pool.stats().pooled_bytes, 128u * 1024);
+  }
+}
+
+}  // namespace
+}  // namespace car::util

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Structural diff between two recovery-bench JSON baselines.
+
+CI runs `micro_recovery --json` on the PR build and compares the result
+against the committed BENCH_recovery.json with this tool.  Host timing is
+noisy and machine-specific, so absolute times are deliberately ignored —
+what must match is the *structure*:
+
+  - the schema string (car-recovery-bench/1);
+  - the fabric and workload constants (these define the experiment; a drift
+    here silently changes what the baseline means);
+  - the set of measured points, keyed by (config, core_scale), and each
+    point's integer/config fields (k, m, racks);
+  - the set of host_results benchmark names and their non-timing fields
+    (op, chunk_bytes, slice_bytes).
+
+Makespans on the virtual clock are deterministic per build, but they may
+legitimately move when the planner or emulator changes; the only value
+check is directional: every default-fabric (core_scale == 1) point must
+keep speedup >= --min-speedup (default 1.3, the acceptance bar).
+
+Usage:
+  bench_schema_diff.py BASELINE CANDIDATE [--min-speedup 1.3]
+
+Exits 0 when the candidate matches, 1 with a report on stderr otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+POINT_KEY = ("config", "core_scale")
+POINT_FIELDS = ("k", "m", "racks")
+RESULT_FIELDS = ("op", "chunk_bytes", "slice_bytes")
+
+
+def load(path):
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def keyed(rows, key_fields):
+    out = {}
+    for row in rows:
+        out[tuple(row[k] for k in key_fields)] = row
+    return out
+
+
+def diff(baseline, candidate, min_speedup):
+    errors = []
+
+    for field in ("schema", "fabric", "workload"):
+        if baseline.get(field) != candidate.get(field):
+            errors.append(
+                f"{field} mismatch: baseline {baseline.get(field)!r} "
+                f"vs candidate {candidate.get(field)!r}"
+            )
+
+    base_points = keyed(baseline.get("points", []), POINT_KEY)
+    cand_points = keyed(candidate.get("points", []), POINT_KEY)
+    for key in sorted(set(base_points) - set(cand_points)):
+        errors.append(f"point missing from candidate: {key}")
+    for key in sorted(set(cand_points) - set(base_points)):
+        errors.append(f"unexpected new point in candidate: {key}")
+    for key in sorted(set(base_points) & set(cand_points)):
+        for field in POINT_FIELDS:
+            if base_points[key].get(field) != cand_points[key].get(field):
+                errors.append(
+                    f"point {key} field {field!r}: baseline "
+                    f"{base_points[key].get(field)!r} vs candidate "
+                    f"{cand_points[key].get(field)!r}"
+                )
+
+    for key, point in sorted(cand_points.items()):
+        if point.get("core_scale") == 1 and point.get("speedup", 0) < min_speedup:
+            errors.append(
+                f"point {key}: sliced speedup {point.get('speedup')} fell "
+                f"below the {min_speedup}x acceptance bar"
+            )
+
+    base_runs = keyed(baseline.get("host_results", []), ("name",))
+    cand_runs = keyed(candidate.get("host_results", []), ("name",))
+    for key in sorted(set(base_runs) - set(cand_runs)):
+        errors.append(f"host_result missing from candidate: {key[0]}")
+    for key in sorted(set(base_runs) & set(cand_runs)):
+        for field in RESULT_FIELDS:
+            if base_runs[key].get(field) != cand_runs[key].get(field):
+                errors.append(
+                    f"host_result {key[0]} field {field!r}: baseline "
+                    f"{base_runs[key].get(field)!r} vs candidate "
+                    f"{cand_runs[key].get(field)!r}"
+                )
+
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--min-speedup", type=float, default=1.3)
+    args = parser.parse_args()
+
+    errors = diff(load(args.baseline), load(args.candidate), args.min_speedup)
+    if errors:
+        print(f"bench_schema_diff: {len(errors)} mismatch(es):", file=sys.stderr)
+        for err in errors:
+            print(f"  - {err}", file=sys.stderr)
+        return 1
+    print("bench_schema_diff: candidate matches the baseline structure")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -198,11 +198,19 @@ int cmd_emulate(const util::Flags& flags) {
   const std::uint64_t chunk = static_cast<std::uint64_t>(
       flags.get_double("chunk-mib", 0.25) * static_cast<double>(util::kMiB));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const auto window = static_cast<std::size_t>(flags.get_int("window", 0));
+  const std::uint64_t slice_bytes =
+      static_cast<std::uint64_t>(flags.get_int("slice-kib", 0)) * util::kKiB;
   const rs::Code code(cfg.k, cfg.m);
 
   emul::EmulConfig emul_cfg;
   emul_cfg.node_bps = flags.get_double("node-mbps", 400.0) * 1e6;
   emul_cfg.oversubscription = flags.get_double("oversub", 5.0);
+  // --virtual reports the deterministic simulated makespan instead of
+  // host wall time, which is what makes pipelining wins reproducible.
+  if (flags.get_bool("virtual", false)) {
+    emul_cfg.clock_mode = emul::ClockMode::kVirtual;
+  }
 
   auto run = [&](bool use_car) {
     emul::Cluster cluster(cfg.topology(), emul_cfg);
@@ -227,7 +235,14 @@ int cmd_emulate(const util::Flags& flags) {
       plan = recovery::build_rr_plan(placement, code, rr, chunk,
                                      scenario.failed_node);
     }
-    const auto report = cluster.execute(plan);
+    if (window > 0) plan = recovery::schedule_windowed(plan, window);
+    // --slice-kib > 0 lowers the plan onto a slice grid so cross-rack
+    // shipping of slice s overlaps partial decoding of slice s+1; the
+    // recovered bytes and traffic totals are identical either way.
+    const auto report =
+        slice_bytes > 0
+            ? cluster.execute(recovery::slice_plan(plan, slice_bytes))
+            : cluster.execute(plan);
     std::size_t verified = 0;
     for (const auto& lost : scenario.lost) {
       const auto* rec = cluster.find_chunk(scenario.failed_node, lost.stripe,
@@ -306,6 +321,8 @@ int cmd_validate(const util::Flags& flags) {
       static_cast<std::uint64_t>(flags.get_int("chunk-mib", 4)) * util::kMiB;
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   const auto window = static_cast<std::size_t>(flags.get_int("window", 0));
+  const std::uint64_t slice_bytes =
+      static_cast<std::uint64_t>(flags.get_int("slice-kib", 0)) * util::kKiB;
   const std::string strategy = flags.get("strategy", "all");
   const std::string inject = flags.get("inject", "");
   const rs::Code code(cfg.k, cfg.m);
@@ -391,8 +408,28 @@ int cmd_validate(const util::Flags& flags) {
     recovery::ValidateOptions options;
     options.placement = &placement;
     options.expected_cross_rack_chunks = candidate.claimed;
-    const auto report =
-        recovery::validate_plan(candidate.plan, topology, options);
+    auto report = recovery::validate_plan(candidate.plan, topology, options);
+    if (slice_bytes > 0) {
+      // Also check the slice lowering the executors would run.  slice_plan
+      // itself throws on plans that break the slicing contract (e.g. an
+      // injected byte-mismatch), which counts as a validation failure.
+      try {
+        const auto sliced =
+            recovery::slice_plan(candidate.plan, slice_bytes);
+        auto sliced_report =
+            recovery::validate_sliced_plan(sliced, candidate.plan, topology);
+        for (auto& err : sliced_report.errors) {
+          report.errors.push_back("sliced: " + std::move(err));
+        }
+        for (auto& note : sliced_report.notes) {
+          report.notes.push_back("sliced: " + std::move(note));
+        }
+      } catch (const std::exception& e) {
+        report.errors.push_back(std::string("sliced: slice_plan rejected "
+                                            "the plan: ") +
+                                e.what());
+      }
+    }
     all_ok = all_ok && report.ok();
     table.add_row({candidate.name,
                    std::to_string(candidate.plan.steps.size()),
@@ -475,6 +512,10 @@ int cmd_inject_run(const util::Flags& flags) {
   if (flags.has("seed")) {
     scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   }
+  if (flags.has("slice-kib")) {
+    scenario.slice_bytes =
+        static_cast<std::uint64_t>(flags.get_int("slice-kib", 0)) * util::kKiB;
+  }
 
   const auto outcome = inject::run_scenario(scenario);
   const auto& run = outcome.run;
@@ -522,13 +563,15 @@ void usage() {
       "  --cfs 1|2|3 | --racks 4,3,3 --k 6 --m 3\n"
       "  --stripes N --runs N --seed S --chunk-mib N --csv\n"
       "  simulate: --node-gbps G --oversub X --hop-latency-us U\n"
-      "  emulate:  --node-mbps M --oversub X\n"
+      "  emulate:  --node-mbps M --oversub X --window W --slice-kib S --virtual\n"
       "  trace:    --failures N\n"
       "  validate: --strategy car|rr|weighted|multi|all --window W\n"
+      "            --slice-kib S (also validate the slice lowering)\n"
       "            --inject cycle|dangling-dep|byte-mismatch|"
       "double-aggregator\n"
       "  inject-run: --scenario NAME | --spec FILE | --list\n"
-      "              --strategy car|rr --seed S --json --log-out PATH");
+      "              --strategy car|rr --seed S --slice-kib S --json "
+      "--log-out PATH");
 }
 
 }  // namespace
