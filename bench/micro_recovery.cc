@@ -13,6 +13,7 @@
 // diffs their structure and speedup direction, not host timing.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -24,6 +25,8 @@
 #include "cluster/configs.h"
 #include "emul/cluster.h"
 #include "recovery/balancer.h"
+#include "recovery/multi.h"
+#include "recovery/plan_arena.h"
 #include "recovery/scheduler.h"
 #include "recovery/slice.h"
 #include "simnet/flowsim.h"
@@ -168,6 +171,120 @@ std::vector<Fig9Point> measure_fig9_points() {
     }
   }
   return points;
+}
+
+// ---------------------------------------------------------------------------
+// Scale sweep: metadata-only sharded arena execution on uniform datacenter
+// topologies (stripes x nodes x failure domain).  Mirrors
+// `carctl emulate --metadata-only --shards N [--fail-rack]`.  Everything in
+// a row except the sample verification is virtual-clock-deterministic, so
+// CI diffs the numbers structurally (tools/bench_schema_diff.py).
+
+struct ScaleSweepRow {
+  // Sweep coordinates.
+  std::size_t stripes = 0;
+  std::size_t num_racks = 0;
+  std::size_t rack_size = 0;
+  std::string failure;  // "single-node" | "full-rack"
+  std::size_t shards = 1;
+  bool metadata_only = true;
+  std::size_t sample = 4;
+  // Measured (deterministic on the virtual clock).
+  std::size_t affected_stripes = 0;
+  std::size_t plan_steps = 0;
+  double makespan_s = 0.0;
+  std::uint64_t cross_rack_bytes = 0;
+  std::size_t verified_outputs = 0;
+  std::size_t expected_outputs = 0;
+};
+
+ScaleSweepRow measure_scale_point(ScaleSweepRow row) {
+  constexpr std::uint64_t kChunk = util::kMiB;
+  constexpr std::uint64_t kSeed = 0x5CA1E;
+  cluster::CfsConfig cfg;
+  cfg.name = "uniform";
+  cfg.nodes_per_rack.assign(row.num_racks, row.rack_size);
+  cfg.k = 4;
+  cfg.m = 2;
+  const rs::Code code(cfg.k, cfg.m);
+
+  emul::Cluster cluster(cfg.topology(), fig9_emul(1.0));
+  util::Rng place_rng(kSeed);
+  const auto placement = cluster::Placement::random(
+      cfg.topology(), cfg.k, cfg.m, row.stripes, place_rng);
+  const auto& topology = placement.topology();
+
+  util::Rng fail_rng(kSeed + 1);
+  const auto first_failed =
+      cluster::inject_random_failure(placement, fail_rng).failed_node;
+  std::vector<cluster::NodeId> failed_nodes{first_failed};
+  if (row.failure == "full-rack") {
+    for (const auto node :
+         topology.nodes_in_rack(topology.rack_of(first_failed))) {
+      if (node != first_failed) failed_nodes.push_back(node);
+    }
+  }
+  const auto mf = recovery::make_multi_failure(placement, failed_nodes);
+  const auto censuses = recovery::build_multi_censuses(placement, mf);
+  const auto balanced = recovery::balance_multi(placement, censuses, 0);
+  const auto plan = recovery::build_multi_car_plan(
+      placement, code, balanced.solutions, kChunk, mf.replacement);
+  const auto arena = recovery::PlanArena::build(plan, kChunk);
+
+  std::vector<cluster::StripeId> sampled;
+  for (const auto& out : plan.outputs) {
+    if (sampled.size() >= row.sample) break;
+    if (std::find(sampled.begin(), sampled.end(), out.stripe) ==
+        sampled.end()) {
+      sampled.push_back(out.stripe);
+    }
+  }
+  const auto originals = cluster.populate_sampled(placement, code, kChunk,
+                                                  kSeed, sampled);
+  for (const auto node : mf.failed_nodes) cluster.erase_node(node);
+
+  emul::ArenaExecOptions options;
+  options.shards = row.shards;
+  options.metadata_only = true;
+  options.sampled_stripes = sampled;
+  const auto report = cluster.execute_arena(arena, options);
+
+  row.affected_stripes = censuses.size();
+  row.plan_steps = plan.steps.size();
+  row.makespan_s = report.wall_s;
+  row.cross_rack_bytes = report.cross_rack_bytes;
+  for (const auto& out : plan.outputs) {
+    const auto it = originals.find(out.stripe);
+    if (it == originals.end()) continue;
+    ++row.expected_outputs;
+    const auto* rec =
+        cluster.find_chunk(mf.replacement, out.stripe, out.chunk_index);
+    row.verified_outputs +=
+        rec != nullptr && *rec == it->second[out.chunk_index];
+  }
+  return row;
+}
+
+std::vector<ScaleSweepRow> measure_scale_sweep() {
+  std::vector<ScaleSweepRow> rows;
+  ScaleSweepRow a;
+  a.stripes = 10000;
+  a.num_racks = 20;
+  a.rack_size = 20;
+  a.failure = "single-node";
+  a.shards = 4;
+  rows.push_back(measure_scale_point(a));
+  ScaleSweepRow b = a;
+  b.failure = "full-rack";
+  rows.push_back(measure_scale_point(b));
+  ScaleSweepRow c;
+  c.stripes = 100000;
+  c.num_racks = 50;
+  c.rack_size = 50;
+  c.failure = "full-rack";
+  c.shards = 8;
+  rows.push_back(measure_scale_point(c));
+  return rows;
 }
 
 // ---------------------------------------------------------------------------
@@ -357,6 +474,7 @@ std::string json_escape(const std::string& s) {
 }
 
 void write_json(const std::string& path, const std::vector<Fig9Point>& points,
+                const std::vector<ScaleSweepRow>& sweep,
                 const std::vector<CollectedRun>& runs) {
   std::ofstream os(path);
   if (!os) {
@@ -384,6 +502,22 @@ void write_json(const std::string& path, const std::vector<Fig9Point>& points,
        << (i + 1 < points.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
+  os << "  \"scale_sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const ScaleSweepRow& r = sweep[i];
+    os << "    {\"stripes\": " << r.stripes << ", \"nodes\": "
+       << r.num_racks * r.rack_size << ", \"failure\": \""
+       << json_escape(r.failure) << "\", \"racks\": " << r.num_racks
+       << ", \"shards\": " << r.shards << ", \"metadata_only\": "
+       << (r.metadata_only ? "true" : "false") << ", \"sample\": " << r.sample
+       << ", \"affected_stripes\": " << r.affected_stripes
+       << ", \"plan_steps\": " << r.plan_steps << ", \"makespan_s\": "
+       << r.makespan_s << ", \"cross_rack_bytes\": " << r.cross_rack_bytes
+       << ", \"verified_outputs\": " << r.verified_outputs
+       << ", \"expected_outputs\": " << r.expected_outputs << "}"
+       << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
   os << "  \"host_results\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const CollectedRun& run = runs[i];
@@ -407,6 +541,17 @@ void print_fig9_table(const std::vector<Fig9Point>& points) {
                 "sliced %8.3f s  speedup %.2fx\n",
                 p.config.c_str(), p.k, p.m, 100.0 * p.core_scale,
                 p.unsliced_makespan_s, p.sliced_makespan_s, p.speedup());
+  }
+}
+
+void print_scale_table(const std::vector<ScaleSweepRow>& sweep) {
+  std::printf("\n== scale sweep: metadata-only sharded arena execution ==\n");
+  for (const ScaleSweepRow& r : sweep) {
+    std::printf("  %7zu stripes  %4zu nodes  %-11s  shards %zu  affected "
+                "%6zu  steps %7zu  makespan %9.3f s  verified %zu/%zu\n",
+                r.stripes, r.num_racks * r.rack_size, r.failure.c_str(),
+                r.shards, r.affected_stripes, r.plan_steps, r.makespan_s,
+                r.verified_outputs, r.expected_outputs);
   }
 }
 
@@ -442,7 +587,9 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     const auto points = measure_fig9_points();
     print_fig9_table(points);
-    write_json(json_path, points, reporter.collected());
+    const auto sweep = measure_scale_sweep();
+    print_scale_table(sweep);
+    write_json(json_path, points, sweep, reporter.collected());
   }
   return 0;
 }

@@ -4,10 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <exception>
 #include <mutex>
 #include <queue>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "emul/executor.h"
@@ -331,6 +333,43 @@ SerialLink& Cluster::rack_down_link(cluster::RackId rack) {
   return *impl_->rack_down.at(rack);
 }
 
+std::uint64_t Cluster::stripe_seed(std::uint64_t seed,
+                                   cluster::StripeId stripe) noexcept {
+  // splitmix64 finaliser over the stripe id, xored into the run seed: good
+  // avalanche, and stripe s's stream is independent of every other stripe's.
+  std::uint64_t x =
+      static_cast<std::uint64_t>(stripe) + 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return seed ^ (x ^ (x >> 31));
+}
+
+std::unordered_map<cluster::StripeId, std::vector<rs::Chunk>>
+Cluster::populate_sampled(const cluster::Placement& placement,
+                          const rs::Code& code, std::uint64_t chunk_size,
+                          std::uint64_t seed,
+                          std::span<const cluster::StripeId> stripes) {
+  CAR_CHECK(chunk_size > 0,
+            "Cluster::populate_sampled: chunk_size must be > 0");
+  std::unordered_map<cluster::StripeId, std::vector<rs::Chunk>> originals;
+  originals.reserve(stripes.size());
+  for (const cluster::StripeId s : stripes) {
+    CAR_CHECK(s < placement.num_stripes(),
+              "Cluster::populate_sampled: stripe id outside the placement");
+    if (originals.contains(s)) continue;
+    util::Rng rng(stripe_seed(seed, s));
+    std::vector<rs::Chunk> data(code.k(), rs::Chunk(chunk_size));
+    for (auto& chunk : data) rng.fill_bytes(chunk);
+    std::vector<rs::ChunkView> views(data.begin(), data.end());
+    auto stripe = code.encode_stripe(views);
+    for (std::size_t c = 0; c < stripe.size(); ++c) {
+      store_chunk(placement.node_of(s, c), s, c, stripe[c]);
+    }
+    originals.emplace(s, std::move(stripe));
+  }
+  return originals;
+}
+
 std::vector<std::vector<rs::Chunk>> Cluster::populate(
     const cluster::Placement& placement, const rs::Code& code,
     std::uint64_t chunk_size, util::Rng& rng) {
@@ -562,6 +601,260 @@ ExecutionReport Cluster::execute(const recovery::SlicePlan& plan) {
     rs::Chunk copy = impl_->pool.take(buf->size());
     if (!buf->empty()) std::memcpy(copy.data(), buf->data(), buf->size());
     impl_->put(plan.replacement, chunk_key(out.stripe, out.chunk_index),
+               std::move(copy));
+  }
+  return report;
+}
+
+ExecutionReport Cluster::execute_arena(const recovery::PlanArena& plan,
+                                       const ArenaExecOptions& options) {
+  // A wall-clock pass cannot skip payload movement without changing what it
+  // measures, and the sharded payload pass relies on the timing replay for
+  // determinism — so the arena path is virtual-clock only.
+  impl_->clock.require_virtual("Cluster::execute_arena");
+  CAR_CHECK(options.shards >= 1,
+            "Cluster::execute_arena: shards must be >= 1");
+
+  const std::uint64_t n_base = plan.num_base_steps();
+  ExecutionReport report;
+  report.per_rack_cross_bytes.assign(topology_.num_racks(), 0);
+  if (n_base == 0) return report;
+  CAR_CHECK(options.shards == 1 || plan.stripe_closed(),
+            "Cluster::execute_arena: sharded execution requires a "
+            "stripe-closed plan (windowed schedules add cross-stripe deps; "
+            "run them with shards == 1)");
+
+  EmulClock& clock = impl_->clock;
+  std::optional<cluster::NodeId> previous_guard;
+  {
+    std::scoped_lock lock(impl_->state_mu);
+    previous_guard = impl_->guarded;
+    impl_->guarded = plan.replacement();
+  }
+  struct GuardScope {
+    Cluster* cluster;
+    std::optional<cluster::NodeId> previous;
+    ~GuardScope() { cluster->guard_replacement(previous); }
+  };
+  GuardScope guard_scope{this, previous_guard};
+  impl_->check_alive(plan.replacement(),
+                     "Cluster::execute_arena: replacement");
+
+  std::vector<cluster::StripeId> sampled = options.sampled_stripes;
+  std::sort(sampled.begin(), sampled.end());
+  auto is_real = [&](cluster::StripeId s) {
+    return !options.metadata_only ||
+           std::binary_search(sampled.begin(), sampled.end(), s);
+  };
+
+  // Liveness snapshot: shards check it lock-free per step; a node dropped
+  // *during* execution bumps the drop epoch instead, which aborts the run
+  // exactly like execute()'s pool cancellation.
+  std::vector<char> dead;
+  {
+    std::scoped_lock lock(impl_->state_mu);
+    dead.assign(impl_->dropped.begin(), impl_->dropped.end());
+  }
+  auto check_alive_fast = [&](cluster::NodeId nd, const char* what) {
+    CAR_CHECK_STATE(dead[nd] == 0, std::string(what) + ": node " +
+                                       std::to_string(nd) +
+                                       " has been dropped");
+  };
+
+  const std::uint64_t num_slices = plan.num_slices();
+  const std::uint64_t chunk = plan.chunk_size();
+  const std::uint64_t epoch_at_start =
+      impl_->drop_epoch.load(std::memory_order_acquire);
+  const double t_start = clock.now();
+
+  // Phase 1 — payload movement and byte accounting, sharded by stripe.
+  // Each shard walks the arena in id order; forward deps plus stripe
+  // closure (or shards == 1) guarantee every dependency a step needs was
+  // produced earlier in the same walk.  Accounting goes to per-shard
+  // accumulators merged in shard order below, so totals never depend on
+  // thread interleaving.
+  struct ShardTotals {
+    std::uint64_t cross = 0;
+    std::uint64_t intra = 0;
+    std::vector<std::uint64_t> per_rack;
+  };
+  std::vector<ShardTotals> totals(options.shards);
+  for (auto& t : totals) t.per_rack.assign(topology_.num_racks(), 0);
+
+  std::mutex error_mu;
+  std::exception_ptr error;
+  std::atomic<bool> failed{false};
+
+  auto run_shard = [&](std::size_t shard) {
+    try {
+      ShardTotals& acc = totals[shard];
+      for (std::uint64_t base = 0; base < n_base; ++base) {
+        if (static_cast<std::uint64_t>(plan.stripe(base)) % options.shards !=
+            shard) {
+          continue;
+        }
+        if (failed.load(std::memory_order_acquire)) return;
+        CAR_CHECK_STATE(impl_->drop_epoch.load(std::memory_order_acquire) ==
+                            epoch_at_start,
+                        "Cluster::execute_arena: node dropped "
+                        "mid-execution; aborting plan");
+        if (plan.kind(base) == StepKind::kTransfer) {
+          const cluster::NodeId src = plan.src(base);
+          const cluster::NodeId dst = plan.dst(base);
+          check_alive_fast(src, "Cluster::execute_arena: transfer source");
+          check_alive_fast(dst,
+                           "Cluster::execute_arena: transfer destination");
+          if (src != dst) {
+            const auto src_rack = topology_.rack_of(src);
+            if (src_rack != topology_.rack_of(dst)) {
+              acc.cross += chunk;
+              acc.per_rack[src_rack] += chunk;
+            } else {
+              acc.intra += chunk;
+            }
+          }
+          if (!is_real(plan.stripe(base))) continue;
+          const std::uint64_t key = key_of(plan.payload(base));
+          const rs::Chunk* src_buf = impl_->find(src, key);
+          CAR_CHECK_STATE(src_buf != nullptr,
+                          "Cluster::execute_arena: transfer payload missing "
+                          "on source node");
+          CAR_CHECK_STATE(
+              src_buf->size() == chunk,
+              "Cluster::execute_arena: transfer size mismatch: plan "
+              "declares " +
+                  std::to_string(chunk) + " bytes but payload holds " +
+                  std::to_string(src_buf->size()));
+          // One whole-chunk staged copy: the slices of a transfer carry
+          // disjoint ranges of these same bytes, so slice-wise movement
+          // composes to exactly this (and the timing replay below still
+          // reserves links slice by slice).
+          util::BufferLease wire =
+              impl_->pool.acquire(static_cast<std::size_t>(chunk));
+          std::memcpy(wire.data(), src_buf->data(),
+                      static_cast<std::size_t>(chunk));
+          impl_->write_range(dst, key, chunk, 0, {wire.data(), wire.size()});
+        } else {
+          const cluster::NodeId node = plan.node(base);
+          check_alive_fast(node, "Cluster::execute_arena: compute node");
+          if (!is_real(plan.stripe(base))) continue;
+          std::scoped_lock cpu_lock(impl_->cpu[node]);
+          std::vector<const rs::Chunk*> inputs;
+          const std::size_t n_in = plan.num_inputs(base);
+          inputs.reserve(n_in);
+          for (std::size_t i = 0; i < n_in; ++i) {
+            const rs::Chunk* buf =
+                impl_->find(node, key_of(plan.input(base, i).buffer));
+            CAR_CHECK_STATE(buf != nullptr,
+                            "Cluster::execute_arena: compute input missing "
+                            "on node");
+            inputs.push_back(buf);
+          }
+          for (std::uint64_t s = 0; s < num_slices; ++s) {
+            // Real-byte stripes are the sampled few, so materialising the
+            // sliced step here stays off the metadata hot path.
+            const PlanStep step = plan.step(plan.sliced_id(base, s));
+            util::BufferLease out = impl_->pool.acquire(
+                static_cast<std::size_t>(plan.slice_length(s)));
+            recovery::execute_compute_slice(step, inputs, chunk,
+                                            plan.slice_offset(s),
+                                            {out.data(), out.size()},
+                                            "Cluster::execute_arena");
+            impl_->write_range(node, step_key(base), chunk,
+                               plan.slice_offset(s),
+                               {out.data(), out.size()});
+          }
+        }
+      }
+    } catch (...) {
+      failed.store(true, std::memory_order_release);
+      std::scoped_lock lock(error_mu);
+      if (!error) error = std::current_exception();
+    }
+  };
+
+  if (options.shards == 1) {
+    run_shard(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(options.shards);
+    for (std::size_t w = 0; w < options.shards; ++w) {
+      workers.emplace_back(run_shard, w);
+    }
+    for (auto& worker : workers) worker.join();
+  }
+  if (error) std::rethrow_exception(error);
+
+  for (const ShardTotals& acc : totals) {
+    report.cross_rack_bytes += acc.cross;
+    report.intra_rack_bytes += acc.intra;
+    for (std::size_t r = 0; r < acc.per_rack.size(); ++r) {
+      report.per_rack_cross_bytes[r] += acc.per_rack[r];
+    }
+  }
+
+  // Phase 2 — deterministic timing replay over the sliced id grid: the
+  // identical (start time, id) min-heap walk execute() runs, driven from
+  // the columns instead of materialised steps.  Sequential by design, so
+  // the timeline is invariant in the shard count.
+  const std::uint64_t n_sliced = plan.num_sliced_steps();
+  std::vector<std::uint32_t> pending(n_sliced, 0);
+  for (std::uint64_t base = 0; base < n_base; ++base) {
+    const auto degree = static_cast<std::uint32_t>(plan.deps(base).size());
+    for (std::uint64_t s = 0; s < num_slices; ++s) {
+      pending[base * num_slices + s] = degree;
+    }
+  }
+  std::vector<double> start_at(n_sliced, t_start);
+  using Entry = std::pair<double, std::uint64_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready;
+  for (std::uint64_t id = 0; id < n_sliced; ++id) {
+    if (pending[id] == 0) ready.emplace(t_start, id);
+  }
+  double end = t_start;
+  while (!ready.empty()) {
+    const auto [at, id] = ready.top();
+    ready.pop();
+    const std::uint64_t base = id / num_slices;
+    const std::uint64_t slice = id % num_slices;
+    double finish = at;
+    if (plan.kind(base) == StepKind::kTransfer) {
+      if (plan.src(base) != plan.dst(base)) {
+        finish = path(plan.src(base), plan.dst(base))
+                     .reserve(at, plan.step_bytes(base, slice),
+                              config_.page_bytes);
+      }
+    } else {
+      const double dt = static_cast<double>(plan.step_bytes(base, slice)) /
+                        config_.virtual_gf_bps;
+      finish = at + dt;
+      report.compute_s += dt;
+      if (plan.node(base) == plan.replacement()) {
+        report.replacement_compute_s += dt;
+      }
+    }
+    end = std::max(end, finish);
+    for (const std::uint64_t dep_base : plan.dependents(base)) {
+      const std::uint64_t did = dep_base * num_slices + slice;
+      start_at[did] = std::max(start_at[did], finish);
+      if (--pending[did] == 0) ready.emplace(start_at[did], did);
+    }
+  }
+  clock.advance_to(end);
+  report.wall_s = end - t_start;
+
+  // Publish recovered chunks for every stripe that actually carries bytes;
+  // metadata-only stripes have nothing to publish (their recovery is
+  // accounted, not materialised).
+  for (const auto& out : plan.outputs()) {
+    if (!is_real(out.stripe)) continue;
+    const rs::Chunk* buf =
+        impl_->find(plan.replacement(), step_key(out.step_id));
+    CAR_CHECK_STATE(buf != nullptr,
+                    "Cluster::execute_arena: recovered chunk missing");
+    rs::Chunk copy = impl_->pool.take(buf->size());
+    if (!buf->empty()) std::memcpy(copy.data(), buf->data(), buf->size());
+    impl_->put(plan.replacement(), chunk_key(out.stripe, out.chunk_index),
                std::move(copy));
   }
   return report;

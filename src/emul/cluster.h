@@ -31,6 +31,7 @@
 #include "emul/clock.h"
 #include "emul/link.h"
 #include "recovery/plan.h"
+#include "recovery/plan_arena.h"
 #include "recovery/slice.h"
 #include "rs/code.h"
 #include "util/buffer_pool.h"
@@ -69,6 +70,29 @@ struct EmulConfig {
   /// mul_region_acc at 1 MiB, ~1.92e10 B/s on an AVX2 host); re-derive with
   /// `bench/micro_gf --json` when hardware or kernels change.
   double virtual_gf_bps = 1.9e10;
+};
+
+/// Options for Cluster::execute_arena.
+struct ArenaExecOptions {
+  /// Stripe shards for the payload pass: base steps are partitioned by
+  /// stripe % shards and the shards run concurrently.  shards > 1 requires
+  /// a stripe-closed arena (PlanArena::stripe_closed) — windowed schedules
+  /// add cross-stripe deps and must run with shards == 1.  The timing
+  /// replay is sequential either way, so the reported timeline is
+  /// invariant in the shard count.
+  std::size_t shards = 1;
+
+  /// Metadata-only mode: steps of unsampled stripes move no payload and
+  /// run no GF compute — only byte *counts* flow through accounting and
+  /// the timing replay, which are identical to real-byte execution.
+  /// Stripes listed in sampled_stripes still carry real bytes end to end,
+  /// so a seeded sample of the recovery can be verified bit-exactly.
+  bool metadata_only = false;
+
+  /// Stripes that stay real-byte in metadata-only mode (order/duplicates
+  /// irrelevant).  Ignored — every stripe is real — when metadata_only is
+  /// false.
+  std::vector<cluster::StripeId> sampled_stripes;
 };
 
 /// Outcome of executing one recovery plan.
@@ -196,6 +220,24 @@ class Cluster {
       const cluster::Placement& placement, const rs::Code& code,
       std::uint64_t chunk_size, util::Rng& rng);
 
+  /// Deterministic per-stripe data seed: the content of stripe `stripe` in
+  /// a populate_sampled run is a pure function of (seed, stripe), never of
+  /// which other stripes are materialised.  This is what makes a
+  /// metadata-only run's sampled stripes byte-identical to the same
+  /// stripes in a full real-byte run.
+  [[nodiscard]] static std::uint64_t stripe_seed(
+      std::uint64_t seed, cluster::StripeId stripe) noexcept;
+
+  /// Populate only `stripes` (each seeded by stripe_seed(seed, s)), encode
+  /// them with `code`, and store each chunk on its host node.  Returns
+  /// stripe -> full original stripe for later verification.  Duplicate ids
+  /// in `stripes` are populated once.  Throws util::CheckError on a zero
+  /// chunk size or a stripe id outside the placement.
+  std::unordered_map<cluster::StripeId, std::vector<rs::Chunk>>
+  populate_sampled(const cluster::Placement& placement, const rs::Code& code,
+                   std::uint64_t chunk_size, std::uint64_t seed,
+                   std::span<const cluster::StripeId> stripes);
+
   /// Execute a recovery plan: run every transfer through the emulated links
   /// and every compute step on real buffers.  Steps run on a bounded worker
   /// pool — never more than min(max_parallel_steps, hardware_concurrency)
@@ -219,6 +261,25 @@ class Cluster {
   /// transfer sum to exactly chunk_size).  All staging goes through the
   /// buffer pool — steady-state execution allocates nothing per slice.
   ExecutionReport execute(const recovery::SlicePlan& plan);
+
+  /// Execute a columnar arena plan (recovery/plan_arena.h) without ever
+  /// materialising per-slice step objects.  Two passes:
+  ///
+  ///   1. payload movement — base steps partitioned stripe % shards across
+  ///      concurrent workers; real bytes move (and real GF kernels run)
+  ///      only for stripes the options mark real, byte accounting always;
+  ///   2. a sequential deterministic timing replay over the sliced id grid
+  ///      — the identical (start time, id) min-heap walk execute() uses, so
+  ///      for the same plan the reported timeline, per-link occupancies,
+  ///      and byte totals are bit-identical to execute(slice_plan(...))
+  ///      and invariant in both the shard count and metadata mode.
+  ///
+  /// Requires ClockMode::kVirtual (throws util::StateError otherwise — a
+  /// wall-clock pass cannot skip payloads without changing what it
+  /// measures) and, for shards > 1, a stripe-closed arena
+  /// (util::CheckError).  Other failure modes match execute().
+  ExecutionReport execute_arena(const recovery::PlanArena& plan,
+                                const ArenaExecOptions& options = {});
 
  private:
   struct Impl;

@@ -94,18 +94,21 @@ class Engine {
  public:
   Engine(emul::Cluster& cluster, const FaultPlan& faults,
          const RetryPolicy& policy, std::uint64_t seed,
-         std::uint64_t slice_bytes, const ReplanContext& ctx)
+         std::uint64_t slice_bytes, const ReplanContext& ctx,
+         DataPolicy data)
       : cluster_(cluster),
         faults_(faults),
         policy_(policy),
         seed_(seed),
         slice_bytes_(slice_bytes),
         ctx_(ctx),
+        data_(std::move(data)),
         backoff_rng_(seed ^ 0x8badf00ddeadbeefULL),
         replan_rng_(seed ^ 0x5bd1e9955bd1e995ULL),
         crash_fired_(faults.node_crashes.size(), false),
         t0_(cluster.clock().now()),
         now_(t0_) {
+    std::sort(data_.sampled_stripes.begin(), data_.sampled_stripes.end());
     result_.report.per_rack_cross_bytes.assign(
         cluster_.topology().num_racks(), 0);
   }
@@ -229,6 +232,14 @@ class Engine {
     return std::nullopt;
   }
 
+  /// True when this stripe's payload actually moves (every stripe in a
+  /// real-byte run; only the sampled ones in a metadata-only run).
+  [[nodiscard]] bool is_real(cluster::StripeId stripe) const {
+    return !data_.metadata_only ||
+           std::binary_search(data_.sampled_stripes.begin(),
+                              data_.sampled_stripes.end(), stripe);
+  }
+
   /// Log-detail suffix identifying the slice; empty for degenerate
   /// lowerings so chunk-granular logs stay byte-identical to the
   /// pre-slicing engine's.
@@ -245,26 +256,28 @@ class Engine {
   /// into the base step's output buffer in place.
   double run_compute(const SlicePlan& sliced, const PlanStep& step,
                      const SliceInfo& slice, double t) {
-    std::vector<const rs::Chunk*> inputs;
-    inputs.reserve(step.inputs.size());
-    for (const auto& in : step.inputs) {
-      const rs::Chunk* buf = cluster_.find_buffer(step.node, in.buffer);
-      CAR_CHECK_STATE(buf != nullptr,
-                      "inject: compute input " + describe(in.buffer) +
-                          " missing on node " + std::to_string(step.node));
-      inputs.push_back(buf);
+    if (is_real(step.stripe)) {
+      std::vector<const rs::Chunk*> inputs;
+      inputs.reserve(step.inputs.size());
+      for (const auto& in : step.inputs) {
+        const rs::Chunk* buf = cluster_.find_buffer(step.node, in.buffer);
+        CAR_CHECK_STATE(buf != nullptr,
+                        "inject: compute input " + describe(in.buffer) +
+                            " missing on node " + std::to_string(step.node));
+        inputs.push_back(buf);
+      }
+      // Step contract checks and the fused GF combine are shared with the
+      // emulator (recovery/compute.h), so both runtimes execute compute
+      // steps bit-identically.
+      util::BufferLease out = cluster_.buffer_pool().acquire(
+          static_cast<std::size_t>(slice.length));
+      recovery::execute_compute_slice(step, inputs, sliced.chunk_size,
+                                      slice.offset, {out.data(), out.size()},
+                                      "inject");
+      cluster_.write_buffer_range(step.node, BufferRef::step(slice.base_step),
+                                  sliced.chunk_size, slice.offset,
+                                  {out.data(), out.size()});
     }
-    // Step contract checks and the fused GF combine are shared with the
-    // emulator (recovery/compute.h), so both runtimes execute compute steps
-    // bit-identically.
-    util::BufferLease out = cluster_.buffer_pool().acquire(
-        static_cast<std::size_t>(slice.length));
-    recovery::execute_compute_slice(step, inputs, sliced.chunk_size,
-                                    slice.offset, {out.data(), out.size()},
-                                    "inject");
-    cluster_.write_buffer_range(step.node, BufferRef::step(slice.base_step),
-                                sliced.chunk_size, slice.offset,
-                                {out.data(), out.size()});
 
     const double dt =
         static_cast<double>(step.bytes) / cluster_.config().virtual_gf_bps;
@@ -291,15 +304,18 @@ class Engine {
     ++result_.stats.attempts;
     if (attempt > 1) ++result_.stats.retries;
 
-    const rs::Chunk* payload = cluster_.find_buffer(step.src, step.payload);
-    CAR_CHECK_STATE(payload != nullptr,
-                    "inject: transfer payload " + describe(step.payload) +
-                        " missing on node " + std::to_string(step.src));
-    CAR_CHECK_STATE(payload->size() == sliced.chunk_size,
-                    "inject: transfer bytes do not match stored payload");
-    const std::span<const std::uint8_t> wire(
-        payload->data() + slice.offset,
-        static_cast<std::size_t>(slice.length));
+    const bool real = is_real(step.stripe);
+    std::span<const std::uint8_t> wire;
+    if (real) {
+      const rs::Chunk* payload = cluster_.find_buffer(step.src, step.payload);
+      CAR_CHECK_STATE(payload != nullptr,
+                      "inject: transfer payload " + describe(step.payload) +
+                          " missing on node " + std::to_string(step.src));
+      CAR_CHECK_STATE(payload->size() == sliced.chunk_size,
+                      "inject: transfer bytes do not match stored payload");
+      wire = {payload->data() + slice.offset,
+              static_cast<std::size_t>(slice.length)};
+    }
 
     result_.log.record(t, EventKind::kTransferAttempt,
                        static_cast<std::int64_t>(step.id),
@@ -312,11 +328,14 @@ class Engine {
     if (step.src == step.dst) {
       // Loopback never touches a link or a fault.  Stage the slice through
       // a pooled lease so the (self-)write is well-defined.
-      util::BufferLease staged = cluster_.buffer_pool().acquire(wire.size());
-      std::memcpy(staged.data(), wire.data(), wire.size());
-      cluster_.write_buffer_range(step.dst, step.payload, sliced.chunk_size,
-                                  slice.offset,
-                                  {staged.data(), staged.size()});
+      if (real) {
+        util::BufferLease staged =
+            cluster_.buffer_pool().acquire(wire.size());
+        std::memcpy(staged.data(), wire.data(), wire.size());
+        cluster_.write_buffer_range(step.dst, step.payload, sliced.chunk_size,
+                                    slice.offset,
+                                    {staged.data(), staged.size()});
+      }
       result_.log.record(t, EventKind::kTransferComplete,
                          static_cast<std::int64_t>(step.id),
                          static_cast<std::int64_t>(attempt),
@@ -371,14 +390,24 @@ class Engine {
                              ", ack deadline " + fmt_s(deadline));
     } else if (fault != nullptr) {  // kCorrupt
       const double finish = path.reserve(t, step.bytes, page);
-      // Garble one byte of the slice in a pooled staging copy — the stored
-      // payload stays pristine for the retry.  For a degenerate lowering
-      // the staged slice is the whole chunk and the garbled index matches
-      // the chunk-granular engine's, so logs stay byte-identical.
-      util::BufferLease staged = cluster_.buffer_pool().acquire(wire.size());
-      std::memcpy(staged.data(), wire.data(), wire.size());
-      staged.data()[(step.id * 1315423911ULL + attempt) % staged.size()] ^=
-          0xA5;
+      std::string checksums;
+      if (real) {
+        // Garble one byte of the slice in a pooled staging copy — the
+        // stored payload stays pristine for the retry.  For a degenerate
+        // lowering the staged slice is the whole chunk and the garbled
+        // index matches the chunk-granular engine's, so logs stay
+        // byte-identical.
+        util::BufferLease staged =
+            cluster_.buffer_pool().acquire(wire.size());
+        std::memcpy(staged.data(), wire.data(), wire.size());
+        staged.data()[(step.id * 1315423911ULL + attempt) % staged.size()] ^=
+            0xA5;
+        checksums = ", checksum sent=" + fmt_hex(fnv64(wire)) + " got=" +
+                    fmt_hex(fnv64({staged.data(), staged.size()}));
+      } else {
+        // No payload to checksum — see DataPolicy's corrupt caveat.
+        checksums = ", checksum unavailable (metadata-only stripe)";
+      }
       ++result_.stats.corruptions;
       result_.stats.wasted_wire_bytes += step.bytes;
       failed_at = finish;  // checksum mismatch is detected on delivery
@@ -386,15 +415,14 @@ class Engine {
                          static_cast<std::int64_t>(step.id),
                          static_cast<std::int64_t>(attempt),
                          static_cast<std::int64_t>(step.dst), step.bytes,
-                         "fault #" + std::to_string(fault_index) +
-                             ", checksum sent=" + fmt_hex(fnv64(wire)) +
-                             " got=" +
-                             fmt_hex(fnv64({staged.data(), staged.size()})) +
+                         "fault #" + std::to_string(fault_index) + checksums +
                              slice_suffix(sliced, slice));
     } else {
       const double finish = path.reserve(t, step.bytes, page);
-      cluster_.write_buffer_range(step.dst, step.payload, sliced.chunk_size,
-                                  slice.offset, wire);
+      if (real) {
+        cluster_.write_buffer_range(step.dst, step.payload, sliced.chunk_size,
+                                    slice.offset, wire);
+      }
       // At-most-once accounting: slice bytes land in the report here and
       // only here — failed attempts never reach this branch.  A transfer's
       // slices partition the chunk, so the delivered total per base step is
@@ -573,14 +601,19 @@ class Engine {
         }
         if (!whole) continue;
       }
-      const rs::Chunk* buf =
-          cluster_.find_step_output(plan.replacement, out.step_id);
-      CAR_CHECK_STATE(buf != nullptr,
-                      "inject: completed output of step " +
-                          std::to_string(out.step_id) +
-                          " missing on the replacement");
-      cluster_.store_chunk(plan.replacement, out.stripe, out.chunk_index,
-                           *buf);
+      // Metadata-only stripes count as published (their recovery is
+      // accounted, and the log must stay byte-identical to a real run)
+      // but have no bytes to store.
+      if (is_real(out.stripe)) {
+        const rs::Chunk* buf =
+            cluster_.find_step_output(plan.replacement, out.step_id);
+        CAR_CHECK_STATE(buf != nullptr,
+                        "inject: completed output of step " +
+                            std::to_string(out.step_id) +
+                            " missing on the replacement");
+        cluster_.store_chunk(plan.replacement, out.stripe, out.chunk_index,
+                             *buf);
+      }
       ++published;
     }
     if (published > 0 || done == nullptr) {
@@ -605,6 +638,7 @@ class Engine {
   std::uint64_t seed_;
   std::uint64_t slice_bytes_;
   const ReplanContext& ctx_;
+  DataPolicy data_;
   util::Rng backoff_rng_;
   util::Rng replan_rng_;
   std::vector<bool> crash_fired_;
@@ -634,6 +668,13 @@ RunResult ResilientRuntime::execute(const recovery::RecoveryPlan& plan,
 RunResult ResilientRuntime::execute_sliced(const recovery::RecoveryPlan& plan,
                                            std::uint64_t slice_bytes,
                                            const ReplanContext& context) {
+  return execute_sliced(plan, slice_bytes, context, DataPolicy{});
+}
+
+RunResult ResilientRuntime::execute_sliced(const recovery::RecoveryPlan& plan,
+                                           std::uint64_t slice_bytes,
+                                           const ReplanContext& context,
+                                           const DataPolicy& data) {
   cluster_.clock().require_virtual("inject::ResilientRuntime");
   CAR_CHECK(slice_bytes > 0, "inject: slice_bytes must be positive");
   faults_.validate(cluster_.topology());
@@ -649,7 +690,8 @@ RunResult ResilientRuntime::execute_sliced(const recovery::RecoveryPlan& plan,
   }
 
   GuardScope guard(cluster_, plan.replacement);
-  Engine engine(cluster_, faults_, policy_, seed_, slice_bytes, context);
+  Engine engine(cluster_, faults_, policy_, seed_, slice_bytes, context,
+                data);
   return engine.run(plan);
 }
 

@@ -64,6 +64,27 @@ struct ReplanContext {
   ReplanStrategy strategy = ReplanStrategy::kCar;
 };
 
+/// What payload actually moves during a run.  The default carries real
+/// bytes for every stripe.  A metadata-only run keeps the *identical*
+/// event loop, virtual timeline, fault matching, retry schedule, and byte
+/// accounting — every event lands at the same time with the same declared
+/// bytes — but skips payload staging, GF compute, and buffer writes for
+/// stripes not listed in sampled_stripes: their recoveries are measured,
+/// not materialised.  Sampled stripes carry real bytes end to end, so a
+/// seeded sample of a datacenter-scale run is still verified bit-exactly.
+///
+/// Caveat: a corrupt-fault checksum detail requires payload bytes, so
+/// kTransferCorrupt events on *unsampled* stripes log a metadata-only
+/// placeholder instead of real checksums.  When comparing a metadata run's
+/// log byte-for-byte against a real-byte run, aim corrupt faults at
+/// sampled stripes.
+struct DataPolicy {
+  bool metadata_only = false;
+  /// Stripes that stay real-byte (order/duplicates irrelevant); ignored
+  /// when metadata_only is false.
+  std::vector<cluster::StripeId> sampled_stripes;
+};
+
 struct RunStats {
   std::size_t attempts = 0;      // transfer attempts issued
   std::size_t retries = 0;       // attempts beyond the first
@@ -120,6 +141,14 @@ class ResilientRuntime {
   RunResult execute_sliced(const recovery::RecoveryPlan& plan,
                            std::uint64_t slice_bytes,
                            const ReplanContext& context);
+
+  /// As above, under an explicit payload policy (see DataPolicy).  The
+  /// three-argument overload is this one with the default (all-real)
+  /// policy.
+  RunResult execute_sliced(const recovery::RecoveryPlan& plan,
+                           std::uint64_t slice_bytes,
+                           const ReplanContext& context,
+                           const DataPolicy& data);
 
  private:
   emul::Cluster& cluster_;

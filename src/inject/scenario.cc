@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <numeric>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
 #include "cluster/failure.h"
@@ -47,6 +50,12 @@ std::vector<std::string> split(const std::string& s, char sep) {
 }
 
 std::uint64_t parse_u64(const std::string& line, const std::string& value) {
+  // std::stoull accepts a leading '-' and silently wraps it modulo 2^64
+  // ("seed -1" used to parse as 18446744073709551615); require plain
+  // decimal digits so negatives are a diagnostic, not a wrap.
+  if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos) {
+    bad_spec(line, "expected a non-negative integer, got \"" + value + "\"");
+  }
   try {
     std::size_t used = 0;
     const unsigned long long v = std::stoull(value, &used);
@@ -57,6 +66,17 @@ std::uint64_t parse_u64(const std::string& line, const std::string& value) {
   } catch (const std::out_of_range&) {
     bad_spec(line, "integer out of range");
   }
+}
+
+/// parse_u64 with an inclusive range check, diagnosing the offending line.
+std::uint64_t parse_u64_in(const std::string& line, const std::string& value,
+                           std::uint64_t lo, std::uint64_t hi) {
+  const std::uint64_t v = parse_u64(line, value);
+  if (v < lo || v > hi) {
+    bad_spec(line, "value " + value + " out of range [" + std::to_string(lo) +
+                       ", " + std::to_string(hi) + "]");
+  }
+  return v;
 }
 
 double parse_f64(const std::string& line, const std::string& value) {
@@ -286,6 +306,7 @@ constexpr CannedEntry kCanned[] = {
 
 Scenario parse_scenario(const std::string& text) {
   Scenario scenario;
+  std::set<std::string> seen;
   std::stringstream stream(text);
   std::string raw;
   while (std::getline(stream, raw)) {
@@ -302,6 +323,12 @@ Scenario parse_scenario(const std::string& text) {
       continue;
     }
     if (tokens.size() != 2) bad_spec(line, "expected \"key value\"");
+    // Scalar keys must appear at most once: a silent last-wins overwrite
+    // turns a typo'd spec into a quietly different experiment.  (fault
+    // lines legitimately repeat and are handled above.)
+    if (!seen.insert(key).second) {
+      bad_spec(line, "duplicate key \"" + key + "\"");
+    }
     const std::string& value = tokens[1];
 
     if (key == "name") {
@@ -323,7 +350,10 @@ Scenario parse_scenario(const std::string& text) {
     } else if (key == "page-kib") {
       scenario.page_bytes = parse_u64(line, value) * util::kKiB;
     } else if (key == "slice-kib") {
-      scenario.slice_bytes = parse_u64(line, value) * util::kKiB;
+      // 0 would divide-by-zero the slice grid and anything above 1 GiB is
+      // certainly a unit mistake (the value is KiB, not bytes).
+      scenario.slice_bytes =
+          parse_u64_in(line, value, 1, std::uint64_t{1} << 20) * util::kKiB;
     } else if (key == "seed") {
       scenario.seed = parse_u64(line, value);
     } else if (key == "strategy") {
@@ -333,6 +363,13 @@ Scenario parse_scenario(const std::string& text) {
       scenario.strategy = value;
     } else if (key == "fail-node") {
       scenario.fail_node = static_cast<cluster::NodeId>(parse_u64(line, value));
+    } else if (key == "data-mode") {
+      if (value != "real" && value != "metadata") {
+        bad_spec(line, "data-mode must be real or metadata");
+      }
+      scenario.data_mode = value;
+    } else if (key == "sample") {
+      scenario.sample_stripes = parse_u64_in(line, value, 0, 1 << 20);
     } else if (key == "node-mbps") {
       scenario.node_bps = parse_f64(line, value) * 1e6;
     } else if (key == "oversub") {
@@ -385,17 +422,33 @@ ScenarioOutcome run_scenario(const Scenario& scenario) {
   config.clock_mode = emul::ClockMode::kVirtual;
   emul::Cluster cluster(topology, config);
 
+  const bool seeded_data = scenario.data_mode.has_value();
+  const bool metadata = seeded_data && *scenario.data_mode == "metadata";
+
   util::Rng rng(scenario.seed);
   const auto placement = cluster::Placement::random(
       topology, scenario.k, scenario.m, scenario.stripes, rng);
-  const auto originals =
-      cluster.populate(placement, code, scenario.chunk_bytes, rng);
+
+  // Classic flow: one shared rng stream populates everything before the
+  // failure is drawn.  Seeded-data flow (`data-mode`): the failure is drawn
+  // from the same stream *without* populating first, so "real" and
+  // "metadata" runs of one spec agree on placement, failure, and plan;
+  // stripes are materialised further down from per-stripe seeds once the
+  // plan says which ones matter.
+  std::unordered_map<cluster::StripeId, std::vector<rs::Chunk>> originals;
+  if (!seeded_data) {
+    auto all = cluster.populate(placement, code, scenario.chunk_bytes, rng);
+    originals.reserve(all.size());
+    for (cluster::StripeId s = 0; s < all.size(); ++s) {
+      originals.emplace(s, std::move(all[s]));
+    }
+  }
 
   const auto failure =
       scenario.fail_node
           ? cluster::inject_node_failure(placement, *scenario.fail_node)
           : cluster::inject_random_failure(placement, rng);
-  cluster.erase_node(failure.failed_node);
+  if (!seeded_data) cluster.erase_node(failure.failed_node);
 
   const auto censuses = recovery::build_censuses(placement, failure);
   const bool car = scenario.strategy == "car";
@@ -423,6 +476,32 @@ ScenarioOutcome run_scenario(const Scenario& scenario) {
                   "run_scenario: initial plan failed validation:\n" +
                       outcome.initial_validation.to_string());
 
+  DataPolicy data;
+  if (seeded_data) {
+    // Materialise stripes from per-stripe seeds: all of them under
+    // data-mode real, the first `sample` distinct output stripes under
+    // data-mode metadata.
+    std::vector<cluster::StripeId> materialise;
+    if (metadata) {
+      for (const auto& out : plan.outputs) {
+        if (std::find(materialise.begin(), materialise.end(), out.stripe) ==
+            materialise.end()) {
+          materialise.push_back(out.stripe);
+          if (materialise.size() >= scenario.sample_stripes) break;
+        }
+      }
+      data.metadata_only = true;
+      data.sampled_stripes = materialise;
+    } else {
+      materialise.resize(scenario.stripes);
+      std::iota(materialise.begin(), materialise.end(), 0);
+    }
+    originals = cluster.populate_sampled(placement, code,
+                                         scenario.chunk_bytes, scenario.seed,
+                                         materialise);
+    cluster.erase_node(failure.failed_node);
+  }
+
   ResilientRuntime runtime(cluster, scenario.faults, scenario.retry,
                            scenario.seed);
   ReplanContext context;
@@ -430,20 +509,25 @@ ScenarioOutcome run_scenario(const Scenario& scenario) {
   context.code = &code;
   context.failed_nodes = {failure.failed_node};
   context.strategy = car ? ReplanStrategy::kCar : ReplanStrategy::kRr;
-  outcome.run =
-      scenario.slice_bytes > 0
-          ? runtime.execute_sliced(plan, scenario.slice_bytes, context)
-          : runtime.execute(plan, context);
+  outcome.run = runtime.execute_sliced(
+      plan,
+      scenario.slice_bytes > 0 ? scenario.slice_bytes
+                               : std::max<std::uint64_t>(plan.chunk_size, 1),
+      context, data);
 
   // Bit-exactness: every output of the plan that actually finished (the
   // re-plan after a crash, otherwise the original) must match the bytes the
-  // failed node(s) held before the run.
+  // failed node(s) held before the run.  Metadata-only stripes carry no
+  // bytes — they are measured, not checked.
+  outcome.stripes_materialised = originals.size();
   for (const auto& out : outcome.run.final_plan.outputs) {
+    const auto it = originals.find(out.stripe);
+    if (it == originals.end()) continue;
     ++outcome.chunks_expected;
     const rs::Chunk* recovered = cluster.find_chunk(
         outcome.run.final_plan.replacement, out.stripe, out.chunk_index);
     if (recovered != nullptr &&
-        *recovered == originals[out.stripe][out.chunk_index]) {
+        *recovered == it->second[out.chunk_index]) {
       ++outcome.chunks_verified;
     }
   }

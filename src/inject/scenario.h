@@ -22,6 +22,8 @@
 //   timeout 0.25           # per-transfer timeout, seconds
 //   max-attempts 6
 //   backoff-base 0.02      # backoff-factor / backoff-cap / backoff-jitter
+//   data-mode metadata     # optional; real | metadata (see Scenario)
+//   sample 4               # sampled real-byte stripes under data-mode
 //   fault link side=rack-up id=0 start=0 end=0.3 factor=0
 //   fault drop step=3 attempts=1,2 prob=0.5
 //   fault corrupt attempts=1
@@ -63,6 +65,19 @@ struct Scenario {
   std::string strategy = "car";
   /// Node to fail initially; unset = seeded random data-bearing node.
   std::optional<cluster::NodeId> fail_node;
+  /// Payload policy (spec key `data-mode`).  Unset = the classic flow: one
+  /// shared rng stream populates every stripe.  "real" and "metadata" both
+  /// switch to per-stripe seeded data (emul::Cluster::stripe_seed) with the
+  /// failure drawn *before* any population, so the two modes see identical
+  /// placement, failure, plan, and event log; "metadata" then materialises
+  /// only the sampled stripes (inject::DataPolicy) while "real"
+  /// materialises all of them — the differential pair behind the
+  /// metadata-mode tests.
+  std::optional<std::string> data_mode;
+  /// Sampled (real-byte, bit-exact-verified) stripes under data-mode
+  /// metadata: the first `sample` distinct stripes among the plan's
+  /// outputs (spec key `sample`, default 4).
+  std::size_t sample_stripes = 4;
   double node_bps = 100e6;
   double oversubscription = 5.0;
   RetryPolicy retry;
@@ -84,9 +99,14 @@ Scenario canned_scenario(const std::string& name);
 /// Everything a scenario run produced, for assertions and reporting.
 struct ScenarioOutcome {
   cluster::NodeId failed_node = 0;   // the initial failure
-  std::size_t chunks_expected = 0;   // outputs of the plan that finished
+  /// Outputs whose bytes were checked: all of them, except under data-mode
+  /// metadata where only sampled stripes carry bytes to check.
+  std::size_t chunks_expected = 0;
   std::size_t chunks_verified = 0;   // ... that matched the original bytes
   bool bit_exact = false;            // chunks_verified == chunks_expected
+  /// Stripes materialised with real bytes: every stripe outside data-mode
+  /// metadata, the sampled subset under it.
+  std::size_t stripes_materialised = 0;
   recovery::ValidationReport initial_validation;
   RunResult run;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "util/check.h"
@@ -34,6 +36,15 @@ std::vector<MultiStripeCensus> build_multi_censuses(
     const cluster::Placement& placement,
     const MultiFailureScenario& scenario) {
   const auto& topology = placement.topology();
+  // Bitset lookup: is_failed() is a linear scan over failed_nodes, and this
+  // loop asks it once per chunk — at datacenter scale (1M stripes, a full
+  // rack of failed nodes) that linear scan dominates the census.
+  std::vector<char> failed(topology.num_nodes(), 0);
+  for (cluster::NodeId node : scenario.failed_nodes) {
+    CAR_CHECK_LT(node, topology.num_nodes(),
+                 "build_multi_censuses: failed node id out of range");
+    failed[node] = 1;
+  }
   std::vector<MultiStripeCensus> out;
   for (cluster::StripeId s = 0; s < placement.num_stripes(); ++s) {
     MultiStripeCensus census;
@@ -43,7 +54,7 @@ std::vector<MultiStripeCensus> build_multi_censuses(
     census.surviving.assign(topology.num_racks(), 0);
     const auto hosts = placement.stripe(s);
     for (std::size_t c = 0; c < hosts.size(); ++c) {
-      if (scenario.is_failed(hosts[c])) {
+      if (failed[hosts[c]] != 0) {
         census.lost_chunks.push_back(c);
       } else {
         ++census.surviving[topology.rack_of(hosts[c])];
@@ -157,13 +168,10 @@ MultiBalanceResult balance_multi(
   const cluster::RackId home = censuses.front().replacement_rack;
   const std::size_t num_racks = censuses.front().num_racks();
 
-  std::vector<std::vector<RackSet>> candidates(censuses.size());
   std::vector<RackSet> chosen(censuses.size());
   std::vector<std::size_t> weight(censuses.size());
   std::vector<std::size_t> t(num_racks, 0);
   for (std::size_t j = 0; j < censuses.size(); ++j) {
-    candidates[j] =
-        enumerate_rack_sets(censuses[j].k, home, censuses[j].surviving);
     chosen[j] = default_rack_set(censuses[j].k, home, censuses[j].surviving);
     weight[j] = censuses[j].lost_count();
     for (cluster::RackId rack : chosen[j].racks) t[rack] += weight[j];
@@ -205,8 +213,12 @@ MultiBalanceResult balance_multi(
         std::replace(swapped.racks.begin(), swapped.racks.end(), heaviest,
                      target);
         std::sort(swapped.racks.begin(), swapped.racks.end());
-        if (std::find(candidates[j].begin(), candidates[j].end(), swapped) ==
-            candidates[j].end()) {
+        // Validity is a direct predicate (size d, distinct non-home racks
+        // with survivors, enough chunks) — exactly the membership test in
+        // enumerate_rack_sets' output, without materialising the
+        // combinatorial candidate list per stripe.
+        if (!is_valid_minimal_for(censuses[j].k, home, censuses[j].surviving,
+                                  swapped)) {
           continue;
         }
         chosen[j] = std::move(swapped);
@@ -285,13 +297,31 @@ RecoveryPlan build_multi_car_plan(
     return plan.steps.back().id;
   };
 
+  // repair_vector solves a k x k system; at scale most stripes share the
+  // same (lost chunk, survivor set) shape, so memoise on that key.
+  std::unordered_map<std::string, std::vector<std::uint8_t>> repair_memo;
+  auto repair_for = [&](std::size_t lost,
+                        const std::vector<std::size_t>& survivors)
+      -> const std::vector<std::uint8_t>& {
+    std::string key;
+    key.reserve((survivors.size() + 1) * sizeof(std::size_t));
+    auto append = [&key](std::size_t v) {
+      key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    append(lost);
+    for (std::size_t s : survivors) append(s);
+    auto [it, inserted] = repair_memo.try_emplace(key);
+    if (inserted) it->second = code.repair_vector(lost, survivors);
+    return it->second;
+  };
+
   for (const auto& solution : solutions) {
     const auto survivors = solution.all_chunk_indices();
     // One repair vector per lost chunk, all over the same survivor set.
     std::vector<std::vector<std::uint8_t>> ys;
     ys.reserve(solution.lost_chunks.size());
     for (std::size_t lost : solution.lost_chunks) {
-      ys.push_back(code.repair_vector(lost, survivors));
+      ys.push_back(repair_for(lost, survivors));
     }
 
     // final_inputs[l] / final_deps[l]: partials for lost chunk l.

@@ -1,0 +1,224 @@
+// Columnar (structure-of-arrays) arena form of a slice-lowered recovery
+// plan.
+//
+// recovery::SlicePlan materialises one PlanStep per slice: each carries its
+// own deps vector and inputs vector, so a million-step plan sliced a few
+// ways costs millions of small heap allocations before a single byte moves
+// — the wall the datacenter-scale experiments (ROADMAP item 2) hit first.
+// PlanArena stores the same plan in flat 64-bit-indexed arrays instead:
+//
+//   * one row of columnar step state per BASE step (kind/stripe/endpoints/
+//     payload), since every slice of a step shares them;
+//   * dependencies and compute inputs in CSR form (one offsets array, one
+//     flat entries array), again per base step — the slice dimension of the
+//     lowering is pure index arithmetic (slice s of step x depends on slice
+//     s of x's deps; its byte range is s * slice_size onward), so it is
+//     *computed* on access rather than stored;
+//   * 64-bit sliced ids on the same grid as SlicePlan::sliced_id
+//     (base * num_slices + slice, overflow-checked).
+//
+// The arena is a drop-in source of truth for executors: step(id) /
+// slice_info(id) materialise the exact PlanStep / SliceInfo the SlicePlan
+// lowering would contain (to_slice_plan() materialises the whole thing,
+// which is how the differential tests prove equivalence), and the byte
+// accounting API mirrors SlicePlan's.  emul::Cluster::execute_arena walks
+// the columns directly and never materialises per-step objects.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "cluster/types.h"
+#include "recovery/plan.h"
+#include "recovery/slice.h"
+
+namespace car::recovery {
+
+class PlanArena {
+ public:
+  /// Build the arena from a chunk-granular plan on a slice grid of
+  /// `slice_size` bytes (clamped to chunk_size, same grid as slice_plan).
+  /// Validates the slice_plan contract (dense ids, transfer bytes ==
+  /// chunk_size, compute bytes == chunk_size * |inputs|) and additionally
+  /// requires forward dependencies (every dep id < step id — true of every
+  /// plan the builders emit), which is what lets executors walk the arena
+  /// in id order without a scheduling heap.  Throws util::CheckError on
+  /// violations, and std::out_of_range when a node id does not fit the
+  /// 32-bit endpoint columns.
+  static PlanArena build(const RecoveryPlan& plan, std::uint64_t slice_size);
+
+  // --- grid -----------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t chunk_size() const noexcept {
+    return chunk_size_;
+  }
+  [[nodiscard]] std::uint64_t slice_size() const noexcept {
+    return slice_size_;
+  }
+  [[nodiscard]] std::uint64_t num_slices() const noexcept {
+    return num_slices_;
+  }
+  [[nodiscard]] std::uint64_t num_base_steps() const noexcept {
+    return static_cast<std::uint64_t>(flags_.size());
+  }
+  [[nodiscard]] std::uint64_t num_sliced_steps() const noexcept {
+    return num_base_steps() * num_slices_;
+  }
+
+  /// Same id grid (and the same overflow check) as SlicePlan::sliced_id.
+  [[nodiscard]] std::uint64_t sliced_id(std::uint64_t base,
+                                        std::uint64_t slice) const;
+
+  [[nodiscard]] std::uint64_t slice_offset(std::uint64_t slice) const noexcept {
+    return slice * slice_size_;
+  }
+  [[nodiscard]] std::uint64_t slice_length(std::uint64_t slice) const noexcept {
+    const std::uint64_t offset = slice_offset(slice);
+    const std::uint64_t rest = chunk_size_ - offset;
+    return rest < slice_size_ ? rest : slice_size_;
+  }
+
+  // --- per base-step columns ------------------------------------------
+
+  [[nodiscard]] StepKind kind(std::uint64_t base) const noexcept {
+    return (flags_[base] & kComputeFlag) != 0 ? StepKind::kCompute
+                                              : StepKind::kTransfer;
+  }
+  [[nodiscard]] bool cross_rack(std::uint64_t base) const noexcept {
+    return (flags_[base] & kCrossRackFlag) != 0;
+  }
+  [[nodiscard]] cluster::StripeId stripe(std::uint64_t base) const noexcept {
+    return static_cast<cluster::StripeId>(stripe_[base]);
+  }
+  [[nodiscard]] cluster::NodeId src(std::uint64_t base) const noexcept {
+    return static_cast<cluster::NodeId>(endpoint_a_[base]);
+  }
+  [[nodiscard]] cluster::NodeId dst(std::uint64_t base) const noexcept {
+    return static_cast<cluster::NodeId>(endpoint_b_[base]);
+  }
+  [[nodiscard]] cluster::NodeId node(std::uint64_t base) const noexcept {
+    return static_cast<cluster::NodeId>(endpoint_a_[base]);
+  }
+  [[nodiscard]] BufferRef payload(std::uint64_t base) const noexcept {
+    return unpack_ref(payload_a_[base], payload_b_[base]);
+  }
+
+  /// Dependencies / dependents as BASE step ids; the sliced image of
+  /// (base, s) is { sliced_id(d, s) : d in deps(base) }.
+  [[nodiscard]] std::span<const std::uint64_t> deps(std::uint64_t base) const {
+    return {dep_entries_.data() + dep_off_[base],
+            dep_off_[base + 1] - dep_off_[base]};
+  }
+  [[nodiscard]] std::span<const std::uint64_t> dependents(
+      std::uint64_t base) const {
+    return {rdep_entries_.data() + rdep_off_[base],
+            rdep_off_[base + 1] - rdep_off_[base]};
+  }
+
+  [[nodiscard]] std::size_t num_inputs(std::uint64_t base) const noexcept {
+    return static_cast<std::size_t>(in_off_[base + 1] - in_off_[base]);
+  }
+  [[nodiscard]] ComputeInput input(std::uint64_t base, std::size_t i) const {
+    const std::uint64_t at = in_off_[base] + i;
+    return {unpack_ref(in_ref_a_[at], in_ref_b_[at]), in_coeff_[at]};
+  }
+
+  /// Declared bytes of the sliced step (base, slice): the slice length for
+  /// transfers, length * |inputs| for computes — matching SlicePlan.
+  [[nodiscard]] std::uint64_t step_bytes(std::uint64_t base,
+                                         std::uint64_t slice) const noexcept {
+    const std::uint64_t length = slice_length(slice);
+    return kind(base) == StepKind::kTransfer
+               ? length
+               : length * static_cast<std::uint64_t>(num_inputs(base));
+  }
+
+  [[nodiscard]] cluster::NodeId replacement() const noexcept {
+    return replacement_;
+  }
+  [[nodiscard]] cluster::RackId replacement_rack() const noexcept {
+    return replacement_rack_;
+  }
+  [[nodiscard]] std::span<const RecoveryPlan::Output> outputs()
+      const noexcept {
+    return outputs_;
+  }
+
+  /// True when every dependency stays within its step's stripe — the
+  /// property that makes stripes independent sub-DAGs, which the sharded
+  /// executor requires.  Raw builder plans are stripe-closed; windowed
+  /// schedules (recovery/scheduler.h) add cross-stripe lane deps and are
+  /// not.
+  [[nodiscard]] bool stripe_closed() const noexcept { return stripe_closed_; }
+
+  // --- byte accounting (mirrors SlicePlan's API) ----------------------
+
+  [[nodiscard]] std::uint64_t cross_rack_bytes() const noexcept;
+  [[nodiscard]] std::uint64_t intra_rack_bytes() const noexcept;
+  [[nodiscard]] std::uint64_t compute_bytes() const noexcept;
+  [[nodiscard]] std::vector<std::uint64_t> per_rack_cross_bytes(
+      const cluster::Topology& topology) const;
+
+  // --- thin view onto the SlicePlan representation --------------------
+
+  /// Materialise the PlanStep / SliceInfo for one sliced id, bit-equal to
+  /// the corresponding entry of slice_plan(plan, slice_size).  Allocating —
+  /// meant for tests and spot inspection, not the execution hot path.
+  [[nodiscard]] PlanStep step(std::uint64_t sliced) const;
+  [[nodiscard]] SliceInfo slice_info(std::uint64_t sliced) const;
+
+  /// Materialise the full SlicePlan (steps, info, outputs) this arena
+  /// represents.  The differential tests compare this against slice_plan()
+  /// to prove the two lowerings are the same function.
+  [[nodiscard]] SlicePlan to_slice_plan() const;
+
+ private:
+  static constexpr std::uint8_t kComputeFlag = 1;
+  static constexpr std::uint8_t kCrossRackFlag = 2;
+  /// Tag bit in the second ref word: set = step-output ref, clear = chunk.
+  static constexpr std::uint32_t kStepRefBit = 1U << 31;
+
+  static std::pair<std::uint64_t, std::uint32_t> pack_ref(
+      const BufferRef& ref);
+  static BufferRef unpack_ref(std::uint64_t a, std::uint32_t b) noexcept {
+    if ((b & kStepRefBit) != 0) {
+      return BufferRef::step(static_cast<std::size_t>(a));
+    }
+    return BufferRef::chunk(static_cast<cluster::StripeId>(a),
+                            static_cast<std::size_t>(b));
+  }
+
+  cluster::NodeId replacement_ = 0;
+  cluster::RackId replacement_rack_ = 0;
+  std::uint64_t chunk_size_ = 0;
+  std::uint64_t slice_size_ = 0;
+  std::uint64_t num_slices_ = 1;
+  bool stripe_closed_ = true;
+
+  // One entry per base step.
+  std::vector<std::uint8_t> flags_;
+  std::vector<std::uint64_t> stripe_;
+  std::vector<std::uint32_t> endpoint_a_;  // transfer src / compute node
+  std::vector<std::uint32_t> endpoint_b_;  // transfer dst / 0
+  std::vector<std::uint64_t> payload_a_;   // chunk stripe / output step id
+  std::vector<std::uint32_t> payload_b_;   // chunk index | kStepRefBit
+
+  // CSR dependency structure over base steps (entries are base ids).
+  std::vector<std::uint64_t> dep_off_;   // size num_base_steps + 1
+  std::vector<std::uint64_t> dep_entries_;
+  std::vector<std::uint64_t> rdep_off_;  // reverse edges (dependents)
+  std::vector<std::uint64_t> rdep_entries_;
+
+  // CSR compute inputs over base steps.
+  std::vector<std::uint64_t> in_off_;    // size num_base_steps + 1
+  std::vector<std::uint64_t> in_ref_a_;
+  std::vector<std::uint32_t> in_ref_b_;
+  std::vector<std::uint8_t> in_coeff_;
+
+  std::vector<RecoveryPlan::Output> outputs_;
+};
+
+}  // namespace car::recovery

@@ -50,13 +50,13 @@ SlicePlan slice_plan(const RecoveryPlan& plan, std::uint64_t slice_size) {
           std::min(effective, plan.chunk_size - offset);
 
       PlanStep step = base;
-      step.id = sliced.sliced_id(base.id, s);
+      step.id = static_cast<std::size_t>(sliced.sliced_id(base.id, s));
       step.deps.clear();
       step.deps.reserve(base.deps.size());
       // Per-slice dependencies: slice s waits only on slice s of each
       // prerequisite — the pipelining this whole lowering exists for.
       for (const std::size_t dep : base.deps) {
-        step.deps.push_back(sliced.sliced_id(dep, s));
+        step.deps.push_back(static_cast<std::size_t>(sliced.sliced_id(dep, s)));
       }
       step.bytes = base.kind == StepKind::kTransfer
                        ? length

@@ -35,12 +35,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
 #include "cluster/topology.h"
 #include "cluster/types.h"
 #include "recovery/plan.h"
+#include "util/check.h"
 
 namespace car::recovery {
 
@@ -76,9 +78,19 @@ struct SlicePlan {
   /// output buffer is assembled from all of that step's slices).
   std::vector<RecoveryPlan::Output> outputs;
 
-  [[nodiscard]] std::size_t sliced_id(std::size_t base_step,
-                                      std::size_t slice) const noexcept {
-    return base_step * num_slices + slice;
+  /// The id of (base step, slice) on the grid, computed in 64-bit: a
+  /// million-step plan sliced 4096 ways overflows 32-bit arithmetic, and
+  /// even size_t can wrap on adversarial inputs — that wrap would silently
+  /// alias two different slices onto one id, so it is a hard error instead.
+  /// Throws util::CheckError when base_step * num_slices + slice does not
+  /// fit in uint64_t.
+  [[nodiscard]] std::uint64_t sliced_id(std::uint64_t base_step,
+                                        std::uint64_t slice) const {
+    const auto n = static_cast<std::uint64_t>(num_slices);
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+    CAR_CHECK(n == 0 || base_step <= (kMax - slice) / n,
+              "sliced_id: base_step * num_slices + slice overflows uint64_t");
+    return base_step * n + slice;
   }
 
   [[nodiscard]] std::uint64_t cross_rack_bytes() const noexcept {

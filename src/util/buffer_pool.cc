@@ -77,16 +77,25 @@ BufferLease BufferPool::acquire(std::size_t n) {
   ++stats_.acquires;
   auto buf = checkout_locked(n);
   stats_.outstanding_bytes += capacity;
+  stats_.staging_high_water_bytes =
+      std::max(stats_.staging_high_water_bytes, stats_.outstanding_bytes);
   stats_.high_water_bytes =
-      std::max(stats_.high_water_bytes, stats_.outstanding_bytes);
+      std::max(stats_.high_water_bytes,
+               stats_.outstanding_bytes + stats_.taken_outstanding_bytes);
   return {this, std::move(buf), capacity};
 }
 
 std::vector<std::uint8_t> BufferPool::take(std::size_t n) {
   if (n == 0) return {};
+  const std::size_t capacity = class_bytes(n);
   std::scoped_lock lock(mu_);
   ++stats_.takes;
-  return checkout_locked(n);
+  auto buf = checkout_locked(n);
+  stats_.taken_outstanding_bytes += capacity;
+  stats_.high_water_bytes =
+      std::max(stats_.high_water_bytes,
+               stats_.outstanding_bytes + stats_.taken_outstanding_bytes);
+  return buf;
 }
 
 void BufferPool::recycle(std::vector<std::uint8_t>&& buf) {
@@ -97,6 +106,10 @@ void BufferPool::recycle(std::vector<std::uint8_t>&& buf) {
   const std::size_t capacity = std::bit_floor(victim.capacity());
   std::scoped_lock lock(mu_);
   ++stats_.recycles;
+  // Credit the taken regime, saturating: recycle() also accepts foreign
+  // vectors (and detach()ed leases) that were never charged to it.
+  stats_.taken_outstanding_bytes -=
+      std::min<std::uint64_t>(stats_.taken_outstanding_bytes, capacity);
   stats_.pooled_bytes += capacity;
   free_[class_index(capacity)].push_back(std::move(victim));
 }

@@ -12,15 +12,21 @@
 //   * acquire(n) -> BufferLease — a short-lived *staging* buffer (a wire
 //     payload, a compute scratch output).  Leases are RAII: the destructor
 //     parks the buffer back in its size class.  Leased capacity is tracked
-//     in outstanding_bytes / high_water_bytes, so the high-water mark
-//     measures peak staging memory — the quantity bounded by the scheduler
-//     window (see tests/slice_exec_test.cc).
+//     in outstanding_bytes / staging_high_water_bytes, so the staging
+//     high-water mark measures peak staging memory — the quantity bounded
+//     by the scheduler window (see tests/slice_exec_test.cc).
 //
 //   * take(n) / recycle(buf) — a *long-lived* buffer that leaves the pool's
 //     custody (e.g. a chunk buffer parked in a node's store for the rest of
-//     the run).  take() reuses freelist capacity but deliberately does not
-//     count toward the staging high-water mark; recycle() returns capacity
-//     when the owner is done (a store eviction, a replaced buffer).
+//     the run).  take() charges taken_outstanding_bytes; recycle() credits
+//     it back when the owner is done (a store eviction, a replaced buffer).
+//
+// high_water_bytes unifies the two regimes: it is the peak of
+// outstanding_bytes + taken_outstanding_bytes over the run, i.e. the true
+// peak of pool-served live capacity.  (It used to track leases only, which
+// under-reported mixed lease/take workloads.)  recycle() accepts foreign
+// buffers that were never take()n, so the taken counter is credited with
+// saturation at zero rather than asserted exact.
 //
 // Thread-safe; a single mutex guards the freelists and stats (checkout is
 // rare next to the memcpy/GF work done on the buffers themselves).
@@ -84,7 +90,13 @@ class BufferPool {
     std::size_t freelist_hits = 0;  // checkouts served without an allocation
     std::size_t recycles = 0;       // buffers parked back (lease or recycle)
     std::uint64_t outstanding_bytes = 0;  // live leased capacity (staging)
-    std::uint64_t high_water_bytes = 0;   // max outstanding over the run
+    std::uint64_t taken_outstanding_bytes = 0;  // live take()n capacity
+    /// Peak of outstanding_bytes + taken_outstanding_bytes over the run:
+    /// the unified high-water mark across both checkout regimes.
+    std::uint64_t high_water_bytes = 0;
+    /// Peak of outstanding_bytes alone — the staging-only mark bounded by
+    /// the scheduler window (tests/slice_exec_test.cc).
+    std::uint64_t staging_high_water_bytes = 0;
     std::uint64_t pooled_bytes = 0;       // idle capacity in the freelists
   };
 
@@ -102,12 +114,14 @@ class BufferPool {
   [[nodiscard]] BufferLease acquire(std::size_t n);
 
   /// Check out a long-lived buffer of exactly n bytes.  Reuses pooled
-  /// capacity but is NOT tracked in outstanding/high-water stats — the
-  /// buffer belongs to the caller until recycle()d (or forever).
+  /// capacity; the class capacity is charged to taken_outstanding_bytes
+  /// (and thereby the unified high_water_bytes) until recycle()d.  The
+  /// buffer belongs to the caller until then (or forever).
   [[nodiscard]] std::vector<std::uint8_t> take(std::size_t n);
 
-  /// Park a buffer's capacity for reuse.  Accepts any vector (not only ones
-  /// from take()); buffers smaller than the minimum class are dropped.
+  /// Park a buffer's capacity for reuse and credit taken_outstanding_bytes
+  /// (saturating at zero: foreign vectors that were never take()n are
+  /// accepted too).  Buffers smaller than the minimum class are dropped.
   void recycle(std::vector<std::uint8_t>&& buf);
 
   [[nodiscard]] Stats stats() const;

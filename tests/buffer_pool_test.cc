@@ -62,24 +62,62 @@ TEST(BufferPool, ZeroByteAcquireIsInactive) {
   EXPECT_EQ(pool.stats().outstanding_bytes, 0u);
 }
 
-TEST(BufferPool, TakeIsNotCountedInStagingHighWater) {
+TEST(BufferPool, TakeCountsInUnifiedHighWaterButNotStaging) {
   BufferPool pool;
   std::vector<std::uint8_t> buf = pool.take(8192);
   EXPECT_EQ(buf.size(), 8192u);
   const auto s = pool.stats();
   EXPECT_EQ(s.takes, 1u);
   // take() buffers are long-lived store buffers — they must not inflate the
-  // staging high-water mark or the window bound in slice_exec_test would be
-  // unprovable.
+  // staging mark (or the window bound in slice_exec_test would be
+  // unprovable), but they ARE live pool-served capacity, so the unified
+  // high-water mark folds them in.
   EXPECT_EQ(s.outstanding_bytes, 0u);
-  EXPECT_EQ(s.high_water_bytes, 0u);
+  EXPECT_EQ(s.staging_high_water_bytes, 0u);
+  EXPECT_EQ(s.taken_outstanding_bytes, 8192u);
+  EXPECT_EQ(s.high_water_bytes, 8192u);
   pool.recycle(std::move(buf));
   EXPECT_EQ(pool.stats().pooled_bytes, 8192u);
+  EXPECT_EQ(pool.stats().taken_outstanding_bytes, 0u);
+  EXPECT_EQ(pool.stats().high_water_bytes, 8192u);  // peak is sticky
   // The next take of the same class is a freelist hit.
   std::vector<std::uint8_t> again = pool.take(5000);
   EXPECT_EQ(again.size(), 5000u);
   EXPECT_GE(again.capacity(), 5000u);
   EXPECT_EQ(pool.stats().freelist_hits, 1u);
+}
+
+TEST(BufferPool, UnifiedHighWaterCoversMixedLeaseTakeWorkloads) {
+  BufferPool pool;
+  std::vector<std::uint8_t> store = pool.take(16 * 1024);
+  {
+    BufferLease staging = pool.acquire(4096);
+    const auto s = pool.stats();
+    EXPECT_EQ(s.outstanding_bytes, 4096u);
+    EXPECT_EQ(s.taken_outstanding_bytes, 16u * 1024);
+    // The unified mark sees both regimes at once; the staging mark sees
+    // only the lease.
+    EXPECT_EQ(s.high_water_bytes, 16u * 1024 + 4096u);
+    EXPECT_EQ(s.staging_high_water_bytes, 4096u);
+  }
+  pool.recycle(std::move(store));
+  const auto s = pool.stats();
+  EXPECT_EQ(s.outstanding_bytes, 0u);
+  EXPECT_EQ(s.taken_outstanding_bytes, 0u);
+  EXPECT_EQ(s.high_water_bytes, 16u * 1024 + 4096u);
+}
+
+TEST(BufferPool, RecycleOfForeignBuffersSaturatesTakenAtZero) {
+  BufferPool pool;
+  // A vector the pool never take()d: the credit saturates instead of
+  // wrapping the counter.
+  pool.recycle(std::vector<std::uint8_t>(8192));
+  EXPECT_EQ(pool.stats().taken_outstanding_bytes, 0u);
+  // ...and a real take afterwards still accounts exactly.
+  std::vector<std::uint8_t> buf = pool.take(2048);
+  EXPECT_EQ(pool.stats().taken_outstanding_bytes, 2048u);
+  pool.recycle(std::move(buf));
+  EXPECT_EQ(pool.stats().taken_outstanding_bytes, 0u);
 }
 
 TEST(BufferPool, RecycleDropsSubMinimumBuffers) {

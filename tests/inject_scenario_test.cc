@@ -92,6 +92,38 @@ TEST(ParseScenario, RejectsMalformedSpecs) {
   EXPECT_NO_THROW(parse_scenario(""));  // empty spec = defaults
 }
 
+TEST(ParseScenario, RejectsDuplicateKeysNamingTheLine) {
+  EXPECT_THROW(parse_scenario("k 3\nk 4\n"), std::invalid_argument);
+  // fault lines are the one legitimately repeatable key.
+  EXPECT_NO_THROW(
+      parse_scenario("fault corrupt attempts=1\nfault corrupt attempts=2\n"));
+  try {
+    parse_scenario("stripes 4\nstripes 5\n");
+    FAIL() << "duplicate key accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate"), std::string::npos) << what;
+    EXPECT_NE(what.find("stripes 5"), std::string::npos) << what;
+  }
+}
+
+TEST(ParseScenario, RejectsOutOfRangeValues) {
+  EXPECT_THROW(parse_scenario("seed -1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("slice-kib 0\n"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("slice-kib 1048577\n"), std::invalid_argument);
+  EXPECT_NO_THROW(parse_scenario("slice-kib 1048576\n"));
+  EXPECT_THROW(parse_scenario("data-mode fancy\n"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("sample 1048577\n"), std::invalid_argument);
+}
+
+TEST(ParseScenario, ReadsDataModeKeys) {
+  const auto scenario = parse_scenario("data-mode metadata\nsample 6\n");
+  ASSERT_TRUE(scenario.data_mode.has_value());
+  EXPECT_EQ(*scenario.data_mode, "metadata");
+  EXPECT_EQ(scenario.sample_stripes, 6u);
+  EXPECT_FALSE(parse_scenario("").data_mode.has_value());
+}
+
 TEST(CannedScenarios, AllParseAndAreListed) {
   const auto names = canned_scenario_names();
   ASSERT_EQ(names.size(), 4u);
@@ -153,6 +185,54 @@ TEST(RunScenario, SameSeedRunsAreByteIdentical) {
     EXPECT_EQ(a.run.report.wall_s, b.run.report.wall_s) << name;
     EXPECT_EQ(a.chunks_verified, b.chunks_verified) << name;
   }
+}
+
+// The metadata-mode differential: one spec run under data-mode real and
+// data-mode metadata must produce byte-identical event logs and reports —
+// payloads change what is *stored*, never what is *measured* — while the
+// sampled stripes stay bit-exact.  (No corrupt faults here: their checksum
+// detail needs payload bytes; see inject::DataPolicy.)
+TEST(RunScenario, MetadataModeMatchesRealModeEventForEvent) {
+  const std::string base = R"(name data-mode-diff
+racks 3,3,3
+k 3
+m 2
+stripes 10
+chunk-kib 32
+slice-kib 8
+seed 21
+strategy car
+node-mbps 200
+oversub 4
+timeout 0.5
+max-attempts 6
+fault link side=rack-up id=1 start=0 end=0.2 factor=0.25
+fault drop step=2 attempts=1 prob=1
+)";
+  const auto real = run_scenario(parse_scenario(base + "data-mode real\n"));
+  const auto metadata = run_scenario(
+      parse_scenario(base + "data-mode metadata\nsample 3\n"));
+
+  EXPECT_EQ(real.run.log, metadata.run.log);
+  EXPECT_EQ(real.run.log.to_json(), metadata.run.log.to_json());
+  EXPECT_EQ(real.run.report.wall_s, metadata.run.report.wall_s);
+  EXPECT_EQ(real.run.report.cross_rack_bytes,
+            metadata.run.report.cross_rack_bytes);
+  EXPECT_EQ(real.run.report.intra_rack_bytes,
+            metadata.run.report.intra_rack_bytes);
+  EXPECT_EQ(real.run.stats.attempts, metadata.run.stats.attempts);
+  EXPECT_EQ(real.run.stats.wasted_wire_bytes,
+            metadata.run.stats.wasted_wire_bytes);
+
+  // Every materialised stripe is verified bit-exactly in both modes; the
+  // metadata run materialises only the sampled subset.
+  EXPECT_TRUE(real.bit_exact);
+  EXPECT_TRUE(metadata.bit_exact);
+  EXPECT_EQ(real.stripes_materialised, 10u);
+  EXPECT_GE(metadata.stripes_materialised, 1u);
+  EXPECT_LE(metadata.stripes_materialised, 3u);
+  EXPECT_GT(real.chunks_expected, metadata.chunks_expected);
+  EXPECT_GT(metadata.chunks_expected, 0u);
 }
 
 TEST(RunScenario, DifferentSeedsDiverge) {

@@ -153,6 +153,31 @@ TEST(SlicePlanLowering, RejectsContractViolations) {
   EXPECT_THROW((void)slice_plan(plan, 4 * 1024), util::CheckError);
 }
 
+TEST(SlicePlanLowering, SlicedIdIsSixtyFourBitAndChecksOverflow) {
+  // Regression: the id grid used to be computed in the base id's own type,
+  // which wraps for million-step plans on narrow size_t — the wrap aliases
+  // two different slices onto one id.  The arithmetic is now pinned to
+  // uint64_t with a hard overflow check at the boundary.
+  SlicePlan sliced;
+  sliced.num_slices = 4096;
+
+  // A million-step plan sliced 4096 ways: ids far beyond 2^32 must come out
+  // exact, not truncated.
+  const std::uint64_t big_base = 1'000'000;
+  EXPECT_EQ(sliced.sliced_id(big_base, 4095),
+            big_base * std::uint64_t{4096} + 4095);
+
+  // Exactly representable boundary: the largest base step whose last slice
+  // still fits in uint64_t.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  const std::uint64_t last_ok = (kMax - 4095) / 4096;
+  EXPECT_EQ(sliced.sliced_id(last_ok, 4095), last_ok * 4096 + 4095);
+
+  // One past it overflows and must throw instead of silently wrapping.
+  EXPECT_THROW((void)sliced.sliced_id(last_ok + 1, 4095), util::CheckError);
+  EXPECT_THROW((void)sliced.sliced_id(kMax, 1), util::CheckError);
+}
+
 TEST(SlicePlanLowering, WindowedPlansSliceToo) {
   // schedule_windowed adds lane-gating deps; the lowering must carry them
   // through the same-slice dependency image without breaking coverage.

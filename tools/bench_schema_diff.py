@@ -11,18 +11,26 @@ what must match is the *structure*:
     here silently changes what the baseline means);
   - the set of measured points, keyed by (config, core_scale), and each
     point's integer/config fields (k, m, racks);
+  - the set of scale_sweep rows, keyed by (stripes, nodes, failure), and
+    each row's config fields (racks, shards, metadata_only);
   - the set of host_results benchmark names and their non-timing fields
     (op, chunk_bytes, slice_bytes).
 
 Makespans on the virtual clock are deterministic per build, but they may
 legitimately move when the planner or emulator changes; the only value
-check is directional: every default-fabric (core_scale == 1) point must
-keep speedup >= --min-speedup (default 1.3, the acceptance bar).
+checks are directional: every default-fabric (core_scale == 1) point must
+keep speedup >= --min-speedup (default 1.3, the acceptance bar), and every
+scale_sweep row must report a positive makespan and step count.
+
+Malformed input is a diagnostic, not a traceback: a missing section, a row
+without its key fields, or a zero makespan in a speedup ratio all produce a
+clear message and a nonzero exit instead of KeyError/ZeroDivisionError.
 
 Usage:
   bench_schema_diff.py BASELINE CANDIDATE [--min-speedup 1.3]
 
-Exits 0 when the candidate matches, 1 with a report on stderr otherwise.
+Exits 0 when the candidate matches, 1 with a report on stderr otherwise,
+2 when an input file cannot be read or parsed at all.
 """
 
 import argparse
@@ -31,19 +39,91 @@ import sys
 
 POINT_KEY = ("config", "core_scale")
 POINT_FIELDS = ("k", "m", "racks")
+SWEEP_KEY = ("stripes", "nodes", "failure")
+SWEEP_FIELDS = ("racks", "shards", "metadata_only")
 RESULT_FIELDS = ("op", "chunk_bytes", "slice_bytes")
 
 
 def load(path):
-    with open(path, encoding="utf-8") as fh:
-        return json.load(fh)
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except OSError as exc:
+        sys.exit(f"bench_schema_diff: cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"bench_schema_diff: {path} is not valid JSON: {exc}")
 
 
-def keyed(rows, key_fields):
+def keyed(rows, key_fields, section, errors):
+    """Index rows by key_fields; rows missing a key field become errors
+    instead of a KeyError traceback."""
     out = {}
-    for row in rows:
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            errors.append(f"{section}[{i}]: expected an object, got {row!r}")
+            continue
+        missing = [k for k in key_fields if k not in row]
+        if missing:
+            errors.append(
+                f"{section}[{i}]: row is missing key field(s) {missing}"
+            )
+            continue
         out[tuple(row[k] for k in key_fields)] = row
     return out
+
+
+def section_rows(doc, which, section, required, errors):
+    """Fetch doc[section] as a list; a missing-but-required section or a
+    non-list value is a diagnostic."""
+    rows = doc.get(section)
+    if rows is None:
+        if required:
+            errors.append(f"section {section!r} missing from {which} JSON")
+        return []
+    if not isinstance(rows, list):
+        errors.append(f"section {section!r} in {which} is not a list")
+        return []
+    return rows
+
+
+def check_speedup(key, point, min_speedup, errors):
+    """Directional check on a fig9 point, recomputing the ratio with a
+    zero-makespan guard (a zero baseline row used to ZeroDivisionError)."""
+    if point.get("core_scale") != 1:
+        return
+    unsliced = point.get("unsliced_makespan_s", 0)
+    sliced = point.get("sliced_makespan_s", 0)
+    if not sliced or sliced <= 0:
+        errors.append(
+            f"point {key}: sliced makespan is {sliced!r}; cannot form a "
+            "speedup ratio (zero/missing makespan in a measured row means "
+            "the benchmark did not actually run)"
+        )
+        return
+    speedup = unsliced / sliced
+    if speedup < min_speedup:
+        errors.append(
+            f"point {key}: sliced speedup {speedup:.3f} fell below the "
+            f"{min_speedup}x acceptance bar"
+        )
+
+
+def diff_section(base_rows, cand_rows, key_fields, fields, section, errors):
+    base = keyed(base_rows, key_fields, f"baseline {section}", errors)
+    cand = keyed(cand_rows, key_fields, f"candidate {section}", errors)
+    for key in sorted(set(base) - set(cand), key=repr):
+        errors.append(f"{section} row missing from candidate: {key}")
+    for key in sorted(set(cand) - set(base), key=repr):
+        errors.append(f"unexpected new {section} row in candidate: {key}")
+    for key in sorted(set(base) & set(cand), key=repr):
+        for field in fields:
+            if base[key].get(field) != cand[key].get(field):
+                errors.append(
+                    f"{section} row {key} field {field!r}: baseline "
+                    f"{base[key].get(field)!r} vs candidate "
+                    f"{cand[key].get(field)!r}"
+                )
+    return base, cand
 
 
 def diff(baseline, candidate, min_speedup):
@@ -56,40 +136,47 @@ def diff(baseline, candidate, min_speedup):
                 f"vs candidate {candidate.get(field)!r}"
             )
 
-    base_points = keyed(baseline.get("points", []), POINT_KEY)
-    cand_points = keyed(candidate.get("points", []), POINT_KEY)
-    for key in sorted(set(base_points) - set(cand_points)):
-        errors.append(f"point missing from candidate: {key}")
-    for key in sorted(set(cand_points) - set(base_points)):
-        errors.append(f"unexpected new point in candidate: {key}")
-    for key in sorted(set(base_points) & set(cand_points)):
-        for field in POINT_FIELDS:
-            if base_points[key].get(field) != cand_points[key].get(field):
-                errors.append(
-                    f"point {key} field {field!r}: baseline "
-                    f"{base_points[key].get(field)!r} vs candidate "
-                    f"{cand_points[key].get(field)!r}"
-                )
+    base_points = section_rows(baseline, "baseline", "points", True, errors)
+    cand_points = section_rows(candidate, "candidate", "points", True, errors)
+    _, cand_by_key = diff_section(
+        base_points, cand_points, POINT_KEY, POINT_FIELDS, "points", errors
+    )
+    for key, point in sorted(cand_by_key.items()):
+        check_speedup(key, point, min_speedup, errors)
 
-    for key, point in sorted(cand_points.items()):
-        if point.get("core_scale") == 1 and point.get("speedup", 0) < min_speedup:
+    # The scale sweep is required exactly when the baseline carries one, so
+    # old baselines keep diffing cleanly.
+    sweep_required = "scale_sweep" in baseline
+    base_sweep = section_rows(
+        baseline, "baseline", "scale_sweep", sweep_required, errors
+    )
+    cand_sweep = section_rows(
+        candidate, "candidate", "scale_sweep", sweep_required, errors
+    )
+    _, cand_sweep_by_key = diff_section(
+        base_sweep, cand_sweep, SWEEP_KEY, SWEEP_FIELDS, "scale_sweep", errors
+    )
+    for key, row in sorted(cand_sweep_by_key.items(), key=repr):
+        makespan = row.get("makespan_s", 0)
+        if not makespan or makespan <= 0:
             errors.append(
-                f"point {key}: sliced speedup {point.get('speedup')} fell "
-                f"below the {min_speedup}x acceptance bar"
+                f"scale_sweep row {key}: makespan_s is {makespan!r}; a "
+                "non-positive makespan means the emulated recovery did not run"
             )
+        elif row.get("stripes", 0) / makespan <= 0:
+            errors.append(f"scale_sweep row {key}: zero recovery throughput")
+        if not row.get("plan_steps"):
+            errors.append(f"scale_sweep row {key}: plan_steps is missing/zero")
 
-    base_runs = keyed(baseline.get("host_results", []), ("name",))
-    cand_runs = keyed(candidate.get("host_results", []), ("name",))
-    for key in sorted(set(base_runs) - set(cand_runs)):
-        errors.append(f"host_result missing from candidate: {key[0]}")
-    for key in sorted(set(base_runs) & set(cand_runs)):
-        for field in RESULT_FIELDS:
-            if base_runs[key].get(field) != cand_runs[key].get(field):
-                errors.append(
-                    f"host_result {key[0]} field {field!r}: baseline "
-                    f"{base_runs[key].get(field)!r} vs candidate "
-                    f"{cand_runs[key].get(field)!r}"
-                )
+    base_runs = section_rows(
+        baseline, "baseline", "host_results", True, errors
+    )
+    cand_runs = section_rows(
+        candidate, "candidate", "host_results", True, errors
+    )
+    diff_section(
+        base_runs, cand_runs, ("name",), RESULT_FIELDS, "host_results", errors
+    )
 
     return errors
 
@@ -101,7 +188,13 @@ def main():
     parser.add_argument("--min-speedup", type=float, default=1.3)
     args = parser.parse_args()
 
-    errors = diff(load(args.baseline), load(args.candidate), args.min_speedup)
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+    for which, doc in (("baseline", baseline), ("candidate", candidate)):
+        if not isinstance(doc, dict):
+            sys.exit(f"bench_schema_diff: {which} JSON is not an object")
+
+    errors = diff(baseline, candidate, args.min_speedup)
     if errors:
         print(f"bench_schema_diff: {len(errors)} mismatch(es):", file=sys.stderr)
         for err in errors:

@@ -22,9 +22,12 @@
 //   carctl traffic --cfs 3 --runs 50
 //   carctl simulate --racks 5,5,5,5 --k 8 --m 4 --oversub 8 --chunk-mib 16
 //   carctl emulate --cfs 2 --stripes 20 --chunk-mib 1
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <numeric>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -34,6 +37,7 @@
 #include "emul/cluster.h"
 #include "inject/scenario.h"
 #include "recovery/balancer.h"
+#include "recovery/multi.h"
 #include "recovery/scheduler.h"
 #include "recovery/validate.h"
 #include "recovery/weighted.h"
@@ -49,6 +53,24 @@ namespace {
 using namespace car;
 
 cluster::CfsConfig config_from(const util::Flags& flags) {
+  // Uniform datacenter shorthand: --num-racks R --rack-size N describes R
+  // identical racks without spelling out a 100-element --racks list.
+  if (flags.has("num-racks") || flags.has("rack-size")) {
+    cluster::CfsConfig cfg;
+    cfg.name = "uniform";
+    const auto num_racks =
+        static_cast<std::size_t>(flags.get_int("num-racks", 10));
+    const auto rack_size =
+        static_cast<std::size_t>(flags.get_int("rack-size", 10));
+    if (num_racks == 0 || rack_size == 0) {
+      throw std::invalid_argument(
+          "--num-racks and --rack-size must be positive");
+    }
+    cfg.nodes_per_rack.assign(num_racks, rack_size);
+    cfg.k = static_cast<std::size_t>(flags.get_int("k", 4));
+    cfg.m = static_cast<std::size_t>(flags.get_int("m", 2));
+    return cfg;
+  }
   if (flags.has("racks") || flags.has("k") || flags.has("m")) {
     cluster::CfsConfig cfg;
     cfg.name = "custom";
@@ -192,7 +214,146 @@ int cmd_simulate(const util::Flags& flags) {
   return 0;
 }
 
+// Arena-backed scale path for `carctl emulate`, engaged by --metadata-only,
+// --shards, or --fail-rack.  Plans through recovery/multi (a full-rack
+// failure is just a multi-failure whose node set is one rack), lowers the
+// plan into a columnar PlanArena, materialises real bytes only for the
+// sampled stripes under --metadata-only, and executes with the sharded
+// virtual-clock engine.  The reported timeline is invariant in both the
+// shard count and the payload mode; the sampled stripes are verified
+// bit-exactly against their seeded originals.
+int cmd_emulate_scale(const util::Flags& flags) {
+  const auto cfg = config_from(flags);
+  const auto stripes = static_cast<std::size_t>(flags.get_int("stripes", 20));
+  const std::uint64_t chunk = static_cast<std::uint64_t>(
+      flags.get_double("chunk-mib", 0.25) * static_cast<double>(util::kMiB));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const auto shards = static_cast<std::size_t>(flags.get_int("shards", 1));
+  const bool metadata_only = flags.get_bool("metadata-only", false);
+  const auto sample = static_cast<std::size_t>(flags.get_int("sample", 4));
+  const bool fail_rack = flags.get_bool("fail-rack", false);
+  const auto iterations =
+      static_cast<std::size_t>(flags.get_int("iterations", 0));
+  const std::uint64_t slice_bytes =
+      static_cast<std::uint64_t>(flags.get_int("slice-kib", 0)) * util::kKiB;
+  const std::string strategy = flags.get("strategy", "car");
+  const rs::Code code(cfg.k, cfg.m);
+
+  emul::EmulConfig emul_cfg;
+  emul_cfg.node_bps = flags.get_double("node-mbps", 400.0) * 1e6;
+  emul_cfg.oversubscription = flags.get_double("oversub", 5.0);
+  // The sharded engine replays timing deterministically, which needs the
+  // virtual clock; wall-clock pacing is meaningless at this scale anyway.
+  emul_cfg.clock_mode = emul::ClockMode::kVirtual;
+
+  const auto host_start = std::chrono::steady_clock::now();
+  emul::Cluster cluster(cfg.topology(), emul_cfg);
+  util::Rng place_rng(seed);
+  const auto placement = cluster::Placement::random(
+      cfg.topology(), cfg.k, cfg.m, stripes, place_rng);
+  const auto& topology = placement.topology();
+
+  // Seeded failure choice: a random data-bearing node, widened to its whole
+  // rack under --fail-rack.  The first failed node doubles as the
+  // replacement slot, as in the single-failure flow.
+  util::Rng fail_rng(seed + 1);
+  const auto first_failed =
+      cluster::inject_random_failure(placement, fail_rng).failed_node;
+  std::vector<cluster::NodeId> failed_nodes{first_failed};
+  if (fail_rack) {
+    for (const auto node :
+         topology.nodes_in_rack(topology.rack_of(first_failed))) {
+      if (node != first_failed) failed_nodes.push_back(node);
+    }
+  }
+  const auto mf = recovery::make_multi_failure(placement, failed_nodes);
+  const auto censuses = recovery::build_multi_censuses(placement, mf);
+  if (censuses.empty()) {
+    std::puts("no stripe lost a chunk — nothing to recover");
+    return 0;
+  }
+
+  recovery::RecoveryPlan plan;
+  if (strategy == "car") {
+    const auto balanced =
+        recovery::balance_multi(placement, censuses, iterations);
+    plan = recovery::build_multi_car_plan(placement, code, balanced.solutions,
+                                          chunk, mf.replacement);
+  } else if (strategy == "rr") {
+    util::Rng rr_rng(seed + 2);
+    const auto rr = recovery::plan_multi_rr(placement, censuses, rr_rng);
+    plan = recovery::build_multi_rr_plan(placement, code, rr, chunk,
+                                         mf.replacement);
+  } else {
+    throw std::invalid_argument("--strategy must be car or rr");
+  }
+
+  const auto arena = recovery::PlanArena::build(
+      plan, slice_bytes > 0 ? slice_bytes : std::max<std::uint64_t>(chunk, 1));
+
+  // Stripes that carry real bytes: the first --sample distinct output
+  // stripes under --metadata-only, every stripe otherwise (survivors of
+  // affected stripes must hold bytes for the transfers to read).
+  std::vector<cluster::StripeId> materialise;
+  if (metadata_only) {
+    for (const auto& out : plan.outputs) {
+      if (materialise.size() >= sample) break;
+      if (std::find(materialise.begin(), materialise.end(), out.stripe) ==
+          materialise.end()) {
+        materialise.push_back(out.stripe);
+      }
+    }
+  } else {
+    materialise.resize(stripes);
+    std::iota(materialise.begin(), materialise.end(), cluster::StripeId{0});
+  }
+  const auto originals = cluster.populate_sampled(placement, code, chunk,
+                                                  seed, materialise);
+  for (const auto node : mf.failed_nodes) cluster.erase_node(node);
+
+  emul::ArenaExecOptions options;
+  options.shards = shards;
+  options.metadata_only = metadata_only;
+  if (metadata_only) options.sampled_stripes = materialise;
+  const auto report = cluster.execute_arena(arena, options);
+
+  std::size_t expected = 0;
+  std::size_t verified = 0;
+  for (const auto& out : plan.outputs) {
+    const auto it = originals.find(out.stripe);
+    if (it == originals.end()) continue;
+    ++expected;
+    const auto* rec =
+        cluster.find_chunk(mf.replacement, out.stripe, out.chunk_index);
+    verified += rec != nullptr && *rec == it->second[out.chunk_index];
+  }
+  const double host_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    host_start)
+          .count();
+
+  std::printf("%s | %zu racks x %zu nodes | %zu stripes | %s failure\n",
+              strategy.c_str(), topology.num_racks(),
+              topology.num_nodes() / topology.num_racks(), stripes,
+              fail_rack ? "full-rack" : "single-node");
+  std::printf("  affected stripes %zu | plan steps %zu | outputs %zu\n",
+              censuses.size(), plan.steps.size(), plan.outputs.size());
+  std::printf("  mode %s | shards %zu | sampled stripes %zu\n",
+              metadata_only ? "metadata-only" : "real-bytes", shards,
+              materialise.size());
+  std::printf("  makespan %.3f s | cross-rack %s | host %.2f s\n",
+              report.wall_s,
+              util::format_bytes(report.cross_rack_bytes).c_str(), host_s);
+  std::printf("  verified %zu/%zu sampled outputs bit-exact\n", verified,
+              expected);
+  return verified == expected && expected > 0 ? 0 : 1;
+}
+
 int cmd_emulate(const util::Flags& flags) {
+  if (flags.has("metadata-only") || flags.has("shards") ||
+      flags.has("fail-rack")) {
+    return cmd_emulate_scale(flags);
+  }
   const auto cfg = config_from(flags);
   const auto stripes = static_cast<std::size_t>(flags.get_int("stripes", 20));
   const std::uint64_t chunk = static_cast<std::uint64_t>(
@@ -560,10 +721,13 @@ void usage() {
       "usage: carctl "
       "<traffic|balance|simulate|emulate|trace|validate|inject-run> "
       "[flags]\n"
-      "  --cfs 1|2|3 | --racks 4,3,3 --k 6 --m 3\n"
+      "  --cfs 1|2|3 | --racks 4,3,3 --k 6 --m 3 | "
+      "--num-racks R --rack-size N\n"
       "  --stripes N --runs N --seed S --chunk-mib N --csv\n"
       "  simulate: --node-gbps G --oversub X --hop-latency-us U\n"
       "  emulate:  --node-mbps M --oversub X --window W --slice-kib S --virtual\n"
+      "            scale path (arena engine): --metadata-only --sample N\n"
+      "            --shards N --fail-rack --iterations I --strategy car|rr\n"
       "  trace:    --failures N\n"
       "  validate: --strategy car|rr|weighted|multi|all --window W\n"
       "            --slice-kib S (also validate the slice lowering)\n"
