@@ -16,7 +16,7 @@ double EmulClock::now() const {
         std::chrono::steady_clock::now() - epoch_;
     return dt.count();
   }
-  std::scoped_lock lock(mu_);
+  util::MutexLock lock(mu_);
   return virtual_now_;
 }
 
@@ -32,7 +32,7 @@ void EmulClock::sleep_until(double t) {
 
 void EmulClock::advance_to(double t) {
   if (mode_ == ClockMode::kReal) return;
-  std::scoped_lock lock(mu_);
+  util::MutexLock lock(mu_);
   if (t > virtual_now_) virtual_now_ = t;
 }
 

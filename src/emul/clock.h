@@ -20,7 +20,10 @@
 #pragma once
 
 #include <chrono>
-#include <mutex>
+
+#include "util/attributes.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace car::emul {
 
@@ -34,27 +37,27 @@ class EmulClock {
 
   /// Current time in timeline seconds.  Real mode: wall seconds elapsed
   /// since construction.  Virtual mode: the simulated clock's position.
-  [[nodiscard]] double now() const;
+  [[nodiscard]] double now() const CAR_EXCLUDES(mu_);
 
   /// Block until timeline second `t` (real mode) or advance the simulated
   /// clock to `t` (virtual mode).  Times in the past are a no-op.
-  void sleep_until(double t);
+  void sleep_until(double t) CAR_EXCLUDES(mu_);
 
   /// Raise the simulated clock to at least `t`.  No-op in real mode (the
   /// wall clock advances itself) and for `t` in the past.
-  void advance_to(double t);
+  void advance_to(double t) CAR_EXCLUDES(mu_);
 
   /// Contract helper for deterministic consumers (the fault-injection
   /// runtime): throws util::StateError naming `who` unless the clock is
   /// virtual.  Wall-clock timelines cannot reproduce an EventLog
   /// byte-for-byte, so such consumers refuse them up front.
-  void require_virtual(const char* who) const;
+  void require_virtual(const char* who) const CAR_BOUNDARY;
 
  private:
   ClockMode mode_;
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  double virtual_now_ = 0.0;
+  mutable util::Mutex mu_;
+  double virtual_now_ CAR_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace car::emul

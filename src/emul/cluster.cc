@@ -5,7 +5,6 @@
 #include <chrono>
 #include <cstring>
 #include <exception>
-#include <mutex>
 #include <queue>
 #include <stdexcept>
 #include <string>
@@ -18,6 +17,8 @@
 #include "recovery/slice.h"
 #include "util/buffer_pool.h"
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace car::emul {
 
@@ -65,8 +66,8 @@ std::uint64_t key_of(const BufferRef& ref) {
 
 struct Cluster::Impl {
   struct NodeStore {
-    mutable std::mutex mu;
-    std::unordered_map<std::uint64_t, rs::Chunk> buffers;
+    mutable util::Mutex mu;
+    std::unordered_map<std::uint64_t, rs::Chunk> buffers CAR_GUARDED_BY(mu);
   };
 
   explicit Impl(ClockMode mode) : clock(mode) {}
@@ -77,14 +78,14 @@ struct Cluster::Impl {
   std::vector<std::unique_ptr<SerialLink>> node_down;
   std::vector<std::unique_ptr<SerialLink>> rack_up;
   std::vector<std::unique_ptr<SerialLink>> rack_down;
-  std::vector<std::mutex> cpu;  // serialises compute per emulated node
+  std::vector<util::Mutex> cpu;  // serialises compute per emulated node
 
   // Liveness state: which nodes have been dropped (dead for the run), the
   // currently guarded recovery destination, and a drop epoch that lets an
   // execute() in flight notice a concurrent drop and abort.
-  mutable std::mutex state_mu;
-  std::vector<bool> dropped;
-  std::optional<cluster::NodeId> guarded;
+  mutable util::Mutex state_mu;
+  std::vector<bool> dropped CAR_GUARDED_BY(state_mu);
+  std::optional<cluster::NodeId> guarded CAR_GUARDED_BY(state_mu);
   std::atomic<std::uint64_t> drop_epoch{0};
 
   // Pooled staging + store capacity: all wire copies, compute scratch, and
@@ -94,7 +95,7 @@ struct Cluster::Impl {
 
   const rs::Chunk* find(cluster::NodeId node, std::uint64_t key) const {
     const auto& store = stores[node];
-    std::scoped_lock lock(store.mu);
+    util::MutexLock lock(store.mu);
     const auto it = store.buffers.find(key);
     return it == store.buffers.end() ? nullptr : &it->second;
   }
@@ -103,7 +104,7 @@ struct Cluster::Impl {
     auto& store = stores[node];
     rs::Chunk evicted;
     {
-      std::scoped_lock lock(store.mu);
+      util::MutexLock lock(store.mu);
       rs::Chunk& slot = store.buffers[key];
       evicted = std::move(slot);
       slot = std::move(data);
@@ -126,7 +127,7 @@ struct Cluster::Impl {
     auto& store = stores[node];
     rs::Chunk evicted;
     {
-      std::scoped_lock lock(store.mu);
+      util::MutexLock lock(store.mu);
       rs::Chunk& slot = store.buffers[key];
       if (slot.size() != full_size) {
         if (slot.capacity() >= full_size) {
@@ -144,7 +145,7 @@ struct Cluster::Impl {
   }
 
   bool is_dropped(cluster::NodeId node) const {
-    std::scoped_lock lock(state_mu);
+    util::MutexLock lock(state_mu);
     return dropped[node];
   }
 
@@ -170,7 +171,7 @@ Cluster::Cluster(cluster::Topology topology, EmulConfig config)
   const std::size_t n = topology_.num_nodes();
   const std::size_t r = topology_.num_racks();
   impl_->stores = std::vector<Impl::NodeStore>(n);
-  impl_->cpu = std::vector<std::mutex>(n);
+  impl_->cpu = std::vector<util::Mutex>(n);
   impl_->dropped.assign(n, false);
   for (std::size_t i = 0; i < n; ++i) {
     impl_->node_up.push_back(std::make_unique<SerialLink>(config_.node_bps));
@@ -248,7 +249,7 @@ void Cluster::erase_node(cluster::NodeId node) {
   auto& store = impl_->stores[node];
   std::vector<rs::Chunk> evicted;
   {
-    std::scoped_lock lock(store.mu);
+    util::MutexLock lock(store.mu);
     evicted.reserve(store.buffers.size());
     for (auto& [key, buf] : store.buffers) evicted.push_back(std::move(buf));
     store.buffers.clear();
@@ -261,7 +262,7 @@ void Cluster::drop_node(cluster::NodeId node) {
     throw std::out_of_range("Cluster::drop_node: bad node id");
   }
   {
-    std::scoped_lock lock(impl_->state_mu);
+    util::MutexLock lock(impl_->state_mu);
     CAR_CHECK(!impl_->guarded || *impl_->guarded != node,
               "Cluster::drop_node: refusing to drop the replacement node — "
               "the recovery destination cannot fail mid-plan; choose a fresh "
@@ -284,7 +285,7 @@ void Cluster::guard_replacement(std::optional<cluster::NodeId> node) {
   if (node && *node >= topology_.num_nodes()) {
     throw std::out_of_range("Cluster::guard_replacement: bad node id");
   }
-  std::scoped_lock lock(impl_->state_mu);
+  util::MutexLock lock(impl_->state_mu);
   impl_->guarded = node;
 }
 
@@ -292,7 +293,7 @@ void Cluster::clear_step_outputs() {
   for (auto& store : impl_->stores) {
     std::vector<rs::Chunk> evicted;
     {
-      std::scoped_lock lock(store.mu);
+      util::MutexLock lock(store.mu);
       for (auto& [key, buf] : store.buffers) {
         if ((key & kStepBit) != 0) evicted.push_back(std::move(buf));
       }
@@ -409,7 +410,7 @@ ExecutionReport Cluster::execute(const recovery::SlicePlan& plan) {
       recovery::step_dependents(std::span<const PlanStep>(plan.steps));
   const bool virtual_time = config_.clock_mode == ClockMode::kVirtual;
   EmulClock& clock = impl_->clock;
-  std::mutex report_mu;
+  util::Mutex report_mu;
 
   // The recovery destination must outlive the plan: guard it so a
   // concurrent drop_node(replacement) fails loudly instead of racing the
@@ -421,7 +422,7 @@ ExecutionReport Cluster::execute(const recovery::SlicePlan& plan) {
   };
   std::optional<cluster::NodeId> previous_guard;
   {
-    std::scoped_lock lock(impl_->state_mu);
+    util::MutexLock lock(impl_->state_mu);
     previous_guard = impl_->guarded;
     impl_->guarded = plan.replacement;
   }
@@ -468,7 +469,7 @@ ExecutionReport Cluster::execute(const recovery::SlicePlan& plan) {
 
     const std::uint64_t moved = slice.length;  // == step.bytes by the grid
     const auto src_rack = topology_.rack_of(step.src);
-    std::scoped_lock lock(report_mu);
+    util::MutexLock lock(report_mu);
     if (src_rack != topology_.rack_of(step.dst)) {
       report.cross_rack_bytes += moved;
       report.per_rack_cross_bytes[src_rack] += moved;
@@ -479,7 +480,7 @@ ExecutionReport Cluster::execute(const recovery::SlicePlan& plan) {
 
   auto run_compute = [&](const PlanStep& step, const SliceInfo& slice) {
     impl_->check_alive(step.node, "Cluster::execute: compute node");
-    std::scoped_lock cpu_lock(impl_->cpu[step.node]);
+    util::MutexLock cpu_lock(impl_->cpu[step.node]);
 
     // Gather input buffers.  unordered_map references are stable under
     // concurrent inserts of other keys (guarded by the store mutex inside
@@ -513,7 +514,7 @@ ExecutionReport Cluster::execute(const recovery::SlicePlan& plan) {
     // Virtual mode charges modelled compute time in the timing pass instead
     // of the (nondeterministic) measured duration.
     if (virtual_time) return;
-    std::scoped_lock lock(report_mu);
+    util::MutexLock lock(report_mu);
     report.compute_s += dt.count();
     if (step.node == plan.replacement) {
       report.replacement_compute_s += dt.count();
@@ -627,7 +628,7 @@ ExecutionReport Cluster::execute_arena(const recovery::PlanArena& plan,
   EmulClock& clock = impl_->clock;
   std::optional<cluster::NodeId> previous_guard;
   {
-    std::scoped_lock lock(impl_->state_mu);
+    util::MutexLock lock(impl_->state_mu);
     previous_guard = impl_->guarded;
     impl_->guarded = plan.replacement();
   }
@@ -652,7 +653,7 @@ ExecutionReport Cluster::execute_arena(const recovery::PlanArena& plan,
   // exactly like execute()'s pool cancellation.
   std::vector<char> dead;
   {
-    std::scoped_lock lock(impl_->state_mu);
+    util::MutexLock lock(impl_->state_mu);
     dead.assign(impl_->dropped.begin(), impl_->dropped.end());
   }
   auto check_alive_fast = [&](cluster::NodeId nd, const char* what) {
@@ -681,7 +682,7 @@ ExecutionReport Cluster::execute_arena(const recovery::PlanArena& plan,
   std::vector<ShardTotals> totals(options.shards);
   for (auto& t : totals) t.per_rack.assign(topology_.num_racks(), 0);
 
-  std::mutex error_mu;
+  util::Mutex error_mu;
   std::exception_ptr error;
   std::atomic<bool> failed{false};
 
@@ -738,7 +739,7 @@ ExecutionReport Cluster::execute_arena(const recovery::PlanArena& plan,
           const cluster::NodeId node = plan.node(base);
           check_alive_fast(node, "Cluster::execute_arena: compute node");
           if (!is_real(plan.stripe(base))) continue;
-          std::scoped_lock cpu_lock(impl_->cpu[node]);
+          util::MutexLock cpu_lock(impl_->cpu[node]);
           std::vector<const rs::Chunk*> inputs;
           const std::size_t n_in = plan.num_inputs(base);
           inputs.reserve(n_in);
@@ -768,7 +769,7 @@ ExecutionReport Cluster::execute_arena(const recovery::PlanArena& plan,
       }
     } catch (...) {
       failed.store(true, std::memory_order_release);
-      std::scoped_lock lock(error_mu);
+      util::MutexLock lock(error_mu);
       if (!error) error = std::current_exception();
     }
   };
@@ -802,7 +803,7 @@ ExecutionReport Cluster::execute_arena(const recovery::PlanArena& plan,
   for (std::uint64_t base = 0; base < n_base; ++base) {
     const auto degree = static_cast<std::uint32_t>(plan.deps(base).size());
     for (std::uint64_t s = 0; s < num_slices; ++s) {
-      pending[base * num_slices + s] = degree;
+      pending[plan.sliced_id(base, s)] = degree;
     }
   }
   std::vector<double> start_at(n_sliced, t_start);
@@ -835,7 +836,7 @@ ExecutionReport Cluster::execute_arena(const recovery::PlanArena& plan,
     }
     end = std::max(end, finish);
     for (const std::uint64_t dep_base : plan.dependents(base)) {
-      const std::uint64_t did = dep_base * num_slices + slice;
+      const std::uint64_t did = plan.sliced_id(dep_base, slice);
       start_at[did] = std::max(start_at[did], finish);
       if (--pending[did] == 0) ready.emplace(start_at[did], did);
     }

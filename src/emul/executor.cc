@@ -1,14 +1,14 @@
 #include "emul/executor.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace car::emul {
 
@@ -22,6 +22,26 @@ std::size_t Executor::planned_workers(std::size_t num_tasks) const {
   return std::min({max_workers_, hw, num_tasks});
 }
 
+namespace {
+
+/// Shared scheduling state for one run().  Everything the workers touch is
+/// behind `mu`; the annotations make the worker loop's lock discipline
+/// (hold to schedule, release around the task body) compiler-checked.
+struct RunState {
+  util::Mutex mu;
+  util::CondVar cv;
+  std::deque<std::size_t> ready CAR_GUARDED_BY(mu);
+  std::vector<std::size_t> indegrees CAR_GUARDED_BY(mu);
+  std::size_t completed CAR_GUARDED_BY(mu) = 0;
+  std::size_t active CAR_GUARDED_BY(mu) = 0;
+  bool stop CAR_GUARDED_BY(mu) = false;
+  bool cycle CAR_GUARDED_BY(mu) = false;
+  bool aborted CAR_GUARDED_BY(mu) = false;
+  std::exception_ptr error CAR_GUARDED_BY(mu);
+};
+
+}  // namespace
+
 void Executor::run(std::size_t num_tasks, std::vector<std::size_t> indegrees,
                    const std::vector<std::vector<std::size_t>>& dependents,
                    const std::function<void(std::size_t)>& fn,
@@ -30,36 +50,31 @@ void Executor::run(std::size_t num_tasks, std::vector<std::size_t> indegrees,
   CAR_CHECK(indegrees.size() == num_tasks && dependents.size() == num_tasks,
             "Executor::run: adjacency size mismatch");
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<std::size_t> ready;
-  std::size_t completed = 0;
-  std::size_t active = 0;
-  bool stop = false;
-  bool cycle = false;
-  bool aborted = false;
-  std::exception_ptr error;
-
-  for (std::size_t id = 0; id < num_tasks; ++id) {
-    if (indegrees[id] == 0) ready.push_back(id);
+  RunState st;
+  {
+    util::MutexLock lock(st.mu);
+    st.indegrees = std::move(indegrees);
+    for (std::size_t id = 0; id < num_tasks; ++id) {
+      if (st.indegrees[id] == 0) st.ready.push_back(id);
+    }
+    CAR_CHECK(!st.ready.empty(), "Executor::run: dependency cycle (no roots)");
   }
-  CAR_CHECK(!ready.empty(), "Executor::run: dependency cycle (no roots)");
 
-  auto worker = [&] {
-    std::unique_lock lock(mu);
+  auto worker = [&st, &dependents, &fn, &should_abort, num_tasks] {
+    util::MutexLock lock(st.mu);
     for (;;) {
-      cv.wait(lock, [&] { return stop || !ready.empty(); });
-      if (stop) return;
+      while (!st.stop && st.ready.empty()) st.cv.wait(st.mu);
+      if (st.stop) return;
       if (should_abort && should_abort()) {
         // Abandon queued work; in-flight tasks drain like the error path.
-        aborted = true;
-        stop = true;
-        cv.notify_all();
+        st.aborted = true;
+        st.stop = true;
+        st.cv.notify_all();
         return;
       }
-      const std::size_t id = ready.front();
-      ready.pop_front();
-      ++active;
+      const std::size_t id = st.ready.front();
+      st.ready.pop_front();
+      ++st.active;
       lock.unlock();
 
       std::exception_ptr task_error;
@@ -70,24 +85,24 @@ void Executor::run(std::size_t num_tasks, std::vector<std::size_t> indegrees,
       }
 
       lock.lock();
-      --active;
-      ++completed;
+      --st.active;
+      ++st.completed;
       if (task_error) {
         // First failure wins; abandon queued work and let in-flight drain.
-        if (!error) error = task_error;
-        stop = true;
-      } else if (!stop) {
+        if (!st.error) st.error = task_error;
+        st.stop = true;
+      } else if (!st.stop) {
         for (const std::size_t dep : dependents[id]) {
-          if (--indegrees[dep] == 0) ready.push_back(dep);
+          if (--st.indegrees[dep] == 0) st.ready.push_back(dep);
         }
-        if (completed == num_tasks) {
-          stop = true;
-        } else if (ready.empty() && active == 0) {
-          cycle = true;  // unfinished tasks but nothing can ever run them
-          stop = true;
+        if (st.completed == num_tasks) {
+          st.stop = true;
+        } else if (st.ready.empty() && st.active == 0) {
+          st.cycle = true;  // unfinished tasks but nothing can ever run them
+          st.stop = true;
         }
       }
-      cv.notify_all();
+      st.cv.notify_all();
     }
   };
 
@@ -97,9 +112,11 @@ void Executor::run(std::size_t num_tasks, std::vector<std::size_t> indegrees,
   for (std::size_t i = 0; i < n_workers; ++i) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
 
-  if (error) std::rethrow_exception(error);
-  CAR_CHECK(!cycle, "Executor::run: dependency cycle in DAG");
-  CAR_CHECK_STATE(!aborted, "Executor::run: aborted by should_abort");
+  // The pool has drained, but the analysis (rightly) still wants the lock.
+  util::MutexLock lock(st.mu);
+  if (st.error) std::rethrow_exception(st.error);
+  CAR_CHECK(!st.cycle, "Executor::run: dependency cycle in DAG");
+  CAR_CHECK_STATE(!st.aborted, "Executor::run: aborted by should_abort");
 }
 
 }  // namespace car::emul

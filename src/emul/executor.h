@@ -22,6 +22,8 @@
 #include <functional>
 #include <vector>
 
+#include "util/attributes.h"
+
 namespace car::emul {
 
 class Executor {
@@ -45,7 +47,7 @@ class Executor {
   void run(std::size_t num_tasks, std::vector<std::size_t> indegrees,
            const std::vector<std::vector<std::size_t>>& dependents,
            const std::function<void(std::size_t)>& fn,
-           const std::function<bool()>& should_abort = {});
+           const std::function<bool()>& should_abort = {}) CAR_BOUNDARY;
 
  private:
   std::size_t max_workers_;

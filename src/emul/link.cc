@@ -1,6 +1,7 @@
 #include "emul/link.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <thread>
@@ -22,12 +23,12 @@ void SerialLink::add_rate_window(double start, double end, double factor) {
             "SerialLink::add_rate_window: requires 0 <= start < end");
   CAR_CHECK(factor >= 0.0,
             "SerialLink::add_rate_window: factor must be >= 0");
-  std::scoped_lock lock(mu_);
+  util::MutexLock lock(mu_);
   windows_.push_back({start, end, factor});
 }
 
 double SerialLink::rate_at(double t) const {
-  std::scoped_lock lock(mu_);
+  util::MutexLock lock(mu_);
   double rate = rate_;
   for (const auto& w : windows_) {
     if (t >= w.start && t < w.end) rate *= w.factor;
@@ -68,14 +69,14 @@ double SerialLink::drain_locked(double begin, std::uint64_t bytes) const {
 
 double SerialLink::drain_from(double busy_until, double start,
                               std::uint64_t bytes) const {
-  std::scoped_lock lock(mu_);
+  util::MutexLock lock(mu_);
   return drain_locked(std::max(busy_until, start), bytes);
 }
 
 double SerialLink::reserve(double start, std::uint64_t bytes) {
   CAR_CHECK(std::isfinite(start) && start >= 0.0,
             "SerialLink::reserve: start must be a finite non-negative time");
-  std::scoped_lock lock(mu_);
+  util::MutexLock lock(mu_);
   const double previous_free = next_free_;
   const double begin = std::max(next_free_, start);
   next_free_ = drain_locked(begin, bytes);
@@ -90,7 +91,7 @@ double SerialLink::reserve(double start, std::uint64_t bytes) {
 double SerialLink::preview(double start, std::uint64_t bytes) const {
   CAR_CHECK(std::isfinite(start) && start >= 0.0,
             "SerialLink::preview: start must be a finite non-negative time");
-  std::scoped_lock lock(mu_);
+  util::MutexLock lock(mu_);
   return drain_locked(std::max(next_free_, start), bytes);
 }
 
@@ -104,16 +105,17 @@ void SerialLink::transmit(std::uint64_t bytes) {
 }
 
 double SerialLink::next_free() const {
-  std::scoped_lock lock(mu_);
+  util::MutexLock lock(mu_);
   return next_free_;
 }
 
 std::uint64_t SerialLink::bytes_transmitted() const noexcept {
-  std::scoped_lock lock(mu_);
+  util::MutexLock lock(mu_);
   return total_bytes_;
 }
 
 LinkPath::LinkPath(std::vector<SerialLink*> hops) : hops_(std::move(hops)) {
+  CAR_CHECK(hops_.size() <= kMaxHops, "LinkPath: too many hops");
   for (const SerialLink* hop : hops_) {
     CAR_CHECK(hop != nullptr, "LinkPath: null hop");
   }
@@ -139,7 +141,9 @@ double LinkPath::preview(double start, std::uint64_t bytes,
   CAR_CHECK(page_bytes > 0, "LinkPath::preview: page_bytes must be > 0");
   // Shadow each hop's next-free time so successive pages of this transfer
   // queue behind each other exactly as the committing loop would make them.
-  std::vector<double> busy(hops_.size());
+  // Stack array, not a vector: preview runs once per candidate transfer in
+  // the planner's inner loop, and the constructor bounds hops to kMaxHops.
+  std::array<double, kMaxHops> busy{};
   for (std::size_t h = 0; h < hops_.size(); ++h) {
     busy[h] = hops_[h]->next_free();
   }

@@ -21,8 +21,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "util/attributes.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace car::emul {
 
@@ -35,28 +38,32 @@ class SerialLink {
   /// factor == 0 blacks the link out for the window; factors of overlapping
   /// windows multiply.  Requires 0 <= start < end, both finite, and
   /// factor >= 0 (CheckError otherwise).  Thread-safe.
-  void add_rate_window(double start, double end, double factor);
+  void add_rate_window(double start, double end, double factor)
+      CAR_EXCLUDES(mu_) CAR_BOUNDARY;
 
   /// Effective rate at timeline second `t` (base rate times the factors of
   /// every window containing `t`).
-  [[nodiscard]] double rate_at(double t) const;
+  [[nodiscard]] double rate_at(double t) const CAR_EXCLUDES(mu_) CAR_HOT;
 
   /// Reserve link occupancy for `bytes`, starting no earlier than timeline
   /// second `start` and no earlier than the link is free.  Returns the
   /// timeline second at which the last byte leaves the link, honouring any
   /// rate windows.  Does not block; thread-safe.
-  double reserve(double start, std::uint64_t bytes);
+  double reserve(double start, std::uint64_t bytes) CAR_EXCLUDES(mu_)
+      CAR_BOUNDARY CAR_HOT;
 
   /// Finish time reserve(start, bytes) *would* return right now, without
   /// committing anything.  Thread-safe.
-  [[nodiscard]] double preview(double start, std::uint64_t bytes) const;
+  [[nodiscard]] double preview(double start, std::uint64_t bytes) const
+      CAR_EXCLUDES(mu_) CAR_BOUNDARY CAR_HOT;
 
   /// Pure timing helper for shadow (what-if) reservations: the finish time
   /// of `bytes` entering the link no earlier than `start` on a link that is
   /// busy until `busy_until`, honouring rate windows.  Used by LinkPath's
   /// preview; does not touch the link's own occupancy.
   [[nodiscard]] double drain_from(double busy_until, double start,
-                                  std::uint64_t bytes) const;
+                                  std::uint64_t bytes) const CAR_EXCLUDES(mu_)
+      CAR_HOT;
 
   /// Wall-clock convenience for standalone use (tests, demos): reserve
   /// against real elapsed time since construction and block until the bytes
@@ -66,10 +73,11 @@ class SerialLink {
   [[nodiscard]] double rate() const noexcept { return rate_; }
 
   /// Timeline second at which the link is next free (for shadow previews).
-  [[nodiscard]] double next_free() const;
+  [[nodiscard]] double next_free() const CAR_EXCLUDES(mu_);
 
   /// Total bytes ever reserved on this link (for accounting/tests).
-  [[nodiscard]] std::uint64_t bytes_transmitted() const noexcept;
+  [[nodiscard]] std::uint64_t bytes_transmitted() const noexcept
+      CAR_EXCLUDES(mu_);
 
  private:
   struct RateWindow {
@@ -78,15 +86,15 @@ class SerialLink {
     double factor = 1.0;
   };
 
-  /// drain_from without taking mu_ (callers hold it).
-  [[nodiscard]] double drain_locked(double begin, std::uint64_t bytes) const;
+  [[nodiscard]] double drain_locked(double begin, std::uint64_t bytes) const
+      CAR_REQUIRES(mu_);
 
   double rate_;
   std::chrono::steady_clock::time_point epoch_;  // transmit() only
-  mutable std::mutex mu_;
-  double next_free_ = 0.0;  // timeline seconds
-  std::uint64_t total_bytes_ = 0;
-  std::vector<RateWindow> windows_;
+  mutable util::Mutex mu_;
+  double next_free_ CAR_GUARDED_BY(mu_) = 0.0;  // timeline seconds
+  std::uint64_t total_bytes_ CAR_GUARDED_BY(mu_) = 0;
+  std::vector<RateWindow> windows_ CAR_GUARDED_BY(mu_);
 };
 
 /// The ordered hop list of one transfer path (src access link, core links
@@ -96,18 +104,26 @@ class SerialLink {
 /// hops of one transfer pipeline (finish = slowest hop, not sum of hops).
 class LinkPath {
  public:
+  /// Longest physical path the topology can produce: src access link, up to
+  /// two core hops, dst access link.  Cluster::path builds every LinkPath;
+  /// the constructor enforces the bound so preview() can shadow hop state on
+  /// the stack instead of allocating per call.
+  static constexpr std::size_t kMaxHops = 4;
+
   LinkPath() = default;
   explicit LinkPath(std::vector<SerialLink*> hops);
 
   /// Commit page-wise reservations on every hop starting no earlier than
   /// `start`; returns the finish time of the last page on the slowest hop.
-  double reserve(double start, std::uint64_t bytes, std::uint64_t page_bytes);
+  double reserve(double start, std::uint64_t bytes, std::uint64_t page_bytes)
+      CAR_BOUNDARY CAR_HOT;
 
   /// Finish time reserve would return right now, committing nothing.  Exact
   /// only while no concurrent reservations land on the hops (the
   /// fault-injection runtime is single-threaded, which is the point).
   [[nodiscard]] double preview(double start, std::uint64_t bytes,
-                               std::uint64_t page_bytes) const;
+                               std::uint64_t page_bytes) const CAR_BOUNDARY
+      CAR_HOT;
 
   [[nodiscard]] bool loopback() const noexcept { return hops_.empty(); }
   [[nodiscard]] const std::vector<SerialLink*>& hops() const noexcept {

@@ -18,27 +18,30 @@
 #include <cstdint>
 #include <span>
 
+#include "util/attributes.h"
+
 namespace car::gf {
 
 /// dst ^= src (characteristic-2 addition of two regions). dst may equal src
 /// (result is then all zeros) but partial overlap is undefined.
-void xor_region(std::span<const std::uint8_t> src, std::span<std::uint8_t> dst);
+CAR_HOT void xor_region(std::span<const std::uint8_t> src,
+                        std::span<std::uint8_t> dst);
 
 /// dst = c * src.  c == 0 zeroes dst; c == 1 copies.  In-place safe.
-void mul_region(std::uint8_t c, std::span<const std::uint8_t> src,
+CAR_HOT void mul_region(std::uint8_t c, std::span<const std::uint8_t> src,
                 std::span<std::uint8_t> dst);
 
 /// dst ^= c * src — the fused multiply-accumulate used by encode/decode.
 /// In-place safe (dst == src computes dst ^= c * dst).
-void mul_region_acc(std::uint8_t c, std::span<const std::uint8_t> src,
+CAR_HOT void mul_region_acc(std::uint8_t c, std::span<const std::uint8_t> src,
                     std::span<std::uint8_t> dst);
 
 /// In-place dst *= c (forwards dst as both operands of mul_region, which the
 /// aliasing contract above makes explicitly safe on every kernel path).
-void scale_region(std::uint8_t c, std::span<std::uint8_t> dst);
+CAR_HOT void scale_region(std::uint8_t c, std::span<std::uint8_t> dst);
 
 /// Zero a region.
-void zero_region(std::span<std::uint8_t> dst) noexcept;
+CAR_HOT void zero_region(std::span<std::uint8_t> dst) noexcept;
 
 /// Dot product of coefficient vector and chunk rows:
 /// out = sum_i coeffs[i] * rows[i]; rows.size() == coeffs.size() required.
@@ -48,13 +51,13 @@ void zero_region(std::span<std::uint8_t> dst) noexcept;
 /// Fused: the sum is evaluated in cache-sized tiles — every source row is
 /// folded into a destination tile while that tile is still resident — so a
 /// k-way combine makes one pass over `out` instead of k full-buffer sweeps.
-void linear_combine(std::span<const std::uint8_t> coeffs,
+CAR_HOT void linear_combine(std::span<const std::uint8_t> coeffs,
                     std::span<const std::span<const std::uint8_t>> rows,
                     std::span<std::uint8_t> out);
 
 /// out ^= sum_i coeffs[i] * rows[i] — the accumulating form of
 /// linear_combine (same tiling, same contracts, no initial zeroing).
-void linear_combine_acc(std::span<const std::uint8_t> coeffs,
+CAR_HOT void linear_combine_acc(std::span<const std::uint8_t> coeffs,
                         std::span<const std::span<const std::uint8_t>> rows,
                         std::span<std::uint8_t> out);
 

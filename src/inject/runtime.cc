@@ -594,7 +594,7 @@ class Engine {
       if (done != nullptr) {
         bool whole = true;
         for (std::uint64_t s = 0; s < num_slices; ++s) {
-          if ((*done)[out.step_id * num_slices + s] == 0) {
+          if ((*done)[recovery::sliced_id(out.step_id, num_slices, s)] == 0) {
             whole = false;
             break;
           }

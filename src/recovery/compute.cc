@@ -1,8 +1,8 @@
 #include "recovery/compute.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
-#include <vector>
 
 #include "gf/region.h"
 #include "util/check.h"
@@ -32,18 +32,21 @@ void execute_compute_slice(const PlanStep& step,
   CAR_CHECK_STATE(
       step.bytes == static_cast<std::uint64_t>(out.size()) * inputs.size(),
       context + ": compute bytes do not equal inputs * slice size");
+  CAR_CHECK_STATE(inputs.size() <= kMaxComputeInputs,
+                  context + ": compute arity exceeds the GF(2^8) bound");
 
-  std::vector<std::uint8_t> coeffs;
-  std::vector<rs::ChunkView> views;
-  coeffs.reserve(inputs.size());
-  views.reserve(inputs.size());
+  // Stack scratch, not vectors: this runs once per slice, and kMaxComputeInputs
+  // bounds the arity (checked above), so the hot path allocates nothing.
+  std::array<std::uint8_t, kMaxComputeInputs> coeffs;
+  std::array<rs::ChunkView, kMaxComputeInputs> views;
   for (std::size_t i = 0; i < inputs.size(); ++i) {
-    coeffs.push_back(step.inputs[i].coeff);
-    views.push_back(rs::ChunkView(*inputs[i]).subspan(
-        static_cast<std::size_t>(offset), out.size()));
+    coeffs[i] = step.inputs[i].coeff;
+    views[i] = rs::ChunkView(*inputs[i]).subspan(
+        static_cast<std::size_t>(offset), out.size());
   }
   std::fill(out.begin(), out.end(), std::uint8_t{0});
-  gf::linear_combine_acc(coeffs, views, out);
+  gf::linear_combine_acc({coeffs.data(), inputs.size()},
+                         {views.data(), inputs.size()}, out);
 }
 
 rs::Chunk execute_compute_step(const PlanStep& step,

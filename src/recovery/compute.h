@@ -13,8 +13,15 @@
 
 #include "recovery/plan.h"
 #include "rs/code.h"
+#include "util/attributes.h"
 
 namespace car::recovery {
+
+/// Widest linear combination a GF(2^8) code can express: a step combining
+/// more than 256 inputs would need more distinct coefficients than the
+/// field has non-zero elements.  Bounds the scratch arrays in
+/// execute_compute_slice so the per-slice hot path never allocates.
+inline constexpr std::size_t kMaxComputeInputs = 256;
 
 /// Evaluates compute step `step` over `inputs` (one non-null buffer per
 /// step.inputs entry, in the same order) and returns the combined chunk.
@@ -32,10 +39,11 @@ namespace car::recovery {
 /// must hold a full chunk of `chunk_size` bytes.  `out` must not alias any
 /// input (the kernels' linear_combine contract) — executors stage it
 /// through a pool lease.  Throws util::StateError on contract violations.
-void execute_compute_slice(const PlanStep& step,
-                           std::span<const rs::Chunk* const> inputs,
-                           std::uint64_t chunk_size, std::uint64_t offset,
-                           std::span<std::uint8_t> out,
-                           const std::string& context);
+CAR_HOT void execute_compute_slice(const PlanStep& step,
+                                   std::span<const rs::Chunk* const> inputs,
+                                   std::uint64_t chunk_size,
+                                   std::uint64_t offset,
+                                   std::span<std::uint8_t> out,
+                                   const std::string& context);
 
 }  // namespace car::recovery

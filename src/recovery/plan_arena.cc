@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "recovery/slice.h"
 #include "util/check.h"
 
 namespace car::recovery {
@@ -152,10 +153,7 @@ PlanArena PlanArena::build(const RecoveryPlan& plan,
 
 std::uint64_t PlanArena::sliced_id(std::uint64_t base,
                                    std::uint64_t slice) const {
-  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
-  CAR_CHECK(num_slices_ == 0 || base <= (kMax - slice) / num_slices_,
-            "PlanArena: sliced id overflows uint64_t");
-  return base * num_slices_ + slice;
+  return recovery::sliced_id(base, num_slices_, slice);
 }
 
 std::uint64_t PlanArena::cross_rack_bytes() const noexcept {

@@ -46,6 +46,23 @@
 
 namespace car::recovery {
 
+/// The sliced-step id of (base_step, slice) on a grid of num_slices slices
+/// per base step, computed in 64-bit with an overflow check: a wrap would
+/// silently alias two different slices onto one id, so it is a hard error
+/// (util::CheckError) instead.  Every consumer of the grid — executors,
+/// validators, the fault-injection runtime — goes through this helper (or
+/// SlicePlan::sliced_id / PlanArena::sliced_id, which share the check)
+/// rather than writing `base * num_slices + slice` by hand; the car-tidy
+/// check car-no-raw-virtual-time-arithmetic enforces that.
+[[nodiscard]] inline std::uint64_t sliced_id(std::uint64_t base_step,
+                                             std::uint64_t num_slices,
+                                             std::uint64_t slice) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  CAR_CHECK(num_slices == 0 || base_step <= (kMax - slice) / num_slices,
+            "sliced_id: base_step * num_slices + slice overflows uint64_t");
+  return base_step * num_slices + slice;
+}
+
 /// Where a sliced step came from: its base step, slice index, and the byte
 /// range it covers within the chunk.
 struct SliceInfo {
@@ -86,11 +103,8 @@ struct SlicePlan {
   /// fit in uint64_t.
   [[nodiscard]] std::uint64_t sliced_id(std::uint64_t base_step,
                                         std::uint64_t slice) const {
-    const auto n = static_cast<std::uint64_t>(num_slices);
-    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
-    CAR_CHECK(n == 0 || base_step <= (kMax - slice) / n,
-              "sliced_id: base_step * num_slices + slice overflows uint64_t");
-    return base_step * n + slice;
+    return recovery::sliced_id(base_step,
+                               static_cast<std::uint64_t>(num_slices), slice);
   }
 
   [[nodiscard]] std::uint64_t cross_rack_bytes() const noexcept {

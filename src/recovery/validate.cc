@@ -486,7 +486,7 @@ ValidationReport validate_sliced_plan(const SlicePlan& sliced,
     // same order.
     bool deps_ok = step.deps.size() == parent.deps.size();
     for (std::size_t d = 0; deps_ok && d < step.deps.size(); ++d) {
-      deps_ok = step.deps[d] == parent.deps[d] * sliced.num_slices + slice;
+      deps_ok = step.deps[d] == sliced.sliced_id(parent.deps[d], slice);
     }
     if (!deps_ok) {
       error(prefix() + "dependencies are not the same-slice image of the "

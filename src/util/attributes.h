@@ -1,0 +1,29 @@
+// Source-level markers consumed by the car-tidy static checks
+// (tools/car_tidy).  Like the thread-safety macros they expand to nothing
+// outside Clang; under Clang they attach `annotate` attributes that the
+// AST-matcher checks key on.
+//
+//   CAR_HOT       tags a slice-loop / kernel function: car-no-alloc-in-
+//                 hot-path rejects heap allocation (new, malloc, growing a
+//                 std::vector/std::string) anywhere in its body.  Tag the
+//                 functions that run once per slice or per region, not
+//                 their setup code.
+//
+//   CAR_BOUNDARY  tags a public API entry point: car-check-on-boundary
+//                 requires the function body to validate its arguments via
+//                 a CAR_CHECK* contract macro (util/check.h) before the
+//                 first statement that uses a parameter.
+//
+// Both attach to the *declaration* (usually in the header); Clang inherits
+// the attribute onto the out-of-line definition, which is where the checks
+// look.  Placement: before the declaration for free functions
+// (`CAR_HOT void f();`) or trailing for members (`void f() CAR_BOUNDARY;`).
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define CAR_HOT __attribute__((annotate("car_hot")))
+#define CAR_BOUNDARY __attribute__((annotate("car_boundary")))
+#else
+#define CAR_HOT       // no-op outside Clang
+#define CAR_BOUNDARY  // no-op outside Clang
+#endif

@@ -73,7 +73,7 @@ std::vector<std::uint8_t> BufferPool::checkout_locked(std::size_t n) {
 BufferLease BufferPool::acquire(std::size_t n) {
   if (n == 0) return {};
   const std::size_t capacity = class_bytes(n);
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.acquires;
   auto buf = checkout_locked(n);
   stats_.outstanding_bytes += capacity;
@@ -88,7 +88,7 @@ BufferLease BufferPool::acquire(std::size_t n) {
 std::vector<std::uint8_t> BufferPool::take(std::size_t n) {
   if (n == 0) return {};
   const std::size_t capacity = class_bytes(n);
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.takes;
   auto buf = checkout_locked(n);
   stats_.taken_outstanding_bytes += capacity;
@@ -104,7 +104,7 @@ void BufferPool::recycle(std::vector<std::uint8_t>&& buf) {
   // Park by the largest power of two the capacity can serve: a future
   // checkout of that class is guaranteed to fit without reallocating.
   const std::size_t capacity = std::bit_floor(victim.capacity());
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.recycles;
   // Credit the taken regime, saturating: recycle() also accepts foreign
   // vectors (and detach()ed leases) that were never charged to it.
@@ -117,7 +117,7 @@ void BufferPool::recycle(std::vector<std::uint8_t>&& buf) {
 void BufferPool::end_lease(std::vector<std::uint8_t>&& buf,
                            std::size_t accounted, bool park) noexcept {
   std::vector<std::uint8_t> victim = std::move(buf);
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   stats_.outstanding_bytes -= accounted;
   if (!park || victim.capacity() < kMinClassBytes) return;
   const std::size_t capacity = std::bit_floor(victim.capacity());
@@ -127,12 +127,12 @@ void BufferPool::end_lease(std::vector<std::uint8_t>&& buf,
 }
 
 BufferPool::Stats BufferPool::stats() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void BufferPool::trim() {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   for (auto& list : free_) list.clear();
   stats_.pooled_bytes = 0;
 }

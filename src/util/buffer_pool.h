@@ -29,14 +29,20 @@
 // saturation at zero rather than asserted exact.
 //
 // Thread-safe; a single mutex guards the freelists and stats (checkout is
-// rare next to the memcpy/GF work done on the buffers themselves).
+// rare next to the memcpy/GF work done on the buffers themselves).  The
+// lock discipline is annotated for Clang's thread-safety analysis: every
+// member behind mu_ is CAR_GUARDED_BY it, so an unguarded access is a
+// compile error under -Wthread-safety (see util/thread_annotations.h).
 #pragma once
 
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "util/attributes.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace car::util {
 
@@ -111,23 +117,26 @@ class BufferPool {
   /// Check out a staging buffer of exactly n bytes (capacity rounded up to
   /// the size class).  n == 0 returns an inactive lease.  Contents are
   /// unspecified — callers overwrite the full range.
-  [[nodiscard]] BufferLease acquire(std::size_t n);
+  [[nodiscard]] BufferLease acquire(std::size_t n) CAR_EXCLUDES(mu_)
+      CAR_BOUNDARY;
 
   /// Check out a long-lived buffer of exactly n bytes.  Reuses pooled
   /// capacity; the class capacity is charged to taken_outstanding_bytes
   /// (and thereby the unified high_water_bytes) until recycle()d.  The
   /// buffer belongs to the caller until then (or forever).
-  [[nodiscard]] std::vector<std::uint8_t> take(std::size_t n);
+  [[nodiscard]] std::vector<std::uint8_t> take(std::size_t n)
+      CAR_EXCLUDES(mu_) CAR_BOUNDARY;
 
   /// Park a buffer's capacity for reuse and credit taken_outstanding_bytes
   /// (saturating at zero: foreign vectors that were never take()n are
   /// accepted too).  Buffers smaller than the minimum class are dropped.
-  void recycle(std::vector<std::uint8_t>&& buf);
+  void recycle(std::vector<std::uint8_t>&& buf) CAR_EXCLUDES(mu_)
+      CAR_BOUNDARY;
 
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const CAR_EXCLUDES(mu_);
 
   /// Drop all idle pooled capacity (freelists), keeping stats counters.
-  void trim();
+  void trim() CAR_EXCLUDES(mu_);
 
   /// The power-of-two capacity class serving a request of n bytes.
   [[nodiscard]] static std::size_t class_bytes(std::size_t n) noexcept;
@@ -136,16 +145,17 @@ class BufferPool {
   friend class BufferLease;
 
   /// Pop a freelist buffer for the class of n, or allocate one.  Returns it
-  /// resized to n.  Caller must hold mu_.
-  std::vector<std::uint8_t> checkout_locked(std::size_t n);
+  /// resized to n.
+  std::vector<std::uint8_t> checkout_locked(std::size_t n) CAR_REQUIRES(mu_);
 
   void end_lease(std::vector<std::uint8_t>&& buf, std::size_t accounted,
-                 bool park) noexcept;
+                 bool park) noexcept CAR_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Freelists indexed by log2(class capacity); 64 covers every size_t class.
-  std::array<std::vector<std::vector<std::uint8_t>>, 64> free_;
-  Stats stats_;
+  std::array<std::vector<std::vector<std::uint8_t>>, 64> free_
+      CAR_GUARDED_BY(mu_);
+  Stats stats_ CAR_GUARDED_BY(mu_);
 };
 
 }  // namespace car::util

@@ -1,0 +1,98 @@
+// Annotated mutex wrappers for Clang's thread-safety analysis.
+//
+// std::mutex carries no capability attributes, so `-Wthread-safety` cannot
+// reason about it.  util::Mutex is a zero-overhead std::mutex wrapper that
+// declares itself a capability; util::MutexLock is the RAII holder the
+// analysis understands (including early unlock()/lock() for pools that
+// drop the lock around task bodies); util::CondVar is a condition variable
+// that waits on a util::Mutex directly, so the REQUIRES contract on wait()
+// is visible to callers.
+//
+// Every mutex guarding shared state in this repo is a util::Mutex with its
+// guarded members tagged CAR_GUARDED_BY — see util/thread_annotations.h
+// for the macro glossary and tests/negative_compile/ for the proofs that
+// violations break the build.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace car::util {
+
+/// A std::mutex that Clang's thread-safety analysis can track.
+class CAR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CAR_ACQUIRE() { mu_.lock(); }
+  void unlock() CAR_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() CAR_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock on a util::Mutex.  Scoped-capability semantics: constructed
+/// holding the mutex, released in the destructor, with explicit unlock() /
+/// lock() for code that drops the lock around a long operation (the
+/// executor's workers release it around each task body).
+class CAR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CAR_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() CAR_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Release early; the destructor then does nothing.
+  void unlock() CAR_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+
+  /// Re-acquire after an early unlock().
+  void lock() CAR_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable over util::Mutex.  wait() takes the mutex itself —
+/// not a lock object — so CAR_REQUIRES(mu) states the contract in terms the
+/// caller's analysis can check.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, block, and re-acquire before returning.  The
+  /// analysis-visible state is unchanged (held before, held after); the
+  /// interior unlock/relock happens inside the standard library.
+  void wait(Mutex& mu) CAR_REQUIRES(mu) { cv_.wait(mu); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  // condition_variable_any works with any BasicLockable; util::Mutex
+  // qualifies via its annotated lock()/unlock().
+  std::condition_variable_any cv_;
+};
+
+}  // namespace car::util

@@ -1,0 +1,87 @@
+// Clang thread-safety annotation macros (CAR_GUARDED_BY and friends).
+//
+// These wrap Clang's `-Wthread-safety` attribute set so lock discipline is
+// *proved at compile time* instead of probabilistically caught by TSan: a
+// member tagged CAR_GUARDED_BY(mu_) cannot be read or written on a path
+// where the analysis cannot show `mu_` is held, and the build breaks (the
+// repo compiles with -Werror) rather than racing at runtime.  On compilers
+// without the attribute set (GCC builds, MSVC) every macro expands to
+// nothing, so annotated code stays portable.
+//
+// The annotations only carry their weight on types that declare themselves
+// capabilities — use util::Mutex / util::MutexLock (util/mutex.h), not
+// std::mutex, for any new shared state.  Glossary:
+//
+//   CAR_CAPABILITY(name)       class is a lockable capability (a mutex)
+//   CAR_SCOPED_CAPABILITY      class is an RAII lock holder
+//   CAR_GUARDED_BY(mu)         member may only be accessed holding `mu`
+//   CAR_PT_GUARDED_BY(mu)      pointee may only be accessed holding `mu`
+//   CAR_REQUIRES(mu, ...)      function must be called with `mu` held
+//   CAR_ACQUIRE(mu, ...)       function acquires `mu` (held on return)
+//   CAR_RELEASE(mu, ...)       function releases `mu`
+//   CAR_TRY_ACQUIRE(b, mu)     function acquires `mu` iff it returns `b`
+//   CAR_EXCLUDES(mu, ...)      function must NOT be called with `mu` held
+//                              (the caller would self-deadlock)
+//   CAR_ASSERT_CAPABILITY(mu)  runtime assertion that `mu` is held
+//   CAR_RETURN_CAPABILITY(mu)  function returns a reference to `mu`
+//   CAR_NO_THREAD_SAFETY_ANALYSIS
+//                              opt a definition out (trusted glue only —
+//                              say why in a comment)
+//
+// tests/negative_compile/ holds fixtures proving each macro class actually
+// rejects a violation under Clang; docs/architecture.md ("static analysis &
+// lock discipline") covers how to run the checks locally.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define CAR_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define CAR_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op outside Clang
+#endif
+
+#define CAR_CAPABILITY(x) CAR_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+#define CAR_SCOPED_CAPABILITY CAR_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+#define CAR_GUARDED_BY(x) CAR_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+#define CAR_PT_GUARDED_BY(x) CAR_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+#define CAR_ACQUIRED_BEFORE(...) \
+  CAR_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+
+#define CAR_ACQUIRED_AFTER(...) \
+  CAR_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+#define CAR_REQUIRES(...) \
+  CAR_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+#define CAR_REQUIRES_SHARED(...) \
+  CAR_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+#define CAR_ACQUIRE(...) \
+  CAR_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+#define CAR_ACQUIRE_SHARED(...) \
+  CAR_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+#define CAR_RELEASE(...) \
+  CAR_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+#define CAR_RELEASE_SHARED(...) \
+  CAR_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+#define CAR_TRY_ACQUIRE(...) \
+  CAR_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+#define CAR_EXCLUDES(...) \
+  CAR_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+#define CAR_ASSERT_CAPABILITY(x) \
+  CAR_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+#define CAR_RETURN_CAPABILITY(x) \
+  CAR_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+#define CAR_NO_THREAD_SAFETY_ANALYSIS \
+  CAR_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)

@@ -1,0 +1,16 @@
+// CAR_ACQUIRE violation: acquiring a capability that is already held
+// (self-deadlock on a non-recursive mutex).  -Wthread-safety must reject
+// this translation unit.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+car::util::Mutex mu;
+
+[[maybe_unused]] void use() {
+  car::util::MutexLock outer(mu);
+  car::util::MutexLock inner(mu);  // BAD: mu is already held.
+}
+
+}  // namespace

@@ -1,0 +1,25 @@
+// CAR_ACQUIRE violation: a function declaring that it acquires a capability
+// returns without actually locking it.  -Wthread-safety must reject this
+// translation unit.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Gate {
+ public:
+  // BAD: annotated as acquiring mu_, but the body never locks it.
+  void enter() CAR_ACQUIRE(mu_) {}
+  void leave() CAR_RELEASE(mu_) { mu_.unlock(); }
+
+ private:
+  car::util::Mutex mu_;
+};
+
+[[maybe_unused]] void use() {
+  Gate g;
+  g.enter();
+  g.leave();
+}
+
+}  // namespace

@@ -1,0 +1,61 @@
+// Positive control: the same shapes as the violation fixtures, written with
+// correct lock discipline.  This translation unit must compile CLEAN under
+// -Wthread-safety -Werror — if it ever fails, the negative fixtures are
+// rejecting style, not violations.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Everything {
+ public:
+  // GUARDED_BY + RAII scoped capability.
+  void bump() CAR_EXCLUDES(mu_) {
+    car::util::MutexLock lock(mu_);
+    ++events_;
+  }
+
+  // REQUIRES satisfied by the caller's lock, including around an early
+  // unlock()/lock() window (the executor's worker-loop shape).
+  void bump_twice() CAR_EXCLUDES(mu_) {
+    car::util::MutexLock lock(mu_);
+    bump_locked();
+    lock.unlock();
+    lock.lock();
+    bump_locked();
+  }
+
+  // ACQUIRE / RELEASE pair that really does what it declares.
+  void enter() CAR_ACQUIRE(mu_) { mu_.lock(); }
+  void leave() CAR_RELEASE(mu_) { mu_.unlock(); }
+
+  // CondVar wait with the capability held, in an explicit predicate loop.
+  void wait_for_event() CAR_EXCLUDES(mu_) {
+    car::util::MutexLock lock(mu_);
+    while (events_ == 0) cv_.wait(mu_);
+  }
+
+  void signal() CAR_EXCLUDES(mu_) {
+    bump();
+    cv_.notify_all();
+  }
+
+ private:
+  void bump_locked() CAR_REQUIRES(mu_) { ++events_; }
+
+  car::util::Mutex mu_;
+  car::util::CondVar cv_;
+  int events_ CAR_GUARDED_BY(mu_) = 0;
+};
+
+[[maybe_unused]] void use() {
+  Everything e;
+  e.bump();
+  e.bump_twice();
+  e.enter();
+  e.leave();
+  e.signal();
+  e.wait_for_event();
+}
+
+}  // namespace

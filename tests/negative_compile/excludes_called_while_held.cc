@@ -1,0 +1,28 @@
+// CAR_EXCLUDES violation: calling a function that excludes a capability
+// while holding it (the callee would self-deadlock taking it again).
+// -Wthread-safety must reject this translation unit.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Pool {
+ public:
+  void trim() CAR_EXCLUDES(mu_) {
+    car::util::MutexLock lock(mu_);
+    idle_ = 0;
+  }
+
+  void trim_under_lock() {
+    car::util::MutexLock lock(mu_);
+    trim();  // BAD: trim() excludes mu_, held right here.
+  }
+
+ private:
+  car::util::Mutex mu_;
+  int idle_ CAR_GUARDED_BY(mu_) = 0;
+};
+
+[[maybe_unused]] void use() { Pool{}.trim_under_lock(); }
+
+}  // namespace

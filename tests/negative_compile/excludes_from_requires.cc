@@ -1,0 +1,32 @@
+// CAR_EXCLUDES violation: a function that requires a capability calls one
+// that excludes the same capability — the caller provably holds what the
+// callee forbids.  -Wthread-safety must reject this translation unit.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Cache {
+ public:
+  void compact_locked() CAR_REQUIRES(mu_) {
+    evict_all();  // BAD: evict_all() excludes mu_, which we hold.
+  }
+
+  void evict_all() CAR_EXCLUDES(mu_) {
+    car::util::MutexLock lock(mu_);
+    entries_ = 0;
+  }
+
+  car::util::Mutex mu_;
+
+ private:
+  int entries_ CAR_GUARDED_BY(mu_) = 0;
+};
+
+[[maybe_unused]] void use() {
+  Cache c;
+  car::util::MutexLock lock(c.mu_);
+  c.compact_locked();
+}
+
+}  // namespace

@@ -1,0 +1,23 @@
+// CAR_GUARDED_BY violation: reading a guarded member without holding its
+// mutex.  -Wthread-safety must reject this translation unit.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BAD: value_ is guarded by mu_, which is not held here.
+  [[nodiscard]] int read_unlocked() const { return value_; }
+
+ private:
+  mutable car::util::Mutex mu_;
+  int value_ CAR_GUARDED_BY(mu_) = 0;
+};
+
+[[maybe_unused]] int use() {
+  const Counter c;
+  return c.read_unlocked();
+}
+
+}  // namespace

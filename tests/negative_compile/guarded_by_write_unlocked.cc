@@ -1,0 +1,24 @@
+// CAR_GUARDED_BY violation: writing a guarded member after the RAII lock
+// has been released.  -Wthread-safety must reject this translation unit.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Stats {
+ public:
+  void bump() {
+    car::util::MutexLock lock(mu_);
+    ++events_;
+    lock.unlock();
+    ++events_;  // BAD: the lock was released two lines up.
+  }
+
+ private:
+  car::util::Mutex mu_;
+  int events_ CAR_GUARDED_BY(mu_) = 0;
+};
+
+[[maybe_unused]] void use() { Stats{}.bump(); }
+
+}  // namespace

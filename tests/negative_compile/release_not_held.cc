@@ -1,0 +1,14 @@
+// CAR_RELEASE violation: releasing a capability that is not held.
+// -Wthread-safety must reject this translation unit.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+car::util::Mutex mu;
+
+[[maybe_unused]] void use() {
+  mu.unlock();  // BAD: mu was never locked on this path.
+}
+
+}  // namespace

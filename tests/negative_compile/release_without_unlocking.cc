@@ -1,0 +1,25 @@
+// CAR_RELEASE violation: a function declaring that it releases a capability
+// returns with the capability still held.  -Wthread-safety must reject this
+// translation unit.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Gate {
+ public:
+  void enter() CAR_ACQUIRE(mu_) { mu_.lock(); }
+  // BAD: annotated as releasing mu_, but the body never unlocks it.
+  void leave() CAR_RELEASE(mu_) {}
+
+ private:
+  car::util::Mutex mu_;
+};
+
+[[maybe_unused]] void use() {
+  Gate g;
+  g.enter();
+  g.leave();
+}
+
+}  // namespace

@@ -1,0 +1,27 @@
+// CAR_REQUIRES violation: the capability was held, but has been released by
+// the time the requiring function is called.  -Wthread-safety must reject
+// this translation unit.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Queue {
+ public:
+  void drain() {
+    car::util::MutexLock lock(mu_);
+    lock.unlock();
+    pop_locked();  // BAD: pop_locked requires mu_, released above.
+  }
+
+  car::util::Mutex mu_;
+
+ private:
+  void pop_locked() CAR_REQUIRES(mu_) { --depth_; }
+
+  int depth_ CAR_GUARDED_BY(mu_) = 0;
+};
+
+[[maybe_unused]] void use() { Queue{}.drain(); }
+
+}  // namespace

@@ -1,0 +1,23 @@
+// CAR_REQUIRES violation: calling a function that requires a capability
+// without holding it.  -Wthread-safety must reject this translation unit.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // BAD: apply() requires mu, which deposit() never takes.
+  void deposit(int amount) { apply(amount); }
+
+  car::util::Mutex mu;
+
+ private:
+  void apply(int amount) CAR_REQUIRES(mu) { balance_ += amount; }
+
+  int balance_ CAR_GUARDED_BY(mu) = 0;
+};
+
+[[maybe_unused]] void use() { Account{}.deposit(1); }
+
+}  // namespace

@@ -1,0 +1,65 @@
+#include "BufferLeaseDisciplineCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::car {
+
+namespace {
+
+constexpr char kLease[] = "BufferLease";
+
+bool isLeaseRecord(const CXXRecordDecl *RD) {
+  return RD != nullptr && RD->getName() == kLease;
+}
+
+}  // namespace
+
+void BufferLeaseDisciplineCheck::registerMatchers(MatchFinder *Finder) {
+  const auto LeaseDecl = cxxRecordDecl(hasName(kLease));
+  const auto RefOrPtrToLease =
+      qualType(anyOf(references(LeaseDecl), pointsTo(LeaseDecl)));
+
+  Finder->addMatcher(
+      functionDecl(returns(RefOrPtrToLease), isDefinition()).bind("returns"),
+      this);
+  Finder->addMatcher(fieldDecl(hasType(RefOrPtrToLease)).bind("field"), this);
+  Finder->addMatcher(
+      unaryOperator(
+          hasOperatorName("&"),
+          hasUnaryOperand(expr(hasType(hasUnqualifiedDesugaredType(
+              recordType(hasDeclaration(LeaseDecl)))))))
+          .bind("addrof"),
+      this);
+}
+
+void BufferLeaseDisciplineCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  if (const auto *F = Result.Nodes.getNodeAs<FunctionDecl>("returns")) {
+    // BufferLease's own move operations legitimately return *this.
+    if (const auto *M = dyn_cast<CXXMethodDecl>(F);
+        M != nullptr && isLeaseRecord(M->getParent())) {
+      return;
+    }
+    diag(F->getLocation(),
+         "function returns a reference/pointer to a BufferLease; leases are "
+         "scoped checkouts — return the lease by value or detach() the bytes");
+    return;
+  }
+  if (const auto *FD = Result.Nodes.getNodeAs<FieldDecl>("field")) {
+    diag(FD->getLocation(),
+         "data member holds a reference/pointer to a BufferLease; a stored "
+         "lease outliving its scope is a use-after-recycle — own the lease by "
+         "value or detach() the bytes");
+    return;
+  }
+  if (const auto *U = Result.Nodes.getNodeAs<UnaryOperator>("addrof")) {
+    diag(U->getOperatorLoc(),
+         "taking the address of a BufferLease; pass the lease by reference "
+         "or move it instead of storing a pointer to it");
+  }
+}
+
+}  // namespace clang::tidy::car

@@ -1,0 +1,32 @@
+// car-buffer-lease-discipline
+//
+// util::BufferLease is a scoped checkout of pooled bytes: its destructor
+// returns the buffer, so a lease (or its address) escaping the owning scope
+// is a use-after-recycle waiting to happen.  This check rejects:
+//
+//   * functions returning BufferLease& or BufferLease*
+//   * data members of type BufferLease& or BufferLease*
+//   * taking the address of a BufferLease (&lease)
+//
+// Moving a lease by value, calling .detach(), and passing a lease by
+// reference *parameter* (the callee's frame cannot outlive the caller's)
+// are all fine and not flagged.  BufferLease's own members (the move
+// operations must return *this) are exempt.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::car {
+
+class BufferLeaseDisciplineCheck : public ClangTidyCheck {
+ public:
+  BufferLeaseDisciplineCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::car

@@ -1,0 +1,25 @@
+// Shared helpers for the car-tidy checks.
+#pragma once
+
+#include "clang/Basic/SourceManager.h"
+#include "clang/Lex/Lexer.h"
+
+namespace clang::tidy::car {
+
+/// True when `Loc` lies inside the expansion of a CAR_CHECK* / CAR_DCHECK*
+/// contract macro (util/check.h).  The message arguments of those macros are
+/// only evaluated on the failure path, so allocation inside them is not hot
+/// — every check exempts these expansions.
+inline bool isInCarCheckMacro(SourceLocation Loc, const SourceManager &SM,
+                              const LangOptions &LangOpts) {
+  while (Loc.isMacroID()) {
+    const StringRef Name =
+        Lexer::getImmediateMacroNameForDiagnostics(Loc, SM, LangOpts);
+    if (Name.starts_with("CAR_CHECK") || Name.starts_with("CAR_DCHECK"))
+      return true;
+    Loc = SM.getImmediateMacroCallerLoc(Loc);
+  }
+  return false;
+}
+
+}  // namespace clang::tidy::car

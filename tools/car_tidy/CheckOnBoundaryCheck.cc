@@ -1,0 +1,69 @@
+#include "CheckOnBoundaryCheck.h"
+
+#include "CarTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::car {
+
+namespace {
+
+AST_MATCHER(FunctionDecl, isCarBoundary) {
+  for (const auto *A : Node.specific_attrs<AnnotateAttr>()) {
+    if (A->getAnnotation() == "car_boundary") return true;
+  }
+  return false;
+}
+
+/// Does this statement subtree bail out (return or throw)?
+bool bailsOut(const Stmt *S) {
+  if (S == nullptr) return false;
+  if (isa<ReturnStmt>(S) || isa<CXXThrowExpr>(S)) return true;
+  for (const Stmt *Child : S->children()) {
+    if (bailsOut(Child)) return true;
+  }
+  return false;
+}
+
+/// A guard if: any branch bails out, so the straight-line continuation only
+/// runs for arguments that passed the test.
+bool isGuardIf(const Stmt *S) {
+  const auto *If = dyn_cast<IfStmt>(S);
+  if (If == nullptr) return false;
+  return bailsOut(If->getThen()) || bailsOut(If->getElse());
+}
+
+}  // namespace
+
+void CheckOnBoundaryCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      functionDecl(isCarBoundary(), isDefinition(), hasBody(compoundStmt()))
+          .bind("fn"),
+      this);
+}
+
+void CheckOnBoundaryCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+  const auto *Body = dyn_cast<CompoundStmt>(Fn->getBody());
+  if (Body == nullptr) return;
+
+  for (const Stmt *S : Body->body()) {
+    // A contract macro or a guard `if` validates: the boundary is covered.
+    if (isInCarCheckMacro(S->getBeginLoc(), *Result.SourceManager,
+                          getLangOpts())) {
+      return;
+    }
+    if (isGuardIf(S)) return;
+    // Leading declarations may materialise arguments before checking them.
+    if (isa<DeclStmt>(S)) continue;
+    break;  // first operative statement reached without any validation
+  }
+  diag(Fn->getLocation(),
+       "CAR_BOUNDARY function %0 does not validate its arguments: the first "
+       "operative statement must be a CAR_CHECK* contract or a guard if")
+      << Fn;
+}
+
+}  // namespace clang::tidy::car

@@ -1,0 +1,33 @@
+// car-check-on-boundary
+//
+// Public API entry points tagged CAR_BOUNDARY (util/attributes.h) must
+// validate their arguments before doing work: the first *operative*
+// statement of the body has to be either
+//
+//   * a CAR_CHECK* / CAR_DCHECK* contract macro (util/check.h), or
+//   * a guard `if` whose taken branch returns or throws
+//     (`if (n == 0) return {};`).
+//
+// Leading declaration statements are skipped — materialising a parameter
+// (`auto victim = std::move(buf);`) before checking it is fine.  A boundary
+// function whose first operative statement is anything else (a mutation, a
+// lock, a call) is flagged: by then an invalid argument has already been
+// acted on.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::car {
+
+class CheckOnBoundaryCheck : public ClangTidyCheck {
+ public:
+  CheckOnBoundaryCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::car

@@ -1,0 +1,77 @@
+#include "NoAllocInHotPathCheck.h"
+
+#include "CarTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::car {
+
+namespace {
+
+AST_MATCHER(FunctionDecl, isCarHot) {
+  for (const auto *A : Node.specific_attrs<AnnotateAttr>()) {
+    if (A->getAnnotation() == "car_hot") return true;
+  }
+  return false;
+}
+
+constexpr char kAllocatingContainers[] =
+    "^::std::(vector|basic_string|deque|map|unordered_map|set|unordered_set|"
+    "list)$";
+
+}  // namespace
+
+void NoAllocInHotPathCheck::registerMatchers(MatchFinder *Finder) {
+  const auto InHotFunction = hasAncestor(functionDecl(isCarHot()));
+  const auto AllocatingContainer = hasUnqualifiedDesugaredType(recordType(
+      hasDeclaration(cxxRecordDecl(matchesName(kAllocatingContainers)))));
+
+  Finder->addMatcher(cxxNewExpr(InHotFunction).bind("alloc"), this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::malloc", "::calloc", "::realloc", "::aligned_alloc",
+                   "::strdup", "::posix_memalign"))),
+               InHotFunction)
+          .bind("alloc"),
+      this);
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasAnyName("push_back", "emplace_back",
+                                          "resize", "reserve", "insert",
+                                          "append", "assign", "emplace",
+                                          "operator+="))),
+          on(expr(hasType(AllocatingContainer))), InHotFunction)
+          .bind("grow"),
+      this);
+  Finder->addMatcher(varDecl(hasAutomaticStorageDuration(),
+                             hasType(AllocatingContainer), InHotFunction,
+                             unless(parmVarDecl()))
+                         .bind("container"),
+                     this);
+}
+
+void NoAllocInHotPathCheck::check(const MatchFinder::MatchResult &Result) {
+  SourceLocation Loc;
+  StringRef What;
+  if (const auto *E = Result.Nodes.getNodeAs<Expr>("alloc")) {
+    Loc = E->getBeginLoc();
+    What = "heap allocation";
+  } else if (const auto *E = Result.Nodes.getNodeAs<Expr>("grow")) {
+    Loc = E->getBeginLoc();
+    What = "container growth";
+  } else if (const auto *D = Result.Nodes.getNodeAs<VarDecl>("container")) {
+    Loc = D->getBeginLoc();
+    What = "allocating container";
+  } else {
+    return;
+  }
+  if (isInCarCheckMacro(Loc, *Result.SourceManager, getLangOpts())) return;
+  diag(Loc,
+       "%0 in a CAR_HOT function; hot-path code must use pooled buffers "
+       "(util::BufferPool) or fixed-capacity storage")
+      << What;
+}
+
+}  // namespace clang::tidy::car

@@ -1,0 +1,42 @@
+// Fixture for car-buffer-lease-discipline.  Mock BufferLease stands in for
+// util/buffer_pool.h.
+namespace car::util {
+class BufferLease {
+ public:
+  BufferLease();
+  BufferLease(BufferLease &&other);
+  BufferLease &operator=(BufferLease &&other);  // member of the class: exempt
+  unsigned char *data();
+  unsigned long size() const;
+};
+}  // namespace car::util
+
+using car::util::BufferLease;
+
+// ---- violations -----------------------------------------------------------
+
+BufferLease &escape_by_reference(BufferLease &lease) {  // EXPECT: function returns a reference/pointer to a BufferLease
+  return lease;
+}
+
+struct LeaseCache {
+  BufferLease *stashed;  // EXPECT: data member holds a reference/pointer to a BufferLease
+};
+
+void stash_address(LeaseCache &cache, BufferLease lease) {
+  cache.stashed = &lease;  // EXPECT: taking the address of a BufferLease
+}
+
+// ---- non-findings ---------------------------------------------------------
+
+// Returning by value (move) is the supported ownership transfer.
+BufferLease pass_through(BufferLease lease) { return lease; }
+
+// Borrowing by reference parameter is fine: the callee frame cannot outlive
+// the caller's scope.
+unsigned long peek(const BufferLease &lease) { return lease.size(); }
+
+// Owning a lease by value inside a struct is fine too.
+struct SliceJob {
+  BufferLease wire;
+};

@@ -1,0 +1,53 @@
+// Fixture for car-check-on-boundary.  Mock CAR_CHECK/CAR_BOUNDARY stand in
+// for util/check.h and util/attributes.h.
+#define CAR_BOUNDARY __attribute__((annotate("car_boundary")))
+#define CAR_CHECK(cond, msg) \
+  do {                       \
+    if (!(cond)) throw msg;  \
+  } while (0)
+
+// ---- violations -----------------------------------------------------------
+
+CAR_BOUNDARY void unchecked_entry(int *out, int n);
+void unchecked_entry(int *out, int n) {  // EXPECT: does not validate its arguments
+  out[0] = n;
+}
+
+class Pool {
+ public:
+  void resize(unsigned long n) CAR_BOUNDARY;
+
+ private:
+  unsigned long capacity_ = 0;
+};
+
+void Pool::resize(unsigned long n) {  // EXPECT: does not validate its arguments
+  capacity_ = n;
+}
+
+// ---- non-findings ---------------------------------------------------------
+
+// Contract macro first: the canonical boundary shape.
+CAR_BOUNDARY void checked_entry(int *out, int n);
+void checked_entry(int *out, int n) {
+  CAR_CHECK(out != nullptr && n > 0, "checked_entry: bad arguments");
+  out[0] = n;
+}
+
+// Guard `if` first: validation by early return.
+CAR_BOUNDARY int guarded_entry(int n);
+int guarded_entry(int n) {
+  if (n <= 0) return 0;
+  return n * 2;
+}
+
+// Leading declarations may materialise an argument before the check.
+CAR_BOUNDARY int decl_then_check(int n);
+int decl_then_check(int n) {
+  const int doubled = n * 2;
+  CAR_CHECK(doubled >= n, "decl_then_check: overflow");
+  return doubled;
+}
+
+// Untagged functions are out of scope however they start.
+void not_a_boundary(int *out, int n) { out[0] = n; }

@@ -1,0 +1,70 @@
+// Fixture for car-no-alloc-in-hot-path.  Self-contained: mock declarations
+// stand in for the repo headers so the fixture needs no include paths.
+// `// EXPECT: <substring>` on a line asserts a diagnostic at that line whose
+// message contains the substring; the runner also asserts there are no
+// diagnostics anywhere else (the clean functions below are the non-finding
+// half of the test).
+#define CAR_HOT __attribute__((annotate("car_hot")))
+#define CAR_CHECK(cond, msg) \
+  do {                       \
+    if (!(cond)) throw msg;  \
+  } while (0)
+
+namespace std {
+template <typename T>
+class vector {
+ public:
+  vector();
+  vector(unsigned long n);
+  void push_back(const T &);
+  void reserve(unsigned long);
+  unsigned long size() const;
+  T *data();
+};
+template <typename T, unsigned long N>
+struct array {
+  T elems[N];
+  T *data() { return elems; }
+};
+struct string {
+  string(const char *);
+  string operator+(const char *) const;
+};
+}  // namespace std
+
+// ---- violations -----------------------------------------------------------
+
+CAR_HOT void hot_new_expression(int n) {
+  int *p = new int[n];  // EXPECT: heap allocation in a CAR_HOT function
+  delete[] p;
+}
+
+CAR_HOT void hot_vector_growth(std::vector<int> &v) {
+  v.push_back(1);  // EXPECT: container growth in a CAR_HOT function
+}
+
+CAR_HOT void hot_local_container() {
+  std::vector<double> busy(4);  // EXPECT: allocating container in a CAR_HOT function
+  (void)busy;
+}
+
+// ---- non-findings ---------------------------------------------------------
+
+// Not tagged CAR_HOT: allocation is allowed in setup code.
+void cold_setup() {
+  std::vector<int> scratch;
+  scratch.reserve(128);
+}
+
+// CAR_HOT with fixed-capacity storage: the approved pattern.
+CAR_HOT void hot_stack_array(std::vector<double> &out) {
+  std::array<double, 4> busy{};
+  (void)busy.data();
+  (void)out.size();
+}
+
+// Allocation confined to a CAR_CHECK message argument: only evaluated on
+// the (cold) failure path, so the contract macro expansion is exempt.
+CAR_HOT void hot_with_contract(unsigned long n) {
+  CAR_CHECK(n > 0, std::string("bad n for ") + "hot_with_contract");
+}

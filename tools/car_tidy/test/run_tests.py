@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Fixture-test runner for the car-tidy clang-tidy plugin.
+
+Each ``<check>.cpp`` fixture in this directory is run through clang-tidy
+with ONLY the matching ``car-<check>`` check enabled.  Expectations are
+written inline::
+
+    v.push_back(1);  // EXPECT: container growth in a CAR_HOT function
+
+Every EXPECT line must produce a warning at that line whose message
+contains the given substring, and the TOTAL number of car-* warnings for
+the fixture must equal the number of EXPECT lines — so the clean
+"non-finding" sections of each fixture are verified to stay silent, not
+just ignored.
+
+Usage:
+    run_tests.py --clang-tidy /usr/bin/clang-tidy-18 \
+                 --plugin build/tools/car_tidy/libcar_tidy_checks.so
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+EXPECT_RE = re.compile(r"//\s*EXPECT:\s*(.+?)\s*$")
+# clang-tidy diagnostic: <file>:<line>:<col>: warning: <message> [car-<check>]
+DIAG_RE = re.compile(
+    r"^(?P<file>[^:\n]+):(?P<line>\d+):\d+:\s+warning:\s+(?P<msg>.*?)\s+"
+    r"\[(?P<check>car-[a-z-]+)\]\s*$",
+    re.MULTILINE,
+)
+
+
+def collect_expectations(fixture: pathlib.Path):
+    expects = []  # (line_number, substring)
+    for lineno, line in enumerate(fixture.read_text().splitlines(), start=1):
+        m = EXPECT_RE.search(line)
+        if m:
+            expects.append((lineno, m.group(1)))
+    return expects
+
+
+def run_fixture(clang_tidy: str, plugin: str, fixture: pathlib.Path) -> list:
+    """Returns a list of failure strings (empty = pass)."""
+    check = "car-" + fixture.stem
+    cmd = [
+        clang_tidy,
+        f"--load={plugin}",
+        f"--checks=-*,{check}",
+        "--warnings-as-errors=",
+        str(fixture),
+        "--",
+        "-std=c++20",
+        "-fexceptions",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    output = proc.stdout + proc.stderr
+    if "error: " in output and "[clang-diagnostic" in output:
+        return [f"fixture failed to parse:\n{output}"]
+    if f"unknown check: {check}" in output or "Unable to load" in output:
+        return [f"plugin/check not loadable:\n{output}"]
+
+    diags = [
+        (int(m.group("line")), m.group("msg"), m.group("check"))
+        for m in DIAG_RE.finditer(output)
+        if pathlib.Path(m.group("file")).name == fixture.name
+    ]
+    expects = collect_expectations(fixture)
+    failures = []
+
+    for lineno, substring in expects:
+        hit = any(d_line == lineno and substring in d_msg
+                  for d_line, d_msg, _ in diags)
+        if not hit:
+            failures.append(
+                f"{fixture.name}:{lineno}: expected a {check} warning "
+                f"containing {substring!r}, got none")
+
+    if len(diags) != len(expects):
+        listing = "\n".join(
+            f"  line {d_line}: {d_msg}" for d_line, d_msg, _ in diags)
+        failures.append(
+            f"{fixture.name}: expected exactly {len(expects)} warnings, "
+            f"got {len(diags)}:\n{listing or '  (none)'}")
+
+    if failures:
+        failures.append(f"--- clang-tidy output for {fixture.name} ---\n"
+                        f"{output}")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clang-tidy", required=True,
+                        help="path to the clang-tidy binary")
+    parser.add_argument("--plugin", required=True,
+                        help="path to libcar_tidy_checks.so")
+    parser.add_argument("--fixture-dir",
+                        default=str(pathlib.Path(__file__).parent),
+                        help="directory holding the *.cpp fixtures")
+    args = parser.parse_args()
+
+    fixtures = sorted(pathlib.Path(args.fixture_dir).glob("*.cpp"))
+    if not fixtures:
+        print(f"no fixtures found in {args.fixture_dir}", file=sys.stderr)
+        return 2
+
+    failed = 0
+    for fixture in fixtures:
+        failures = run_fixture(args.clang_tidy, args.plugin, fixture)
+        if failures:
+            failed += 1
+            print(f"FAIL {fixture.name}")
+            for f in failures:
+                print(f"  {f}")
+        else:
+            n = len(collect_expectations(fixture))
+            print(f"PASS {fixture.name} ({n} findings, clean sections quiet)")
+
+    print(f"\n{len(fixtures) - failed}/{len(fixtures)} fixtures passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
