@@ -24,6 +24,7 @@
 
 #include "cluster/configs.h"
 #include "emul/cluster.h"
+#include "rebuild/scenario.h"
 #include "recovery/balancer.h"
 #include "recovery/multi.h"
 #include "recovery/plan_arena.h"
@@ -288,6 +289,63 @@ std::vector<ScaleSweepRow> measure_scale_sweep() {
 }
 
 // ---------------------------------------------------------------------------
+// Rebuild control plane: the canned rolling-two-rack scenario (two failures,
+// the second landing mid-rebuild) swept over strategy x dispatch concurrency.
+// Everything runs on the virtual clock, so makespan and the exposure-time
+// metrics are bit-deterministic; CI checks them structurally and
+// directionally (tools/bench_schema_diff.py).
+
+struct RebuildRow {
+  // Sweep coordinates.
+  std::string scenario;
+  std::string strategy;      // "car" | "rr"
+  std::size_t concurrency = 0;
+  std::size_t batch_stripes = 0;
+  // Measured (deterministic on the virtual clock).
+  std::size_t scans = 0;
+  std::size_t batches_dispatched = 0;
+  std::size_t batches_cancelled = 0;
+  std::size_t stripes_requeued = 0;
+  double makespan_s = 0.0;
+  double max_exposure_s = 0.0;
+  double total_exposure_s = 0.0;
+  double total_at_risk_s = 0.0;
+  std::size_t chunks_recovered = 0;
+  bool bit_exact = false;
+};
+
+std::vector<RebuildRow> measure_rebuild() {
+  std::vector<RebuildRow> rows;
+  for (const char* strategy : {"car", "rr"}) {
+    for (const std::size_t concurrency :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      auto scenario = rebuild::canned_rebuild_scenario("rolling-two-rack");
+      scenario.strategy = strategy;
+      scenario.rebuild_concurrency = concurrency;
+      const auto outcome = rebuild::run_rebuild_scenario(scenario);
+      const auto& metrics = outcome.result.metrics;
+      RebuildRow row;
+      row.scenario = scenario.name;
+      row.strategy = strategy;
+      row.concurrency = concurrency;
+      row.batch_stripes = scenario.rebuild_batch_stripes;
+      row.scans = metrics.scans;
+      row.batches_dispatched = metrics.batches_dispatched;
+      row.batches_cancelled = metrics.batches_cancelled;
+      row.stripes_requeued = metrics.stripes_requeued;
+      row.makespan_s = metrics.makespan_s;
+      row.max_exposure_s = metrics.max_exposure_s;
+      row.total_exposure_s = metrics.total_exposure_s;
+      row.total_at_risk_s = metrics.total_at_risk_s;
+      row.chunks_recovered = outcome.result.recovered.size();
+      row.bit_exact = outcome.bit_exact;
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
 // Planning-path benchmarks (paper §IV-D).
 
 void BM_BalanceGreedy_Stripes(benchmark::State& state) {
@@ -475,6 +533,7 @@ std::string json_escape(const std::string& s) {
 
 void write_json(const std::string& path, const std::vector<Fig9Point>& points,
                 const std::vector<ScaleSweepRow>& sweep,
+                const std::vector<RebuildRow>& rebuild_rows,
                 const std::vector<CollectedRun>& runs) {
   std::ofstream os(path);
   if (!os) {
@@ -518,6 +577,26 @@ void write_json(const std::string& path, const std::vector<Fig9Point>& points,
        << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
+  os << "  \"rebuild\": [\n";
+  for (std::size_t i = 0; i < rebuild_rows.size(); ++i) {
+    const RebuildRow& r = rebuild_rows[i];
+    os << "    {\"scenario\": \"" << json_escape(r.scenario)
+       << "\", \"strategy\": \"" << json_escape(r.strategy)
+       << "\", \"concurrency\": " << r.concurrency
+       << ", \"batch_stripes\": " << r.batch_stripes
+       << ", \"scans\": " << r.scans
+       << ", \"batches_dispatched\": " << r.batches_dispatched
+       << ", \"batches_cancelled\": " << r.batches_cancelled
+       << ", \"stripes_requeued\": " << r.stripes_requeued
+       << ", \"makespan_s\": " << r.makespan_s
+       << ", \"max_exposure_s\": " << r.max_exposure_s
+       << ", \"total_exposure_s\": " << r.total_exposure_s
+       << ", \"total_at_risk_s\": " << r.total_at_risk_s
+       << ", \"chunks_recovered\": " << r.chunks_recovered
+       << ", \"bit_exact\": " << (r.bit_exact ? "true" : "false") << "}"
+       << (i + 1 < rebuild_rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
   os << "  \"host_results\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const CollectedRun& run = runs[i];
@@ -555,6 +634,20 @@ void print_scale_table(const std::vector<ScaleSweepRow>& sweep) {
   }
 }
 
+void print_rebuild_table(const std::vector<RebuildRow>& rows) {
+  std::printf("\n== rebuild control plane: rolling-two-rack, "
+              "strategy x concurrency ==\n");
+  for (const RebuildRow& r : rows) {
+    std::printf("  %-3s conc %zu  batches %2zu (%zu cancelled, %2zu "
+                "re-queued)  makespan %8.5f s  max-exposure %8.5f s  "
+                "at-risk %8.5f s  %zu chunks %s\n",
+                r.strategy.c_str(), r.concurrency, r.batches_dispatched,
+                r.batches_cancelled, r.stripes_requeued, r.makespan_s,
+                r.max_exposure_s, r.total_at_risk_s, r.chunks_recovered,
+                r.bit_exact ? "bit-exact" : "MISMATCH");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -589,7 +682,9 @@ int main(int argc, char** argv) {
     print_fig9_table(points);
     const auto sweep = measure_scale_sweep();
     print_scale_table(sweep);
-    write_json(json_path, points, sweep, reporter.collected());
+    const auto rebuild_rows = measure_rebuild();
+    print_rebuild_table(rebuild_rows);
+    write_json(json_path, points, sweep, rebuild_rows, reporter.collected());
   }
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "emul/executor.h"
@@ -81,11 +82,20 @@ struct Cluster::Impl {
   std::vector<util::Mutex> cpu;  // serialises compute per emulated node
 
   // Liveness state: which nodes have been dropped (dead for the run), the
-  // currently guarded recovery destination, and a drop epoch that lets an
-  // execute() in flight notice a concurrent drop and abort.
+  // guarded recovery destinations (counted per node so guards nest, with a
+  // generation stamp per node for diagnostics — every generation of a
+  // rolling recovery stays protected, not just the newest), and a drop
+  // epoch that lets an execute() in flight notice a concurrent drop and
+  // abort.
+  struct GuardEntry {
+    std::size_t count = 0;
+    std::uint64_t generation = 0;
+  };
   mutable util::Mutex state_mu;
   std::vector<bool> dropped CAR_GUARDED_BY(state_mu);
-  std::optional<cluster::NodeId> guarded CAR_GUARDED_BY(state_mu);
+  std::unordered_map<cluster::NodeId, GuardEntry> guards
+      CAR_GUARDED_BY(state_mu);
+  std::uint64_t guard_generations CAR_GUARDED_BY(state_mu) = 0;
   std::atomic<std::uint64_t> drop_epoch{0};
 
   // Pooled staging + store capacity: all wire copies, compute scratch, and
@@ -263,10 +273,17 @@ void Cluster::drop_node(cluster::NodeId node) {
   }
   {
     util::MutexLock lock(impl_->state_mu);
-    CAR_CHECK(!impl_->guarded || *impl_->guarded != node,
-              "Cluster::drop_node: refusing to drop the replacement node — "
-              "the recovery destination cannot fail mid-plan; choose a fresh "
-              "replacement and re-plan instead");
+    const auto it = impl_->guards.find(node);
+    if (it != impl_->guards.end()) {
+      CAR_CHECK_FAIL(
+          "Cluster::drop_node: refusing to drop node " +
+          std::to_string(node) +
+          " — it is a guarded replacement target (generation " +
+          std::to_string(it->second.generation) +
+          "); a recovery destination cannot fail mid-plan, even one from an "
+          "earlier re-plan generation whose published outputs are still "
+          "live — choose a fresh replacement and re-plan instead");
+    }
     if (impl_->dropped[node]) return;  // idempotent
     impl_->dropped[node] = true;
   }
@@ -281,12 +298,40 @@ bool Cluster::is_dropped(cluster::NodeId node) const {
   return impl_->is_dropped(node);
 }
 
-void Cluster::guard_replacement(std::optional<cluster::NodeId> node) {
-  if (node && *node >= topology_.num_nodes()) {
-    throw std::out_of_range("Cluster::guard_replacement: bad node id");
+std::uint64_t Cluster::add_replacement_guard(cluster::NodeId node) {
+  if (node >= topology_.num_nodes()) {
+    throw std::out_of_range("Cluster::add_replacement_guard: bad node id");
   }
   util::MutexLock lock(impl_->state_mu);
-  impl_->guarded = node;
+  CAR_CHECK(!impl_->dropped[node],
+            "Cluster::add_replacement_guard: node " + std::to_string(node) +
+                " has been dropped — a dead node cannot serve as a recovery "
+                "destination");
+  auto& entry = impl_->guards[node];
+  if (entry.count == 0) entry.generation = ++impl_->guard_generations;
+  ++entry.count;
+  return entry.generation;
+}
+
+void Cluster::remove_replacement_guard(cluster::NodeId node) {
+  if (node >= topology_.num_nodes()) {
+    throw std::out_of_range("Cluster::remove_replacement_guard: bad node id");
+  }
+  util::MutexLock lock(impl_->state_mu);
+  const auto it = impl_->guards.find(node);
+  CAR_CHECK(it != impl_->guards.end(),
+            "Cluster::remove_replacement_guard: node " + std::to_string(node) +
+                " holds no replacement guard");
+  if (--it->second.count == 0) impl_->guards.erase(it);
+}
+
+std::vector<cluster::NodeId> Cluster::guarded_replacements() const {
+  util::MutexLock lock(impl_->state_mu);
+  std::vector<cluster::NodeId> out;
+  out.reserve(impl_->guards.size());
+  for (const auto& [node, entry] : impl_->guards) out.push_back(node);
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 void Cluster::clear_step_outputs() {
@@ -414,19 +459,15 @@ ExecutionReport Cluster::execute(const recovery::SlicePlan& plan) {
 
   // The recovery destination must outlive the plan: guard it so a
   // concurrent drop_node(replacement) fails loudly instead of racing the
-  // final publish.  Restored on every exit path.
+  // final publish.  Counted, so an outer runtime's guard survives.
+  // Released on every exit path.
   struct GuardScope {
     Cluster* cluster;
-    std::optional<cluster::NodeId> previous;
-    ~GuardScope() { cluster->guard_replacement(previous); }
+    cluster::NodeId node;
+    ~GuardScope() { cluster->remove_replacement_guard(node); }
   };
-  std::optional<cluster::NodeId> previous_guard;
-  {
-    util::MutexLock lock(impl_->state_mu);
-    previous_guard = impl_->guarded;
-    impl_->guarded = plan.replacement;
-  }
-  GuardScope guard_scope{this, previous_guard};
+  add_replacement_guard(plan.replacement);
+  GuardScope guard_scope{this, plan.replacement};
   impl_->check_alive(plan.replacement, "Cluster::execute: replacement");
 
   auto run_transfer = [&](const PlanStep& step, const SliceInfo& slice) {
@@ -626,18 +667,13 @@ ExecutionReport Cluster::execute_arena(const recovery::PlanArena& plan,
             "run them with shards == 1)");
 
   EmulClock& clock = impl_->clock;
-  std::optional<cluster::NodeId> previous_guard;
-  {
-    util::MutexLock lock(impl_->state_mu);
-    previous_guard = impl_->guarded;
-    impl_->guarded = plan.replacement();
-  }
   struct GuardScope {
     Cluster* cluster;
-    std::optional<cluster::NodeId> previous;
-    ~GuardScope() { cluster->guard_replacement(previous); }
+    cluster::NodeId node;
+    ~GuardScope() { cluster->remove_replacement_guard(node); }
   };
-  GuardScope guard_scope{this, previous_guard};
+  add_replacement_guard(plan.replacement());
+  GuardScope guard_scope{this, plan.replacement()};
   impl_->check_alive(plan.replacement(),
                      "Cluster::execute_arena: replacement");
 

@@ -180,21 +180,36 @@ class Cluster {
   /// Permanently fail a node: wipe its buffers and mark it dead for the
   /// rest of the run.  Idempotent — dropping an already-dropped node is a
   /// no-op.  Throws std::out_of_range for a bad id and util::CheckError
-  /// when the node is the currently guarded recovery destination (see
-  /// guard_replacement): losing the replacement is not a recoverable
-  /// scenario — pick a fresh replacement and re-plan instead.  An
-  /// execute() in flight observes the drop and aborts with
+  /// when the node holds a replacement guard (see add_replacement_guard) —
+  /// of ANY generation, not just the newest: losing a recovery destination
+  /// is not a recoverable scenario — pick a fresh replacement and re-plan
+  /// instead.  An execute() in flight observes the drop and aborts with
   /// util::StateError.
   void drop_node(cluster::NodeId node);
 
   /// True when drop_node(node) has been called.
   [[nodiscard]] bool is_dropped(cluster::NodeId node) const;
 
-  /// Protect the active recovery destination: while set, drop_node on that
-  /// node throws.  execute() guards its plan's replacement automatically;
-  /// external runtimes (src/inject) set it around their own execution.
-  /// Pass std::nullopt to clear.
-  void guard_replacement(std::optional<cluster::NodeId> node);
+  /// Protect a recovery destination: while a node holds at least one
+  /// guard, drop_node on it throws.  Guards are counted (they nest) and
+  /// independent per node, so every generation of a rolling multi-failure
+  /// recovery keeps its replacement protected — re-planning onto a second
+  /// replacement must not silently unguard the first, whose published
+  /// outputs the resumed plan still reads.  Each node's first acquisition
+  /// stamps a monotonically increasing generation number, echoed in the
+  /// drop_node diagnostic.  execute() guards its plan's replacement
+  /// automatically; external runtimes (src/inject, src/rebuild) hold
+  /// guards around their own execution.  Returns the node's generation
+  /// stamp.  Throws std::out_of_range for a bad id and util::CheckError
+  /// when the node is already dropped.
+  std::uint64_t add_replacement_guard(cluster::NodeId node);
+
+  /// Release one guard on `node` (acquired via add_replacement_guard).
+  /// Throws util::CheckError when the node holds no guard.
+  void remove_replacement_guard(cluster::NodeId node);
+
+  /// Nodes currently holding at least one replacement guard (ascending).
+  [[nodiscard]] std::vector<cluster::NodeId> guarded_replacements() const;
 
   /// Remove every step-output buffer cluster-wide.  Called between a
   /// cancelled plan and its re-plan so the fresh plan's dense step ids

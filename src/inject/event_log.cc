@@ -8,13 +8,15 @@ namespace car::inject {
 
 namespace {
 
-constexpr std::array<const char*, 16> kKindNames = {
+constexpr std::array<const char*, 22> kKindNames = {
     "run-start",         "link-fault-armed", "transfer-attempt",
     "transfer-complete", "transfer-timeout", "transfer-drop",
     "transfer-corrupt",  "retry-scheduled",  "compute-complete",
     "node-crash",        "steps-cancelled",  "replan-start",
     "replan-validated",  "resume",           "outputs-published",
-    "run-complete",
+    "run-complete",      "membership-change", "scan-complete",
+    "batch-dispatched",  "batch-complete",   "batch-cancelled",
+    "stripes-requeued",
 };
 
 /// Fixed-precision timestamp: virtual times are exact doubles from

@@ -32,6 +32,13 @@ enum class EventKind : std::uint8_t {
   kResume,
   kOutputsPublished,
   kRunComplete,
+  // Rebuild control plane (src/rebuild).
+  kMembershipChange,   // a failure event entered the membership tracker
+  kScanComplete,       // exposure census finished for the new epoch
+  kBatchDispatched,    // a prioritized batch of stripes entered execution
+  kBatchComplete,      // ... and finished (outputs verified/published)
+  kBatchCancelled,     // ... or was cancelled by a membership change
+  kStripesRequeued,    // unfinished stripes of a cancelled batch re-queued
 };
 
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;

@@ -72,19 +72,22 @@ std::string describe_nodes(const std::vector<cluster::NodeId>& nodes) {
   return out + "}";
 }
 
-/// Restores the cluster's replacement guard no matter how execute() exits.
+/// Releases the cluster's replacement guard no matter how execute() exits.
+/// Guards are counted per node (emul::Cluster::add_replacement_guard), so
+/// this composes with guards held by outer runtimes or other generations.
 class GuardScope {
  public:
   GuardScope(emul::Cluster& cluster, cluster::NodeId replacement)
-      : cluster_(cluster) {
-    cluster_.guard_replacement(replacement);
+      : cluster_(cluster), replacement_(replacement) {
+    cluster_.add_replacement_guard(replacement_);
   }
-  ~GuardScope() { cluster_.guard_replacement(std::nullopt); }
+  ~GuardScope() { cluster_.remove_replacement_guard(replacement_); }
   GuardScope(const GuardScope&) = delete;
   GuardScope& operator=(const GuardScope&) = delete;
 
  private:
   emul::Cluster& cluster_;
+  cluster::NodeId replacement_;
 };
 
 /// The sequential virtual-time engine behind ResilientRuntime::execute.

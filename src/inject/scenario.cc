@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <numeric>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -307,6 +308,22 @@ constexpr CannedEntry kCanned[] = {
 Scenario parse_scenario(const std::string& text) {
   Scenario scenario;
   std::set<std::string> seen;
+  // Crash bookkeeping for the duplicate/conflict diagnostics: every node
+  // named by a `crash` line, a `fault crash` line, or `fail-node` may
+  // appear exactly once across all three forms — a node cannot die twice,
+  // and the initially failed node cannot also crash later.
+  std::set<cluster::NodeId> crashed_nodes;
+  std::optional<double> last_crash_at;
+  const auto note_crash_node = [&](const std::string& line,
+                                   cluster::NodeId node) {
+    if (scenario.fail_node && *scenario.fail_node == node) {
+      bad_spec(line, "node " + std::to_string(node) +
+                         " is already the initial failure (fail-node)");
+    }
+    if (!crashed_nodes.insert(node).second) {
+      bad_spec(line, "duplicate crash for node " + std::to_string(node));
+    }
+  };
   std::stringstream stream(text);
   std::string raw;
   while (std::getline(stream, raw)) {
@@ -320,6 +337,39 @@ Scenario parse_scenario(const std::string& text) {
 
     if (key == "fault") {
       parse_fault(line, tokens, scenario.faults);
+      if (tokens.size() >= 2 && tokens[1] == "crash") {
+        note_crash_node(line, scenario.faults.node_crashes.back().node);
+      }
+      continue;
+    }
+    if (key == "crash") {
+      // Rolling-failure event: `crash node=N at=T`, repeatable, in
+      // non-decreasing time order.
+      NodeCrash crash;
+      bool have_node = false;
+      bool have_at = false;
+      for (const auto& [k, v] : parse_kv(line, tokens, 1)) {
+        if (k == "node") {
+          crash.node = static_cast<cluster::NodeId>(parse_u64(line, v));
+          have_node = true;
+        } else if (k == "at") {
+          const double at = parse_f64(line, v);
+          if (at < 0) bad_spec(line, "crash time must be >= 0");
+          crash.at_time_s = at;
+          have_at = true;
+        } else {
+          bad_spec(line, "unknown crash key \"" + k + "\"");
+        }
+      }
+      if (!have_node || !have_at) bad_spec(line, "crash needs node= and at=");
+      if (last_crash_at && *crash.at_time_s < *last_crash_at) {
+        bad_spec(line, "crash events must be listed in non-decreasing time "
+                       "order (previous event at " +
+                           std::to_string(*last_crash_at) + "s)");
+      }
+      last_crash_at = *crash.at_time_s;
+      note_crash_node(line, crash.node);
+      scenario.faults.node_crashes.push_back(crash);
       continue;
     }
     if (tokens.size() != 2) bad_spec(line, "expected \"key value\"");
@@ -363,6 +413,15 @@ Scenario parse_scenario(const std::string& text) {
       scenario.strategy = value;
     } else if (key == "fail-node") {
       scenario.fail_node = static_cast<cluster::NodeId>(parse_u64(line, value));
+      if (crashed_nodes.contains(*scenario.fail_node)) {
+        bad_spec(line, "node " + value +
+                           " already crashes later in the scenario (crash/"
+                           "fault crash)");
+      }
+    } else if (key == "batch-stripes") {
+      scenario.rebuild_batch_stripes = parse_u64_in(line, value, 1, 1 << 20);
+    } else if (key == "concurrency") {
+      scenario.rebuild_concurrency = parse_u64_in(line, value, 1, 64);
     } else if (key == "data-mode") {
       if (value != "real" && value != "metadata") {
         bad_spec(line, "data-mode must be real or metadata");

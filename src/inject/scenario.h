@@ -28,6 +28,15 @@
 //   fault drop step=3 attempts=1,2 prob=0.5
 //   fault corrupt attempts=1
 //   fault crash node=5 at-fraction=0.4     # or at-time=1.25
+//   crash node=5 at=0.4    # rolling failures: repeatable, times
+//   crash node=9 at=1.2    # non-decreasing, duplicate nodes rejected
+//   batch-stripes 4        # rebuild control plane: stripes per batch
+//   concurrency 2          # ... and concurrent in-flight batches
+//
+// `crash node=N at=T` is the declarative rolling-failure form: each line
+// appends one NodeCrash (at virtual time T) to the fault plan, in spec
+// order.  A node named twice (by any crash line or by fail-node) or an
+// out-of-order time is a parse error naming the offending line.
 //
 // Canned scenarios (link-flap, mid-recovery-crash, slow-straggler-rack,
 // degraded-core) are embedded specs parsed through the same grammar, so the
@@ -80,6 +89,11 @@ struct Scenario {
   std::size_t sample_stripes = 4;
   double node_bps = 100e6;
   double oversubscription = 5.0;
+  /// Rebuild control plane (src/rebuild) knobs: stripes dispatched per
+  /// batch (spec key `batch-stripes`) and concurrent in-flight batches
+  /// (spec key `concurrency`).  Ignored by run_scenario.
+  std::size_t rebuild_batch_stripes = 4;
+  std::size_t rebuild_concurrency = 2;
   RetryPolicy retry;
   FaultPlan faults;
 };

@@ -1,0 +1,200 @@
+// Self-healing rebuild control plane: scan, prioritize, overlap.
+//
+// RebuildCoordinator turns a schedule of membership events (node failures
+// at virtual times) into a finished rebuild:
+//
+//   1. Membership — the first failed node becomes the primary replacement
+//      (its slot is wiped and re-used as the rebuild target, the paper's
+//      single-replacement methodology) and is guarded against further
+//      failure (emul::Cluster::add_replacement_guard); every later event
+//      drops its node for good.  A crash aimed at the replacement — of any
+//      re-plan generation — is rejected with a CAR_CHECK diagnostic.
+//   2. Scan — at every membership change the coordinator rebuilds the
+//      exposure census (recovery/exposure.h) from the placement, the
+//      cumulative failed set, and the chunks already recovered: a pure
+//      metadata pass, DAOS-style, that never touches payload bytes.
+//   3. Prioritize — the census feeds a RebuildQueue ordered most-exposed
+//      first (tolerance_left, then estimated cross-rack cost, then stripe
+//      id), so a second failure that turns a queued fresh-degraded stripe
+//      into a most-exposed one preempts everything behind it.
+//   4. Overlap — up to max_inflight same-signature batches run concurrently
+//      on one BatchDriver timeline; each batch is planned by recovery/multi
+//      (CAR partial decoding or the RR baseline), statically gated by
+//      recovery/validate, and admitted only when the gate passes.
+//   5. Re-plan — when a failure lands mid-rebuild the driver cancels every
+//      in-flight batch, publishes the outputs that fully delivered, and the
+//      coordinator re-scans and re-dispatches the remainder at the new
+//      epoch — resumed chunks are recomputed from surviving placement
+//      chunks, so the final bytes are identical to a sequential
+//      one-failure-at-a-time recovery (the differential-test invariant).
+//
+// Everything is deterministic: one virtual timeline, seeded RNGs, and a
+// canonical EventLog, so the same events + options reproduce a
+// byte-identical log on any machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "cluster/types.h"
+#include "emul/cluster.h"
+#include "inject/event_log.h"
+#include "inject/fault.h"
+#include "inject/runtime.h"
+#include "rebuild/driver.h"
+#include "rebuild/queue.h"
+#include "recovery/exposure.h"
+#include "rs/code.h"
+#include "util/attributes.h"
+#include "util/mutex.h"
+#include "util/rng.h"
+#include "util/thread_annotations.h"
+
+namespace car::rebuild {
+
+/// Recovery planner family for every batch of a run.
+enum class Strategy : std::uint8_t {
+  kCar,  // rack selection + partial decoding + balancing (recovery/multi)
+  kRr,   // ship k survivors to the replacement and decode there
+};
+
+[[nodiscard]] const char* to_string(Strategy strategy) noexcept;
+
+/// One membership event: `node` fails `at_s` virtual seconds after the
+/// run starts.  The first event's node doubles as the rebuild target.
+struct FailureEvent {
+  cluster::NodeId node = 0;
+  double at_s = 0.0;
+};
+
+struct RebuildOptions {
+  Strategy strategy = Strategy::kCar;
+  std::uint64_t chunk_bytes = 64 * 1024;
+  /// Slice-pipelined execution granularity; 0 = chunk-granular.
+  std::uint64_t slice_bytes = 0;
+  /// Stripes dispatched per batch (same failure signature per batch).
+  std::size_t batch_stripes = 4;
+  /// Concurrent in-flight batches on the shared timeline.
+  std::size_t max_inflight = 2;
+  std::uint64_t seed = 7;
+  inject::RetryPolicy retry;
+  /// Link/transfer adversity for the driver.  Node crashes are NOT allowed
+  /// here — failures are the `events` argument of run().
+  inject::FaultPlan faults;
+  inject::DataPolicy data;
+};
+
+/// One dispatched batch's lifecycle, in dispatch order.
+struct BatchRecord {
+  std::size_t id = 0;
+  std::size_t stripes = 0;
+  /// Exposure tier at dispatch: the minimum tolerance_left in the batch
+  /// (0 = most exposed — one more failure would lose data).
+  std::size_t tier = 0;
+  double dispatched_at = 0.0;
+  double completed_at = 0.0;  // meaningful when !cancelled
+  bool cancelled = false;
+};
+
+struct RebuildMetrics {
+  /// First event to last published chunk, virtual seconds.
+  double makespan_s = 0.0;
+  /// Exposure windows: a stripe is exposed while any of its chunks has no
+  /// live replica anywhere.  total sums per-stripe window lengths; max is
+  /// the longest single window.
+  double total_exposure_s = 0.0;
+  double max_exposure_s = 0.0;
+  /// At-risk windows: the stripe's tolerance is exhausted (one more
+  /// failure loses data) — the exposure-time-at-risk study metric.
+  double total_at_risk_s = 0.0;
+  double max_at_risk_s = 0.0;
+  std::size_t scans = 0;
+  std::size_t batches_dispatched = 0;
+  std::size_t batches_cancelled = 0;
+  /// Stripes whose batch was cancelled and that re-entered the queue.
+  std::size_t stripes_requeued = 0;
+};
+
+struct RebuildResult {
+  cluster::NodeId replacement = 0;
+  std::vector<cluster::NodeId> failed_nodes;  // cumulative, event order
+  inject::EventLog log;
+  emul::ExecutionReport report;
+  inject::RunStats stats;
+  RebuildMetrics metrics;
+  /// Every chunk recovered onto the replacement, sorted by (stripe, chunk).
+  std::vector<PublishedChunk> recovered;
+  std::vector<BatchRecord> batches;  // dispatch order
+};
+
+/// One-shot orchestrator: construct, call run() once.  The cluster must be
+/// populated (or carry a metadata DataPolicy) and use a virtual clock.
+class RebuildCoordinator {
+ public:
+  RebuildCoordinator(emul::Cluster& cluster,
+                     const cluster::Placement& placement, const rs::Code& code,
+                     RebuildOptions options);
+
+  /// Execute the failure schedule to a fully rebuilt cluster.  Events must
+  /// be non-empty, time-ordered (non-decreasing), and name distinct live
+  /// nodes; an event targeting the replacement (the first event's node)
+  /// propagates the cluster's replacement-guard CAR_CHECK.  Throws
+  /// util::StateError when a batch plan fails static validation or a
+  /// transfer exhausts its retries.
+  RebuildResult run(std::span<const FailureEvent> events) CAR_BOUNDARY;
+
+ private:
+  struct DispatchedBatch {
+    std::vector<cluster::StripeId> stripes;
+    std::size_t record_index = 0;  // into result_.batches
+    std::vector<PublishedChunk> outputs;
+  };
+
+  /// Re-scan at a membership epoch: census -> windows -> queue.reset.
+  void scan_epoch(std::size_t epoch) CAR_EXCLUDES(state_mu_);
+  /// Pop one batch, plan it, validate it, admit it.  False when the queue
+  /// is empty.
+  bool dispatch_one(BatchDriver& driver) CAR_EXCLUDES(state_mu_);
+  /// Drive the loop until the deadline (or drained, with nullopt),
+  /// refilling batch slots as they free up.
+  void pump(BatchDriver& driver, std::optional<double> deadline)
+      CAR_EXCLUDES(state_mu_);
+  void on_batch_complete(const BatchDriver& driver, std::size_t batch_id)
+      CAR_EXCLUDES(state_mu_);
+  /// Close the exposure/at-risk windows of stripes that are now fully
+  /// re-protected.
+  void close_windows(std::span<const cluster::StripeId> stripes, double now)
+      CAR_REQUIRES(state_mu_);
+  [[nodiscard]] bool stripe_recovered(cluster::StripeId stripe) const
+      CAR_REQUIRES(state_mu_);
+
+  emul::Cluster& cluster_;
+  const cluster::Placement& placement_;
+  const rs::Code& code_;
+  RebuildOptions options_;
+  RebuildQueue queue_;
+  util::Rng rr_rng_;
+  bool ran_ = false;
+  std::vector<cluster::NodeId> failed_;
+  cluster::NodeId replacement_ = 0;
+  cluster::RackId replacement_rack_ = 0;
+  std::size_t next_batch_id_ = 0;
+  std::unordered_map<std::size_t, DispatchedBatch> inflight_batches_;
+  RebuildResult result_;
+
+  /// Scan/completion state shared between the scan pass and batch
+  /// completion handling (PR 7 lock discipline; the coordinator itself is
+  /// single-threaded today, but the census consumers need not be).
+  mutable util::Mutex state_mu_;
+  recovery::RecoveredSet recovered_ CAR_GUARDED_BY(state_mu_);
+  std::unordered_map<cluster::StripeId, double> exposure_since_
+      CAR_GUARDED_BY(state_mu_);
+  std::unordered_map<cluster::StripeId, double> at_risk_since_
+      CAR_GUARDED_BY(state_mu_);
+};
+
+}  // namespace car::rebuild

@@ -1,0 +1,483 @@
+#include "rebuild/driver.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <utility>
+
+#include "recovery/compute.h"
+#include "recovery/scheduler.h"
+#include "util/buffer_pool.h"
+#include "util/check.h"
+
+namespace car::rebuild {
+
+namespace {
+
+using inject::EventKind;
+using recovery::BufferRef;
+using recovery::PlanStep;
+using recovery::SliceInfo;
+using recovery::StepKind;
+
+std::string fmt_s(double t) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.9f", t);
+  return {buf.data()};
+}
+
+std::string fmt_hex(std::uint64_t v) {
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%016llx",
+                static_cast<unsigned long long>(v));
+  return {buf.data()};
+}
+
+/// FNV-1a over a (slice of a) payload — same emulated transfer checksum as
+/// the inject engine, so corrupt-fault diagnostics read identically.
+std::uint64_t fnv64(std::span<const std::uint8_t> data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string describe(const BufferRef& ref) {
+  if (ref.kind == BufferRef::Kind::kChunk) {
+    return "chunk s" + std::to_string(ref.stripe) + "#" +
+           std::to_string(ref.chunk_index);
+  }
+  return "step-output #" + std::to_string(ref.step_id);
+}
+
+std::string slice_suffix(const recovery::SlicePlan& sp, const SliceInfo& sl) {
+  if (sp.num_slices <= 1) return {};
+  return ", slice " + std::to_string(sl.slice + 1) + "/" +
+         std::to_string(sp.num_slices) + " @" + std::to_string(sl.offset);
+}
+
+std::string batch_suffix(std::size_t batch_id) {
+  return ", batch " + std::to_string(batch_id);
+}
+
+/// Per-batch bias for step-output buffer ids: batch slot k owns the id
+/// range [k << 32, (k+1) << 32), so concurrent batches with dense plan ids
+/// never collide in the cluster's step-output namespace (keys are
+/// kStepBit | id with id < 2^63 — see emul/cluster.cc).
+constexpr std::uint64_t kBatchIdStride = std::uint64_t{1} << 32;
+
+}  // namespace
+
+BatchDriver::BatchDriver(emul::Cluster& cluster,
+                         const inject::FaultPlan& faults,
+                         const inject::RetryPolicy& policy, std::uint64_t seed,
+                         std::uint64_t slice_bytes, inject::DataPolicy data,
+                         inject::EventLog& log)
+    : cluster_(cluster),
+      faults_(faults),
+      policy_(policy),
+      seed_(seed),
+      slice_bytes_(slice_bytes),
+      data_(std::move(data)),
+      log_(log),
+      backoff_rng_(seed ^ 0x8badf00ddeadbeefULL),
+      t0_(cluster.clock().now()),
+      now_(t0_) {
+  cluster_.clock().require_virtual("rebuild::BatchDriver");
+  CAR_CHECK(faults_.node_crashes.empty(),
+            "rebuild::BatchDriver: node crashes are membership events owned "
+            "by the coordinator, not transfer faults — strip them from the "
+            "driver's FaultPlan");
+  faults_.validate(cluster_.topology());
+  std::sort(data_.sampled_stripes.begin(), data_.sampled_stripes.end());
+  report_.per_rack_cross_bytes.assign(cluster_.topology().num_racks(), 0);
+  inject::arm_link_faults(cluster_, faults_, t0_);
+  for (const auto& fault : faults_.link_faults) {
+    log_.record(now_, EventKind::kLinkFaultArmed, -1, -1,
+                static_cast<std::int64_t>(fault.id), 0,
+                std::string(to_string(fault.side)) + " #" +
+                    std::to_string(fault.id) + " x" + fmt_s(fault.factor) +
+                    " [" + fmt_s(fault.start_s) + ", " + fmt_s(fault.end_s) +
+                    ")");
+  }
+}
+
+void BatchDriver::admit(std::size_t batch_id,
+                        const recovery::RecoveryPlan& plan) {
+  CAR_CHECK(!plan.steps.empty(), "rebuild::BatchDriver: empty plan admitted");
+  CAR_CHECK_LT(plan.steps.size(), kBatchIdStride,
+               "rebuild::BatchDriver: plan exceeds the per-batch step-id "
+               "range");
+  Batch batch;
+  batch.id = batch_id;
+  batch.plan = plan;
+  batch.sliced = recovery::slice_plan(
+      plan, slice_bytes_ > 0 ? slice_bytes_
+                             : std::max<std::uint64_t>(plan.chunk_size, 1));
+  batch.indegrees = recovery::step_indegrees(
+      std::span<const PlanStep>(batch.sliced.steps));
+  batch.dependents = recovery::step_dependents(
+      std::span<const PlanStep>(batch.sliced.steps));
+  batch.done.assign(batch.sliced.steps.size(), 0);
+  batch.buffer_base = static_cast<std::uint64_t>(admitted_) * kBatchIdStride;
+  ++admitted_;
+
+  const std::size_t slot = batches_.size();
+  for (std::size_t id = 0; id < batch.sliced.steps.size(); ++id) {
+    if (batch.indegrees[id] == 0) heap_.emplace(now_, slot, id, 1);
+  }
+  std::string detail = std::to_string(plan.steps.size()) + " steps, " +
+                       std::to_string(plan.outputs.size()) + " outputs";
+  if (batch.sliced.num_slices > 1) {
+    detail += ", sliced " + std::to_string(batch.sliced.slice_size) + " B x" +
+              std::to_string(batch.sliced.num_slices) + " (" +
+              std::to_string(batch.sliced.steps.size()) + " slice steps)";
+  }
+  log_.record(now_, EventKind::kRunStart, -1, -1, plan.replacement, 0,
+              detail + batch_suffix(batch_id));
+  batches_.push_back(std::move(batch));
+  ++inflight_;
+}
+
+RunOutcome BatchDriver::run_until(std::optional<double> deadline) {
+  RunOutcome outcome;
+  while (!heap_.empty()) {
+    const auto [t, slot, id, attempt] = heap_.top();
+    if (deadline && t >= *deadline) {
+      outcome.stop = StopReason::kDeadline;
+      return outcome;
+    }
+    heap_.pop();
+    Batch& batch = batches_[slot];
+
+    advance(t);
+    const PlanStep& step = batch.sliced.steps[id];
+    const SliceInfo& slice = batch.sliced.info[id];
+    double finish = 0.0;
+    if (step.kind == StepKind::kCompute) {
+      finish = run_compute(batch, step, slice, t);
+    } else {
+      const auto attempt_finish =
+          run_transfer_attempt(slot, step, slice, t, attempt);
+      if (!attempt_finish) continue;  // failed; retry already queued
+      finish = *attempt_finish;
+    }
+
+    batch.done[id] = 1;
+    ++batch.completed;
+    advance(finish);
+    for (const std::size_t dep : batch.dependents[id]) {
+      if (--batch.indegrees[dep] == 0) heap_.emplace(finish, slot, dep, 1);
+    }
+    if (batch.completed == batch.sliced.steps.size()) {
+      publish_outputs(batch, /*whole_batch=*/true);
+      batch.finished = true;
+      --inflight_;
+      outcome.finished.push_back(batch.id);
+      outcome.stop = StopReason::kBatchDone;
+      return outcome;
+    }
+  }
+  CAR_CHECK_STATE(inflight_ == 0,
+                  "rebuild::BatchDriver: event heap drained with " +
+                      std::to_string(inflight_) +
+                      " batches unfinished — dependency deadlock");
+  outcome.stop = StopReason::kIdle;
+  return outcome;
+}
+
+std::vector<CancelledBatch> BatchDriver::cancel_all() {
+  std::vector<CancelledBatch> out;
+  for (Batch& batch : batches_) {
+    if (batch.finished) continue;
+    CancelledBatch cancelled;
+    cancelled.batch = batch.id;
+    cancelled.cancelled_steps = batch.sliced.steps.size() - batch.completed;
+    stats_.cancelled_steps += cancelled.cancelled_steps;
+    log_.record(now_, EventKind::kStepsCancelled, -1, -1, -1, 0,
+                std::to_string(cancelled.cancelled_steps) + " of " +
+                    std::to_string(batch.sliced.steps.size()) + " steps" +
+                    batch_suffix(batch.id));
+    // Durability first: recovered chunks whose final step delivered every
+    // slice are already correct — promote them to regular replicas before
+    // the step outputs are wiped (same protocol as the inject engine's
+    // crash escalation).
+    cancelled.published = publish_outputs(batch, /*whole_batch=*/false);
+    for (const auto& out_ref : batch.plan.outputs) {
+      const bool published = std::any_of(
+          cancelled.published.begin(), cancelled.published.end(),
+          [&](const PublishedChunk& p) {
+            return p.stripe == out_ref.stripe &&
+                   p.chunk_index == out_ref.chunk_index;
+          });
+      if (!published &&
+          std::find(cancelled.unfinished_stripes.begin(),
+                    cancelled.unfinished_stripes.end(),
+                    out_ref.stripe) == cancelled.unfinished_stripes.end()) {
+        cancelled.unfinished_stripes.push_back(out_ref.stripe);
+      }
+    }
+    batch.finished = true;
+    --inflight_;
+    out.push_back(std::move(cancelled));
+  }
+  heap_ = Heap{};
+  batches_.clear();  // slots are spent; buffer bases never recycle
+  cluster_.clear_step_outputs();
+  return out;
+}
+
+void BatchDriver::advance_to(double t) { advance(t); }
+
+bool BatchDriver::is_real(cluster::StripeId stripe) const {
+  return !data_.metadata_only ||
+         std::binary_search(data_.sampled_stripes.begin(),
+                            data_.sampled_stripes.end(), stripe);
+}
+
+BufferRef BatchDriver::biased(const BufferRef& ref,
+                              const Batch& batch) const {
+  if (ref.kind != BufferRef::Kind::kStepOutput) return ref;
+  return BufferRef::step(ref.step_id + batch.buffer_base);
+}
+
+double BatchDriver::run_compute(const Batch& batch, const PlanStep& step,
+                                const SliceInfo& slice, double t) {
+  if (is_real(step.stripe)) {
+    std::vector<const rs::Chunk*> inputs;
+    inputs.reserve(step.inputs.size());
+    for (const auto& in : step.inputs) {
+      const rs::Chunk* buf =
+          cluster_.find_buffer(step.node, biased(in.buffer, batch));
+      CAR_CHECK_STATE(buf != nullptr,
+                      "rebuild: compute input " + describe(in.buffer) +
+                          " missing on node " + std::to_string(step.node) +
+                          batch_suffix(batch.id));
+      inputs.push_back(buf);
+    }
+    util::BufferLease out = cluster_.buffer_pool().acquire(
+        static_cast<std::size_t>(slice.length));
+    recovery::execute_compute_slice(step, inputs, batch.sliced.chunk_size,
+                                    slice.offset, {out.data(), out.size()},
+                                    "rebuild");
+    cluster_.write_buffer_range(
+        step.node, BufferRef::step(slice.base_step + batch.buffer_base),
+        batch.sliced.chunk_size, slice.offset, {out.data(), out.size()});
+  }
+
+  const double dt =
+      static_cast<double>(step.bytes) / cluster_.config().virtual_gf_bps;
+  const double finish = t + dt;
+  report_.compute_s += dt;
+  if (step.node == batch.sliced.replacement) {
+    report_.replacement_compute_s += dt;
+  }
+  log_.record(finish, EventKind::kComputeComplete,
+              static_cast<std::int64_t>(step.id), -1,
+              static_cast<std::int64_t>(step.node), step.bytes,
+              std::to_string(step.inputs.size()) + " inputs" +
+                  slice_suffix(batch.sliced, slice) + batch_suffix(batch.id));
+  return finish;
+}
+
+std::optional<double> BatchDriver::run_transfer_attempt(
+    std::size_t slot, const PlanStep& step, const SliceInfo& slice, double t,
+    std::size_t attempt) {
+  const Batch& batch = batches_[slot];
+  ++stats_.attempts;
+  if (attempt > 1) ++stats_.retries;
+
+  const bool real = is_real(step.stripe);
+  std::span<const std::uint8_t> wire;
+  if (real) {
+    const rs::Chunk* payload =
+        cluster_.find_buffer(step.src, biased(step.payload, batch));
+    CAR_CHECK_STATE(payload != nullptr,
+                    "rebuild: transfer payload " + describe(step.payload) +
+                        " missing on node " + std::to_string(step.src) +
+                        batch_suffix(batch.id));
+    CAR_CHECK_STATE(payload->size() == batch.sliced.chunk_size,
+                    "rebuild: transfer bytes do not match stored payload");
+    wire = {payload->data() + slice.offset,
+            static_cast<std::size_t>(slice.length)};
+  }
+
+  log_.record(t, EventKind::kTransferAttempt,
+              static_cast<std::int64_t>(step.id),
+              static_cast<std::int64_t>(attempt),
+              static_cast<std::int64_t>(step.src), step.bytes,
+              "-> " + std::to_string(step.dst) + ", " +
+                  describe(step.payload) + slice_suffix(batch.sliced, slice) +
+                  batch_suffix(batch.id));
+
+  if (step.src == step.dst) {
+    if (real) {
+      util::BufferLease staged = cluster_.buffer_pool().acquire(wire.size());
+      std::memcpy(staged.data(), wire.data(), wire.size());
+      cluster_.write_buffer_range(step.dst, biased(step.payload, batch),
+                                  batch.sliced.chunk_size, slice.offset,
+                                  {staged.data(), staged.size()});
+    }
+    log_.record(t, EventKind::kTransferComplete,
+                static_cast<std::int64_t>(step.id),
+                static_cast<std::int64_t>(attempt),
+                static_cast<std::int64_t>(step.dst), 0,
+                "loopback" + slice_suffix(batch.sliced, slice) +
+                    batch_suffix(batch.id));
+    return t;
+  }
+
+  const inject::TransferFault* fault = nullptr;
+  std::size_t fault_index = 0;
+  for (std::size_t i = 0; i < faults_.transfer_faults.size(); ++i) {
+    if (inject::transfer_fault_applies(faults_.transfer_faults[i], i,
+                                       step.id, attempt, seed_)) {
+      fault = &faults_.transfer_faults[i];
+      fault_index = i;
+      break;
+    }
+  }
+
+  const std::uint64_t page = cluster_.config().page_bytes;
+  emul::LinkPath path = cluster_.path(step.src, step.dst);
+  const double deadline = t + policy_.transfer_timeout_s;
+  const double projected = path.preview(t, step.bytes, page);
+
+  double failed_at = 0.0;
+  if (projected > deadline) {
+    ++stats_.timeouts;
+    failed_at = deadline;
+    log_.record(deadline, EventKind::kTransferTimeout,
+                static_cast<std::int64_t>(step.id),
+                static_cast<std::int64_t>(attempt),
+                static_cast<std::int64_t>(step.src), step.bytes,
+                "projected finish " + fmt_s(projected) + " past deadline " +
+                    fmt_s(deadline) + batch_suffix(batch.id));
+  } else if (fault != nullptr &&
+             fault->kind == inject::TransferFault::Kind::kDrop) {
+    const double finish = path.reserve(t, step.bytes, page);
+    ++stats_.drops;
+    stats_.wasted_wire_bytes += step.bytes;
+    failed_at = deadline;
+    log_.record(finish, EventKind::kTransferDrop,
+                static_cast<std::int64_t>(step.id),
+                static_cast<std::int64_t>(attempt),
+                static_cast<std::int64_t>(step.src), step.bytes,
+                "fault #" + std::to_string(fault_index) + ", ack deadline " +
+                    fmt_s(deadline) + batch_suffix(batch.id));
+  } else if (fault != nullptr) {  // kCorrupt
+    const double finish = path.reserve(t, step.bytes, page);
+    std::string checksums;
+    if (real) {
+      util::BufferLease staged = cluster_.buffer_pool().acquire(wire.size());
+      std::memcpy(staged.data(), wire.data(), wire.size());
+      staged.data()[(step.id * 1315423911ULL + attempt) % staged.size()] ^=
+          0xA5;
+      checksums = ", checksum sent=" + fmt_hex(fnv64(wire)) + " got=" +
+                  fmt_hex(fnv64({staged.data(), staged.size()}));
+    } else {
+      checksums = ", checksum unavailable (metadata-only stripe)";
+    }
+    ++stats_.corruptions;
+    stats_.wasted_wire_bytes += step.bytes;
+    failed_at = finish;
+    log_.record(finish, EventKind::kTransferCorrupt,
+                static_cast<std::int64_t>(step.id),
+                static_cast<std::int64_t>(attempt),
+                static_cast<std::int64_t>(step.dst), step.bytes,
+                "fault #" + std::to_string(fault_index) + checksums +
+                    slice_suffix(batch.sliced, slice) +
+                    batch_suffix(batch.id));
+  } else {
+    const double finish = path.reserve(t, step.bytes, page);
+    if (real) {
+      cluster_.write_buffer_range(step.dst, biased(step.payload, batch),
+                                  batch.sliced.chunk_size, slice.offset,
+                                  wire);
+    }
+    if (step.cross_rack) {
+      report_.cross_rack_bytes += step.bytes;
+      report_.per_rack_cross_bytes[cluster_.topology().rack_of(step.src)] +=
+          step.bytes;
+    } else {
+      report_.intra_rack_bytes += step.bytes;
+    }
+    log_.record(finish, EventKind::kTransferComplete,
+                static_cast<std::int64_t>(step.id),
+                static_cast<std::int64_t>(attempt),
+                static_cast<std::int64_t>(step.dst), step.bytes,
+                (step.cross_rack ? std::string("cross-rack")
+                                 : std::string("intra-rack")) +
+                    slice_suffix(batch.sliced, slice) +
+                    batch_suffix(batch.id));
+    return finish;
+  }
+
+  CAR_CHECK_STATE(attempt < policy_.max_attempts,
+                  "rebuild: transfer step " + std::to_string(step.id) +
+                      " of batch " + std::to_string(batch.id) +
+                      " permanently failed after " + std::to_string(attempt) +
+                      " attempts");
+  const double delay = policy_.backoff.delay(attempt, backoff_rng_);
+  const double retry_at = failed_at + delay;
+  log_.record(failed_at, EventKind::kRetryScheduled,
+              static_cast<std::int64_t>(step.id),
+              static_cast<std::int64_t>(attempt + 1),
+              static_cast<std::int64_t>(step.src), 0,
+              "backoff " + fmt_s(delay) + "s, retry at " + fmt_s(retry_at) +
+                  batch_suffix(batch.id));
+  heap_.emplace(retry_at, slot, step.id, attempt + 1);
+  return std::nullopt;
+}
+
+std::vector<PublishedChunk> BatchDriver::publish_outputs(const Batch& batch,
+                                                         bool whole_batch) {
+  std::vector<PublishedChunk> published;
+  for (const auto& out : batch.plan.outputs) {
+    if (!whole_batch) {
+      bool whole = true;
+      for (std::uint64_t s = 0; s < batch.sliced.num_slices; ++s) {
+        if (batch.done[recovery::sliced_id(out.step_id,
+                                           batch.sliced.num_slices, s)] ==
+            0) {
+          whole = false;
+          break;
+        }
+      }
+      if (!whole) continue;
+    }
+    if (is_real(out.stripe)) {
+      const rs::Chunk* buf = cluster_.find_step_output(
+          batch.plan.replacement, out.step_id + batch.buffer_base);
+      CAR_CHECK_STATE(buf != nullptr,
+                      "rebuild: completed output of step " +
+                          std::to_string(out.step_id) +
+                          " missing on the replacement" +
+                          batch_suffix(batch.id));
+      cluster_.store_chunk(batch.plan.replacement, out.stripe,
+                           out.chunk_index, *buf);
+    }
+    published.push_back({out.stripe, out.chunk_index});
+  }
+  if (!published.empty() || whole_batch) {
+    log_.record(now_, EventKind::kOutputsPublished, -1, -1,
+                static_cast<std::int64_t>(batch.plan.replacement),
+                static_cast<std::uint64_t>(published.size()) *
+                    batch.plan.chunk_size,
+                std::to_string(published.size()) + " of " +
+                    std::to_string(batch.plan.outputs.size()) +
+                    " recovered chunks" + batch_suffix(batch.id));
+  }
+  return published;
+}
+
+void BatchDriver::advance(double t) {
+  now_ = std::max(now_, t);
+  cluster_.clock().advance_to(now_);
+}
+
+}  // namespace car::rebuild

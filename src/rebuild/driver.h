@@ -1,0 +1,180 @@
+// Concurrent batch execution for the rebuild control plane.
+//
+// BatchDriver runs SEVERAL slice-lowered recovery plans ("batches") on one
+// shared virtual timeline — the overlapping-recoveries engine behind
+// RebuildCoordinator.  It is the multi-plan sibling of the sequential
+// event loop in inject/runtime.cc and deliberately mirrors its mechanics
+// step for step: per-slice transfer timeouts (preview-based, no wire
+// commit), bounded retries with seeded backoff, drop/corrupt fault
+// matching via inject::transfer_fault_applies, at-most-once traffic
+// accounting, pooled zero-copy staging, and real GF kernels through
+// recovery/compute.h — so a single-batch rebuild is bit- and
+// timing-equivalent to the inject engine running the same plan.
+//
+// What it adds over the inject engine:
+//   * admit() — enqueue another batch at the current virtual time; its
+//     slice steps interleave with in-flight batches on the (time, batch,
+//     step, attempt) min-heap, so cross-rack shipping of one batch
+//     overlaps partial decoding of another.
+//   * Step-output isolation — every batch's plans use dense step ids
+//     starting at 0, so step-output buffer refs are biased by a per-batch
+//     base (batch k gets ids k << 32) before touching the cluster; chunk
+//     refs are globally unique already (batches own disjoint stripes).
+//   * run_until(deadline) — execute until a batch completes, the timeline
+//     reaches a membership-event deadline, or everything is idle; the
+//     coordinator interleaves failure events and fresh batches between
+//     calls.
+//   * cancel_all() — the membership-change protocol: publish every output
+//     whose producing step delivered ALL slices, wipe step outputs
+//     cluster-wide, and report what survived, so the coordinator can
+//     re-plan the remainder at the new epoch and resume bit-exact.
+//
+// Node crashes are NOT handled here (the FaultPlan must not contain any):
+// failures are membership events owned by the coordinator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cluster/types.h"
+#include "emul/cluster.h"
+#include "inject/event_log.h"
+#include "inject/fault.h"
+#include "inject/runtime.h"
+#include "recovery/plan.h"
+#include "recovery/slice.h"
+#include "util/rng.h"
+
+namespace car::rebuild {
+
+/// A (stripe, chunk index) recovered and published as a replica on the
+/// replacement node.
+struct PublishedChunk {
+  cluster::StripeId stripe = 0;
+  std::size_t chunk_index = 0;
+};
+
+/// Why run_until returned.
+enum class StopReason : std::uint8_t {
+  kIdle,       // no in-flight batch and nothing queued
+  kBatchDone,  // a batch completed (outputs published); others may run on
+  kDeadline,   // the next event would land at/after the given deadline
+};
+
+struct RunOutcome {
+  StopReason stop = StopReason::kIdle;
+  /// Batch ids that completed during this call (kBatchDone).
+  std::vector<std::size_t> finished;
+};
+
+/// One cancelled batch's salvage report.
+struct CancelledBatch {
+  std::size_t batch = 0;                  // admit()'s batch id
+  std::vector<PublishedChunk> published;  // outputs that fully delivered
+  std::vector<cluster::StripeId> unfinished_stripes;  // need re-planning
+  std::size_t cancelled_steps = 0;        // slice steps abandoned
+};
+
+class BatchDriver {
+ public:
+  /// `faults` must contain no node crashes (util::CheckError otherwise) —
+  /// link and transfer faults only; link fault windows are armed relative
+  /// to the cluster clock's time at construction.  The cluster must use
+  /// ClockMode::kVirtual.  `slice_bytes` == 0 means chunk-granular (one
+  /// slice per step).
+  BatchDriver(emul::Cluster& cluster, const inject::FaultPlan& faults,
+              const inject::RetryPolicy& policy, std::uint64_t seed,
+              std::uint64_t slice_bytes, inject::DataPolicy data,
+              inject::EventLog& log);
+
+  /// Admit a validated plan as batch `batch_id` at the current virtual
+  /// time.  All of its outputs must target plan.replacement, which must be
+  /// alive.  The id labels the batch in log details ("batch N").
+  void admit(std::size_t batch_id, const recovery::RecoveryPlan& plan);
+
+  /// Drive the shared event loop.  With a deadline (absolute virtual
+  /// seconds), execution stops before processing any event scheduled at or
+  /// after it — the point where the coordinator injects a membership
+  /// change.  Throws util::StateError when a transfer exhausts its retry
+  /// budget.
+  RunOutcome run_until(std::optional<double> deadline);
+
+  /// Membership-change protocol: for every in-flight batch, publish the
+  /// outputs whose producing step delivered all slices, then wipe step
+  /// outputs cluster-wide and forget the batches.  Returns one salvage
+  /// report per cancelled batch (admit order); completed batches are not
+  /// listed (their outputs were already published).
+  std::vector<CancelledBatch> cancel_all();
+
+  /// Advance the shared timeline (monotone; used by the coordinator to
+  /// move to a failure event's time before scanning).
+  void advance_to(double t);
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t inflight() const noexcept { return inflight_; }
+  [[nodiscard]] const emul::ExecutionReport& report() const noexcept {
+    return report_;
+  }
+  [[nodiscard]] const inject::RunStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  struct Batch {
+    std::size_t id = 0;
+    recovery::RecoveryPlan plan;
+    recovery::SlicePlan sliced;
+    std::vector<std::size_t> indegrees;
+    std::vector<std::vector<std::size_t>> dependents;
+    std::vector<char> done;
+    std::size_t completed = 0;
+    std::uint64_t buffer_base = 0;  // added to step-output buffer ids
+    bool finished = false;
+  };
+
+  // (ready time, batch slot, step id, 1-based attempt) — ties break on the
+  // earliest-admitted batch, then the lowest step id, then attempt, so the
+  // pop order is a pure function of the admitted plans.
+  using Entry = std::tuple<double, std::size_t, std::size_t, std::size_t>;
+  using Heap =
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<>>;
+
+  [[nodiscard]] bool is_real(cluster::StripeId stripe) const;
+  [[nodiscard]] recovery::BufferRef biased(const recovery::BufferRef& ref,
+                                           const Batch& batch) const;
+  double run_compute(const Batch& batch, const recovery::PlanStep& step,
+                     const recovery::SliceInfo& slice, double t);
+  std::optional<double> run_transfer_attempt(std::size_t slot,
+                                             const recovery::PlanStep& step,
+                                             const recovery::SliceInfo& slice,
+                                             double t, std::size_t attempt);
+  /// Publish outputs of `batch` whose producing step delivered every slice
+  /// (all of them when whole_batch).  Returns the published chunks.
+  std::vector<PublishedChunk> publish_outputs(const Batch& batch,
+                                              bool whole_batch);
+  void advance(double t);
+
+  emul::Cluster& cluster_;
+  inject::FaultPlan faults_;
+  inject::RetryPolicy policy_;
+  std::uint64_t seed_;
+  std::uint64_t slice_bytes_;
+  inject::DataPolicy data_;
+  inject::EventLog& log_;
+  util::Rng backoff_rng_;
+  std::vector<Batch> batches_;  // completed slots stay (finished == true)
+  std::size_t admitted_ = 0;    // lifetime batch count, keys buffer_base
+  std::size_t inflight_ = 0;
+  Heap heap_;
+  double t0_;
+  double now_;
+  emul::ExecutionReport report_;
+  inject::RunStats stats_;
+};
+
+}  // namespace car::rebuild

@@ -1,0 +1,54 @@
+#include "rebuild/queue.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+namespace car::rebuild {
+
+namespace {
+
+bool higher_priority(const recovery::StripeExposure& a,
+                     const recovery::StripeExposure& b) {
+  return std::tuple(a.tolerance_left, a.cross_rack_cost(), a.stripe) <
+         std::tuple(b.tolerance_left, b.cross_rack_cost(), b.stripe);
+}
+
+}  // namespace
+
+void RebuildQueue::reset(std::vector<recovery::StripeExposure> census) {
+  std::sort(census.begin(), census.end(), higher_priority);
+  util::MutexLock lock(mu_);
+  entries_ = std::move(census);
+}
+
+std::vector<recovery::StripeExposure> RebuildQueue::pop_batch(
+    std::size_t max_stripes) {
+  util::MutexLock lock(mu_);
+  std::vector<recovery::StripeExposure> batch;
+  if (entries_.empty() || max_stripes == 0) return batch;
+  const std::vector<cluster::NodeId> signature = entries_.front().plan_hosts;
+  std::vector<recovery::StripeExposure> keep;
+  keep.reserve(entries_.size());
+  for (auto& entry : entries_) {
+    if (batch.size() < max_stripes && entry.plan_hosts == signature) {
+      batch.push_back(std::move(entry));
+    } else {
+      keep.push_back(std::move(entry));
+    }
+  }
+  entries_ = std::move(keep);
+  return batch;
+}
+
+bool RebuildQueue::empty() const {
+  util::MutexLock lock(mu_);
+  return entries_.empty();
+}
+
+std::size_t RebuildQueue::size() const {
+  util::MutexLock lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace car::rebuild

@@ -32,6 +32,17 @@ MultiFailureScenario make_multi_failure(const cluster::Placement& placement,
   return scenario;
 }
 
+MultiFailureScenario make_multi_failure_onto(
+    const cluster::Placement& placement, std::vector<cluster::NodeId> nodes,
+    cluster::NodeId replacement) {
+  CAR_CHECK_LT(replacement, placement.topology().num_nodes(),
+               "make_multi_failure_onto: replacement node id out of range");
+  auto scenario = make_multi_failure(placement, std::move(nodes));
+  scenario.replacement = replacement;
+  scenario.replacement_rack = placement.topology().rack_of(replacement);
+  return scenario;
+}
+
 std::vector<MultiStripeCensus> build_multi_censuses(
     const cluster::Placement& placement,
     const MultiFailureScenario& scenario) {

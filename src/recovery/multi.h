@@ -65,6 +65,20 @@ struct MultiStripeCensus {
 MultiFailureScenario make_multi_failure(const cluster::Placement& placement,
                                         std::vector<cluster::NodeId> nodes);
 
+/// Same, with an explicit replacement — the epoch-aware form used by the
+/// rebuild control plane (src/rebuild), where one primary replacement
+/// persists across re-plan generations while each batch's failure
+/// signature is only the subset of dead nodes still hosting that batch's
+/// chunks.  `replacement` need not appear in `nodes`: a batch of stripes
+/// with no chunk on the primary still rebuilds onto it.  Chunks already
+/// recovered onto the replacement therefore count as surviving in its rack
+/// when the caller omits their host from `nodes`.  Throws
+/// std::invalid_argument on empty/duplicate lists or an out-of-range
+/// replacement.
+MultiFailureScenario make_multi_failure_onto(
+    const cluster::Placement& placement, std::vector<cluster::NodeId> nodes,
+    cluster::NodeId replacement);
+
 /// Censuses for every stripe that lost at least one chunk.
 /// Throws std::invalid_argument if any stripe lost more than m chunks
 /// (beyond the code's tolerance — unrecoverable).

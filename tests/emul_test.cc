@@ -426,14 +426,48 @@ TEST(Cluster, DropNodeIsIdempotentAndFailsFurtherUse) {
 
 TEST(Cluster, DropNodeRefusesTheGuardedReplacement) {
   Cluster cluster(Topology({2, 2}), fast_config());
-  cluster.guard_replacement(2);
+  cluster.add_replacement_guard(2);
   EXPECT_THROW(cluster.drop_node(2), util::CheckError);
   EXPECT_FALSE(cluster.is_dropped(2));
   cluster.drop_node(3);  // other nodes still droppable
 
-  cluster.guard_replacement(std::nullopt);
-  cluster.drop_node(2);  // guard cleared: now allowed
+  cluster.remove_replacement_guard(2);
+  cluster.drop_node(2);  // guard released: now allowed
   EXPECT_TRUE(cluster.is_dropped(2));
+}
+
+TEST(Cluster, ReplacementGuardsCoverEveryGeneration) {
+  Cluster cluster(Topology({3, 3}), fast_config());
+  // Generation 1 recovers onto node 0; generation 2 (a second failure's
+  // re-plan) onto node 4.  BOTH must stay protected: the resumed plan
+  // still reads generation 1's published outputs.
+  const auto gen1 = cluster.add_replacement_guard(0);
+  const auto gen2 = cluster.add_replacement_guard(4);
+  EXPECT_LT(gen1, gen2);
+  EXPECT_EQ(cluster.guarded_replacements(),
+            (std::vector<cluster::NodeId>{0, 4}));
+  EXPECT_THROW(cluster.drop_node(0), util::CheckError);  // first generation
+  EXPECT_THROW(cluster.drop_node(4), util::CheckError);
+  try {
+    cluster.drop_node(0);
+    FAIL() << "drop_node(0) should have thrown";
+  } catch (const util::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("generation " +
+                                         std::to_string(gen1)),
+              std::string::npos)
+        << e.what();
+  }
+
+  // Guards are counted: a nested acquisition needs two releases.
+  cluster.add_replacement_guard(0);
+  cluster.remove_replacement_guard(0);
+  EXPECT_THROW(cluster.drop_node(0), util::CheckError);
+  cluster.remove_replacement_guard(0);
+  cluster.drop_node(0);
+  EXPECT_TRUE(cluster.is_dropped(0));
+  EXPECT_THROW(cluster.add_replacement_guard(0), util::CheckError);
+  EXPECT_THROW(cluster.remove_replacement_guard(1), util::CheckError);
+  cluster.remove_replacement_guard(4);
 }
 
 TEST(ClusterExecute, PlanTouchingDroppedNodeRaises) {
@@ -446,9 +480,9 @@ TEST(ClusterExecute, PlanTouchingDroppedNodeRaises) {
   // by execute() for the duration of the run).
   auto self_plan = one_transfer_plan(0, 1, 1024);
   self_plan.replacement = 1;
-  cluster.guard_replacement(1);
+  cluster.add_replacement_guard(1);
   EXPECT_THROW(cluster.drop_node(1), util::CheckError);
-  cluster.guard_replacement(std::nullopt);
+  cluster.remove_replacement_guard(1);
 }
 
 TEST(Cluster, ClearStepOutputsKeepsChunks) {

@@ -13,6 +13,10 @@ what must match is the *structure*:
     point's integer/config fields (k, m, racks);
   - the set of scale_sweep rows, keyed by (stripes, nodes, failure), and
     each row's config fields (racks, shards, metadata_only);
+  - the set of rebuild rows (the rolling-two-rack control-plane sweep),
+    keyed by (scenario, strategy, concurrency), each row's batch_stripes,
+    and its bit_exact flag (a non-bit-exact rebuild is a correctness
+    regression, not timing noise);
   - the set of host_results benchmark names and their non-timing fields
     (op, chunk_bytes, slice_bytes).
 
@@ -41,6 +45,8 @@ POINT_KEY = ("config", "core_scale")
 POINT_FIELDS = ("k", "m", "racks")
 SWEEP_KEY = ("stripes", "nodes", "failure")
 SWEEP_FIELDS = ("racks", "shards", "metadata_only")
+REBUILD_KEY = ("scenario", "strategy", "concurrency")
+REBUILD_FIELDS = ("batch_stripes", "bit_exact")
 RESULT_FIELDS = ("op", "chunk_bytes", "slice_bytes")
 
 
@@ -167,6 +173,39 @@ def diff(baseline, candidate, min_speedup):
             errors.append(f"scale_sweep row {key}: zero recovery throughput")
         if not row.get("plan_steps"):
             errors.append(f"scale_sweep row {key}: plan_steps is missing/zero")
+
+    # Like the scale sweep, the rebuild section is required exactly when
+    # the baseline carries one.
+    rebuild_required = "rebuild" in baseline
+    base_rebuild = section_rows(
+        baseline, "baseline", "rebuild", rebuild_required, errors
+    )
+    cand_rebuild = section_rows(
+        candidate, "candidate", "rebuild", rebuild_required, errors
+    )
+    _, cand_rebuild_by_key = diff_section(
+        base_rebuild, cand_rebuild, REBUILD_KEY, REBUILD_FIELDS, "rebuild",
+        errors,
+    )
+    for key, row in sorted(cand_rebuild_by_key.items(), key=repr):
+        makespan = row.get("makespan_s", 0)
+        if not makespan or makespan <= 0:
+            errors.append(
+                f"rebuild row {key}: makespan_s is {makespan!r}; a "
+                "non-positive makespan means the rebuild did not actually run"
+            )
+        if row.get("bit_exact") is not True:
+            errors.append(
+                f"rebuild row {key}: bit_exact is "
+                f"{row.get('bit_exact')!r}; recovered bytes diverged from "
+                "the original encoding"
+            )
+        if not row.get("chunks_recovered"):
+            errors.append(
+                f"rebuild row {key}: chunks_recovered is missing/zero"
+            )
+        if not row.get("scans"):
+            errors.append(f"rebuild row {key}: scans is missing/zero")
 
     base_runs = section_rows(
         baseline, "baseline", "host_results", True, errors

@@ -12,6 +12,10 @@
 //             link faults, transfer drops/corruption, mid-recovery node
 //             crashes with recovery/multi re-planning; verifies bit-exact
 //             recovery and can export the deterministic event log as JSON
+//   rebuild-run  drive the self-healing rebuild control plane (src/rebuild)
+//             over a rolling-failure schedule: exposure scan, prioritized
+//             queue, overlapping validated batches, re-plan on every
+//             membership change; verifies bit-exact recovery
 //
 // Common flags:
 //   --cfs 1|2|3           pick a paper configuration (Table II), or
@@ -36,6 +40,7 @@
 #include "cluster/configs.h"
 #include "emul/cluster.h"
 #include "inject/scenario.h"
+#include "rebuild/scenario.h"
 #include "recovery/balancer.h"
 #include "recovery/multi.h"
 #include "recovery/scheduler.h"
@@ -716,11 +721,110 @@ int cmd_inject_run(const util::Flags& flags) {
   return ok ? 0 : 1;
 }
 
+// Drive the rebuild control plane over a rolling-failure scenario: every
+// `crash node=N at=T` line is a membership event, affected stripes are
+// scanned and prioritized by exposure, and up to `concurrency` validated
+// batches overlap on one virtual timeline.  Exit 0 only when every lost
+// chunk was recovered and every materialised chunk is bit-exact.
+int cmd_rebuild_run(const util::Flags& flags) {
+  if (flags.get_bool("list")) {
+    for (const auto& name : rebuild::canned_rebuild_scenario_names()) {
+      const auto scenario = rebuild::canned_rebuild_scenario(name);
+      std::printf(
+          "%-22s %zu racks, k=%zu m=%zu, %zu stripes, %zu rolling failures\n",
+          name.c_str(), scenario.racks.size(), scenario.k, scenario.m,
+          scenario.stripes, scenario.faults.node_crashes.size());
+    }
+    return 0;
+  }
+
+  inject::Scenario scenario;
+  if (flags.has("spec")) {
+    std::ifstream in(flags.get("spec", ""));
+    if (!in) {
+      throw std::invalid_argument("rebuild-run: cannot open --spec file");
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    scenario = inject::parse_scenario(buffer.str());
+  } else {
+    scenario = rebuild::canned_rebuild_scenario(
+        flags.get("scenario", "rolling-two-rack"));
+  }
+  if (flags.has("strategy")) scenario.strategy = flags.get("strategy", "car");
+  if (flags.has("seed")) {
+    scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  }
+  if (flags.has("slice-kib")) {
+    scenario.slice_bytes =
+        static_cast<std::uint64_t>(flags.get_int("slice-kib", 0)) * util::kKiB;
+  }
+  if (flags.has("batch-stripes")) {
+    scenario.rebuild_batch_stripes =
+        static_cast<std::size_t>(flags.get_int("batch-stripes", 4));
+  }
+  if (flags.has("concurrency")) {
+    scenario.rebuild_concurrency =
+        static_cast<std::size_t>(flags.get_int("concurrency", 2));
+  }
+  const auto shards =
+      static_cast<std::size_t>(flags.get_int("shards", 1));
+
+  const auto outcome = rebuild::run_rebuild_scenario(scenario, shards);
+  const auto& result = outcome.result;
+
+  if (flags.has("log-out")) {
+    std::ofstream out(flags.get("log-out", ""));
+    if (!out) {
+      throw std::invalid_argument("rebuild-run: cannot open --log-out file");
+    }
+    out << result.log.to_json();
+  }
+  if (flags.get_bool("json")) {
+    std::fputs(result.log.to_json().c_str(), stdout);
+  }
+
+  std::string failed;
+  for (const auto node : result.failed_nodes) {
+    if (!failed.empty()) failed += ",";
+    failed += std::to_string(node);
+  }
+  std::printf("scenario %s (%s): %zu rolling failures [%s] -> replacement "
+              "%zu\n",
+              scenario.name.c_str(), scenario.strategy.c_str(),
+              result.failed_nodes.size(), failed.c_str(),
+              static_cast<std::size_t>(result.replacement));
+  std::printf("  events: %s\n", result.log.summary().c_str());
+  std::printf("  control plane: %zu scans, %zu batches (%zu cancelled, "
+              "%zu stripes re-queued)\n",
+              result.metrics.scans, result.metrics.batches_dispatched,
+              result.metrics.batches_cancelled,
+              result.metrics.stripes_requeued);
+  std::printf("  makespan %.3f s | exposure max %.3f s total %.3f s | "
+              "at-risk max %.3f s total %.3f s\n",
+              result.metrics.makespan_s, result.metrics.max_exposure_s,
+              result.metrics.total_exposure_s, result.metrics.max_at_risk_s,
+              result.metrics.total_at_risk_s);
+  std::printf("  traffic: cross-rack %s | intra-rack %s | %zu transfer "
+              "attempts (%zu retries)\n",
+              util::format_bytes(result.report.cross_rack_bytes).c_str(),
+              util::format_bytes(result.report.intra_rack_bytes).c_str(),
+              result.stats.attempts, result.stats.retries);
+  std::printf("  recovery: %zu chunks rebuilt, %zu/%zu bit-exact on %zu "
+              "materialised stripes\n",
+              result.recovered.size(), outcome.chunks_verified,
+              outcome.chunks_expected, outcome.stripes_materialised);
+
+  const bool ok = outcome.bit_exact && outcome.chunks_expected > 0;
+  std::printf("  result: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
 void usage() {
   std::puts(
       "usage: carctl "
-      "<traffic|balance|simulate|emulate|trace|validate|inject-run> "
-      "[flags]\n"
+      "<traffic|balance|simulate|emulate|trace|validate|inject-run|"
+      "rebuild-run> [flags]\n"
       "  --cfs 1|2|3 | --racks 4,3,3 --k 6 --m 3 | "
       "--num-racks R --rack-size N\n"
       "  --stripes N --runs N --seed S --chunk-mib N --csv\n"
@@ -735,7 +839,11 @@ void usage() {
       "double-aggregator\n"
       "  inject-run: --scenario NAME | --spec FILE | --list\n"
       "              --strategy car|rr --seed S --slice-kib S --json "
-      "--log-out PATH");
+      "--log-out PATH\n"
+      "  rebuild-run: --scenario NAME | --spec FILE | --list\n"
+      "              --strategy car|rr --seed S --slice-kib S "
+      "--batch-stripes N\n"
+      "              --concurrency N --shards N --json --log-out PATH");
 }
 
 }  // namespace
@@ -755,6 +863,7 @@ int main(int argc, char** argv) {
     if (command == "trace") return cmd_trace(flags);
     if (command == "validate") return cmd_validate(flags);
     if (command == "inject-run") return cmd_inject_run(flags);
+    if (command == "rebuild-run") return cmd_rebuild_run(flags);
     usage();
     return 2;
   } catch (const std::exception& error) {
