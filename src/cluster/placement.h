@@ -83,6 +83,18 @@ class Placement {
                                                  std::size_t k, std::size_t m,
                                                  util::Rng& rng);
 
+  /// Allocation-free core of choose_stripe_nodes: scans a lazily
+  /// materialised random permutation (`pool`, any permutation of all node
+  /// ids) and writes k+m quota-respecting picks into `chosen`.  `per_rack`
+  /// must be all-zero of size num_racks() and is restored to zero before
+  /// returning.  Exposed for bulk generators (random()) that amortise the
+  /// scratch buffers across millions of stripes.
+  static void choose_stripe_nodes_into(const Topology& topology, std::size_t k,
+                                       std::size_t m, util::Rng& rng,
+                                       std::vector<NodeId>& pool,
+                                       std::vector<std::size_t>& per_rack,
+                                       std::vector<NodeId>& chosen);
+
   /// Random placement: for each stripe choose k+m distinct nodes uniformly
   /// subject to the per-rack quota (<= m chunks per rack per stripe), as in
   /// the paper's methodology.  Throws std::invalid_argument when the

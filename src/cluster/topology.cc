@@ -17,6 +17,10 @@ Topology::Topology(std::vector<std::size_t> nodes_per_rack)
     total_nodes_ += n;
     rack_first_node_.push_back(total_nodes_);
   }
+  rack_by_node_.reserve(total_nodes_);
+  for (RackId rack = 0; rack < nodes_per_rack_.size(); ++rack) {
+    rack_by_node_.insert(rack_by_node_.end(), nodes_per_rack_[rack], rack);
+  }
 }
 
 std::size_t Topology::nodes_in_rack_count(RackId rack) const {
@@ -30,10 +34,7 @@ RackId Topology::rack_of(NodeId node) const {
   if (node >= total_nodes_) {
     throw std::out_of_range("Topology::rack_of: bad node id");
   }
-  // Racks are few (single digits in practice); linear scan over prefix sums.
-  RackId rack = 0;
-  while (rack_first_node_[rack + 1] <= node) ++rack;
-  return rack;
+  return rack_by_node_[node];
 }
 
 std::pair<NodeId, NodeId> Topology::rack_range(RackId rack) const {

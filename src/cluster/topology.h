@@ -44,6 +44,7 @@ class Topology {
  private:
   std::vector<std::size_t> nodes_per_rack_;
   std::vector<NodeId> rack_first_node_;  // prefix sums; size num_racks()+1
+  std::vector<RackId> rack_by_node_;     // direct node -> rack lookup
   std::size_t total_nodes_ = 0;
 };
 

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <exception>
+#include <limits>
+#include <mutex>
 #include <queue>
 #include <stdexcept>
 #include <string>
@@ -832,8 +835,24 @@ ExecutionReport Cluster::execute_arena(const recovery::PlanArena& plan,
 
   // Phase 2 — deterministic timing replay over the sliced id grid: the
   // identical (start time, id) min-heap walk execute() runs, driven from
-  // the columns instead of materialised steps.  Sequential by design, so
-  // the timeline is invariant in the shard count.
+  // the columns instead of materialised steps.
+  //
+  // The pop stream is lexicographically monotone in (time, id): every
+  // dependent inserted while processing event (t, id) has start >= finish
+  // >= t and — forward deps — a strictly larger base step, hence a larger
+  // sliced id at the same slice.  With a stripe-closed plan the stream
+  // further decomposes into independent per-stripe (and so per-shard)
+  // monotone streams, which is what lets replay_shards > 1 reproduce the
+  // sequential walk exactly: each shard drains its own heap only while its
+  // head is the global lexicographic minimum of all shard heads (the
+  // owner-advances safe window), so stateful link reservations and
+  // floating-point accumulation commit in the global merge order.
+  CAR_CHECK(options.replay_shards >= 1,
+            "Cluster::execute_arena: replay_shards must be >= 1");
+  CAR_CHECK(options.replay_shards == 1 || plan.stripe_closed(),
+            "Cluster::execute_arena: sharded replay requires a stripe-closed "
+            "plan (windowed schedules add cross-stripe deps; run them with "
+            "replay_shards == 1)");
   const std::uint64_t n_sliced = plan.num_sliced_steps();
   std::vector<std::uint32_t> pending(n_sliced, 0);
   for (std::uint64_t base = 0; base < n_base; ++base) {
@@ -844,14 +863,12 @@ ExecutionReport Cluster::execute_arena(const recovery::PlanArena& plan,
   }
   std::vector<double> start_at(n_sliced, t_start);
   using Entry = std::pair<double, std::uint64_t>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready;
-  for (std::uint64_t id = 0; id < n_sliced; ++id) {
-    if (pending[id] == 0) ready.emplace(t_start, id);
-  }
+  using Heap = std::priority_queue<Entry, std::vector<Entry>, std::greater<>>;
   double end = t_start;
-  while (!ready.empty()) {
-    const auto [at, id] = ready.top();
-    ready.pop();
+
+  // Process one popped event; dependents (same stripe by closure, so the
+  // caller's own heap under sharded replay) are pushed onto `heap`.
+  auto process_event = [&](double at, std::uint64_t id, Heap& heap) {
     const std::uint64_t base = id / num_slices;
     const std::uint64_t slice = id % num_slices;
     double finish = at;
@@ -874,8 +891,80 @@ ExecutionReport Cluster::execute_arena(const recovery::PlanArena& plan,
     for (const std::uint64_t dep_base : plan.dependents(base)) {
       const std::uint64_t did = plan.sliced_id(dep_base, slice);
       start_at[did] = std::max(start_at[did], finish);
-      if (--pending[did] == 0) ready.emplace(start_at[did], did);
+      if (--pending[did] == 0) heap.emplace(start_at[did], did);
     }
+  };
+
+  if (options.replay_shards == 1) {
+    Heap ready;
+    for (std::uint64_t id = 0; id < n_sliced; ++id) {
+      if (pending[id] == 0) ready.emplace(t_start, id);
+    }
+    while (!ready.empty()) {
+      const auto [at, id] = ready.top();
+      ready.pop();
+      process_event(at, id, ready);
+    }
+  } else {
+    const std::size_t rshards = options.replay_shards;
+    std::vector<Heap> heaps(rshards);
+    for (std::uint64_t id = 0; id < n_sliced; ++id) {
+      if (pending[id] != 0) continue;
+      const std::uint64_t base = id / num_slices;
+      heaps[static_cast<std::uint64_t>(plan.stripe(base)) % rshards].emplace(
+          t_start, id);
+    }
+    // Sentinel: a drained shard publishes +inf so it never gates others.
+    const Entry done{std::numeric_limits<double>::infinity(),
+                     std::numeric_limits<std::uint64_t>::max()};
+    std::vector<Entry> tops(rshards, done);
+    for (std::size_t shard = 0; shard < rshards; ++shard) {
+      if (!heaps[shard].empty()) tops[shard] = heaps[shard].top();
+    }
+    std::mutex replay_mu;
+    std::condition_variable replay_cv;
+    std::exception_ptr replay_error;
+    bool replay_failed = false;
+    auto run_replay_shard = [&](std::size_t shard) {
+      Heap& heap = heaps[shard];
+      std::unique_lock<std::mutex> lock(replay_mu);
+      try {
+        for (;;) {
+          if (replay_failed || heap.empty()) break;
+          // The conservative safe window: drain own events strictly below
+          // every other shard's head.  Heads are pairwise distinct (ids are
+          // unique), so the shard holding the global minimum never blocks
+          // and the protocol cannot deadlock.
+          Entry bound = done;
+          for (std::size_t other = 0; other < rshards; ++other) {
+            if (other != shard) bound = std::min(bound, tops[other]);
+          }
+          if (tops[shard] < bound) {
+            while (!heap.empty() && heap.top() < bound) {
+              const auto [at, id] = heap.top();
+              heap.pop();
+              process_event(at, id, heap);
+            }
+            tops[shard] = heap.empty() ? done : heap.top();
+            replay_cv.notify_all();
+          } else {
+            replay_cv.wait(lock);
+          }
+        }
+      } catch (...) {
+        if (!replay_error) replay_error = std::current_exception();
+        replay_failed = true;
+      }
+      tops[shard] = done;
+      replay_cv.notify_all();
+    };
+    std::vector<std::thread> replay_workers;
+    replay_workers.reserve(rshards);
+    for (std::size_t shard = 0; shard < rshards; ++shard) {
+      replay_workers.emplace_back(run_replay_shard, shard);
+    }
+    for (auto& worker : replay_workers) worker.join();
+    if (replay_error) std::rethrow_exception(replay_error);
   }
   clock.advance_to(end);
   report.wall_s = end - t_start;

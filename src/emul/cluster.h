@@ -77,10 +77,19 @@ struct ArenaExecOptions {
   /// Stripe shards for the payload pass: base steps are partitioned by
   /// stripe % shards and the shards run concurrently.  shards > 1 requires
   /// a stripe-closed arena (PlanArena::stripe_closed) — windowed schedules
-  /// add cross-stripe deps and must run with shards == 1.  The timing
-  /// replay is sequential either way, so the reported timeline is
-  /// invariant in the shard count.
+  /// add cross-stripe deps and must run with shards == 1.
   std::size_t shards = 1;
+
+  /// Stripe shards for the timing replay (phase 2).  replay_shards > 1
+  /// partitions stripes by stripe % replay_shards onto per-shard event
+  /// heaps and merges them with the owner-advances safe-window protocol
+  /// (see docs/architecture.md): link reservations and floating-point
+  /// accumulation commit in exactly the sequential walk's global
+  /// (time, id) order, so the reported timeline — makespan, compute_s,
+  /// per-link byte totals — is bit-identical to replay_shards == 1 for
+  /// every shard count.  Requires a stripe-closed arena (cross-stripe
+  /// deps would couple the per-shard streams).
+  std::size_t replay_shards = 1;
 
   /// Metadata-only mode: steps of unsampled stripes move no payload and
   /// run no GF compute — only byte *counts* flow through accounting and

@@ -1,6 +1,7 @@
 #include "rebuild/coordinator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <string>
 #include <unordered_set>
@@ -15,6 +16,14 @@ namespace car::rebuild {
 namespace {
 
 using inject::EventKind;
+
+/// Host seconds since `since` (planning-path instrumentation only; every
+/// scheduling decision stays on the virtual clock).
+double host_seconds_since(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
 
 std::string join_nodes(const std::vector<cluster::NodeId>& nodes) {
   std::string out;
@@ -164,6 +173,8 @@ RebuildResult RebuildCoordinator::run(std::span<const FailureEvent> events) {
   result_.report = driver.report();
   result_.stats = driver.stats();
   result_.metrics.makespan_s = driver.now() - (t0 + events.front().at_s);
+  result_.metrics.template_cache_hits = template_cache_.stats().hits;
+  result_.metrics.template_cache_misses = template_cache_.stats().misses;
   std::sort(result_.recovered.begin(), result_.recovered.end(),
             [](const PublishedChunk& a, const PublishedChunk& b) {
               return a.stripe != b.stripe ? a.stripe < b.stripe
@@ -187,8 +198,10 @@ void RebuildCoordinator::scan_epoch(std::size_t epoch) {
   std::size_t at_risk = 0;
   {
     util::MutexLock lock(state_mu_);
-    census = recovery::build_exposure_census(placement_, failed_,
-                                             replacement_, recovered_);
+    const auto scan_start = std::chrono::steady_clock::now();
+    census = recovery::build_exposure_census(
+        placement_, failed_, replacement_, recovered_, options_.scan_shards);
+    result_.metrics.scan_host_s += host_seconds_since(scan_start);
     for (const recovery::StripeExposure& entry : census) {
       if (!entry.exposed_chunks.empty() &&
           !exposure_since_.contains(entry.stripe)) {
@@ -231,11 +244,13 @@ bool RebuildCoordinator::dispatch_one(BatchDriver& driver) {
 
   const recovery::MultiFailureScenario scenario =
       recovery::make_multi_failure_onto(placement_, signature, replacement_);
+  const auto scan_start = std::chrono::steady_clock::now();
   std::vector<recovery::MultiStripeCensus> censuses;
-  for (auto& census :
-       recovery::build_multi_censuses(placement_, scenario)) {
+  for (auto& census : recovery::build_multi_censuses(placement_, scenario,
+                                                     options_.scan_shards)) {
     if (want.contains(census.stripe)) censuses.push_back(std::move(census));
   }
+  result_.metrics.scan_host_s += host_seconds_since(scan_start);
   CAR_CHECK_STATE(censuses.size() == batch.size(),
                   "rebuild: batch scan census does not cover every queued "
                   "stripe of the batch signature");
@@ -243,25 +258,27 @@ bool RebuildCoordinator::dispatch_one(BatchDriver& driver) {
   recovery::RecoveryPlan plan;
   recovery::ValidateOptions vopts;
   vopts.placement = &placement_;
+  const auto plan_start = std::chrono::steady_clock::now();
   if (options_.strategy == Strategy::kCar) {
     const recovery::MultiBalanceResult balanced =
         recovery::balance_multi(placement_, censuses);
-    plan = recovery::build_multi_car_plan(
+    plan = recovery::build_multi_car_plan_cached(
         placement_, code_,
         std::span<const recovery::MultiStripeSolution>(balanced.solutions),
-        options_.chunk_bytes, replacement_);
+        options_.chunk_bytes, replacement_, template_cache_);
     vopts.expected_cross_rack_chunks = recovery::claimed_cross_rack_chunks(
         std::span<const recovery::MultiStripeSolution>(balanced.solutions),
         replacement_rack_);
   } else {
     const std::vector<recovery::MultiRrSolution> solutions =
         recovery::plan_multi_rr(placement_, censuses, rr_rng_);
-    plan = recovery::build_multi_rr_plan(
+    plan = recovery::build_multi_rr_plan_cached(
         placement_, code_,
         std::span<const recovery::MultiRrSolution>(solutions),
-        options_.chunk_bytes, replacement_);
+        options_.chunk_bytes, replacement_, template_cache_);
     vopts.require_single_aggregator_per_rack = false;
   }
+  result_.metrics.plan_host_s += host_seconds_since(plan_start);
   // The validation gate: no plan reaches the driver unchecked.
   const recovery::ValidationReport report =
       recovery::validate_plan(plan, placement_.topology(), vopts);

@@ -48,6 +48,7 @@
 #include "rebuild/driver.h"
 #include "rebuild/queue.h"
 #include "recovery/exposure.h"
+#include "recovery/plan_template.h"
 #include "rs/code.h"
 #include "util/attributes.h"
 #include "util/mutex.h"
@@ -81,6 +82,11 @@ struct RebuildOptions {
   /// Concurrent in-flight batches on the shared timeline.
   std::size_t max_inflight = 2;
   std::uint64_t seed = 7;
+  /// Worker threads for the metadata scans (exposure census at each epoch,
+  /// per-batch multi-failure census).  Sharded scans are bit-identical to
+  /// serial ones for every count (recovery/exposure.h, recovery/multi.h),
+  /// so this is purely a host-time knob.
+  std::size_t scan_shards = 1;
   inject::RetryPolicy retry;
   /// Link/transfer adversity for the driver.  Node crashes are NOT allowed
   /// here — failures are the `events` argument of run().
@@ -117,6 +123,17 @@ struct RebuildMetrics {
   std::size_t batches_cancelled = 0;
   /// Stripes whose batch was cancelled and that re-entered the queue.
   std::size_t stripes_requeued = 0;
+  /// Planning-path host time (std::chrono, NOT virtual seconds — the only
+  /// host-clock numbers in the result): metadata scans (exposure census +
+  /// per-batch multi census) and plan construction (balancing + the
+  /// template-cached plan build).
+  double scan_host_s = 0.0;
+  double plan_host_s = 0.0;
+  /// Plan-template cache counters across every batch of the run
+  /// (recovery/plan_template.h): hits + misses = plans instantiated from a
+  /// template; misses = structural signatures actually planned.
+  std::size_t template_cache_hits = 0;
+  std::size_t template_cache_misses = 0;
 };
 
 struct RebuildResult {
@@ -177,6 +194,11 @@ class RebuildCoordinator {
   const rs::Code& code_;
   RebuildOptions options_;
   RebuildQueue queue_;
+  /// Plan templates persist across batches: same-signature batches (the
+  /// common case under one failure epoch) reuse each other's templates, so
+  /// per-batch planning cost collapses to id remapping after the first
+  /// batch of a signature.
+  recovery::PlanTemplateCache template_cache_;
   util::Rng rr_rng_;
   bool ran_ = false;
   std::vector<cluster::NodeId> failed_;

@@ -190,6 +190,9 @@ RebuildScenarioOutcome run_rebuild_scenario(const inject::Scenario& scenario,
   options.batch_stripes = scenario.rebuild_batch_stripes;
   options.max_inflight = scenario.rebuild_concurrency;
   options.seed = scenario.seed;
+  // Scan sharding is bit-identical to serial scanning for every count, so
+  // reusing the populate shard knob cannot change a logged byte.
+  options.scan_shards = populate_shards;
   options.retry = scenario.retry;
   options.faults = scenario.faults;
   options.faults.node_crashes.clear();  // membership events, not faults

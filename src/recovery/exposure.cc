@@ -1,6 +1,10 @@
 #include "recovery/exposure.h"
 
 #include <algorithm>
+#include <exception>
+#include <iterator>
+#include <mutex>
+#include <thread>
 
 #include "recovery/solutions.h"
 #include "util/check.h"
@@ -29,24 +33,18 @@ bool RecoveredSet::contains(cluster::StripeId stripe,
   return keys_.contains(key_of(stripe, chunk_index));
 }
 
-std::vector<StripeExposure> build_exposure_census(
-    const cluster::Placement& placement,
-    const std::vector<cluster::NodeId>& failed_nodes,
-    cluster::NodeId replacement, const RecoveredSet& recovered) {
-  const auto& topology = placement.topology();
-  CAR_CHECK(replacement < topology.num_nodes(),
-            "build_exposure_census: replacement node id out of range");
-  std::vector<char> failed(topology.num_nodes(), 0);
-  for (const cluster::NodeId node : failed_nodes) {
-    CAR_CHECK_LT(node, topology.num_nodes(),
-                 "build_exposure_census: failed node id out of range");
-    failed[node] = 1;
-  }
+namespace {
 
+/// Serial exposure-scan core over one contiguous stripe range.
+void exposure_range(const cluster::Placement& placement,
+                    const std::vector<char>& failed,
+                    cluster::NodeId replacement, const RecoveredSet& recovered,
+                    cluster::StripeId begin, cluster::StripeId end,
+                    std::vector<StripeExposure>& out) {
+  const auto& topology = placement.topology();
   const cluster::RackId home = topology.rack_of(replacement);
-  std::vector<StripeExposure> out;
   std::vector<std::size_t> available(topology.num_racks(), 0);
-  for (cluster::StripeId s = 0; s < placement.num_stripes(); ++s) {
+  for (cluster::StripeId s = begin; s < end; ++s) {
     StripeExposure exposure;
     exposure.stripe = s;
     std::fill(available.begin(), available.end(), 0);
@@ -87,6 +85,62 @@ std::vector<StripeExposure> build_exposure_census(
         exposure.plan_hosts.end());
     exposure.min_racks = min_racks_for(placement.k(), home, available);
     out.push_back(std::move(exposure));
+  }
+}
+
+}  // namespace
+
+std::vector<StripeExposure> build_exposure_census(
+    const cluster::Placement& placement,
+    const std::vector<cluster::NodeId>& failed_nodes,
+    cluster::NodeId replacement, const RecoveredSet& recovered,
+    std::size_t shards) {
+  CAR_CHECK(shards >= 1, "build_exposure_census: shards must be >= 1");
+  const auto& topology = placement.topology();
+  CAR_CHECK(replacement < topology.num_nodes(),
+            "build_exposure_census: replacement node id out of range");
+  std::vector<char> failed(topology.num_nodes(), 0);
+  for (const cluster::NodeId node : failed_nodes) {
+    CAR_CHECK_LT(node, topology.num_nodes(),
+                 "build_exposure_census: failed node id out of range");
+    failed[node] = 1;
+  }
+
+  const cluster::StripeId n = placement.num_stripes();
+  if (shards <= 1 || n < 2) {
+    std::vector<StripeExposure> out;
+    exposure_range(placement, failed, replacement, recovered, 0, n, out);
+    return out;
+  }
+  // Contiguous ranges concatenated in range order — bit-identical to the
+  // serial scan for every shard count (RecoveredSet reads are const).
+  shards = std::min<std::size_t>(shards, n);
+  std::vector<std::vector<StripeExposure>> parts(shards);
+  std::vector<std::thread> workers;
+  workers.reserve(shards);
+  std::mutex error_mu;
+  std::exception_ptr error;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    const cluster::StripeId begin = n * shard / shards;
+    const cluster::StripeId end = n * (shard + 1) / shards;
+    workers.emplace_back([&, shard, begin, end] {
+      try {
+        exposure_range(placement, failed, replacement, recovered, begin, end,
+                       parts[shard]);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  if (error) std::rethrow_exception(error);
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  std::vector<StripeExposure> out;
+  out.reserve(total);
+  for (auto& part : parts) {
+    std::move(part.begin(), part.end(), std::back_inserter(out));
   }
   return out;
 }

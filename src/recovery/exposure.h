@@ -79,9 +79,15 @@ struct StripeExposure {
 /// count exceeds m (data loss — unrecoverable) or when a stripe's plan set
 /// exceeds m (the planner cannot express reading a recovered replica from
 /// the replacement for a chunk hosted elsewhere; see header comment).
+///
+/// `shards` > 1 splits the scan across that many worker threads over
+/// contiguous stripe ranges; per-range outputs are concatenated in range
+/// order, so the result is bit-identical to the serial scan for every
+/// shard count.
 std::vector<StripeExposure> build_exposure_census(
     const cluster::Placement& placement,
     const std::vector<cluster::NodeId>& failed_nodes,
-    cluster::NodeId replacement, const RecoveredSet& recovered);
+    cluster::NodeId replacement, const RecoveredSet& recovered,
+    std::size_t shards = 1);
 
 }  // namespace car::recovery

@@ -1,8 +1,12 @@
 #include "recovery/multi.h"
 
 #include <algorithm>
+#include <exception>
+#include <iterator>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -43,21 +47,15 @@ MultiFailureScenario make_multi_failure_onto(
   return scenario;
 }
 
-std::vector<MultiStripeCensus> build_multi_censuses(
-    const cluster::Placement& placement,
-    const MultiFailureScenario& scenario) {
+namespace {
+
+/// Serial census core over one contiguous stripe range, appending to `out`.
+void census_range(const cluster::Placement& placement,
+                  const MultiFailureScenario& scenario,
+                  const std::vector<char>& failed, cluster::StripeId begin,
+                  cluster::StripeId end, std::vector<MultiStripeCensus>& out) {
   const auto& topology = placement.topology();
-  // Bitset lookup: is_failed() is a linear scan over failed_nodes, and this
-  // loop asks it once per chunk — at datacenter scale (1M stripes, a full
-  // rack of failed nodes) that linear scan dominates the census.
-  std::vector<char> failed(topology.num_nodes(), 0);
-  for (cluster::NodeId node : scenario.failed_nodes) {
-    CAR_CHECK_LT(node, topology.num_nodes(),
-                 "build_multi_censuses: failed node id out of range");
-    failed[node] = 1;
-  }
-  std::vector<MultiStripeCensus> out;
-  for (cluster::StripeId s = 0; s < placement.num_stripes(); ++s) {
+  for (cluster::StripeId s = begin; s < end; ++s) {
     MultiStripeCensus census;
     census.stripe = s;
     census.replacement_rack = scenario.replacement_rack;
@@ -76,6 +74,59 @@ std::vector<MultiStripeCensus> build_multi_censuses(
                  "build_multi_censuses: stripe lost more than m chunks — "
                  "beyond the code's fault tolerance");
     out.push_back(std::move(census));
+  }
+}
+
+}  // namespace
+
+std::vector<MultiStripeCensus> build_multi_censuses(
+    const cluster::Placement& placement, const MultiFailureScenario& scenario,
+    std::size_t shards) {
+  CAR_CHECK(shards >= 1, "build_multi_censuses: shards must be >= 1");
+  const auto& topology = placement.topology();
+  // Bitset lookup: is_failed() is a linear scan over failed_nodes, and this
+  // loop asks it once per chunk — at datacenter scale (1M stripes, a full
+  // rack of failed nodes) that linear scan dominates the census.
+  std::vector<char> failed(topology.num_nodes(), 0);
+  for (cluster::NodeId node : scenario.failed_nodes) {
+    CAR_CHECK_LT(node, topology.num_nodes(),
+                 "build_multi_censuses: failed node id out of range");
+    failed[node] = 1;
+  }
+  const cluster::StripeId n = placement.num_stripes();
+  if (shards <= 1 || n < 2) {
+    std::vector<MultiStripeCensus> out;
+    census_range(placement, scenario, failed, 0, n, out);
+    return out;
+  }
+  // Contiguous ranges per shard, concatenated in range order: the result
+  // is the serial scan's output verbatim for every shard count.
+  shards = std::min<std::size_t>(shards, n);
+  std::vector<std::vector<MultiStripeCensus>> parts(shards);
+  std::vector<std::thread> workers;
+  workers.reserve(shards);
+  std::mutex error_mu;
+  std::exception_ptr error;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    const cluster::StripeId begin = n * shard / shards;
+    const cluster::StripeId end = n * (shard + 1) / shards;
+    workers.emplace_back([&, shard, begin, end] {
+      try {
+        census_range(placement, scenario, failed, begin, end, parts[shard]);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  if (error) std::rethrow_exception(error);
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  std::vector<MultiStripeCensus> out;
+  out.reserve(total);
+  for (auto& part : parts) {
+    std::move(part.begin(), part.end(), std::back_inserter(out));
   }
   return out;
 }
@@ -266,6 +317,33 @@ TrafficSummary multi_traffic(const std::vector<MultiStripeSolution>& solutions,
   return summary;
 }
 
+std::span<const std::uint8_t> RepairMemo::coeffs(
+    const rs::Code& code, std::size_t lost,
+    std::span<const std::size_t> survivors) {
+  CAR_CHECK_LT(lost, std::size_t{64},
+               "RepairMemo: lost chunk index does not fit the packed key");
+  std::uint64_t mask = 0;
+  std::size_t max_chunk = 0;
+  for (const std::size_t chunk : survivors) {
+    CAR_CHECK_LT(chunk, std::size_t{58},
+                 "RepairMemo: survivor chunk index does not fit the packed "
+                 "key's 58-bit set");
+    mask |= std::uint64_t{1} << chunk;
+    max_chunk = std::max(max_chunk, chunk);
+  }
+  const std::uint64_t key = (mask << 6) | static_cast<std::uint64_t>(lost);
+  if (memo_.empty()) memo_.reserve(256);
+  const auto [it, inserted] = memo_.try_emplace(key);
+  if (inserted) {
+    const auto y = code.repair_vector(lost, survivors);
+    it->second.assign(max_chunk + 1, 0);
+    for (std::size_t pos = 0; pos < survivors.size(); ++pos) {
+      it->second[survivors[pos]] = y[pos];
+    }
+  }
+  return it->second;
+}
+
 RecoveryPlan build_multi_car_plan(
     const cluster::Placement& placement, const rs::Code& code,
     std::span<const MultiStripeSolution> solutions, std::uint64_t chunk_size,
@@ -309,37 +387,25 @@ RecoveryPlan build_multi_car_plan(
   };
 
   // repair_vector solves a k x k system; at scale most stripes share the
-  // same (lost chunk, survivor set) shape, so memoise on that key.
-  std::unordered_map<std::string, std::vector<std::uint8_t>> repair_memo;
-  auto repair_for = [&](std::size_t lost,
-                        const std::vector<std::size_t>& survivors)
-      -> const std::vector<std::uint8_t>& {
-    std::string key;
-    key.reserve((survivors.size() + 1) * sizeof(std::size_t));
-    auto append = [&key](std::size_t v) {
-      key.append(reinterpret_cast<const char*>(&v), sizeof(v));
-    };
-    append(lost);
-    for (std::size_t s : survivors) append(s);
-    auto [it, inserted] = repair_memo.try_emplace(key);
-    if (inserted) it->second = code.repair_vector(lost, survivors);
-    return it->second;
-  };
+  // same (lost chunk, survivor set) shape, so memoise on a packed integer
+  // key and read coefficients canonically by chunk index.
+  RepairMemo repair_memo;
 
   for (const auto& solution : solutions) {
     const auto survivors = solution.all_chunk_indices();
-    // One repair vector per lost chunk, all over the same survivor set.
-    std::vector<std::vector<std::uint8_t>> ys;
+    // One canonical coefficient table per lost chunk; the spans survive
+    // later coeffs() inserts because unordered_map rehashing never moves
+    // mapped values.
+    std::vector<std::span<const std::uint8_t>> ys;
     ys.reserve(solution.lost_chunks.size());
     for (std::size_t lost : solution.lost_chunks) {
-      ys.push_back(repair_for(lost, survivors));
+      ys.push_back(repair_memo.coeffs(code, lost, survivors));
     }
 
     // final_inputs[l] / final_deps[l]: partials for lost chunk l.
     std::vector<std::vector<ComputeInput>> final_inputs(ys.size());
     std::vector<std::vector<std::size_t>> final_deps(ys.size());
 
-    std::size_t position = 0;
     for (const auto& pick : solution.picks) {
       const cluster::NodeId aggregator =
           placement.node_of(solution.stripe, pick.chunk_indices.front());
@@ -355,10 +421,9 @@ RecoveryPlan build_multi_car_plan(
       for (std::size_t l = 0; l < ys.size(); ++l) {
         std::vector<ComputeInput> inputs;
         inputs.reserve(pick.chunk_indices.size());
-        for (std::size_t i = 0; i < pick.chunk_indices.size(); ++i) {
+        for (std::size_t chunk : pick.chunk_indices) {
           inputs.push_back(
-              {BufferRef::chunk(solution.stripe, pick.chunk_indices[i]),
-               ys[l][position + i]});
+              {BufferRef::chunk(solution.stripe, chunk), ys[l][chunk]});
         }
         const std::size_t partial = add_compute(solution.stripe, aggregator,
                                                 std::move(inputs), gather_deps);
@@ -368,7 +433,6 @@ RecoveryPlan build_multi_car_plan(
         final_inputs[l].push_back({BufferRef::step(partial), 1});
         final_deps[l].push_back(ship);
       }
-      position += pick.chunk_indices.size();
     }
 
     for (std::size_t l = 0; l < ys.size(); ++l) {
@@ -433,6 +497,7 @@ RecoveryPlan build_multi_rr_plan(const cluster::Placement& placement,
   plan.replacement_rack = topology.rack_of(replacement);
   plan.chunk_size = chunk_size;
 
+  RepairMemo repair_memo;
   for (const auto& solution : solutions) {
     std::vector<std::size_t> deps;
     for (std::size_t chunk : solution.chunk_indices) {
@@ -452,17 +517,16 @@ RecoveryPlan build_multi_rr_plan(const cluster::Placement& placement,
       deps.push_back(plan.steps.back().id);
     }
     for (std::size_t lost : solution.lost_chunks) {
-      const auto y = code.repair_vector(lost, solution.chunk_indices);
+      const auto y = repair_memo.coeffs(code, lost, solution.chunk_indices);
       PlanStep step;
       step.id = plan.steps.size();
       step.kind = StepKind::kCompute;
       step.stripe = solution.stripe;
       step.node = replacement;
       step.bytes = chunk_size * solution.chunk_indices.size();
-      for (std::size_t pos = 0; pos < solution.chunk_indices.size(); ++pos) {
+      for (std::size_t chunk : solution.chunk_indices) {
         step.inputs.push_back(
-            {BufferRef::chunk(solution.stripe, solution.chunk_indices[pos]),
-             y[pos]});
+            {BufferRef::chunk(solution.stripe, chunk), y[chunk]});
       }
       step.deps = deps;
       plan.steps.push_back(std::move(step));

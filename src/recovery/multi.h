@@ -20,6 +20,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/placement.h"
@@ -82,8 +84,14 @@ MultiFailureScenario make_multi_failure_onto(
 /// Censuses for every stripe that lost at least one chunk.
 /// Throws std::invalid_argument if any stripe lost more than m chunks
 /// (beyond the code's tolerance — unrecoverable).
+///
+/// `shards` > 1 splits the scan across that many worker threads, each
+/// covering one contiguous stripe range; the per-range outputs are
+/// concatenated in range order, so the result is bit-identical to the
+/// serial scan for every shard count.
 std::vector<MultiStripeCensus> build_multi_censuses(
-    const cluster::Placement& placement, const MultiFailureScenario& scenario);
+    const cluster::Placement& placement, const MultiFailureScenario& scenario,
+    std::size_t shards = 1);
 
 /// A materialised per-stripe multi-failure solution.
 struct MultiStripeSolution {
@@ -121,6 +129,31 @@ MultiBalanceResult balance_multi(const cluster::Placement& placement,
 TrafficSummary multi_traffic(const std::vector<MultiStripeSolution>& solutions,
                              std::size_t num_racks,
                              cluster::RackId replacement_rack);
+
+/// Memoises repair vectors on a packed (lost chunk, survivor set) key.
+///
+/// The decode of a lost chunk from exactly k survivors is the unique
+/// solution of a k x k system, so a survivor's coefficient depends only on
+/// its chunk index, never its position in the survivor list.  Coefficients
+/// are therefore stored canonically indexed by chunk index — coeffs()[c]
+/// is chunk c's coefficient — which both collapses permutations of the
+/// same survivor set onto one memo entry and lets callers skip positional
+/// bookkeeping.  The packed key is (survivor bitset << 6) | lost index,
+/// so chunk indices must stay below 58 (checked; k+m never approaches
+/// that in practice).
+class RepairMemo {
+ public:
+  /// Canonical decode coefficients for `lost` over `survivors` (which must
+  /// be exactly k distinct chunk indices, as rs::Code::repair_vector
+  /// requires).  The span is valid until the next coeffs() call inserts.
+  std::span<const std::uint8_t> coeffs(const rs::Code& code, std::size_t lost,
+                                       std::span<const std::size_t> survivors);
+
+  [[nodiscard]] std::size_t size() const noexcept { return memo_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> memo_;
+};
 
 /// Compile into an executable plan: per contributing rack, the aggregator
 /// computes one partial per lost chunk and ships each to the replacement.

@@ -126,29 +126,88 @@ PlanArena PlanArena::build(const RecoveryPlan& plan,
     arena.in_off_.push_back(static_cast<std::uint64_t>(arena.in_ref_a_.size()));
   }
 
-  // Reverse CSR (dependents) via counting sort over the forward edges.
-  arena.rdep_off_.assign(n + 1, 0);
-  for (const std::uint64_t dep : arena.dep_entries_) {
-    ++arena.rdep_off_[dep + 1];
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    arena.rdep_off_[i + 1] += arena.rdep_off_[i];
-  }
-  arena.rdep_entries_.resize(arena.dep_entries_.size());
-  std::vector<std::uint64_t> cursor(arena.rdep_off_.begin(),
-                                    arena.rdep_off_.end() - 1);
-  for (std::size_t step = 0; step < n; ++step) {
-    for (std::uint64_t at = arena.dep_off_[step]; at < arena.dep_off_[step + 1];
-         ++at) {
-      const std::uint64_t dep = arena.dep_entries_[at];
-      arena.rdep_entries_[cursor[dep]++] = static_cast<std::uint64_t>(step);
-    }
-  }
+  arena.build_reverse_deps();
 
   // The id grid must be representable: the overflow check in sliced_id
   // would otherwise fire mid-execution instead of at build time.
   (void)arena.sliced_id(arena.num_base_steps() - 1, arena.num_slices_ - 1);
   return arena;
+}
+
+void PlanArena::build_reverse_deps() {
+  // Reverse CSR (dependents) via counting sort over the forward edges.
+  const std::size_t n = flags_.size();
+  rdep_off_.assign(n + 1, 0);
+  for (const std::uint64_t dep : dep_entries_) {
+    ++rdep_off_[dep + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    rdep_off_[i + 1] += rdep_off_[i];
+  }
+  rdep_entries_.resize(dep_entries_.size());
+  std::vector<std::uint64_t> cursor(rdep_off_.begin(), rdep_off_.end() - 1);
+  for (std::size_t step = 0; step < n; ++step) {
+    for (std::uint64_t at = dep_off_[step]; at < dep_off_[step + 1]; ++at) {
+      const std::uint64_t dep = dep_entries_[at];
+      rdep_entries_[cursor[dep]++] = static_cast<std::uint64_t>(step);
+    }
+  }
+}
+
+PlanArena PlanArena::create(cluster::NodeId replacement,
+                            cluster::RackId replacement_rack,
+                            std::uint64_t chunk_size,
+                            std::uint64_t slice_size) {
+  CAR_CHECK(chunk_size > 0, "PlanArena: chunk_size must be > 0");
+  CAR_CHECK(slice_size > 0, "PlanArena: slice_size must be > 0");
+  PlanArena arena;
+  arena.replacement_ = replacement;
+  arena.replacement_rack_ = replacement_rack;
+  arena.chunk_size_ = chunk_size;
+  arena.slice_size_ = std::min(slice_size, chunk_size);
+  arena.num_slices_ = (chunk_size + arena.slice_size_ - 1) / arena.slice_size_;
+  arena.dep_off_.push_back(0);
+  arena.rdep_off_.push_back(0);
+  arena.in_off_.push_back(0);
+  return arena;
+}
+
+void PlanArena::reserve(std::uint64_t steps, std::uint64_t deps,
+                        std::uint64_t inputs, std::uint64_t outputs) {
+  CAR_CHECK(cur_steps_ == 0 && flags_.empty(),
+            "PlanArena::reserve must run before the first append");
+  flags_.resize(steps);
+  stripe_.resize(steps);
+  endpoint_a_.resize(steps);
+  endpoint_b_.resize(steps);
+  payload_a_.resize(steps);
+  payload_b_.resize(steps);
+  dep_off_.resize(steps + 1);
+  dep_entries_.resize(deps);
+  rdep_off_.resize(steps + 1);
+  rdep_entries_.resize(deps);
+  in_off_.resize(steps + 1);
+  in_ref_a_.resize(inputs);
+  in_ref_b_.resize(inputs);
+  in_coeff_.resize(inputs);
+  outputs_.resize(outputs);
+  sized_ = true;
+}
+
+void PlanArena::finalize() {
+  // An exact reserve() that overcounted would leave trailing
+  // value-initialised steps; undercounts are caught per append.
+  CAR_CHECK(cur_steps_ == flags_.size() && cur_deps_ == dep_entries_.size() &&
+                cur_inputs_ == in_ref_a_.size() &&
+                cur_outputs_ == outputs_.size(),
+            "PlanArena::finalize: reserve() totals do not match the "
+            "appended extents");
+  // No counting sort here: append_instantiated() already materialised the
+  // reverse CSR from each template's local one (deps are stripe-local, so
+  // the global reverse CSR is the per-stripe concatenation).
+  if (num_base_steps() > 0) {
+    (void)sliced_id(num_base_steps() - 1, num_slices_ - 1);
+  }
 }
 
 std::uint64_t PlanArena::sliced_id(std::uint64_t base,

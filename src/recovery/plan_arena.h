@@ -34,8 +34,16 @@
 #include "cluster/types.h"
 #include "recovery/plan.h"
 #include "recovery/slice.h"
+#include "util/default_init_allocator.h"
+
+namespace car::cluster {
+class Placement;
+}  // namespace car::cluster
 
 namespace car::recovery {
+
+struct PlanTemplate;   // recovery/plan_template.h
+struct StripeBinding;  // recovery/plan_template.h
 
 class PlanArena {
  public:
@@ -49,6 +57,48 @@ class PlanArena {
   /// violations, and std::out_of_range when a node id does not fit the
   /// 32-bit endpoint columns.
   static PlanArena build(const RecoveryPlan& plan, std::uint64_t slice_size);
+
+  // --- incremental template-instantiation construction ----------------
+  //
+  // The scale planner (recovery/plan_template.h) skips the chunk-granular
+  // RecoveryPlan entirely: create() an empty arena, append_instantiated()
+  // once per stripe (remapping a cached template's symbolic endpoints and
+  // local step ids straight into the columns), then finalize() to build
+  // the reverse-dependency CSR and check the id grid.  Reading an arena
+  // before finalize() is undefined.
+
+  /// Empty arena on the given slice grid, ready for append_instantiated.
+  static PlanArena create(cluster::NodeId replacement,
+                          cluster::RackId replacement_rack,
+                          std::uint64_t chunk_size, std::uint64_t slice_size);
+
+  /// Append one stripe's instantiation of `tmpl`: survivor-position
+  /// symbols resolve through the binding and placement (or to the
+  /// replacement), step refs and deps are offset by the current base-step
+  /// count, chunk refs and the stripe column get stamped with the
+  /// binding's stripe, coefficients come from the binding's canonical
+  /// decode tables, and cross-rack flags are recomputed from the resolved
+  /// endpoint racks.  Defined in plan_template.cc.
+  void append_instantiated(const PlanTemplate& tmpl,
+                           const StripeBinding& binding,
+                           const cluster::Placement& placement);
+
+  /// Size the columns for exactly `steps` base steps with `deps` total
+  /// dependency edges, `inputs` total compute inputs, and `outputs`
+  /// outputs.  Callers that know the totals up front (template
+  /// instantiation sums them over its work list) get the fast append
+  /// path: the columns are resized once and append_instantiated() writes
+  /// through raw cursors instead of per-element push_back — no capacity
+  /// checks, no growth reallocations of multi-hundred-MB columns.  Must
+  /// run before the first append; finalize() verifies the appended
+  /// extents landed exactly on these totals.  Appending without a
+  /// reserve() pass still works (the columns grow geometrically).
+  void reserve(std::uint64_t steps, std::uint64_t deps, std::uint64_t inputs,
+               std::uint64_t outputs);
+
+  /// Seal an incrementally built arena: reverse-dependency CSR plus the
+  /// same sliced-id overflow check build() performs.
+  void finalize();
 
   // --- grid -----------------------------------------------------------
 
@@ -176,6 +226,8 @@ class PlanArena {
   [[nodiscard]] SlicePlan to_slice_plan() const;
 
  private:
+  void build_reverse_deps();
+
   static constexpr std::uint8_t kComputeFlag = 1;
   static constexpr std::uint8_t kCrossRackFlag = 2;
   /// Tag bit in the second ref word: set = step-output ref, clear = chunk.
@@ -198,27 +250,44 @@ class PlanArena {
   std::uint64_t num_slices_ = 1;
   bool stripe_closed_ = true;
 
+  // Column storage default-initialises on resize (every element is
+  // overwritten through exact-size cursors right after), so sizing the
+  // columns never memsets hundreds of megabytes.
+  template <typename T>
+  using Column = std::vector<T, util::DefaultInitAllocator<T>>;
+
   // One entry per base step.
-  std::vector<std::uint8_t> flags_;
-  std::vector<std::uint64_t> stripe_;
-  std::vector<std::uint32_t> endpoint_a_;  // transfer src / compute node
-  std::vector<std::uint32_t> endpoint_b_;  // transfer dst / 0
-  std::vector<std::uint64_t> payload_a_;   // chunk stripe / output step id
-  std::vector<std::uint32_t> payload_b_;   // chunk index | kStepRefBit
+  Column<std::uint8_t> flags_;
+  Column<std::uint64_t> stripe_;
+  Column<std::uint32_t> endpoint_a_;  // transfer src / compute node
+  Column<std::uint32_t> endpoint_b_;  // transfer dst / 0
+  Column<std::uint64_t> payload_a_;   // chunk stripe / output step id
+  Column<std::uint32_t> payload_b_;   // chunk index | kStepRefBit
 
   // CSR dependency structure over base steps (entries are base ids).
-  std::vector<std::uint64_t> dep_off_;   // size num_base_steps + 1
-  std::vector<std::uint64_t> dep_entries_;
-  std::vector<std::uint64_t> rdep_off_;  // reverse edges (dependents)
-  std::vector<std::uint64_t> rdep_entries_;
+  Column<std::uint64_t> dep_off_;   // size num_base_steps + 1
+  Column<std::uint64_t> dep_entries_;
+  Column<std::uint64_t> rdep_off_;  // reverse edges (dependents)
+  Column<std::uint64_t> rdep_entries_;
 
   // CSR compute inputs over base steps.
-  std::vector<std::uint64_t> in_off_;    // size num_base_steps + 1
-  std::vector<std::uint64_t> in_ref_a_;
-  std::vector<std::uint32_t> in_ref_b_;
-  std::vector<std::uint8_t> in_coeff_;
+  Column<std::uint64_t> in_off_;    // size num_base_steps + 1
+  Column<std::uint64_t> in_ref_a_;
+  Column<std::uint32_t> in_ref_b_;
+  Column<std::uint8_t> in_coeff_;
 
   std::vector<RecoveryPlan::Output> outputs_;
+
+  // Incremental-append cursors: append_instantiated() writes the columns
+  // through these offsets (the columns are pre-sized, either exactly by
+  // reserve() or geometrically per append), so num_base_steps() is only
+  // meaningful once finalize() has checked the cursors against the column
+  // extents.
+  std::uint64_t cur_steps_ = 0;
+  std::uint64_t cur_deps_ = 0;
+  std::uint64_t cur_inputs_ = 0;
+  std::uint64_t cur_outputs_ = 0;
+  bool sized_ = false;  // reserve() ran: extents are exact, not grown
 };
 
 }  // namespace car::recovery

@@ -1,0 +1,42 @@
+#pragma once
+
+// An allocator adaptor that default-initialises instead of
+// value-initialising on the plain construct(p) overload.  For trivial
+// element types this makes vector::resize() skip the zero-fill — the
+// columnar plan arena resizes multi-hundred-MB columns to exact extents
+// and then overwrites every element through raw cursors, so the memset
+// would be pure waste on the planning critical path.
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace car::util {
+
+template <typename T, typename Alloc = std::allocator<T>>
+class DefaultInitAllocator : public Alloc {
+  using Traits = std::allocator_traits<Alloc>;
+
+ public:
+  template <typename U>
+  struct rebind {
+    using other =
+        DefaultInitAllocator<U, typename Traits::template rebind_alloc<U>>;
+  };
+
+  using Alloc::Alloc;
+
+  template <typename U>
+  void construct(U* ptr) noexcept(
+      std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    Traits::construct(static_cast<Alloc&>(*this), ptr,
+                      std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace car::util

@@ -23,8 +23,12 @@ what must match is the *structure*:
 Makespans on the virtual clock are deterministic per build, but they may
 legitimately move when the planner or emulator changes; the only value
 checks are directional: every default-fabric (core_scale == 1) point must
-keep speedup >= --min-speedup (default 1.3, the acceptance bar), and every
-scale_sweep row must report a positive makespan and step count.
+keep speedup >= --min-speedup (default 1.3, the acceptance bar), every
+scale_sweep row must report a positive makespan and step count, and every
+full-rack scale_sweep row that carries the template-cache timing columns
+must keep plan_speedup (classic plan+lowering over template-cached arena
+build, a within-run host-time ratio that divides out the machine) >=
+--min-plan-speedup (default 5, the acceptance bar).
 
 Malformed input is a diagnostic, not a traceback: a missing section, a row
 without its key fields, or a zero makespan in a speedup ratio all produce a
@@ -32,6 +36,7 @@ clear message and a nonzero exit instead of KeyError/ZeroDivisionError.
 
 Usage:
   bench_schema_diff.py BASELINE CANDIDATE [--min-speedup 1.3]
+      [--min-plan-speedup 5.0]
 
 Exits 0 when the candidate matches, 1 with a report on stderr otherwise,
 2 when an input file cannot be read or parsed at all.
@@ -132,7 +137,7 @@ def diff_section(base_rows, cand_rows, key_fields, fields, section, errors):
     return base, cand
 
 
-def diff(baseline, candidate, min_speedup):
+def diff(baseline, candidate, min_speedup, min_plan_speedup):
     errors = []
 
     for field in ("schema", "fabric", "workload"):
@@ -173,6 +178,27 @@ def diff(baseline, candidate, min_speedup):
             errors.append(f"scale_sweep row {key}: zero recovery throughput")
         if not row.get("plan_steps"):
             errors.append(f"scale_sweep row {key}: plan_steps is missing/zero")
+        # Template-cache acceptance: full-rack rows are where hundreds of
+        # thousands of stripes share a handful of structural signatures, so
+        # the cached build must beat classic plan+lowering by the bar.  The
+        # ratio is host time over host time in one process, so machine
+        # speed divides out.
+        if row.get("failure") == "full-rack" and "plan_speedup" in row:
+            plan_speedup = row.get("plan_speedup") or 0
+            if plan_speedup < min_plan_speedup:
+                errors.append(
+                    f"scale_sweep row {key}: plan_speedup "
+                    f"{plan_speedup:.3f} fell below the "
+                    f"{min_plan_speedup}x template-cache acceptance bar"
+                )
+            misses = row.get("template_cache_misses", 0)
+            affected = row.get("affected_stripes", 0)
+            if affected and misses * 10 > affected:
+                errors.append(
+                    f"scale_sweep row {key}: {misses} template-cache "
+                    f"misses for {affected} affected stripes — the "
+                    "signature space is exploding instead of collapsing"
+                )
 
     # Like the scale sweep, the rebuild section is required exactly when
     # the baseline carries one.
@@ -225,6 +251,7 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("candidate")
     parser.add_argument("--min-speedup", type=float, default=1.3)
+    parser.add_argument("--min-plan-speedup", type=float, default=5.0)
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -233,7 +260,9 @@ def main():
         if not isinstance(doc, dict):
             sys.exit(f"bench_schema_diff: {which} JSON is not an object")
 
-    errors = diff(baseline, candidate, args.min_speedup)
+    errors = diff(
+        baseline, candidate, args.min_speedup, args.min_plan_speedup
+    )
     if errors:
         print(f"bench_schema_diff: {len(errors)} mismatch(es):", file=sys.stderr)
         for err in errors:

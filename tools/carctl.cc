@@ -43,6 +43,8 @@
 #include "rebuild/scenario.h"
 #include "recovery/balancer.h"
 #include "recovery/multi.h"
+#include "recovery/plan_arena.h"
+#include "recovery/plan_template.h"
 #include "recovery/scheduler.h"
 #include "recovery/validate.h"
 #include "recovery/weighted.h"
@@ -234,9 +236,12 @@ int cmd_emulate_scale(const util::Flags& flags) {
       flags.get_double("chunk-mib", 0.25) * static_cast<double>(util::kMiB));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   const auto shards = static_cast<std::size_t>(flags.get_int("shards", 1));
+  const auto replay_shards = static_cast<std::size_t>(
+      flags.get_int("replay-shards", static_cast<int>(shards)));
   const bool metadata_only = flags.get_bool("metadata-only", false);
   const auto sample = static_cast<std::size_t>(flags.get_int("sample", 4));
   const bool fail_rack = flags.get_bool("fail-rack", false);
+  const bool json = flags.get_bool("json", false);
   const auto iterations =
       static_cast<std::size_t>(flags.get_int("iterations", 0));
   const std::uint64_t slice_bytes =
@@ -272,36 +277,60 @@ int cmd_emulate_scale(const util::Flags& flags) {
     }
   }
   const auto mf = recovery::make_multi_failure(placement, failed_nodes);
-  const auto censuses = recovery::build_multi_censuses(placement, mf);
+
+  // Per-phase host timing: scan (census), plan (rack selection +
+  // balancing), lower (template-cached plan instantiation straight into
+  // the columnar arena), replay (payload pass + virtual-clock timing
+  // replay).  Each phase is timed around exactly one call.
+  const auto phase_clock = [] { return std::chrono::steady_clock::now(); };
+  const auto phase_s = [](auto since, auto until) {
+    return std::chrono::duration<double>(until - since).count();
+  };
+
+  auto t = phase_clock();
+  const auto censuses = recovery::build_multi_censuses(placement, mf, shards);
+  const double scan_s = phase_s(t, phase_clock());
   if (censuses.empty()) {
     std::puts("no stripe lost a chunk — nothing to recover");
     return 0;
   }
 
-  recovery::RecoveryPlan plan;
+  const std::uint64_t slice =
+      slice_bytes > 0 ? slice_bytes : std::max<std::uint64_t>(chunk, 1);
+  recovery::PlanTemplateCache cache;
+  double plan_s = 0.0;
+  double lower_s = 0.0;
+  recovery::PlanArena arena;
   if (strategy == "car") {
+    t = phase_clock();
     const auto balanced =
         recovery::balance_multi(placement, censuses, iterations);
-    plan = recovery::build_multi_car_plan(placement, code, balanced.solutions,
-                                          chunk, mf.replacement);
+    plan_s = phase_s(t, phase_clock());
+    t = phase_clock();
+    arena = recovery::build_multi_car_arena(
+        placement, code, balanced.solutions, chunk, slice, mf.replacement,
+        cache);
+    lower_s = phase_s(t, phase_clock());
   } else if (strategy == "rr") {
     util::Rng rr_rng(seed + 2);
+    t = phase_clock();
     const auto rr = recovery::plan_multi_rr(placement, censuses, rr_rng);
-    plan = recovery::build_multi_rr_plan(placement, code, rr, chunk,
-                                         mf.replacement);
+    plan_s = phase_s(t, phase_clock());
+    t = phase_clock();
+    arena = recovery::build_multi_rr_arena(placement, code, rr, chunk, slice,
+                                           mf.replacement, cache);
+    lower_s = phase_s(t, phase_clock());
   } else {
     throw std::invalid_argument("--strategy must be car or rr");
   }
-
-  const auto arena = recovery::PlanArena::build(
-      plan, slice_bytes > 0 ? slice_bytes : std::max<std::uint64_t>(chunk, 1));
+  const auto outputs = arena.outputs();
 
   // Stripes that carry real bytes: the first --sample distinct output
   // stripes under --metadata-only, every stripe otherwise (survivors of
   // affected stripes must hold bytes for the transfers to read).
   std::vector<cluster::StripeId> materialise;
   if (metadata_only) {
-    for (const auto& out : plan.outputs) {
+    for (const auto& out : outputs) {
       if (materialise.size() >= sample) break;
       if (std::find(materialise.begin(), materialise.end(), out.stripe) ==
           materialise.end()) {
@@ -318,13 +347,16 @@ int cmd_emulate_scale(const util::Flags& flags) {
 
   emul::ArenaExecOptions options;
   options.shards = shards;
+  options.replay_shards = replay_shards;
   options.metadata_only = metadata_only;
   if (metadata_only) options.sampled_stripes = materialise;
+  t = phase_clock();
   const auto report = cluster.execute_arena(arena, options);
+  const double replay_s = phase_s(t, phase_clock());
 
   std::size_t expected = 0;
   std::size_t verified = 0;
-  for (const auto& out : plan.outputs) {
+  for (const auto& out : outputs) {
     const auto it = originals.find(out.stripe);
     if (it == originals.end()) continue;
     ++expected;
@@ -337,15 +369,62 @@ int cmd_emulate_scale(const util::Flags& flags) {
                                     host_start)
           .count();
 
+  if (json) {
+    std::printf(
+        "{\n"
+        "  \"command\": \"emulate-scale\",\n"
+        "  \"strategy\": \"%s\",\n"
+        "  \"stripes\": %zu,\n"
+        "  \"racks\": %zu,\n"
+        "  \"nodes\": %zu,\n"
+        "  \"failure\": \"%s\",\n"
+        "  \"affected_stripes\": %zu,\n"
+        "  \"plan_steps\": %llu,\n"
+        "  \"outputs\": %zu,\n"
+        "  \"metadata_only\": %s,\n"
+        "  \"shards\": %zu,\n"
+        "  \"replay_shards\": %zu,\n"
+        "  \"makespan_s\": %.17g,\n"
+        "  \"cross_rack_bytes\": %llu,\n"
+        "  \"verified_outputs\": %zu,\n"
+        "  \"expected_outputs\": %zu,\n"
+        "  \"timing\": {\n"
+        "    \"scan_s\": %.6f,\n"
+        "    \"plan_s\": %.6f,\n"
+        "    \"lower_s\": %.6f,\n"
+        "    \"replay_s\": %.6f,\n"
+        "    \"host_s\": %.6f,\n"
+        "    \"template_cache_hits\": %zu,\n"
+        "    \"template_cache_misses\": %zu\n"
+        "  }\n"
+        "}\n",
+        strategy.c_str(), stripes, topology.num_racks(), topology.num_nodes(),
+        fail_rack ? "full-rack" : "single-node", censuses.size(),
+        static_cast<unsigned long long>(arena.num_base_steps()),
+        outputs.size(), metadata_only ? "true" : "false", shards,
+        replay_shards, report.wall_s,
+        static_cast<unsigned long long>(report.cross_rack_bytes), verified,
+        expected, scan_s, plan_s, lower_s, replay_s, host_s,
+        cache.stats().hits, cache.stats().misses);
+    return verified == expected && expected > 0 ? 0 : 1;
+  }
+
   std::printf("%s | %zu racks x %zu nodes | %zu stripes | %s failure\n",
               strategy.c_str(), topology.num_racks(),
               topology.num_nodes() / topology.num_racks(), stripes,
               fail_rack ? "full-rack" : "single-node");
-  std::printf("  affected stripes %zu | plan steps %zu | outputs %zu\n",
-              censuses.size(), plan.steps.size(), plan.outputs.size());
-  std::printf("  mode %s | shards %zu | sampled stripes %zu\n",
+  std::printf("  affected stripes %zu | plan steps %llu | outputs %zu\n",
+              censuses.size(),
+              static_cast<unsigned long long>(arena.num_base_steps()),
+              outputs.size());
+  std::printf("  mode %s | shards %zu | replay shards %zu | sampled stripes "
+              "%zu\n",
               metadata_only ? "metadata-only" : "real-bytes", shards,
-              materialise.size());
+              replay_shards, materialise.size());
+  std::printf("  timing: scan %.3f s | plan %.3f s | lower %.3f s | replay "
+              "%.3f s (templates: %zu planned, %zu reused)\n",
+              scan_s, plan_s, lower_s, replay_s, cache.stats().misses,
+              cache.stats().hits);
   std::printf("  makespan %.3f s | cross-rack %s | host %.2f s\n",
               report.wall_s,
               util::format_bytes(report.cross_rack_bytes).c_str(), host_s);
@@ -781,7 +860,23 @@ int cmd_rebuild_run(const util::Flags& flags) {
     out << result.log.to_json();
   }
   if (flags.get_bool("json")) {
+    // The event log stays a pure function of (scenario, seed) — host
+    // timing lives only in this wrapper, never in the log (CI diffs
+    // --log-out files byte-for-byte across runs and shard counts).
+    std::printf(
+        "{\n"
+        "  \"timing\": {\n"
+        "    \"scan_s\": %.6f,\n"
+        "    \"plan_s\": %.6f,\n"
+        "    \"template_cache_hits\": %zu,\n"
+        "    \"template_cache_misses\": %zu\n"
+        "  },\n"
+        "  \"log\": ",
+        result.metrics.scan_host_s, result.metrics.plan_host_s,
+        result.metrics.template_cache_hits,
+        result.metrics.template_cache_misses);
     std::fputs(result.log.to_json().c_str(), stdout);
+    std::fputs("}\n", stdout);
   }
 
   std::string failed;
@@ -800,6 +895,11 @@ int cmd_rebuild_run(const util::Flags& flags) {
               result.metrics.scans, result.metrics.batches_dispatched,
               result.metrics.batches_cancelled,
               result.metrics.stripes_requeued);
+  std::printf("  planning host time: scan %.3f s | plan %.3f s "
+              "(templates: %zu planned, %zu reused)\n",
+              result.metrics.scan_host_s, result.metrics.plan_host_s,
+              result.metrics.template_cache_misses,
+              result.metrics.template_cache_hits);
   std::printf("  makespan %.3f s | exposure max %.3f s total %.3f s | "
               "at-risk max %.3f s total %.3f s\n",
               result.metrics.makespan_s, result.metrics.max_exposure_s,
@@ -831,7 +931,8 @@ void usage() {
       "  simulate: --node-gbps G --oversub X --hop-latency-us U\n"
       "  emulate:  --node-mbps M --oversub X --window W --slice-kib S --virtual\n"
       "            scale path (arena engine): --metadata-only --sample N\n"
-      "            --shards N --fail-rack --iterations I --strategy car|rr\n"
+      "            --shards N --replay-shards N --fail-rack --iterations I\n"
+      "            --strategy car|rr --json\n"
       "  trace:    --failures N\n"
       "  validate: --strategy car|rr|weighted|multi|all --window W\n"
       "            --slice-kib S (also validate the slice lowering)\n"
