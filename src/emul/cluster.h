@@ -17,6 +17,7 @@
 // mid-recovery before escalating to the recovery/multi re-plan.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -72,6 +73,20 @@ struct EmulConfig {
   double virtual_gf_bps = 1.9e10;
 };
 
+/// Which event-queue engine drives the phase-2 timing replay.  Both engines
+/// pop in the identical global (time, id) order, so every reported number
+/// is bit-identical between them — kHeap is kept as the reference
+/// implementation the differential tests and the CI scale-smoke diff
+/// compare against.
+enum class ReplayEngine : std::uint8_t {
+  /// Per-shard bucketed calendar queues (emul/calendar_queue.h) merged by
+  /// the lock-free epoch-based safe-window protocol.  The default.
+  kCalendar,
+  /// The PR-9 engine: per-shard binary heaps merged under a global mutex
+  /// with condvar handoffs.
+  kHeap,
+};
+
 /// Options for Cluster::execute_arena.
 struct ArenaExecOptions {
   /// Stripe shards for the payload pass: base steps are partitioned by
@@ -102,6 +117,40 @@ struct ArenaExecOptions {
   /// irrelevant).  Ignored — every stripe is real — when metadata_only is
   /// false.
   std::vector<cluster::StripeId> sampled_stripes;
+
+  /// Event-queue engine for the timing replay.  Purely a performance
+  /// choice: results are bit-identical either way.
+  ReplayEngine replay_engine = ReplayEngine::kCalendar;
+};
+
+/// Producer-side watermark for Cluster::execute_arena_streaming: the plan
+/// builder appends stripes into a pre-reserved arena and publishes how many
+/// base steps are complete; the executor's payload shards and replay shards
+/// consume rows strictly below the watermark while instantiation is still
+/// running.  Single writer (the instantiating thread), many readers.
+class ArenaStreamFeed {
+ public:
+  /// Publish that base steps [0, n_base) are fully appended (their columns,
+  /// deps, and reverse deps will not change).  Monotone non-decreasing.
+  void publish(std::uint64_t n_base) noexcept {
+    published_.store(n_base, std::memory_order_release);
+  }
+
+  /// Producer is done: no further publish() calls will follow.  Must be
+  /// called exactly once, after the arena is finalized, or the executor
+  /// spins forever.
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] std::uint64_t published() const noexcept {
+    return published_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<bool> closed_{false};
 };
 
 /// Outcome of executing one recovery plan.
@@ -305,7 +354,29 @@ class Cluster {
   ExecutionReport execute_arena(const recovery::PlanArena& plan,
                                 const ArenaExecOptions& options = {});
 
+  /// Streaming variant of execute_arena: runs concurrently with the plan
+  /// builder.  `plan` must already be reserve()d to its exact final extents
+  /// (so no column ever reallocates); the producer appends stripes,
+  /// publishes its progress through `feed`, finalizes the arena, and calls
+  /// feed.close().  Payload shards process base steps as they are
+  /// published, and the replay shards drain the t_start event frontier of
+  /// published stripes immediately — everything later than t_start is
+  /// globally ordered after rows still being appended, so it waits for
+  /// close().  Every reported number is bit-identical to the barrier
+  /// execute_arena on the finished arena.  Requires options.metadata_only
+  /// or an empty plan of real stripes to verify against populated chunks
+  /// exactly like execute_arena; other preconditions match execute_arena.
+  ExecutionReport execute_arena_streaming(const recovery::PlanArena& plan,
+                                          const ArenaExecOptions& options,
+                                          ArenaStreamFeed& feed);
+
  private:
+  /// Shared core of execute_arena / execute_arena_streaming; feed == nullptr
+  /// runs the barrier (fully-built-plan) mode.
+  ExecutionReport execute_arena_impl(const recovery::PlanArena& plan,
+                                     const ArenaExecOptions& options,
+                                     ArenaStreamFeed* feed);
+
   struct Impl;
   std::unique_ptr<Impl> impl_;
   cluster::Topology topology_;

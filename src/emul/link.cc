@@ -88,6 +88,31 @@ double SerialLink::reserve(double start, std::uint64_t bytes) {
   return next_free_;
 }
 
+double SerialLink::reserve_pages(double start, std::uint64_t bytes,
+                                 std::uint64_t page_bytes) {
+  CAR_CHECK(std::isfinite(start) && start >= 0.0,
+            "SerialLink::reserve_pages: start must be a finite non-negative "
+            "time");
+  CAR_CHECK(page_bytes > 0, "SerialLink::reserve_pages: page_bytes > 0");
+  util::MutexLock lock(mu_);
+  // The loop body is reserve()'s, page by page; keeping it inline (rather
+  // than calling reserve) is what makes the single lock acquisition legal.
+  double finish = start;
+  std::uint64_t remaining = bytes;
+  while (remaining > 0) {
+    const std::uint64_t page = std::min(remaining, page_bytes);
+    const double previous_free = next_free_;
+    const double begin = std::max(next_free_, start);
+    next_free_ = drain_locked(begin, page);
+    CAR_DCHECK_GE(next_free_, previous_free, "SerialLink timeline regressed");
+    CAR_DCHECK_GE(next_free_, begin, "SerialLink finish before start");
+    total_bytes_ += page;
+    finish = next_free_;
+    remaining -= page;
+  }
+  return finish;
+}
+
 double SerialLink::preview(double start, std::uint64_t bytes) const {
   CAR_CHECK(std::isfinite(start) && start >= 0.0,
             "SerialLink::preview: start must be a finite non-negative time");

@@ -52,6 +52,19 @@ class SerialLink {
   double reserve(double start, std::uint64_t bytes) CAR_EXCLUDES(mu_)
       CAR_BOUNDARY CAR_HOT;
 
+  /// Page-wise reservation under a single lock acquisition: exactly the
+  /// sequence reserve(start, page) for each page_bytes-sized page of
+  /// `bytes`, returning the last page's finish (== `start` when bytes is 0,
+  /// matching a zero-iteration paging loop).  Bit-identical to the caller
+  /// paging by hand — the per-page math is the same code — but one
+  /// lock/unlock instead of ceil(bytes / page_bytes).  The timing replay's
+  /// hot path (emul/cluster.cc) uses this; it is safe there because replay
+  /// commits reservations in a globally serialised order, so batching a
+  /// transfer's pages cannot change how concurrent flows interleave.
+  double reserve_pages(double start, std::uint64_t bytes,
+                       std::uint64_t page_bytes) CAR_EXCLUDES(mu_)
+      CAR_BOUNDARY CAR_HOT;
+
   /// Finish time reserve(start, bytes) *would* return right now, without
   /// committing anything.  Thread-safe.
   [[nodiscard]] double preview(double start, std::uint64_t bytes) const

@@ -5,12 +5,11 @@
 #include <cstdio>
 #include <cstring>
 #include <optional>
-#include <queue>
 #include <span>
 #include <string>
-#include <tuple>
 #include <utility>
 
+#include "emul/calendar_queue.h"
 #include "recovery/compute.h"
 #include "recovery/multi.h"
 #include "recovery/scheduler.h"
@@ -166,8 +165,19 @@ class Engine {
  private:
   // (ready time, step id, 1-based attempt) — ties break on the lowest step
   // id, then attempt, so the pop order is a pure function of the plan.
-  using Entry = std::tuple<double, std::size_t, std::size_t>;
-  using Heap = std::priority_queue<Entry, std::vector<Entry>, std::greater<>>;
+  // The id/attempt pair packs into a calendar-queue key as
+  // id(48) | attempt(16), so (time, key) lexicographic order is exactly
+  // the old tuple order; pushes honour the queue's monotone-insertion
+  // discipline (dependents finish no earlier than their producer and have
+  // larger ids; retries back off to a later time or a larger attempt).
+  static std::uint64_t pack_event(std::size_t id, std::size_t attempt) {
+    CAR_CHECK_LT(id, std::size_t{1} << 48,
+                 "inject: slice step id exceeds the 48-bit event key field");
+    CAR_CHECK_LT(attempt, std::size_t{1} << 16,
+                 "inject: attempt exceeds the 16-bit event key field");
+    return (static_cast<std::uint64_t>(id) << 16) |
+           static_cast<std::uint64_t>(attempt);
+  }
 
   /// Execute one slice-lowered plan until it completes (returns nullopt) or
   /// a node crash escalates into a re-plan (returns the validated next
@@ -184,9 +194,9 @@ class Engine {
     std::vector<double> ready_at(n, now_);
     std::size_t completed = 0;
 
-    Heap heap;
+    emul::CalendarQueue heap(n);
     for (std::size_t id = 0; id < n; ++id) {
-      if (indegrees[id] == 0) heap.emplace(now_, id, 1);
+      if (indegrees[id] == 0) heap.push(now_, pack_event(id, 1));
     }
 
     // A fraction trigger can already be satisfied at plan start (e.g.
@@ -196,8 +206,10 @@ class Engine {
     }
 
     while (!heap.empty()) {
-      const auto [t, id, attempt] = heap.top();
-      heap.pop();
+      const emul::CalendarQueue::Entry event = heap.pop();
+      const double t = event.time;
+      const auto id = static_cast<std::size_t>(event.key >> 16);
+      const auto attempt = static_cast<std::size_t>(event.key & 0xFFFFull);
 
       // Time-triggered crashes fire the moment the timeline would pass
       // them, before the event that exposed them runs.
@@ -226,7 +238,9 @@ class Engine {
       advance(finish);
       for (const std::size_t dep : dependents[id]) {
         ready_at[dep] = std::max(ready_at[dep], finish);
-        if (--indegrees[dep] == 0) heap.emplace(ready_at[dep], dep, 1);
+        if (--indegrees[dep] == 0) {
+          heap.push(ready_at[dep], pack_event(dep, 1));
+        }
       }
       if (const auto crash = pending_fraction_crash(completed, n)) {
         return escalate(*crash, finish, plan, sliced, done, completed);
@@ -303,7 +317,8 @@ class Engine {
   std::optional<double> run_transfer_attempt(const SlicePlan& sliced,
                                              const PlanStep& step,
                                              const SliceInfo& slice, double t,
-                                             std::size_t attempt, Heap& heap) {
+                                             std::size_t attempt,
+                                             emul::CalendarQueue& heap) {
     ++result_.stats.attempts;
     if (attempt > 1) ++result_.stats.retries;
 
@@ -460,7 +475,7 @@ class Engine {
                        static_cast<std::int64_t>(step.src), 0,
                        "backoff " + fmt_s(delay) + "s, retry at " +
                            fmt_s(retry_at));
-    heap.emplace(retry_at, step.id, attempt + 1);
+    heap.push(retry_at, pack_event(step.id, attempt + 1));
     return std::nullopt;
   }
 

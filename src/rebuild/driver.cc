@@ -106,6 +106,22 @@ BatchDriver::BatchDriver(emul::Cluster& cluster,
   }
 }
 
+std::uint64_t BatchDriver::pack_event(std::size_t slot, std::size_t id,
+                                      std::size_t attempt) {
+  CAR_CHECK_LT(slot, std::size_t{1} << 16,
+               "rebuild::BatchDriver: batch slot exceeds the 16-bit event "
+               "key field");
+  CAR_CHECK_LT(id, std::size_t{1} << 32,
+               "rebuild::BatchDriver: slice step id exceeds the 32-bit "
+               "event key field");
+  CAR_CHECK_LT(attempt, std::size_t{1} << 16,
+               "rebuild::BatchDriver: attempt exceeds the 16-bit event key "
+               "field");
+  return (static_cast<std::uint64_t>(slot) << 48) |
+         (static_cast<std::uint64_t>(id) << 16) |
+         static_cast<std::uint64_t>(attempt);
+}
+
 void BatchDriver::admit(std::size_t batch_id,
                         const recovery::RecoveryPlan& plan) {
   CAR_CHECK(!plan.steps.empty(), "rebuild::BatchDriver: empty plan admitted");
@@ -128,7 +144,7 @@ void BatchDriver::admit(std::size_t batch_id,
 
   const std::size_t slot = batches_.size();
   for (std::size_t id = 0; id < batch.sliced.steps.size(); ++id) {
-    if (batch.indegrees[id] == 0) heap_.emplace(now_, slot, id, 1);
+    if (batch.indegrees[id] == 0) queue_.push(now_, pack_event(slot, id, 1));
   }
   std::string detail = std::to_string(plan.steps.size()) + " steps, " +
                        std::to_string(plan.outputs.size()) + " outputs";
@@ -145,13 +161,17 @@ void BatchDriver::admit(std::size_t batch_id,
 
 RunOutcome BatchDriver::run_until(std::optional<double> deadline) {
   RunOutcome outcome;
-  while (!heap_.empty()) {
-    const auto [t, slot, id, attempt] = heap_.top();
-    if (deadline && t >= *deadline) {
+  while (!queue_.empty()) {
+    if (deadline && queue_.top().time >= *deadline) {
       outcome.stop = StopReason::kDeadline;
       return outcome;
     }
-    heap_.pop();
+    const emul::CalendarQueue::Entry event = queue_.pop();
+    const double t = event.time;
+    const auto slot = static_cast<std::size_t>(event.key >> 48);
+    const auto id =
+        static_cast<std::size_t>((event.key >> 16) & 0xFFFFFFFFull);
+    const auto attempt = static_cast<std::size_t>(event.key & 0xFFFFull);
     Batch& batch = batches_[slot];
 
     advance(t);
@@ -171,7 +191,9 @@ RunOutcome BatchDriver::run_until(std::optional<double> deadline) {
     ++batch.completed;
     advance(finish);
     for (const std::size_t dep : batch.dependents[id]) {
-      if (--batch.indegrees[dep] == 0) heap_.emplace(finish, slot, dep, 1);
+      if (--batch.indegrees[dep] == 0) {
+        queue_.push(finish, pack_event(slot, dep, 1));
+      }
     }
     if (batch.completed == batch.sliced.steps.size()) {
       publish_outputs(batch, /*whole_batch=*/true);
@@ -183,7 +205,7 @@ RunOutcome BatchDriver::run_until(std::optional<double> deadline) {
     }
   }
   CAR_CHECK_STATE(inflight_ == 0,
-                  "rebuild::BatchDriver: event heap drained with " +
+                  "rebuild::BatchDriver: event queue drained with " +
                       std::to_string(inflight_) +
                       " batches unfinished — dependency deadlock");
   outcome.stop = StopReason::kIdle;
@@ -225,7 +247,7 @@ std::vector<CancelledBatch> BatchDriver::cancel_all() {
     --inflight_;
     out.push_back(std::move(cancelled));
   }
-  heap_ = Heap{};
+  queue_ = emul::CalendarQueue{};
   batches_.clear();  // slots are spent; buffer bases never recycle
   cluster_.clear_step_outputs();
   return out;
@@ -430,7 +452,7 @@ std::optional<double> BatchDriver::run_transfer_attempt(
               static_cast<std::int64_t>(step.src), 0,
               "backoff " + fmt_s(delay) + "s, retry at " + fmt_s(retry_at) +
                   batch_suffix(batch.id));
-  heap_.emplace(retry_at, slot, step.id, attempt + 1);
+  queue_.push(retry_at, pack_event(slot, step.id, attempt + 1));
   return std::nullopt;
 }
 

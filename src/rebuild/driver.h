@@ -14,8 +14,9 @@
 // What it adds over the inject engine:
 //   * admit() — enqueue another batch at the current virtual time; its
 //     slice steps interleave with in-flight batches on the (time, batch,
-//     step, attempt) min-heap, so cross-rack shipping of one batch
-//     overlaps partial decoding of another.
+//     step, attempt) calendar queue (emul/calendar_queue.h — same pop
+//     order as the old min-heap, O(1) amortized), so cross-rack shipping
+//     of one batch overlaps partial decoding of another.
 //   * Step-output isolation — every batch's plans use dense step ids
 //     starting at 0, so step-output buffer refs are biased by a per-batch
 //     base (batch k gets ids k << 32) before touching the cluster; chunk
@@ -36,12 +37,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
-#include <queue>
 #include <string>
-#include <tuple>
 #include <vector>
 
 #include "cluster/types.h"
+#include "emul/calendar_queue.h"
 #include "emul/cluster.h"
 #include "inject/event_log.h"
 #include "inject/fault.h"
@@ -139,10 +139,16 @@ class BatchDriver {
 
   // (ready time, batch slot, step id, 1-based attempt) — ties break on the
   // earliest-admitted batch, then the lowest step id, then attempt, so the
-  // pop order is a pure function of the admitted plans.
-  using Entry = std::tuple<double, std::size_t, std::size_t, std::size_t>;
-  using Heap =
-      std::priority_queue<Entry, std::vector<Entry>, std::greater<>>;
+  // pop order is a pure function of the admitted plans.  The three
+  // non-time fields pack into one calendar-queue key as
+  // slot(16) | step(32) | attempt(16), which makes the queue's (time, key)
+  // lexicographic order exactly the old tuple order; pack_event CHECKs
+  // the field ranges.  Every push satisfies the queue's monotone-insertion
+  // discipline: dependents are pushed at their producer's finish time with
+  // a larger step id, retries at a later time (or the same time with a
+  // larger attempt), and admissions at now_ with a strictly larger slot.
+  static std::uint64_t pack_event(std::size_t slot, std::size_t id,
+                                  std::size_t attempt);
 
   [[nodiscard]] bool is_real(cluster::StripeId stripe) const;
   [[nodiscard]] recovery::BufferRef biased(const recovery::BufferRef& ref,
@@ -170,7 +176,7 @@ class BatchDriver {
   std::vector<Batch> batches_;  // completed slots stay (finished == true)
   std::size_t admitted_ = 0;    // lifetime batch count, keys buffer_base
   std::size_t inflight_ = 0;
-  Heap heap_;
+  emul::CalendarQueue queue_;
   double t0_;
   double now_;
   emul::ExecutionReport report_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 #include <iterator>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -11,6 +12,7 @@
 #include <unordered_set>
 
 #include "util/check.h"
+#include "util/spsc_queue.h"
 
 namespace car::recovery {
 
@@ -99,10 +101,23 @@ std::vector<MultiStripeCensus> build_multi_censuses(
     census_range(placement, scenario, failed, 0, n, out);
     return out;
   }
-  // Contiguous ranges per shard, concatenated in range order: the result
-  // is the serial scan's output verbatim for every shard count.
+  // Contiguous ranges per shard; each worker streams fixed-size census
+  // batches through a bounded SPSC ring (exactly one producer — the
+  // worker — and one consumer — this thread), and the collector drains
+  // the rings in shard order.  Concatenation therefore overlaps the tail
+  // of the scan instead of waiting behind the slowest shard, peak memory
+  // is bounded by the ring capacities instead of a full per-shard copy,
+  // and the output is still the serial scan's verbatim for every shard
+  // count (batches of one range concatenate to that range's output, and
+  // ranges flush in range order).
   shards = std::min<std::size_t>(shards, n);
-  std::vector<std::vector<MultiStripeCensus>> parts(shards);
+  constexpr cluster::StripeId kBatchStripes = 1 << 14;
+  using Batch = std::vector<MultiStripeCensus>;
+  std::vector<std::unique_ptr<util::SpscQueue<Batch>>> rings;
+  rings.reserve(shards);
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    rings.push_back(std::make_unique<util::SpscQueue<Batch>>(64));
+  }
   std::vector<std::thread> workers;
   workers.reserve(shards);
   std::mutex error_mu;
@@ -111,23 +126,32 @@ std::vector<MultiStripeCensus> build_multi_censuses(
     const cluster::StripeId begin = n * shard / shards;
     const cluster::StripeId end = n * (shard + 1) / shards;
     workers.emplace_back([&, shard, begin, end] {
+      const util::SpscProducerToken<Batch> token(*rings[shard]);
       try {
-        census_range(placement, scenario, failed, begin, end, parts[shard]);
+        for (cluster::StripeId at = begin; at < end; at += kBatchStripes) {
+          Batch batch;
+          census_range(placement, scenario, failed, at,
+                       std::min<cluster::StripeId>(end, at + kBatchStripes),
+                       batch);
+          if (!batch.empty()) rings[shard]->push(std::move(batch));
+        }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mu);
         if (!error) error = std::current_exception();
       }
+      // Close even on error, or the collector's pop() spins forever.
+      rings[shard]->close();
     });
+  }
+  std::vector<MultiStripeCensus> out;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    const util::SpscConsumerToken<Batch> token(*rings[shard]);
+    while (auto batch = rings[shard]->pop()) {
+      std::move(batch->begin(), batch->end(), std::back_inserter(out));
+    }
   }
   for (auto& worker : workers) worker.join();
   if (error) std::rethrow_exception(error);
-  std::size_t total = 0;
-  for (const auto& part : parts) total += part.size();
-  std::vector<MultiStripeCensus> out;
-  out.reserve(total);
-  for (auto& part : parts) {
-    std::move(part.begin(), part.end(), std::back_inserter(out));
-  }
   return out;
 }
 

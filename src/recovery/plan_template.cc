@@ -229,12 +229,15 @@ struct BindingScratch {
 
 }  // namespace
 
-const PlanTemplate& PlanTemplateCache::car(const MultiStripeSolution& solution) {
+PlanTemplate& PlanTemplateCache::car(const MultiStripeSolution& solution) {
   build_car_key(scratch_, solution);
   if (cache_.empty()) cache_.reserve(256);
   const auto it = cache_.find(std::string_view(scratch_));
   if (it != cache_.end()) {
     ++stats_.hits;
+    // A release_template_rdeps()d entry re-seals on its next hit, so the
+    // reverse CSR is present whenever a build can observe it.
+    if (it->second.rdep_off.empty()) seal_template(it->second);
     return it->second;
   }
   ++stats_.misses;
@@ -249,14 +252,15 @@ const PlanTemplate& PlanTemplateCache::car(const MultiStripeSolution& solution) 
       .first->second;
 }
 
-const PlanTemplate& PlanTemplateCache::rr(std::size_t num_lost,
-                                          std::size_t num_chunks,
-                                          std::uint64_t skip_position_mask) {
+PlanTemplate& PlanTemplateCache::rr(std::size_t num_lost,
+                                    std::size_t num_chunks,
+                                    std::uint64_t skip_position_mask) {
   build_rr_key(scratch_, num_lost, num_chunks, skip_position_mask);
   if (cache_.empty()) cache_.reserve(256);
   const auto it = cache_.find(std::string_view(scratch_));
   if (it != cache_.end()) {
     ++stats_.hits;
+    if (it->second.rdep_off.empty()) seal_template(it->second);
     return it->second;
   }
   ++stats_.misses;
@@ -494,36 +498,132 @@ void PlanArena::append_instantiated(const PlanTemplate& tmpl,
   // appending never breaks stripe closure.
 }
 
-PlanArena build_multi_car_arena(
-    const cluster::Placement& placement, const rs::Code& code,
-    std::span<const MultiStripeSolution> solutions, std::uint64_t chunk_size,
-    std::uint64_t slice_size, cluster::NodeId replacement,
-    PlanTemplateCache& cache) {
-  PlanArena arena = PlanArena::create(
+void release_template_rdeps(PlanTemplate& tmpl) {
+  // swap-with-empty actually returns the memory (clear() keeps capacity).
+  std::vector<std::uint32_t>().swap(tmpl.rdep_off);
+  std::vector<std::uint32_t>().swap(tmpl.rdep_entries);
+}
+
+namespace {
+
+/// Shared reserve pass: resolve one template per solution (hitting the
+/// warm cache) and size the arena columns to their exact final extents so
+/// appends never reallocate — which is also what lets the streaming
+/// executor attach to the arena before the first stripe lands.
+template <typename Resolve>
+ArenaStreamBuild reserve_arena(const cluster::Placement& placement,
+                               std::size_t num_solutions,
+                               std::uint64_t chunk_size,
+                               std::uint64_t slice_size,
+                               cluster::NodeId replacement,
+                               Resolve&& resolve) {
+  ArenaStreamBuild build;
+  build.arena = PlanArena::create(
       replacement, placement.topology().rack_of(replacement), chunk_size,
       slice_size);
-  // First pass resolves each solution's template (hitting the warm cache)
-  // and sums exact column sizes so the arena never reallocates mid-append.
-  std::vector<const PlanTemplate*> templates;
-  templates.reserve(solutions.size());
+  build.templates.reserve(num_solutions);
   std::uint64_t steps = 0, deps = 0, inputs = 0, outputs = 0;
-  for (const MultiStripeSolution& solution : solutions) {
-    const PlanTemplate& tmpl = cache.car(solution);
-    templates.push_back(&tmpl);
+  for (std::size_t i = 0; i < num_solutions; ++i) {
+    PlanTemplate& tmpl = resolve(i);
+    build.templates.push_back(&tmpl);
     steps += tmpl.steps.size();
     deps += tmpl.num_deps;
     inputs += tmpl.num_inputs;
     outputs += tmpl.outputs.size();
   }
-  arena.reserve(steps, deps, inputs, outputs);
-  BindingScratch scratch;
-  for (std::size_t i = 0; i < solutions.size(); ++i) {
-    arena.append_instantiated(
-        *templates[i],
-        scratch.bind_car(code, solutions[i], cache.repair_memo()), placement);
+  build.arena.reserve(steps, deps, inputs, outputs);
+  return build;
+}
+
+/// Shared append pass: instantiate in solution order, publish the
+/// stripe-closed row watermark after each append, and drop each
+/// signature's reverse-CSR copy the moment its last stripe is down.
+template <typename Bind>
+void stream_arena(ArenaStreamBuild& build, std::size_t num_solutions,
+                  const cluster::Placement& placement, Bind&& bind,
+                  const std::function<void(std::uint64_t)>& publish) {
+  CAR_CHECK(build.templates.size() == num_solutions,
+            "stream_multi_*_arena: the reserve pass saw a different "
+            "solution list");
+  std::unordered_map<const PlanTemplate*, std::size_t> last_use;
+  last_use.reserve(64);
+  for (std::size_t i = 0; i < build.templates.size(); ++i) {
+    last_use[build.templates[i]] = i;
   }
-  arena.finalize();
-  return arena;
+  for (std::size_t i = 0; i < num_solutions; ++i) {
+    PlanTemplate& tmpl = *build.templates[i];
+    build.arena.append_instantiated(tmpl, bind(i), placement);
+    if (last_use.find(&tmpl)->second == i) release_template_rdeps(tmpl);
+    if (publish) publish(build.arena.appended_base_steps());
+  }
+  build.arena.finalize();
+}
+
+}  // namespace
+
+ArenaStreamBuild reserve_multi_car_arena(
+    const cluster::Placement& placement,
+    std::span<const MultiStripeSolution> solutions, std::uint64_t chunk_size,
+    std::uint64_t slice_size, cluster::NodeId replacement,
+    PlanTemplateCache& cache) {
+  return reserve_arena(placement, solutions.size(), chunk_size, slice_size,
+                       replacement,
+                       [&](std::size_t i) -> PlanTemplate& {
+                         return cache.car(solutions[i]);
+                       });
+}
+
+ArenaStreamBuild reserve_multi_rr_arena(
+    const cluster::Placement& placement,
+    std::span<const MultiRrSolution> solutions, std::uint64_t chunk_size,
+    std::uint64_t slice_size, cluster::NodeId replacement,
+    PlanTemplateCache& cache) {
+  return reserve_arena(
+      placement, solutions.size(), chunk_size, slice_size, replacement,
+      [&](std::size_t i) -> PlanTemplate& {
+        return cache.rr(solutions[i].lost_chunks.size(),
+                        solutions[i].chunk_indices.size(),
+                        skip_mask(placement, solutions[i], replacement));
+      });
+}
+
+void stream_multi_car_arena(
+    ArenaStreamBuild& build, const cluster::Placement& placement,
+    const rs::Code& code, std::span<const MultiStripeSolution> solutions,
+    PlanTemplateCache& cache,
+    const std::function<void(std::uint64_t)>& publish) {
+  BindingScratch scratch;
+  stream_arena(build, solutions.size(), placement,
+               [&](std::size_t i) {
+                 return scratch.bind_car(code, solutions[i],
+                                         cache.repair_memo());
+               },
+               publish);
+}
+
+void stream_multi_rr_arena(
+    ArenaStreamBuild& build, const cluster::Placement& placement,
+    const rs::Code& code, std::span<const MultiRrSolution> solutions,
+    PlanTemplateCache& cache,
+    const std::function<void(std::uint64_t)>& publish) {
+  BindingScratch scratch;
+  stream_arena(build, solutions.size(), placement,
+               [&](std::size_t i) {
+                 return scratch.bind_rr(code, solutions[i],
+                                        cache.repair_memo());
+               },
+               publish);
+}
+
+PlanArena build_multi_car_arena(
+    const cluster::Placement& placement, const rs::Code& code,
+    std::span<const MultiStripeSolution> solutions, std::uint64_t chunk_size,
+    std::uint64_t slice_size, cluster::NodeId replacement,
+    PlanTemplateCache& cache) {
+  ArenaStreamBuild build = reserve_multi_car_arena(
+      placement, solutions, chunk_size, slice_size, replacement, cache);
+  stream_multi_car_arena(build, placement, code, solutions, cache, {});
+  return std::move(build.arena);
 }
 
 PlanArena build_multi_rr_arena(
@@ -531,31 +631,10 @@ PlanArena build_multi_rr_arena(
     std::span<const MultiRrSolution> solutions, std::uint64_t chunk_size,
     std::uint64_t slice_size, cluster::NodeId replacement,
     PlanTemplateCache& cache) {
-  PlanArena arena = PlanArena::create(
-      replacement, placement.topology().rack_of(replacement), chunk_size,
-      slice_size);
-  std::vector<const PlanTemplate*> templates;
-  templates.reserve(solutions.size());
-  std::uint64_t steps = 0, deps = 0, inputs = 0, outputs = 0;
-  for (const MultiRrSolution& solution : solutions) {
-    const PlanTemplate& tmpl =
-        cache.rr(solution.lost_chunks.size(), solution.chunk_indices.size(),
-                 skip_mask(placement, solution, replacement));
-    templates.push_back(&tmpl);
-    steps += tmpl.steps.size();
-    deps += tmpl.num_deps;
-    inputs += tmpl.num_inputs;
-    outputs += tmpl.outputs.size();
-  }
-  arena.reserve(steps, deps, inputs, outputs);
-  BindingScratch scratch;
-  for (std::size_t i = 0; i < solutions.size(); ++i) {
-    arena.append_instantiated(
-        *templates[i],
-        scratch.bind_rr(code, solutions[i], cache.repair_memo()), placement);
-  }
-  arena.finalize();
-  return arena;
+  ArenaStreamBuild build = reserve_multi_rr_arena(
+      placement, solutions, chunk_size, slice_size, replacement, cache);
+  stream_multi_rr_arena(build, placement, code, solutions, cache, {});
+  return std::move(build.arena);
 }
 
 }  // namespace car::recovery

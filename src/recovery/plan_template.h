@@ -46,6 +46,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -130,15 +131,18 @@ struct TemplateStats {
 class PlanTemplateCache {
  public:
   /// Template for a CAR multi-failure solution's signature
-  /// (lost count, pick size sequence), built on miss.
-  const PlanTemplate& car(const MultiStripeSolution& solution);
+  /// (lost count, pick size sequence), built on miss.  The reference is
+  /// mutable so arena builders can release_template_rdeps() after a
+  /// signature's last instantiation; a hit on a released template re-seals
+  /// it transparently.
+  PlanTemplate& car(const MultiStripeSolution& solution);
 
   /// Template for an RR signature.  `skip_position_mask` is a bitmask (by
   /// fetch POSITION, not chunk index) of survivors already hosted on the
   /// replacement — they skip their transfer, so they are part of the
   /// signature.
-  const PlanTemplate& rr(std::size_t num_lost, std::size_t num_chunks,
-                         std::uint64_t skip_position_mask);
+  PlanTemplate& rr(std::size_t num_lost, std::size_t num_chunks,
+                   std::uint64_t skip_position_mask);
 
   /// Decode-coefficient memo shared by every instantiation off this cache.
   [[nodiscard]] RepairMemo& repair_memo() noexcept { return repair_memo_; }
@@ -198,5 +202,54 @@ PlanArena build_multi_rr_arena(
     std::span<const MultiRrSolution> solutions, std::uint64_t chunk_size,
     std::uint64_t slice_size, cluster::NodeId replacement,
     PlanTemplateCache& cache);
+
+/// Drop a sealed template's local reverse-CSR copy.  The arena builders
+/// call this the moment a signature's last stripe is instantiated —
+/// at fleet scale the copies are pure dead weight from then on — and the
+/// cache re-seals lazily on the next hit, so cross-build reuse (the
+/// rebuild control plane's warm cache) keeps working.
+void release_template_rdeps(PlanTemplate& tmpl);
+
+/// Two-phase streaming form of the arena builders, for overlapping
+/// lowering with the virtual-clock replay (Cluster::
+/// execute_arena_streaming):
+///
+///   1. reserve_multi_*_arena resolves every solution's template and sizes
+///      the arena columns to their exact final extents — after it returns,
+///      num_base_steps() is final and no column ever reallocates, so the
+///      executor may attach to `arena` before a single stripe lands;
+///   2. stream_multi_*_arena appends in solution order, invoking
+///      `publish(rows)` with the monotone count of fully appended base
+///      steps after each stripe (every published prefix is stripe-closed),
+///      releases each template's reverse-CSR copy after its last use, and
+///      finalizes the arena.
+///
+/// build_multi_*_arena is exactly phase 1 + phase 2 with no publisher, so
+/// the streamed arena is the barrier build's bit for bit.
+struct ArenaStreamBuild {
+  PlanArena arena;
+  /// Cache-owned template per solution, resolved by the reserve pass.
+  std::vector<PlanTemplate*> templates;
+};
+ArenaStreamBuild reserve_multi_car_arena(
+    const cluster::Placement& placement,
+    std::span<const MultiStripeSolution> solutions, std::uint64_t chunk_size,
+    std::uint64_t slice_size, cluster::NodeId replacement,
+    PlanTemplateCache& cache);
+ArenaStreamBuild reserve_multi_rr_arena(
+    const cluster::Placement& placement,
+    std::span<const MultiRrSolution> solutions, std::uint64_t chunk_size,
+    std::uint64_t slice_size, cluster::NodeId replacement,
+    PlanTemplateCache& cache);
+void stream_multi_car_arena(
+    ArenaStreamBuild& build, const cluster::Placement& placement,
+    const rs::Code& code, std::span<const MultiStripeSolution> solutions,
+    PlanTemplateCache& cache,
+    const std::function<void(std::uint64_t)>& publish);
+void stream_multi_rr_arena(
+    ArenaStreamBuild& build, const cluster::Placement& placement,
+    const rs::Code& code, std::span<const MultiRrSolution> solutions,
+    PlanTemplateCache& cache,
+    const std::function<void(std::uint64_t)>& publish);
 
 }  // namespace car::recovery

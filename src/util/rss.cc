@@ -1,0 +1,43 @@
+#include "util/rss.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace car::util {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__linux__)
+  // VmHWM is the high-water mark of the resident set — exactly the "peak
+  // RSS" a memory regression gate wants (ru_maxrss matches on Linux, but
+  // /proc survives getrusage quirks under some sanitizers).
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    std::uint64_t kib = 0;
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+      if (std::strncmp(line, "VmHWM:", 6) == 0 &&
+          std::sscanf(line + 6, "%lu", &kib) == 1) {  // NOLINT(cert-err34-c)
+        std::fclose(f);
+        return kib * 1024;
+      }
+    }
+    std::fclose(f);
+  }
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return 0;
+}
+
+}  // namespace car::util

@@ -1,0 +1,14 @@
+// Peak resident-set-size probe for the --json timing blocks: the scale
+// sweeps track memory alongside time, so a lowering change that trades RSS
+// for speed shows up in the same diff.
+#pragma once
+
+#include <cstdint>
+
+namespace car::util {
+
+/// Peak RSS of this process in bytes (VmHWM on Linux, ru_maxrss elsewhere);
+/// 0 when the platform exposes neither.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+}  // namespace car::util

@@ -1,0 +1,186 @@
+// Bounded single-producer / single-consumer work queue for the streaming
+// scan -> plan -> replay pipeline (emul/pipeline.cc).
+//
+// A classic lock-free ring: the producer owns tail_, the consumer owns
+// head_, and each side publishes its index with a release store the other
+// side acquire-loads — no mutex anywhere on the hot path.  Capacity is
+// rounded up to a power of two; try_push fails when the ring is full
+// (bounded queue: the producer backpressures instead of growing), try_pop
+// fails when it is empty.
+//
+// The single-producer / single-consumer contract is what makes the
+// index protocol sound, so it is enforced the same way the repo enforces
+// mutex discipline: compile-time role capabilities.  push/close require the
+// producer role, pop requires the consumer role, and each role is acquired
+// through an RAII token (ProducerToken / ConsumerToken) exactly like
+// util::MutexLock.  The roles are zero-cost phantom capabilities — they
+// exist so Clang's -Wthread-safety analysis rejects a second producer (or a
+// pop from the producer thread) at compile time; tests/negative_compile/
+// holds the proofs.  A debug CAR_CHECK additionally rejects two live tokens
+// of the same role at runtime.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/thread_annotations.h"
+
+namespace car::util {
+
+/// A phantom capability tagging one end (producer or consumer) of an SPSC
+/// queue.  Nothing is locked — acquire/release only flip a debug-only
+/// occupancy flag — but the annotation lets the thread-safety analysis
+/// prove each end is driven from exactly one scope at a time.
+class CAR_CAPABILITY("spsc role") SpscRole {
+ public:
+  SpscRole() = default;
+  SpscRole(const SpscRole&) = delete;
+  SpscRole& operator=(const SpscRole&) = delete;
+
+  void acquire() CAR_ACQUIRE() {
+    CAR_CHECK_STATE(!taken_.exchange(true, std::memory_order_acq_rel),
+                    "SpscRole: a second token for this queue end — the "
+                    "queue is single-producer / single-consumer");
+  }
+  void release() CAR_RELEASE() {
+    taken_.store(false, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<bool> taken_{false};
+};
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (>= 2).
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  [[nodiscard]] SpscRole& producer_role() CAR_RETURN_CAPABILITY(producer_) {
+    return producer_;
+  }
+  [[nodiscard]] SpscRole& consumer_role() CAR_RETURN_CAPABILITY(consumer_) {
+    return consumer_;
+  }
+
+  /// Producer side.  False when the ring is full.
+  [[nodiscard]] bool try_push(T&& value) CAR_REQUIRES(producer_) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: spin (with yields) until the ring has room.
+  void push(T value) CAR_REQUIRES(producer_) {
+    while (!try_push(std::move(value))) std::this_thread::yield();
+  }
+
+  /// Producer side: no more items will be pushed.
+  void close() CAR_REQUIRES(producer_) {
+    closed_.store(true, std::memory_order_release);
+  }
+
+  /// Consumer side.  False when the ring is empty (which does not mean the
+  /// stream ended — check closed()).
+  [[nodiscard]] bool try_pop(T& out) CAR_REQUIRES(consumer_) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: spin (with yields) until an item arrives or the stream
+  /// is closed and drained; nullopt means end-of-stream.
+  [[nodiscard]] std::optional<T> pop() CAR_REQUIRES(consumer_) {
+    T out;
+    for (;;) {
+      if (try_pop(out)) return out;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Re-check: items pushed before close() may have landed between
+        // the failed pop and the closed read.
+        if (try_pop(out)) return out;
+        return std::nullopt;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Producer-owned (head_cache_ mirrors the consumer's index to avoid
+  // loading it on every push); consumer-owned tail_cache_ likewise.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_ CAR_GUARDED_BY(producer_) = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_ CAR_GUARDED_BY(consumer_) = 0;
+  std::atomic<bool> closed_{false};
+  SpscRole producer_;
+  SpscRole consumer_;
+};
+
+/// RAII producer role on an SpscQueue — the only sanctioned way to reach
+/// push()/close().  Scoped-capability semantics mirror util::MutexLock.
+template <typename T>
+class CAR_SCOPED_CAPABILITY SpscProducerToken {
+ public:
+  explicit SpscProducerToken(SpscQueue<T>& queue)
+      CAR_ACQUIRE(queue.producer_role())
+      : role_(queue.producer_role()) {
+    role_.acquire();
+  }
+  ~SpscProducerToken() CAR_RELEASE() { role_.release(); }
+
+  SpscProducerToken(const SpscProducerToken&) = delete;
+  SpscProducerToken& operator=(const SpscProducerToken&) = delete;
+
+ private:
+  SpscRole& role_;
+};
+
+/// RAII consumer role on an SpscQueue — the only sanctioned way to reach
+/// pop().
+template <typename T>
+class CAR_SCOPED_CAPABILITY SpscConsumerToken {
+ public:
+  explicit SpscConsumerToken(SpscQueue<T>& queue)
+      CAR_ACQUIRE(queue.consumer_role())
+      : role_(queue.consumer_role()) {
+    role_.acquire();
+  }
+  ~SpscConsumerToken() CAR_RELEASE() { role_.release(); }
+
+  SpscConsumerToken(const SpscConsumerToken&) = delete;
+  SpscConsumerToken& operator=(const SpscConsumerToken&) = delete;
+
+ private:
+  SpscRole& role_;
+};
+
+}  // namespace car::util

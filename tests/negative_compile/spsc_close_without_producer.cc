@@ -1,0 +1,16 @@
+// SPSC role violation: closing the stream without the producer role.
+// close() is CAR_REQUIRES(producer_) — only the producer may declare
+// end-of-stream (a consumer-side close would race in-flight pushes), so
+// -Wthread-safety must reject this translation unit.
+#include "util/spsc_queue.h"
+
+namespace {
+
+[[maybe_unused]] void use() {
+  car::util::SpscQueue<int> queue(8);
+  const car::util::SpscConsumerToken<int> token(queue);
+  // BAD: holding the consumer role, calling a producer-side method.
+  queue.close();
+}
+
+}  // namespace

@@ -1,0 +1,18 @@
+// SPSC role violation: popping while holding the PRODUCER token.  pop is
+// CAR_REQUIRES(consumer_) — the producer role does not cover the consumer
+// end, so -Wthread-safety must reject this translation unit.
+#include "util/spsc_queue.h"
+
+namespace {
+
+[[maybe_unused]] void use() {
+  car::util::SpscQueue<int> queue(8);
+  const car::util::SpscProducerToken<int> token(queue);
+  queue.push(1);
+  queue.close();
+  // BAD: the producer token grants push/close, not pop — draining from the
+  // producer thread would race the real consumer's head_ updates.
+  (void)queue.pop();
+}
+
+}  // namespace

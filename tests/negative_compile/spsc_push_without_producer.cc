@@ -1,0 +1,15 @@
+// SPSC role violation: pushing into the queue without holding the producer
+// role token.  try_push is CAR_REQUIRES(producer_), so -Wthread-safety must
+// reject this translation unit.
+#include "util/spsc_queue.h"
+
+namespace {
+
+[[maybe_unused]] void use() {
+  car::util::SpscQueue<int> queue(8);
+  // BAD: no SpscProducerToken in scope — a second thread could be the
+  // producer, and two producers break the lock-free index protocol.
+  (void)queue.try_push(1);
+}
+
+}  // namespace

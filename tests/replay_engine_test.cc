@@ -1,0 +1,364 @@
+// Replay-engine differentials: the calendar-queue replay, the sharded
+// safe-window replay, and the streaming (overlapped build/execute) pipeline
+// are pure performance choices — every observable (makespan, compute time,
+// per-rack byte totals, recovered bytes) must be bit-identical to the
+// sequential heap replay, and the two-phase streamed arena build must be
+// bit-equal to the one-shot barrier build.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <exception>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "cluster/configs.h"
+#include "cluster/placement.h"
+#include "emul/cluster.h"
+#include "recovery/multi.h"
+#include "recovery/plan_arena.h"
+#include "recovery/plan_template.h"
+#include "rs/code.h"
+#include "util/rng.h"
+
+namespace car {
+namespace {
+
+using recovery::MultiFailureScenario;
+using recovery::MultiStripeCensus;
+using recovery::PlanArena;
+using recovery::PlanTemplateCache;
+
+constexpr std::uint64_t kChunk = 48 * 1024 + 5;  // no slice size divides it
+
+struct Fixture {
+  cluster::Placement placement;
+  rs::Code code;
+  MultiFailureScenario scenario;
+  std::vector<MultiStripeCensus> censuses;
+};
+
+/// A whole-rack failure (capped at the code's tolerance) on a paper config.
+Fixture make_fixture(int cfg_index, std::uint64_t seed, std::size_t stripes) {
+  const auto cfg = cluster::paper_configs()[cfg_index];
+  util::Rng rng(seed);
+  auto placement =
+      cluster::Placement::random(cfg.topology(), cfg.k, cfg.m, stripes, rng);
+  std::vector<cluster::NodeId> failed;
+  for (const auto node : placement.topology().nodes_in_rack(0)) {
+    failed.push_back(node);
+    if (failed.size() >= cfg.m) break;
+  }
+  rs::Code code(cfg.k, cfg.m);
+  auto scenario = recovery::make_multi_failure(placement, failed);
+  auto censuses = recovery::build_multi_censuses(placement, scenario);
+  return {std::move(placement), std::move(code), std::move(scenario),
+          std::move(censuses)};
+}
+
+emul::EmulConfig emul_config() {
+  emul::EmulConfig config;
+  config.node_bps = 200e6;
+  config.oversubscription = 4.0;
+  config.page_bytes = 16 * 1024;
+  config.clock_mode = emul::ClockMode::kVirtual;
+  return config;
+}
+
+void expect_reports_identical(const emul::ExecutionReport& a,
+                              const emul::ExecutionReport& b) {
+  EXPECT_EQ(a.wall_s, b.wall_s);
+  EXPECT_EQ(a.compute_s, b.compute_s);
+  EXPECT_EQ(a.replacement_compute_s, b.replacement_compute_s);
+  EXPECT_EQ(a.cross_rack_bytes, b.cross_rack_bytes);
+  EXPECT_EQ(a.intra_rack_bytes, b.intra_rack_bytes);
+  EXPECT_EQ(a.per_rack_cross_bytes, b.per_rack_cross_bytes);
+}
+
+/// Populate a fresh cluster (all stripes, seeded bytes), fail the scenario
+/// nodes, and execute `arena` under `options`.  Every run starts from an
+/// identical cluster, so any report divergence is the replay's fault.
+emul::ExecutionReport run_barrier(const Fixture& fx, const PlanArena& arena,
+                                  const emul::ArenaExecOptions& options) {
+  emul::Cluster cluster(fx.placement.topology(), emul_config());
+  std::vector<cluster::StripeId> all(fx.placement.num_stripes());
+  std::iota(all.begin(), all.end(), cluster::StripeId{0});
+  (void)cluster.populate_sampled(fx.placement, fx.code, kChunk, 7, all);
+  for (const auto node : fx.scenario.failed_nodes) cluster.erase_node(node);
+  return cluster.execute_arena(arena, options);
+}
+
+/// Same cluster setup, but through the streaming path: reserve the arena,
+/// append stripes on a producer thread that publishes per-stripe
+/// watermarks, and run the executor concurrently against the feed.
+emul::ExecutionReport run_streamed(
+    const Fixture& fx,
+    const std::vector<recovery::MultiStripeSolution>& solutions,
+    const emul::ArenaExecOptions& options, PlanArena* out_arena) {
+  emul::Cluster cluster(fx.placement.topology(), emul_config());
+  std::vector<cluster::StripeId> all(fx.placement.num_stripes());
+  std::iota(all.begin(), all.end(), cluster::StripeId{0});
+  (void)cluster.populate_sampled(fx.placement, fx.code, kChunk, 7, all);
+  for (const auto node : fx.scenario.failed_nodes) cluster.erase_node(node);
+
+  PlanTemplateCache cache;
+  auto build = recovery::reserve_multi_car_arena(
+      fx.placement, solutions, kChunk, 16 * 1024, fx.scenario.replacement,
+      cache);
+  emul::ArenaStreamFeed feed;
+  std::exception_ptr produce_error;
+  std::thread producer([&] {
+    try {
+      recovery::stream_multi_car_arena(
+          build, fx.placement, fx.code, solutions, cache,
+          [&feed](std::uint64_t rows) { feed.publish(rows); });
+    } catch (...) {
+      produce_error = std::current_exception();
+    }
+    feed.close();
+  });
+  emul::ExecutionReport report;
+  try {
+    report = cluster.execute_arena_streaming(build.arena, options, feed);
+  } catch (...) {
+    producer.join();
+    if (produce_error) std::rethrow_exception(produce_error);
+    throw;
+  }
+  producer.join();
+  if (produce_error) std::rethrow_exception(produce_error);
+  if (out_arena != nullptr) *out_arena = std::move(build.arena);
+  return report;
+}
+
+void expect_slice_plans_equal(const PlanArena& a, const PlanArena& b) {
+  ASSERT_EQ(a.num_base_steps(), b.num_base_steps());
+  EXPECT_EQ(a.stripe_closed(), b.stripe_closed());
+  const auto sa = a.to_slice_plan();
+  const auto sb = b.to_slice_plan();
+  ASSERT_EQ(sa.steps.size(), sb.steps.size());
+  for (std::size_t i = 0; i < sa.steps.size(); ++i) {
+    const auto& x = sa.steps[i];
+    const auto& y = sb.steps[i];
+    ASSERT_EQ(x.id, y.id) << "step " << i;
+    ASSERT_EQ(x.kind, y.kind) << "step " << i;
+    ASSERT_EQ(x.stripe, y.stripe) << "step " << i;
+    ASSERT_EQ(x.deps, y.deps) << "step " << i;
+    ASSERT_EQ(x.src, y.src) << "step " << i;
+    ASSERT_EQ(x.dst, y.dst) << "step " << i;
+    ASSERT_EQ(x.payload, y.payload) << "step " << i;
+    ASSERT_EQ(x.bytes, y.bytes) << "step " << i;
+    ASSERT_EQ(x.inputs.size(), y.inputs.size()) << "step " << i;
+    for (std::size_t j = 0; j < x.inputs.size(); ++j) {
+      ASSERT_EQ(x.inputs[j].buffer, y.inputs[j].buffer) << "step " << i;
+      ASSERT_EQ(x.inputs[j].coeff, y.inputs[j].coeff) << "step " << i;
+    }
+  }
+  const auto oa = a.outputs();
+  const auto ob = b.outputs();
+  ASSERT_EQ(oa.size(), ob.size());
+  for (std::size_t i = 0; i < oa.size(); ++i) {
+    EXPECT_EQ(oa[i].stripe, ob[i].stripe);
+    EXPECT_EQ(oa[i].chunk_index, ob[i].chunk_index);
+    EXPECT_EQ(oa[i].step_id, ob[i].step_id);
+  }
+}
+
+// --- engine equality -----------------------------------------------------
+
+// Heap vs calendar, across replay shard counts: one timeline, bit for bit.
+TEST(ReplayEngine, HeapAndCalendarBitIdenticalAcrossReplayShards) {
+  const auto fx = make_fixture(0, 61, /*stripes=*/24);
+  const auto balanced = recovery::balance_multi(fx.placement, fx.censuses);
+  PlanTemplateCache cache;
+  const auto arena = recovery::build_multi_car_arena(
+      fx.placement, fx.code, balanced.solutions, kChunk, 16 * 1024,
+      fx.scenario.replacement, cache);
+
+  emul::ArenaExecOptions base;
+  base.shards = 2;
+  base.replay_shards = 1;
+  base.replay_engine = emul::ReplayEngine::kHeap;
+  const auto reference = run_barrier(fx, arena, base);
+  ASSERT_GT(reference.wall_s, 0.0);
+
+  for (const auto engine :
+       {emul::ReplayEngine::kHeap, emul::ReplayEngine::kCalendar}) {
+    for (const std::size_t replay_shards : {1u, 2u, 8u}) {
+      auto options = base;
+      options.replay_engine = engine;
+      options.replay_shards = replay_shards;
+      const auto report = run_barrier(fx, arena, options);
+      expect_reports_identical(reference, report);
+      ASSERT_FALSE(::testing::Test::HasFailure())
+          << "engine " << (engine == emul::ReplayEngine::kHeap ? "heap"
+                                                               : "calendar")
+          << " replay_shards " << replay_shards;
+    }
+  }
+}
+
+// The streamed pipeline (producer appends while the executor replays) must
+// report the same timeline as the barrier build, and the arena it leaves
+// behind must be bit-equal to the one-shot build.
+TEST(ReplayEngine, StreamedPipelineMatchesBarrierBitExactly) {
+  const auto fx = make_fixture(1, 17, /*stripes=*/30);
+  const auto balanced = recovery::balance_multi(fx.placement, fx.censuses);
+  PlanTemplateCache cache;
+  const auto arena = recovery::build_multi_car_arena(
+      fx.placement, fx.code, balanced.solutions, kChunk, 16 * 1024,
+      fx.scenario.replacement, cache);
+
+  emul::ArenaExecOptions options;
+  options.shards = 2;
+  options.replay_shards = 2;
+  const auto reference = run_barrier(fx, arena, options);
+
+  PlanArena streamed;
+  const auto report =
+      run_streamed(fx, balanced.solutions, options, &streamed);
+  expect_reports_identical(reference, report);
+  expect_slice_plans_equal(arena, streamed);
+}
+
+// Recovered bytes decode bit-exactly through the calendar-sharded replay.
+TEST(ReplayEngine, CalendarShardedReplayDecodesBitExact) {
+  const auto fx = make_fixture(0, 29, /*stripes=*/18);
+  const auto balanced = recovery::balance_multi(fx.placement, fx.censuses);
+  PlanTemplateCache cache;
+  const auto arena = recovery::build_multi_car_arena(
+      fx.placement, fx.code, balanced.solutions, kChunk, 16 * 1024,
+      fx.scenario.replacement, cache);
+
+  emul::Cluster cluster(fx.placement.topology(), emul_config());
+  std::vector<cluster::StripeId> all(fx.placement.num_stripes());
+  std::iota(all.begin(), all.end(), cluster::StripeId{0});
+  const auto originals =
+      cluster.populate_sampled(fx.placement, fx.code, kChunk, 7, all);
+  for (const auto node : fx.scenario.failed_nodes) cluster.erase_node(node);
+
+  emul::ArenaExecOptions options;
+  options.shards = 2;
+  options.replay_shards = 8;
+  options.replay_engine = emul::ReplayEngine::kCalendar;
+  (void)cluster.execute_arena(arena, options);
+
+  std::size_t verified = 0;
+  for (const auto& out : arena.outputs()) {
+    const auto it = originals.find(out.stripe);
+    ASSERT_NE(it, originals.end());
+    const auto* rec = cluster.find_chunk(fx.scenario.replacement, out.stripe,
+                                         out.chunk_index);
+    ASSERT_NE(rec, nullptr) << "stripe " << out.stripe;
+    EXPECT_EQ(*rec, it->second[out.chunk_index])
+        << "stripe " << out.stripe << " chunk " << out.chunk_index;
+    ++verified;
+  }
+  EXPECT_EQ(verified, arena.outputs().size());
+  EXPECT_GT(verified, 0u);
+}
+
+// --- streamed build ------------------------------------------------------
+
+// reserve + stream must be the same function as the one-shot barrier build,
+// for both strategies, including the template-rdep release along the way.
+TEST(ReplayEngine, ReserveStreamBuildBitEqualToBarrierBuild) {
+  const auto fx = make_fixture(2, 43, /*stripes=*/40);
+  const auto balanced = recovery::balance_multi(fx.placement, fx.censuses);
+  {
+    PlanTemplateCache barrier_cache;
+    const auto barrier = recovery::build_multi_car_arena(
+        fx.placement, fx.code, balanced.solutions, kChunk, 16 * 1024,
+        fx.scenario.replacement, barrier_cache);
+    PlanTemplateCache stream_cache;
+    auto build = recovery::reserve_multi_car_arena(
+        fx.placement, balanced.solutions, kChunk, 16 * 1024,
+        fx.scenario.replacement, stream_cache);
+    std::uint64_t last_watermark = 0;
+    recovery::stream_multi_car_arena(build, fx.placement, fx.code,
+                                     balanced.solutions, stream_cache,
+                                     [&last_watermark](std::uint64_t rows) {
+                                       EXPECT_GE(rows, last_watermark);
+                                       last_watermark = rows;
+                                     });
+    EXPECT_EQ(last_watermark, build.arena.num_base_steps());
+    expect_slice_plans_equal(barrier, build.arena);
+  }
+  {
+    util::Rng rr_rng(43);
+    const auto rr = recovery::plan_multi_rr(fx.placement, fx.censuses, rr_rng);
+    PlanTemplateCache barrier_cache;
+    const auto barrier = recovery::build_multi_rr_arena(
+        fx.placement, fx.code, rr, kChunk, 16 * 1024,
+        fx.scenario.replacement, barrier_cache);
+    PlanTemplateCache stream_cache;
+    auto build = recovery::reserve_multi_rr_arena(
+        fx.placement, rr, kChunk, 16 * 1024, fx.scenario.replacement,
+        stream_cache);
+    recovery::stream_multi_rr_arena(build, fx.placement, fx.code, rr,
+                                    stream_cache, {});
+    expect_slice_plans_equal(barrier, build.arena);
+  }
+}
+
+// Building twice from one cache exercises the release-then-reseal path:
+// the first build frees each template's reverse-CSR copy at its last use,
+// so the second build's cache hits must re-seal transparently and yield a
+// bit-equal arena.
+TEST(ReplayEngine, TemplateRdepReleaseResealsOnCacheReuse) {
+  const auto fx = make_fixture(0, 83, /*stripes=*/32);
+  const auto balanced = recovery::balance_multi(fx.placement, fx.censuses);
+  PlanTemplateCache cache;
+  const auto first = recovery::build_multi_car_arena(
+      fx.placement, fx.code, balanced.solutions, kChunk, 16 * 1024,
+      fx.scenario.replacement, cache);
+  const auto hits_after_first = cache.stats().hits;
+  const auto second = recovery::build_multi_car_arena(
+      fx.placement, fx.code, balanced.solutions, kChunk, 16 * 1024,
+      fx.scenario.replacement, cache);
+  // Every template resolves from the cache the second time around.
+  EXPECT_GT(cache.stats().hits, hits_after_first);
+  expect_slice_plans_equal(first, second);
+}
+
+// --- safe-window stress --------------------------------------------------
+
+// Metadata-only, many stripes, 8 replay shards with a skewed per-shard
+// load: the lock-free safe-window slots see heavy contention (this is the
+// TSan target in CI), and the timeline must still match the serial drain.
+TEST(ReplayEngine, SafeWindowStressSkewedShardsBitIdentical) {
+  const auto fx = make_fixture(0, 5, /*stripes=*/400);
+  const auto balanced = recovery::balance_multi(fx.placement, fx.censuses);
+  PlanTemplateCache cache;
+  const auto arena = recovery::build_multi_car_arena(
+      fx.placement, fx.code, balanced.solutions, kChunk, 16 * 1024,
+      fx.scenario.replacement, cache);
+
+  std::vector<cluster::StripeId> sampled;
+  for (cluster::StripeId s = 0; s < 8; ++s) sampled.push_back(s);
+
+  emul::ExecutionReport reference;
+  for (const std::size_t replay_shards : {1u, 8u}) {
+    emul::Cluster cluster(fx.placement.topology(), emul_config());
+    (void)cluster.populate_sampled(fx.placement, fx.code, kChunk, 7,
+                                   sampled);
+    for (const auto node : fx.scenario.failed_nodes) {
+      cluster.erase_node(node);
+    }
+    emul::ArenaExecOptions options;
+    options.shards = 4;
+    options.replay_shards = replay_shards;
+    options.metadata_only = true;
+    options.sampled_stripes = sampled;
+    const auto report = cluster.execute_arena(arena, options);
+    if (replay_shards == 1) {
+      reference = report;
+      ASSERT_GT(reference.wall_s, 0.0);
+    } else {
+      expect_reports_identical(reference, report);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace car

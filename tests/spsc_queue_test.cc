@@ -1,0 +1,115 @@
+// SpscQueue contract tests: FIFO order across threads, close/drain
+// semantics, bounded-capacity backpressure, and the runtime half of the
+// single-producer/single-consumer role enforcement (the compile-time half
+// lives in tests/negative_compile/).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+#include "util/spsc_queue.h"
+
+namespace car {
+namespace {
+
+using util::SpscConsumerToken;
+using util::SpscProducerToken;
+using util::SpscQueue;
+
+TEST(SpscQueue, FifoOrderAcrossThreads) {
+  constexpr int kItems = 20000;
+  SpscQueue<int> queue(8);
+  std::thread producer([&queue] {
+    const SpscProducerToken<int> token(queue);
+    for (int i = 0; i < kItems; ++i) queue.push(int{i});
+    queue.close();
+  });
+  std::vector<int> seen;
+  {
+    const SpscConsumerToken<int> token(queue);
+    while (auto item = queue.pop()) seen.push_back(*item);
+  }
+  producer.join();
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)], i) << "position " << i;
+  }
+}
+
+TEST(SpscQueue, TryPushBackpressuresWhenFull) {
+  SpscQueue<int> queue(4);  // capacity rounds to exactly 4
+  const SpscProducerToken<int> producer(queue);
+  const SpscConsumerToken<int> consumer(queue);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.try_push(int{i})) << "slot " << i;
+  }
+  EXPECT_FALSE(queue.try_push(4));  // full: producer must backpressure
+  int out = -1;
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(queue.try_push(4));  // one slot freed
+}
+
+TEST(SpscQueue, PopDrainsItemsPushedBeforeClose) {
+  SpscQueue<int> queue(8);
+  {
+    const SpscProducerToken<int> token(queue);
+    queue.push(10);
+    queue.push(11);
+    queue.push(12);
+    queue.close();
+  }
+  const SpscConsumerToken<int> token(queue);
+  EXPECT_EQ(queue.pop(), std::optional<int>(10));
+  EXPECT_EQ(queue.pop(), std::optional<int>(11));
+  EXPECT_EQ(queue.pop(), std::optional<int>(12));
+  EXPECT_EQ(queue.pop(), std::nullopt);  // closed and drained
+  EXPECT_EQ(queue.pop(), std::nullopt);  // stays drained
+}
+
+TEST(SpscQueue, CloseWithoutItemsEndsStreamImmediately) {
+  SpscQueue<int> queue(2);
+  {
+    const SpscProducerToken<int> token(queue);
+    queue.close();
+  }
+  const SpscConsumerToken<int> token(queue);
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(SpscQueue, MoveOnlyPayloadsMoveThrough) {
+  SpscQueue<std::vector<int>> queue(4);
+  const SpscProducerToken<std::vector<int>> producer(queue);
+  const SpscConsumerToken<std::vector<int>> consumer(queue);
+  queue.push(std::vector<int>{1, 2, 3});
+  queue.close();
+  const auto batch = queue.pop();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(*batch, (std::vector<int>{1, 2, 3}));
+}
+
+// A second live token for the same queue end violates the SPSC contract;
+// the debug occupancy flag rejects it at runtime (the compile-time
+// rejection is proved in tests/negative_compile/).
+TEST(SpscQueue, SecondLiveProducerTokenThrows) {
+  SpscQueue<int> queue(4);
+  const SpscProducerToken<int> first(queue);
+  EXPECT_THROW((SpscProducerToken<int>(queue)), util::StateError);
+  // Releasing the first token makes the role claimable again.
+}
+
+TEST(SpscQueue, SecondLiveConsumerTokenThrows) {
+  SpscQueue<int> queue(4);
+  {
+    const SpscConsumerToken<int> first(queue);
+    EXPECT_THROW((SpscConsumerToken<int>(queue)), util::StateError);
+  }
+  const SpscConsumerToken<int> again(queue);  // fine after release
+}
+
+}  // namespace
+}  // namespace car

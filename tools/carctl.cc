@@ -30,11 +30,13 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <numeric>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/configs.h"
@@ -51,6 +53,7 @@
 #include "simnet/flowsim.h"
 #include "util/bytes.h"
 #include "util/flags.h"
+#include "util/rss.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "workload/trace.h"
@@ -236,8 +239,12 @@ int cmd_emulate_scale(const util::Flags& flags) {
       flags.get_double("chunk-mib", 0.25) * static_cast<double>(util::kMiB));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   const auto shards = static_cast<std::size_t>(flags.get_int("shards", 1));
-  const auto replay_shards = static_cast<std::size_t>(
-      flags.get_int("replay-shards", static_cast<int>(shards)));
+  // Replay defaults to one shard: the safe-window protocol admits one
+  // drainer at a time whatever the shard count, so the serial calendar
+  // drain is the fastest configuration; sharded replay stays available as
+  // a generality/verification mode (results are bit-identical either way).
+  const auto replay_shards =
+      static_cast<std::size_t>(flags.get_int("replay-shards", 1));
   const bool metadata_only = flags.get_bool("metadata-only", false);
   const auto sample = static_cast<std::size_t>(flags.get_int("sample", 4));
   const bool fail_rack = flags.get_bool("fail-rack", false);
@@ -247,6 +254,19 @@ int cmd_emulate_scale(const util::Flags& flags) {
   const std::uint64_t slice_bytes =
       static_cast<std::uint64_t>(flags.get_int("slice-kib", 0)) * util::kKiB;
   const std::string strategy = flags.get("strategy", "car");
+  const std::string engine_name = flags.get("engine", "calendar");
+  emul::ReplayEngine engine;
+  if (engine_name == "calendar") {
+    engine = emul::ReplayEngine::kCalendar;
+  } else if (engine_name == "heap") {
+    engine = emul::ReplayEngine::kHeap;
+  } else {
+    throw std::invalid_argument("--engine must be calendar or heap");
+  }
+  const bool stream = flags.get_bool("stream", false);
+  if (stream && engine != emul::ReplayEngine::kCalendar) {
+    throw std::invalid_argument("--stream requires --engine calendar");
+  }
   const rs::Code code(cfg.k, cfg.m);
 
   emul::EmulConfig emul_cfg;
@@ -287,7 +307,8 @@ int cmd_emulate_scale(const util::Flags& flags) {
     return std::chrono::duration<double>(until - since).count();
   };
 
-  auto t = phase_clock();
+  const auto pipeline_start = phase_clock();
+  auto t = pipeline_start;
   const auto censuses = recovery::build_multi_censuses(placement, mf, shards);
   const double scan_s = phase_s(t, phase_clock());
   if (censuses.empty()) {
@@ -295,47 +316,43 @@ int cmd_emulate_scale(const util::Flags& flags) {
     return 0;
   }
 
+  // Solve first in both modes: CAR's load balancing is a global barrier
+  // (Algorithm 2 iterates over every census), so the streamed pipeline
+  // overlaps the phases downstream of it — lowering against replay.
   const std::uint64_t slice =
       slice_bytes > 0 ? slice_bytes : std::max<std::uint64_t>(chunk, 1);
   recovery::PlanTemplateCache cache;
   double plan_s = 0.0;
-  double lower_s = 0.0;
-  recovery::PlanArena arena;
+  std::vector<recovery::MultiStripeSolution> car_solutions;
+  std::vector<recovery::MultiRrSolution> rr_solutions;
   if (strategy == "car") {
     t = phase_clock();
-    const auto balanced =
-        recovery::balance_multi(placement, censuses, iterations);
+    auto balanced = recovery::balance_multi(placement, censuses, iterations);
     plan_s = phase_s(t, phase_clock());
-    t = phase_clock();
-    arena = recovery::build_multi_car_arena(
-        placement, code, balanced.solutions, chunk, slice, mf.replacement,
-        cache);
-    lower_s = phase_s(t, phase_clock());
+    car_solutions = std::move(balanced.solutions);
   } else if (strategy == "rr") {
     util::Rng rr_rng(seed + 2);
     t = phase_clock();
-    const auto rr = recovery::plan_multi_rr(placement, censuses, rr_rng);
+    rr_solutions = recovery::plan_multi_rr(placement, censuses, rr_rng);
     plan_s = phase_s(t, phase_clock());
-    t = phase_clock();
-    arena = recovery::build_multi_rr_arena(placement, code, rr, chunk, slice,
-                                           mf.replacement, cache);
-    lower_s = phase_s(t, phase_clock());
   } else {
     throw std::invalid_argument("--strategy must be car or rr");
   }
-  const auto outputs = arena.outputs();
+  const std::size_t num_solutions =
+      strategy == "car" ? car_solutions.size() : rr_solutions.size();
 
   // Stripes that carry real bytes: the first --sample distinct output
   // stripes under --metadata-only, every stripe otherwise (survivors of
-  // affected stripes must hold bytes for the transfers to read).
+  // affected stripes must hold bytes for the transfers to read).  Output
+  // stripe order is exactly solution order, so the selection is known
+  // before a single plan row is lowered — which is what lets the streamed
+  // mode seed payloads up front.
   std::vector<cluster::StripeId> materialise;
   if (metadata_only) {
-    for (const auto& out : outputs) {
-      if (materialise.size() >= sample) break;
-      if (std::find(materialise.begin(), materialise.end(), out.stripe) ==
-          materialise.end()) {
-        materialise.push_back(out.stripe);
-      }
+    for (std::size_t i = 0; i < num_solutions && materialise.size() < sample;
+         ++i) {
+      materialise.push_back(strategy == "car" ? car_solutions[i].stripe
+                                              : rr_solutions[i].stripe);
     }
   } else {
     materialise.resize(stripes);
@@ -349,10 +366,82 @@ int cmd_emulate_scale(const util::Flags& flags) {
   options.shards = shards;
   options.replay_shards = replay_shards;
   options.metadata_only = metadata_only;
+  options.replay_engine = engine;
   if (metadata_only) options.sampled_stripes = materialise;
-  t = phase_clock();
-  const auto report = cluster.execute_arena(arena, options);
-  const double replay_s = phase_s(t, phase_clock());
+
+  double lower_s = 0.0;
+  double replay_s = 0.0;
+  recovery::PlanArena arena;
+  emul::ExecutionReport report;
+  if (!stream) {
+    t = phase_clock();
+    arena = strategy == "car"
+                ? recovery::build_multi_car_arena(placement, code,
+                                                  car_solutions, chunk, slice,
+                                                  mf.replacement, cache)
+                : recovery::build_multi_rr_arena(placement, code, rr_solutions,
+                                                 chunk, slice, mf.replacement,
+                                                 cache);
+    lower_s = phase_s(t, phase_clock());
+    t = phase_clock();
+    report = cluster.execute_arena(arena, options);
+    replay_s = phase_s(t, phase_clock());
+  } else {
+    // Streamed pipeline: the reserve pass fixes the arena's extents, then
+    // a producer thread instantiates templates and publishes its
+    // stripe-closed row watermark while the executor replays published
+    // rows concurrently.  lower_s is the producer's host effort (reserve +
+    // append) even though the append overlaps replay wall-clock time.
+    t = phase_clock();
+    recovery::ArenaStreamBuild build =
+        strategy == "car"
+            ? recovery::reserve_multi_car_arena(placement, car_solutions,
+                                                chunk, slice, mf.replacement,
+                                                cache)
+            : recovery::reserve_multi_rr_arena(placement, rr_solutions, chunk,
+                                               slice, mf.replacement, cache);
+    const double reserve_s = phase_s(t, phase_clock());
+    emul::ArenaStreamFeed feed;
+    std::exception_ptr produce_error;
+    double append_s = 0.0;
+    std::thread producer([&] {
+      const auto p0 = phase_clock();
+      try {
+        const auto publish = [&feed](std::uint64_t rows) {
+          feed.publish(rows);
+        };
+        if (strategy == "car") {
+          recovery::stream_multi_car_arena(build, placement, code,
+                                           car_solutions, cache, publish);
+        } else {
+          recovery::stream_multi_rr_arena(build, placement, code,
+                                          rr_solutions, cache, publish);
+        }
+      } catch (...) {
+        produce_error = std::current_exception();
+      }
+      // Close even on error so the executor's ingest loop terminates (its
+      // closed-before-published check turns the early close into a
+      // failure there).
+      feed.close();
+      append_s = phase_s(p0, phase_clock());
+    });
+    t = phase_clock();
+    try {
+      report = cluster.execute_arena_streaming(build.arena, options, feed);
+    } catch (...) {
+      producer.join();
+      if (produce_error) std::rethrow_exception(produce_error);
+      throw;
+    }
+    replay_s = phase_s(t, phase_clock());
+    producer.join();
+    if (produce_error) std::rethrow_exception(produce_error);
+    lower_s = reserve_s + append_s;
+    arena = std::move(build.arena);
+  }
+  const double end_to_end_s = phase_s(pipeline_start, phase_clock());
+  const auto outputs = arena.outputs();
 
   std::size_t expected = 0;
   std::size_t verified = 0;
@@ -389,11 +478,17 @@ int cmd_emulate_scale(const util::Flags& flags) {
         "  \"verified_outputs\": %zu,\n"
         "  \"expected_outputs\": %zu,\n"
         "  \"timing\": {\n"
+        "    \"shards\": %zu,\n"
+        "    \"replay_shards\": %zu,\n"
+        "    \"engine\": \"%s\",\n"
+        "    \"streamed\": %s,\n"
         "    \"scan_s\": %.6f,\n"
         "    \"plan_s\": %.6f,\n"
         "    \"lower_s\": %.6f,\n"
         "    \"replay_s\": %.6f,\n"
+        "    \"end_to_end_s\": %.6f,\n"
         "    \"host_s\": %.6f,\n"
+        "    \"peak_rss_mib\": %.1f,\n"
         "    \"template_cache_hits\": %zu,\n"
         "    \"template_cache_misses\": %zu\n"
         "  }\n"
@@ -404,7 +499,11 @@ int cmd_emulate_scale(const util::Flags& flags) {
         outputs.size(), metadata_only ? "true" : "false", shards,
         replay_shards, report.wall_s,
         static_cast<unsigned long long>(report.cross_rack_bytes), verified,
-        expected, scan_s, plan_s, lower_s, replay_s, host_s,
+        expected, shards, replay_shards, engine_name.c_str(),
+        stream ? "true" : "false", scan_s, plan_s, lower_s, replay_s,
+        end_to_end_s, host_s,
+        static_cast<double>(util::peak_rss_bytes()) /
+            static_cast<double>(util::kMiB),
         cache.stats().hits, cache.stats().misses);
     return verified == expected && expected > 0 ? 0 : 1;
   }
@@ -417,17 +516,22 @@ int cmd_emulate_scale(const util::Flags& flags) {
               censuses.size(),
               static_cast<unsigned long long>(arena.num_base_steps()),
               outputs.size());
-  std::printf("  mode %s | shards %zu | replay shards %zu | sampled stripes "
-              "%zu\n",
+  std::printf("  mode %s | shards %zu | replay shards %zu | engine %s%s | "
+              "sampled stripes %zu\n",
               metadata_only ? "metadata-only" : "real-bytes", shards,
-              replay_shards, materialise.size());
+              replay_shards, engine_name.c_str(), stream ? " (streamed)" : "",
+              materialise.size());
   std::printf("  timing: scan %.3f s | plan %.3f s | lower %.3f s | replay "
               "%.3f s (templates: %zu planned, %zu reused)\n",
               scan_s, plan_s, lower_s, replay_s, cache.stats().misses,
               cache.stats().hits);
-  std::printf("  makespan %.3f s | cross-rack %s | host %.2f s\n",
+  std::printf("  makespan %.3f s | cross-rack %s | end-to-end %.2f s | host "
+              "%.2f s | peak rss %.0f MiB\n",
               report.wall_s,
-              util::format_bytes(report.cross_rack_bytes).c_str(), host_s);
+              util::format_bytes(report.cross_rack_bytes).c_str(),
+              end_to_end_s, host_s,
+              static_cast<double>(util::peak_rss_bytes()) /
+                  static_cast<double>(util::kMiB));
   std::printf("  verified %zu/%zu sampled outputs bit-exact\n", verified,
               expected);
   return verified == expected && expected > 0 ? 0 : 1;
@@ -863,16 +967,21 @@ int cmd_rebuild_run(const util::Flags& flags) {
     // The event log stays a pure function of (scenario, seed) — host
     // timing lives only in this wrapper, never in the log (CI diffs
     // --log-out files byte-for-byte across runs and shard counts).
+    // shards/replay_shards make the row reproducible from the JSON alone;
+    // the control plane's batch driver replays serially, so replay_shards
+    // is the literal 1 it runs with.
     std::printf(
         "{\n"
         "  \"timing\": {\n"
+        "    \"shards\": %zu,\n"
+        "    \"replay_shards\": 1,\n"
         "    \"scan_s\": %.6f,\n"
         "    \"plan_s\": %.6f,\n"
         "    \"template_cache_hits\": %zu,\n"
         "    \"template_cache_misses\": %zu\n"
         "  },\n"
         "  \"log\": ",
-        result.metrics.scan_host_s, result.metrics.plan_host_s,
+        shards, result.metrics.scan_host_s, result.metrics.plan_host_s,
         result.metrics.template_cache_hits,
         result.metrics.template_cache_misses);
     std::fputs(result.log.to_json().c_str(), stdout);
@@ -932,7 +1041,7 @@ void usage() {
       "  emulate:  --node-mbps M --oversub X --window W --slice-kib S --virtual\n"
       "            scale path (arena engine): --metadata-only --sample N\n"
       "            --shards N --replay-shards N --fail-rack --iterations I\n"
-      "            --strategy car|rr --json\n"
+      "            --strategy car|rr --engine calendar|heap --stream --json\n"
       "  trace:    --failures N\n"
       "  validate: --strategy car|rr|weighted|multi|all --window W\n"
       "            --slice-kib S (also validate the slice lowering)\n"
