@@ -43,6 +43,18 @@ std::size_t CalendarQueue::bucket_index(double time) const noexcept {
   // Anything at or beyond the rung's span routes to the overflow; the cast
   // below is then guaranteed in range (bucket_count_ <= 2^17).
   if (!(offset < static_cast<double>(bucket_count_))) return bucket_count_;
+  // Below the rung start: clamp to bucket 0 (a negative double to size_t
+  // is UB, and routing to the overflow would pop the event AFTER the
+  // rung).  This happens when rewindow() derives the rung from a
+  // far-future overflow — rung_start_ becomes the overflow minimum, which
+  // can sit well past the drain frontier — and the caller then pushes a
+  // still-monotone event into that gap (e.g. the rebuild control plane
+  // admitting a batch after a deadline pause, or a streamed replay shard
+  // ingesting t_start seeds after draining ahead of the feed).  push()
+  // diverts bucket 0 (always <= cursor_) into the live drain heap, which
+  // restores exact (time, key) order; rewindow()'s re-bucketing never
+  // sees sub-rung times because rung_start_ is the overflow minimum there.
+  if (offset < 0.0) return 0;
   return static_cast<std::size_t>(offset);
 }
 

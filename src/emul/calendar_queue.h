@@ -36,6 +36,14 @@
 // strictly greater than the most recently popped (time, key).  Pushing
 // behind the drain cursor trips a CAR_DCHECK in debug builds.
 //
+// Monotone insertion does NOT imply inserts land inside the active rung: a
+// rewindow driven by a lone far-future event raises rung_start past the
+// drain frontier, and a later push may legally fall in that gap (the
+// rebuild control plane admits batches at the paused `now`, and streamed
+// replay shards ingest t_start seeds after running ahead of the feed).
+// Such sub-rung times clamp to bucket 0, which push() merges into the live
+// drain heap, so they still pop before everything in the rung.
+//
 // Not thread-safe: each replay shard owns one queue (see the epoch-based
 // safe-window protocol in emul/cluster.cc); the sequential engines in
 // inject/runtime.cc and rebuild/driver.cc own theirs outright.
@@ -83,7 +91,10 @@ class CalendarQueue {
   /// Bucket index for `time`, or >= bucket_count_ when it belongs in the
   /// overflow rung.  Pure floor arithmetic — inserts and re-bucketing must
   /// agree exactly, or equal-time events could straddle the rung boundary
-  /// out of order.
+  /// out of order.  Times below rung_start_ (legal after a far-future
+  /// rewindow; see the class comment) clamp to bucket 0 so the size_t
+  /// cast never sees a negative value and the event joins the live drain
+  /// heap instead of the overflow.
   [[nodiscard]] std::size_t bucket_index(double time) const noexcept;
 
   std::size_t bucket_count_ = 0;          // power of two

@@ -1085,6 +1085,13 @@ ExecutionReport Cluster::execute_arena_impl(const recovery::PlanArena& plan,
       };
       std::uint64_t ingested = 0;
       std::size_t idle = 0;
+      // Drain-frontier watchdog: the shard's pop stream must be monotone in
+      // (time, id) — the safe window, the slot publication protocol, and
+      // the stateful commit order all assume it.  A queue that ever
+      // surfaces an event behind the frontier (e.g. by misrouting a
+      // sub-rung insert) would silently corrupt the replay, so fail fast.
+      std::uint64_t drained_t = t0_bits;
+      std::uint64_t drained_i = 0;
       try {
         for (;;) {
           if (failed.load(std::memory_order_acquire)) break;
@@ -1158,6 +1165,13 @@ ExecutionReport Cluster::execute_arena_impl(const recovery::PlanArena& plan,
               break;
             }
             const CalendarQueue::Entry event = queue.pop();
+            const std::uint64_t event_t = time_bits(event.time);
+            CAR_CHECK_STATE(
+                !key_less(event_t, event.key, drained_t, drained_i),
+                "Cluster::execute_arena: calendar replay shard popped an "
+                "event behind its drain frontier");
+            drained_t = event_t;
+            drained_i = event.key;
             process_event(event.time, event.key, queue);
             drained = true;
           }

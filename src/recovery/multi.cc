@@ -144,11 +144,26 @@ std::vector<MultiStripeCensus> build_multi_censuses(
     });
   }
   std::vector<MultiStripeCensus> out;
-  for (std::size_t shard = 0; shard < shards; ++shard) {
-    const util::SpscConsumerToken<Batch> token(*rings[shard]);
-    while (auto batch = rings[shard]->pop()) {
-      std::move(batch->begin(), batch->end(), std::back_inserter(out));
+  try {
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      const util::SpscConsumerToken<Batch> token(*rings[shard]);
+      while (auto batch = rings[shard]->pop()) {
+        std::move(batch->begin(), batch->end(), std::back_inserter(out));
+      }
     }
+  } catch (...) {
+    // The collector died mid-drain (e.g. bad_alloc growing `out`).
+    // Producers may be spinning in SpscQueue::push with no way to observe
+    // consumer death, and destroying a joinable std::thread terminates the
+    // process — so drain every ring dry (pop() past a closed, empty ring
+    // is a cheap no-op) and join before letting the exception unwind.
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      const util::SpscConsumerToken<Batch> token(*rings[shard]);
+      while (rings[shard]->pop()) {
+      }
+    }
+    for (auto& worker : workers) worker.join();
+    throw;
   }
   for (auto& worker : workers) worker.join();
   if (error) std::rethrow_exception(error);

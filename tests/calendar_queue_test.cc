@@ -163,6 +163,90 @@ TEST(CalendarQueue, AllEqualOverflowFallsBackToUnitWidth) {
   drain_both(queue, ref);
 }
 
+// Regression: a rewindow driven by a lone far-future event (a scheduled
+// retry) raises rung_start past the drain frontier; later pushes that are
+// monotone w.r.t. the last pop but BELOW the new rung start must still pop
+// before the rung.  This is exactly the rebuild control plane's shape: a
+// dense batch drains, a deadline check peeks top() (rewindowing onto the
+// lone retry), and admit() then seeds a fresh batch at the paused `now`.
+// Before the fix these pushes hit a negative-offset size_t cast (UB) and
+// were misrouted to the overflow, popping AFTER the retry.
+TEST(CalendarQueue, PushBelowRewindowedRungStillPopsInOrder) {
+  CalendarQueue queue(64);
+  RefHeap ref;
+  std::uint64_t next_key = 0;
+  // Dense batch near t=0 plus one retry far beyond any rung it could span.
+  for (int i = 0; i < 200; ++i) {
+    const double t = 1e-3 * static_cast<double>(i);
+    queue.push(t, next_key);
+    ref.emplace(t, next_key);
+    ++next_key;
+  }
+  const double retry_t = 5e5;
+  queue.push(retry_t, next_key);
+  ref.emplace(retry_t, next_key);
+  ++next_key;
+  // Drain the dense batch completely; only the retry remains.
+  for (int i = 0; i < 200; ++i) {
+    pop_both(queue, ref, static_cast<std::size_t>(i));
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  }
+  // The deadline check: top() rewindows, so rung_start_ jumps to retry_t —
+  // far past the drain frontier (~0.2).
+  EXPECT_EQ(queue.top().time, retry_t);
+  // Admit new work in the gap (monotone: above the last pop, below the
+  // rung), interleaving pops so the live drain heap is exercised too.
+  for (int i = 0; i < 64; ++i) {
+    const double t = 1.0 + 0.5 * static_cast<double>(i);
+    queue.push(t, next_key);
+    ref.emplace(t, next_key);
+    ++next_key;
+    if (i % 4 == 3) {
+      pop_both(queue, ref, static_cast<std::size_t>(200 + i));
+      ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    }
+  }
+  drain_both(queue, ref);
+}
+
+// Same gap, repeated: every rewindow onto a sparse far-future tail is
+// followed by another burst of sub-rung pushes, so the clamp-to-bucket-0
+// path and the overflow path keep alternating.
+TEST(CalendarQueue, RepeatedRewindowGapCyclesMatchHeap) {
+  util::Rng rng(271);
+  CalendarQueue queue(128);
+  RefHeap ref;
+  std::uint64_t next_key = 0;
+  double base = 0.0;
+  queue.push(base, next_key);
+  ref.emplace(base, next_key);
+  ++next_key;
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    // One lone event an epoch ahead of everything pushed so far.
+    const double far = base + 1e6;
+    queue.push(far, next_key);
+    ref.emplace(far, next_key);
+    ++next_key;
+    // Drain to the lone event (forcing the rewindow onto it)...
+    while (ref.size() > 1) {
+      pop_both(queue, ref, ref.size());
+      ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    }
+    EXPECT_EQ(queue.top().time, far);
+    // ...then admit a dense burst in the gap below the rewindowed rung.
+    const double now = base;
+    for (int i = 0; i < 100; ++i) {
+      const double t =
+          now + 1.0 + 0.25 * static_cast<double>(rng.next_below(1000));
+      queue.push(t, next_key);
+      ref.emplace(t, next_key);
+      ++next_key;
+    }
+    base = far;
+  }
+  drain_both(queue, ref);
+}
+
 // --- quantization boundaries --------------------------------------------
 
 // Times sitting exactly on bucket-boundary multiples stress the floor

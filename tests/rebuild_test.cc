@@ -8,18 +8,31 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "cluster/failure.h"
 #include "cluster/placement.h"
 #include "cluster/topology.h"
+#include "emul/cluster.h"
+#include "inject/event_log.h"
+#include "inject/fault.h"
+#include "inject/runtime.h"
 #include "inject/scenario.h"
 #include "rebuild/coordinator.h"
+#include "rebuild/driver.h"
 #include "rebuild/queue.h"
+#include "recovery/balancer.h"
+#include "recovery/census.h"
 #include "recovery/exposure.h"
+#include "recovery/plan.h"
+#include "rs/code.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace car::rebuild {
 namespace {
@@ -211,6 +224,103 @@ TEST(Coordinator, RejectsMalformedFailureSchedules) {
   RebuildOptions with_crash;
   with_crash.faults.node_crashes.push_back({2, std::nullopt, 0.1});
   EXPECT_THROW(run_events({{1, 0.0}}, with_crash), util::CheckError);
+}
+
+// Regression for the calendar-queue rewindow gap, at the control-plane
+// level: batch 0's dense work drains, a dropped transfer leaves one lone
+// retry far in the future, run_until's deadline check peeks the queue
+// (rewindowing the rung onto the retry), and the coordinator-style admit()
+// then seeds batch 1 at the paused `now` — BELOW the rewindowed rung
+// start.  Those seeds must execute at ~now, not after the retry; before
+// the bucket_index fix they were misrouted to the overflow rung and the
+// driver's monotone clamp silently stamped batch 1's whole timeline at the
+// retry's far-future time.
+TEST(BatchDriver, AdmitAfterDeadlinePauseExecutesBeforeFarFutureRetry) {
+  constexpr std::uint64_t kChunk = 8 * 1024;
+  const cluster::Topology topology({4, 3, 3});
+  const rs::Code code(4, 2);
+  emul::EmulConfig config;
+  config.node_bps = 100e6;
+  config.oversubscription = 5.0;
+  config.page_bytes = 4 * 1024;
+  config.clock_mode = emul::ClockMode::kVirtual;
+  emul::Cluster cluster(topology, config);
+  util::Rng rng(7);
+  const auto placement =
+      cluster::Placement::random(topology, code.k(), code.m(), 8, rng);
+  const auto originals = cluster.populate(placement, code, kChunk, rng);
+  const cluster::NodeId failed = 2;
+  const auto failure = cluster::inject_node_failure(placement, failed);
+  cluster.erase_node(failed);
+  const auto censuses = recovery::build_censuses(placement, failure);
+  const auto balanced = recovery::balance_greedy(placement, censuses, {50});
+  ASSERT_GE(balanced.solutions.size(), 2u);
+  // Two batches over disjoint stripe subsets of the same failure: all but
+  // one stripe in batch 0, the last stripe in batch 1.
+  const std::span<const recovery::PerStripeSolution> all(balanced.solutions);
+  const auto plan_a = recovery::build_car_plan(
+      placement, code, all.subspan(0, all.size() - 1), kChunk, failed);
+  const auto plan_b = recovery::build_car_plan(
+      placement, code, all.subspan(all.size() - 1), kChunk, failed);
+
+  // Drop the first attempt of one real transfer of batch 0, with a huge
+  // deterministic backoff: the retry is the lone far-future event.  The
+  // fault matches by plan-step id and both plans use dense ids from 0, so
+  // pick an id batch 1's (smaller) plan does not have — the fault must not
+  // also fire inside batch 1.
+  ASSERT_GT(plan_a.steps.size(), plan_b.steps.size());
+  inject::FaultPlan faults;
+  inject::TransferFault drop;
+  drop.kind = inject::TransferFault::Kind::kDrop;
+  drop.attempts = {1};
+  for (const auto& step : plan_a.steps) {
+    if (step.id >= plan_b.steps.size() &&
+        step.kind == recovery::StepKind::kTransfer && step.src != step.dst) {
+      drop.step = step.id;
+      break;
+    }
+  }
+  ASSERT_TRUE(drop.step.has_value());
+  faults.transfer_faults.push_back(drop);
+  inject::RetryPolicy policy;
+  constexpr double kRetryDelay = 5e5;
+  policy.backoff = util::BackoffSchedule(kRetryDelay, 1.0, kRetryDelay, 0.0);
+
+  inject::EventLog log;
+  BatchDriver driver(cluster, faults, policy, 7, 0, {}, log);
+  driver.admit(0, plan_a);
+  const auto paused = driver.run_until(100.0);
+  ASSERT_EQ(paused.stop, StopReason::kDeadline);
+  ASSERT_LT(driver.now(), 100.0);
+  driver.admit(1, plan_b);
+  std::vector<std::size_t> finished;
+  for (;;) {
+    const auto outcome = driver.run_until(std::nullopt);
+    if (outcome.stop == StopReason::kIdle) break;
+    ASSERT_EQ(outcome.stop, StopReason::kBatchDone);
+    finished.insert(finished.end(), outcome.finished.begin(),
+                    outcome.finished.end());
+  }
+  EXPECT_EQ(finished, (std::vector<std::size_t>{1, 0}));
+  EXPECT_EQ(log.count(EventKind::kRetryScheduled), 1u);
+
+  // Batch 1 was admitted at the pause (~1s): every one of its events must
+  // land well before the retry fires at ~kRetryDelay.
+  for (const auto& event : log.events()) {
+    if (event.detail.find(", batch 1") == std::string::npos) continue;
+    EXPECT_LT(event.t, 1000.0) << inject::to_string(event.kind) << " "
+                               << event.detail;
+  }
+  // And both halves recover bit-exact despite the interleaving.
+  for (const auto* plan : {&plan_a, &plan_b}) {
+    for (const auto& out : plan->outputs) {
+      const rs::Chunk* rec =
+          cluster.find_chunk(failed, out.stripe, out.chunk_index);
+      ASSERT_NE(rec, nullptr) << "stripe " << out.stripe;
+      EXPECT_EQ(*rec, originals[out.stripe][out.chunk_index])
+          << "stripe " << out.stripe << " chunk " << out.chunk_index;
+    }
+  }
 }
 
 TEST(RebuildScenario, RollingTwoRackRecoversBitExact) {

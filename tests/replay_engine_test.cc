@@ -6,8 +6,10 @@
 // bit-equal to the one-shot barrier build.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -256,6 +258,102 @@ TEST(ReplayEngine, CalendarShardedReplayDecodesBitExact) {
   }
   EXPECT_EQ(verified, arena.outputs().size());
   EXPECT_GT(verified, 0u);
+}
+
+// Regression for the calendar-queue rewindow gap in the streamed pipeline:
+// with links slow enough that every dependent lands thousands of virtual
+// seconds past t_start — far beyond the initial all-equal-times rung span
+// (64 unit-width buckets) — a shard that drains its published t_start
+// seeds before the feed closes rewindows onto those far-future dependents
+// in the publish-step top(), and the NEXT ingestion batch then pushes
+// (t_start, sid) seeds BELOW the rewindowed rung start.  Before the
+// bucket_index fix the misroute made the shard's published frontier
+// non-monotone (breaking the safe-window mutual exclusion) and diverged
+// from the heap engine; the streamed run must stay bit-identical.  The
+// producer is throttled so ingestion batches genuinely interleave with
+// drains instead of arriving in one lump.
+TEST(ReplayEngine, StreamedSlowLinksRewindowGapBitIdentical) {
+  const auto fx = make_fixture(0, 53, /*stripes=*/16);
+  const auto balanced = recovery::balance_multi(fx.placement, fx.censuses);
+  PlanTemplateCache cache;
+  // Evenly sliced on purpose (unlike kChunk): every sliced step moves the
+  // same 16 KiB, so the depth-1 dependents a tick schedules all land in a
+  // narrow far-future band.  A ragged remainder slice would drag the
+  // band's minimum down to ~the remainder's duration, making the
+  // rewindowed rung wide enough to swallow the sub-rung gap — and the
+  // misroute this test guards against needs the gap to exceed one bucket.
+  constexpr std::uint64_t kEvenChunk = 48 * 1024;
+  const auto arena = recovery::build_multi_car_arena(
+      fx.placement, fx.code, balanced.solutions, kEvenChunk, 16 * 1024,
+      fx.scenario.replacement, cache);
+
+  // Slow enough that every dependent — transfers and computes alike, one
+  // 16 KiB slice ~327,680 virtual seconds — lands far beyond the 64-unit
+  // rung the all-equal t_start rewindow spans, so the per-shard queues
+  // genuinely go rung-empty between ticks.
+  auto slow = emul_config();
+  slow.node_bps = 0.05;
+  slow.virtual_gf_bps = 0.05;
+
+  auto make_cluster = [&] {
+    auto cluster =
+        std::make_unique<emul::Cluster>(fx.placement.topology(), slow);
+    std::vector<cluster::StripeId> all(fx.placement.num_stripes());
+    std::iota(all.begin(), all.end(), cluster::StripeId{0});
+    (void)cluster->populate_sampled(fx.placement, fx.code, kEvenChunk, 7,
+                                    all);
+    for (const auto node : fx.scenario.failed_nodes) {
+      cluster->erase_node(node);
+    }
+    return cluster;
+  };
+
+  emul::ExecutionReport reference;
+  {
+    emul::ArenaExecOptions heap_options;
+    heap_options.shards = 2;
+    heap_options.replay_shards = 1;
+    heap_options.replay_engine = emul::ReplayEngine::kHeap;
+    reference = make_cluster()->execute_arena(arena, heap_options);
+    ASSERT_GT(reference.wall_s, 0.0);
+  }
+
+  // Hand-drive the feed over the fully built arena: publish one stripe per
+  // tick, pausing long enough that the replay shards provably drain the
+  // published t_start seeds — and the publish-step top() rewindows onto
+  // the far-future dependents — before the next stripe's seeds land below
+  // the rewindowed rung.  (A real producer builds rows between publishes;
+  // pre-building the arena only makes the watermark more conservative.)
+  std::vector<std::uint64_t> boundaries;  // end base id of each stripe
+  const std::uint64_t n_base = arena.num_base_steps();
+  for (std::uint64_t base = 1; base <= n_base; ++base) {
+    if (base == n_base || arena.stripe(base) != arena.stripe(base - 1)) {
+      boundaries.push_back(base);
+    }
+  }
+  ASSERT_GE(boundaries.size(), 4u);
+  emul::ArenaStreamFeed feed;
+  std::thread producer([&] {
+    for (const std::uint64_t rows : boundaries) {
+      feed.publish(rows);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    feed.close();
+  });
+  emul::ArenaExecOptions options;
+  options.shards = 2;
+  options.replay_shards = 2;
+  options.replay_engine = emul::ReplayEngine::kCalendar;
+  emul::ExecutionReport report;
+  auto cluster = make_cluster();
+  try {
+    report = cluster->execute_arena_streaming(arena, options, feed);
+  } catch (...) {
+    producer.join();
+    throw;
+  }
+  producer.join();
+  expect_reports_identical(reference, report);
 }
 
 // --- streamed build ------------------------------------------------------
